@@ -1,0 +1,62 @@
+"""Fig. 4 — time/accuracy trade-off for ANN search (IVF-RaBitQ vs IVF-OPQ vs HNSW).
+
+Each dataset panel prints one row per (method, parameter) point: recall@K,
+average distance ratio, QPS and the number of exact re-ranking computations.
+Qualitative findings to look for:
+
+* IVF-RaBitQ reaches high recall without any re-ranking parameter,
+* IVF-OPQ needs a per-dataset re-ranking budget (too small a budget caps its
+  recall),
+* on the MSong-like panel IVF-OPQ's recall stays low even with re-ranking
+  while IVF-RaBitQ is unaffected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_dataset, emit
+from repro.experiments.ann_search import run_ann_search_experiment
+from repro.experiments.report import format_table, rows_from_dataclasses
+
+#: Dataset panels; a subset of the paper's six to keep the suite fast, with
+#: the interesting failure case (msong) always included.
+FIG4_DATASETS = ("sift", "msong", "gist")
+
+
+@pytest.mark.parametrize("dataset_name", FIG4_DATASETS)
+def test_fig4_ann_search(benchmark, dataset_name):
+    """One Fig. 4 panel: QPS/recall curves of the three ANN pipelines."""
+    dataset = bench_dataset(dataset_name, ground_truth_k=10)
+    results = benchmark.pedantic(
+        run_ann_search_experiment,
+        kwargs={
+            "dataset": dataset,
+            "k": 10,
+            "nprobe_values": (2, 4, 8, 16),
+            "ef_search_values": (20, 80),
+            "opq_rerank_counts": (50, 200),
+            "n_clusters": 32,
+            "include_hnsw": dataset_name == "sift",
+            "include_opq": True,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            rows_from_dataclasses(results),
+            title=f"Figure 4 -- ANN search trade-off on {dataset_name!r} (K=10)",
+        )
+    )
+    rabitq_best = max(
+        r.recall for r in results if r.method == "IVF-RaBitQ"
+    )
+    assert rabitq_best >= 0.9
+    opq_best = max(
+        (r.recall for r in results if r.method.startswith("IVF-OPQ")), default=None
+    )
+    if opq_best is not None:
+        # RaBitQ's best recall matches or exceeds OPQ's best on every panel.
+        assert rabitq_best >= opq_best - 0.02

@@ -1,0 +1,45 @@
+"""Fig. 5 — verification study on the confidence parameter epsilon_0.
+
+Prints the recall of error-bound-based re-ranking as epsilon_0 sweeps from 0
+to 4 on two datasets of very different dimensionality.  The paper's finding:
+both curves rise with epsilon_0 and reach (near-)perfect recall around
+epsilon_0 ≈ 1.9, independently of the dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_dataset, emit
+from repro.experiments.epsilon_sweep import run_epsilon_sweep
+from repro.experiments.report import format_table, rows_from_dataclasses
+
+EPSILON_VALUES = (0.0, 0.5, 1.0, 1.5, 1.9, 2.5, 3.0, 4.0)
+
+
+@pytest.mark.parametrize("dataset_name", ("gaussian", "gist"))
+def test_fig5_epsilon0_sweep(benchmark, dataset_name):
+    """Recall vs epsilon_0 on a D=128-style and a D=960-style dataset."""
+    dataset = bench_dataset(dataset_name, ground_truth_k=20)
+    results = benchmark.pedantic(
+        run_epsilon_sweep,
+        kwargs={
+            "dataset": dataset,
+            "epsilon_values": EPSILON_VALUES,
+            "k": 20,
+            "n_queries": dataset.n_queries,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            rows_from_dataclasses(results),
+            title=f"Figure 5 -- recall vs epsilon_0 on {dataset_name!r} (K=20)",
+        )
+    )
+    recalls = {r.epsilon0: r.recall for r in results}
+    assert recalls[4.0] >= recalls[0.0]
+    assert recalls[1.9] >= 0.93
+    assert recalls[4.0] >= 0.99

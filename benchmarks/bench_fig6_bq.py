@@ -1,0 +1,43 @@
+"""Fig. 6 — verification study on the query-quantization bit width B_q.
+
+Prints the average relative error of RaBitQ's distance estimates as B_q
+sweeps from 1 to 8 on two datasets of very different dimensionality.  The
+paper's finding: the error converges by B_q ≈ 4 and is much larger at
+B_q = 1 (binarizing the query as binary-hashing methods do).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_dataset, emit
+from repro.experiments.bq_sweep import run_bq_sweep
+from repro.experiments.report import format_table, rows_from_dataclasses
+
+BQ_VALUES = (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+@pytest.mark.parametrize("dataset_name", ("sift", "gist"))
+def test_fig6_bq_sweep(benchmark, dataset_name):
+    """Average relative error vs B_q on SIFT- and GIST-analogue datasets."""
+    dataset = bench_dataset(dataset_name)
+    results = benchmark.pedantic(
+        run_bq_sweep,
+        kwargs={
+            "dataset": dataset,
+            "bq_values": BQ_VALUES,
+            "n_queries": 4,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            rows_from_dataclasses(results),
+            title=f"Figure 6 -- avg relative error vs B_q on {dataset_name!r}",
+        )
+    )
+    errors = {r.query_bits: r.avg_relative_error for r in results}
+    assert errors[1] > 1.5 * errors[4]
+    assert abs(errors[4] - errors[8]) < 0.25 * errors[4] + 1e-3

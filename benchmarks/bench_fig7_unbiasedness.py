@@ -1,0 +1,46 @@
+"""Fig. 7 — unbiasedness of the distance estimator.
+
+Fits a regression line to (true, estimated) squared-distance pairs on the
+GIST-analogue dataset.  The paper's finding: RaBitQ's estimator has slope ≈ 1
+and intercept ≈ 0 while OPQ's estimates are clearly biased.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_dataset, emit
+from repro.experiments.report import format_table, rows_from_dataclasses
+from repro.experiments.unbiasedness import run_unbiasedness_experiment
+
+
+def test_fig7_unbiasedness(benchmark):
+    """Regression of estimated vs true distances for RaBitQ and OPQ."""
+    dataset = bench_dataset("gist")
+    result = benchmark.pedantic(
+        run_unbiasedness_experiment,
+        kwargs={
+            "dataset": dataset,
+            "n_queries": 4,
+            "include_opq": True,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            rows_from_dataclasses(result.reports),
+            title=(
+                "Figure 7 -- estimated vs true distance regression "
+                f"({result.n_pairs} pairs, GIST analogue; unbiased = slope 1, intercept 0)"
+            ),
+        )
+    )
+    rabitq = result.by_method("rabitq")
+    opq = result.by_method("opq")
+    assert abs(rabitq.slope - 1.0) < 0.05
+    assert abs(rabitq.intercept) < 0.05
+    # OPQ is visibly biased: its regression deviates from the identity more
+    # than RaBitQ's does.
+    assert abs(opq.slope - 1.0) + abs(opq.intercept) > abs(rabitq.slope - 1.0) + abs(
+        rabitq.intercept
+    )

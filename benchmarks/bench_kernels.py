@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the distance-estimation kernels (supporting Table 1).
+
+These are not tied to a single paper figure; they quantify the relative cost
+of the three computation paths exposed by :class:`repro.core.quantizer.RaBitQ`
+(float reference, bitwise single-code, 4-bit LUT batch) and of the two
+rotation implementations (dense QR vs structured fast-Hadamard), mirroring
+the qualitative comparison of Table 1 and the "hardware-aware" discussion of
+the paper's related-work section.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import RaBitQConfig
+from repro.core.quantizer import RaBitQ
+from repro.core.rotation import FastHadamardRotation, QRRotation
+
+
+@pytest.fixture(scope="module")
+def kernel_setup():
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((4000, 128))
+    query = rng.standard_normal(128)
+    quantizer = RaBitQ(RaBitQConfig(seed=0)).fit(data)
+    prepared = quantizer.prepare_query(query)
+    return quantizer, prepared
+
+
+@pytest.mark.parametrize("compute", ("float", "bitwise", "lut"))
+def test_estimation_kernel(benchmark, kernel_setup, compute):
+    """Distance estimation for 4000 codes with each computation path."""
+    quantizer, prepared = kernel_setup
+    result = benchmark(
+        quantizer.estimate_distances, prepared, compute=compute
+    )
+    assert len(result) == 4000
+
+
+def test_query_preparation(benchmark, kernel_setup):
+    """Per-query preparation cost (normalize + rotate + quantize + LUTs)."""
+    quantizer, _ = kernel_setup
+    query = np.random.default_rng(1).standard_normal(128)
+    prepared = benchmark(quantizer.prepare_query, query)
+    assert prepared.code_length == 128
+
+
+@pytest.mark.parametrize("kind", ("qr", "hadamard"))
+def test_rotation_kernel(benchmark, kind):
+    """Applying the inverse rotation to a batch of 1000 vectors."""
+    rng = np.random.default_rng(0)
+    vectors = rng.standard_normal((1000, 256))
+    rotation = (
+        QRRotation(256, 0) if kind == "qr" else FastHadamardRotation(256, 0)
+    )
+    rotated = benchmark(rotation.apply_inverse, vectors)
+    assert rotated.shape == (1000, 256)
+
+
+def test_index_phase_encoding(benchmark):
+    """Index-phase cost of encoding 2000 vectors of D=128."""
+    rng = np.random.default_rng(2)
+    data = rng.standard_normal((2000, 128))
+
+    def build():
+        return RaBitQ(RaBitQConfig(seed=0)).fit(data)
+
+    quantizer = benchmark(build)
+    assert len(quantizer.dataset) == 2000

@@ -1,0 +1,53 @@
+"""Table 6 (Appendix F.1) — ablation of the codebook construction.
+
+Compares the randomly-rotated bi-valued codebook against a learned (ITQ-style)
+bi-valued codebook on the GIST-analogue dataset, keeping everything else
+fixed.  The paper reports that the learned codebook loses the theoretical
+guarantee and degrades accuracy on GIST; at synthetic laptop scale the exact
+ordering of the *average* error can flip, so the benchmark asserts only that
+both variants produce finite, comparable errors and prints the table for
+inspection (see EXPERIMENTS.md for the discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_dataset, emit
+from repro.experiments.ablation_codebook import run_codebook_ablation
+from repro.experiments.report import format_table, rows_from_dataclasses
+
+
+def test_table6_codebook_ablation(benchmark):
+    """Random vs learned bi-valued codebook on the GIST analogue."""
+    dataset = bench_dataset("gist")
+    results = benchmark.pedantic(
+        run_codebook_ablation,
+        kwargs={"dataset": dataset, "n_queries": 4, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            rows_from_dataclasses(results),
+            title="Table 6 -- codebook ablation (random vs learned) on GIST analogue",
+        )
+    )
+    by_variant = {r.codebook: r for r in results}
+    assert np.isfinite(by_variant["random"].avg_relative_error)
+    assert np.isfinite(by_variant["learned"].avg_relative_error)
+    # On the paper's real GIST data the learned codebook degrades accuracy
+    # (Table 6).  On the synthetic clustered analogue the learned rotation can
+    # come out slightly ahead on the *average* error because the data lacks
+    # the adversarial correlation structure of real GIST; the robust part of
+    # the finding is that the two variants stay within a small factor of each
+    # other, i.e. learning buys no decisive advantage while forfeiting the
+    # theoretical guarantee.  See EXPERIMENTS.md for the discussion.
+    assert (
+        by_variant["random"].avg_relative_error
+        < 2.5 * by_variant["learned"].avg_relative_error
+    )
+    assert (
+        by_variant["learned"].avg_relative_error
+        < 2.5 * by_variant["random"].avg_relative_error
+    )

@@ -1,0 +1,91 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at laptop scale
+and prints the corresponding rows/series.  The datasets are synthetic
+analogues of the paper's datasets (see ``repro.datasets.registry``), scaled so
+that the whole suite completes in minutes on a single core.  Absolute numbers
+(QPS, ns/vector) are therefore not comparable with the paper's C++/AVX2
+measurements; the comparisons of interest are the *relative* ones within each
+table.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datasets.registry import load_dataset  # noqa: E402
+
+#: Laptop-scale sizes per registry dataset used across the benchmark suite.
+BENCH_SIZES = {
+    "sift": (3000, 10),
+    "gist": (1200, 6),
+    "deep": (2500, 10),
+    "msong": (2000, 8),
+    "word2vec": (2000, 8),
+    "image": (3000, 10),
+    "gaussian": (3000, 10),
+}
+
+
+def bench_dataset(name: str, *, ground_truth_k: int | None = None, rng: int = 0):
+    """Load a registry dataset at benchmark scale."""
+    n_data, n_queries = BENCH_SIZES[name]
+    return load_dataset(
+        name,
+        n_data=n_data,
+        n_queries=n_queries,
+        ground_truth_k=ground_truth_k,
+        rng=rng,
+    )
+
+
+#: All tables emitted during a benchmark session are appended here so that
+#: they survive pytest's output capturing (see EXPERIMENTS.md).
+RESULTS_FILE = Path(__file__).resolve().parent / "results" / "latest.txt"
+
+
+def emit(text: str) -> None:
+    """Print a results table and append it to ``benchmarks/results/latest.txt``."""
+    print("\n" + text + "\n")
+    RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)
+    with open(RESULTS_FILE, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _reset_results_file():
+    """Start every benchmark session with a fresh results file."""
+    RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_FILE.write_text("", encoding="utf-8")
+    yield
+
+
+@pytest.fixture(scope="session")
+def sift_dataset():
+    """SIFT-analogue dataset with ground truth for ANN benchmarks."""
+    return bench_dataset("sift", ground_truth_k=10)
+
+
+@pytest.fixture(scope="session")
+def gist_dataset():
+    """GIST-analogue (D=960) dataset used by the verification benchmarks."""
+    return bench_dataset("gist", ground_truth_k=10)
+
+
+@pytest.fixture(scope="session")
+def msong_dataset():
+    """MSong-analogue (variance-skewed) dataset, PQ's failure case."""
+    return bench_dataset("msong", ground_truth_k=10)
+
+
+@pytest.fixture(scope="session")
+def gaussian_dataset():
+    """Isotropic Gaussian dataset (tight distance distribution)."""
+    return bench_dataset("gaussian", ground_truth_k=20)

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Adds ``src/`` to ``sys.path`` when the package is not installed, so that the
+test and benchmark suites work both after ``pip install -e .`` and directly
+from a source checkout in offline environments.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

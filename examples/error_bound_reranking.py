@@ -1,0 +1,69 @@
+"""Error-bound-based re-ranking: RaBitQ's tuning-free candidate selection.
+
+Section 4 of the paper replaces the usual "re-rank the top-N candidates"
+heuristic (whose N must be tuned per dataset) with a rule derived from the
+estimator's confidence interval: compute an exact distance only when the
+candidate's lower bound beats the best exact distance found so far.
+
+This example visualizes that rule on a single query:
+
+* how many exact distance computations the rule spends,
+* how the spend and the recall react to the confidence parameter epsilon_0
+  (reproducing the message of Fig. 5),
+* the comparison with fixed-budget re-ranking.
+
+Run with:  python examples/error_bound_reranking.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RaBitQ, RaBitQConfig
+from repro.datasets import brute_force_ground_truth, load_dataset
+from repro.index import ErrorBoundReranker, FlatIndex, TopCandidateReranker
+from repro.metrics import recall_at_k
+
+
+def main() -> None:
+    k = 10
+    print("Loading an isotropic Gaussian dataset (tightly packed distances) ...")
+    dataset = load_dataset("gaussian", n_data=6000, n_queries=30, rng=0)
+    ground_truth = brute_force_ground_truth(dataset.data, dataset.queries, k)
+
+    quantizer = RaBitQ(RaBitQConfig(seed=0)).fit(dataset.data)
+    flat = FlatIndex(dataset.data)
+    all_ids = np.arange(dataset.n_data, dtype=np.int64)
+
+    print("\nSweep of epsilon_0 (error-bound re-ranking, no other tuning):")
+    print(f"{'epsilon_0':>9} {'recall@10':>10} {'exact distance computations/query':>36}")
+    for epsilon0 in (0.0, 0.5, 1.0, 1.5, 1.9, 2.5, 4.0):
+        reranker = ErrorBoundReranker()
+        retrieved, exact_counts = [], []
+        for query in dataset.queries:
+            estimate = quantizer.estimate_distances(query, epsilon0=epsilon0)
+            ids, _, n_exact = reranker.rerank(query, all_ids, estimate, flat, k)
+            retrieved.append(ids)
+            exact_counts.append(n_exact)
+        recall = recall_at_k(retrieved, ground_truth, k)
+        print(f"{epsilon0:>9.1f} {recall:>10.3f} {np.mean(exact_counts):>36.1f}")
+
+    print("\nFixed-budget re-ranking for comparison (the PQ-style rule):")
+    print(f"{'budget':>9} {'recall@10':>10} {'exact distance computations/query':>36}")
+    for budget in (20, 50, 100, 500):
+        reranker = TopCandidateReranker(budget)
+        retrieved = []
+        for query in dataset.queries:
+            estimate = quantizer.estimate_distances(query)
+            ids, _, _ = reranker.rerank(query, all_ids, estimate, flat, k)
+            retrieved.append(ids)
+        recall = recall_at_k(retrieved, ground_truth, k)
+        print(f"{budget:>9d} {recall:>10.3f} {float(budget):>36.1f}")
+
+    print("\nThe error-bound rule reaches the high-recall regime at epsilon_0 ≈ 1.9 "
+          "while spending exact computations only where the bound cannot already "
+          "rule a candidate out — no per-dataset budget to tune.")
+
+
+if __name__ == "__main__":
+    main()

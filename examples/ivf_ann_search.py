@@ -1,0 +1,73 @@
+"""ANN search with IVF-RaBitQ (Section 4 of the paper).
+
+Builds the full in-memory ANN pipeline the paper evaluates: an IVF coarse
+index whose per-cluster centroids double as RaBitQ normalization centroids,
+the error-bound-based re-ranking rule (no tuning), and a comparison against
+an IVF-OPQ pipeline that needs a hand-tuned re-ranking budget.
+
+Run with:  python examples/ivf_ann_search.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import RaBitQConfig
+from repro.baselines import OptimizedProductQuantizer
+from repro.datasets import load_dataset
+from repro.index import IVFQuantizedSearcher, TopCandidateReranker
+from repro.metrics import average_distance_ratio, recall_at_k
+
+
+def evaluate(name, searcher, dataset, k, nprobe):
+    start = time.perf_counter()
+    results = searcher.search_batch(dataset.queries, k, nprobe=nprobe)
+    elapsed = time.perf_counter() - start
+    retrieved = [r.ids for r in results]
+    recall = recall_at_k(retrieved, dataset.ground_truth, k)
+    ratio = average_distance_ratio(
+        dataset.data, dataset.queries, retrieved, dataset.ground_truth
+    )
+    qps = len(results) / elapsed
+    exact = np.mean([r.n_exact for r in results])
+    print(f"{name:<28} nprobe={nprobe:<3} recall@{k}={recall:.3f}  "
+          f"dist-ratio={ratio:.4f}  QPS={qps:7.1f}  exact/query={exact:7.1f}")
+    return recall
+
+
+def main() -> None:
+    k = 10
+    print("Loading the SIFT-analogue dataset (synthetic, D=128) ...")
+    dataset = load_dataset("sift", n_data=8000, n_queries=50, ground_truth_k=k, rng=0)
+
+    print("\nBuilding IVF-RaBitQ (error-bound re-ranking, no tuning) ...")
+    rabitq_searcher = IVFQuantizedSearcher(
+        "rabitq", n_clusters=64, rabitq_config=RaBitQConfig(seed=0), rng=0
+    ).fit(dataset.data)
+
+    print("Building IVF-OPQ (fixed re-ranking budget of 200 candidates) ...")
+    opq = OptimizedProductQuantizer(dataset.dim // 2, 4, n_iterations=2, rng=0)
+    opq_searcher = IVFQuantizedSearcher(
+        "external",
+        external_quantizer=opq,
+        n_clusters=64,
+        reranker=TopCandidateReranker(200),
+        rng=0,
+    ).fit(dataset.data)
+
+    print("\nQPS / recall trade-off (sweep of nprobe):")
+    for nprobe in (2, 4, 8, 16, 32):
+        evaluate("IVF-RaBitQ", rabitq_searcher, dataset, k, nprobe)
+    print()
+    for nprobe in (2, 4, 8, 16, 32):
+        evaluate("IVF-OPQ (rerank=200)", opq_searcher, dataset, k, nprobe)
+
+    print("\nNote: absolute QPS numbers reflect the pure-Python substrate, not "
+          "the paper's AVX2 kernels; the comparison of interest is the shape "
+          "of the recall curves and the lack of tuning for IVF-RaBitQ.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Maximum inner-product and cosine-similarity search with RaBitQ.
+
+The paper's conclusion notes that RaBitQ's unbiased estimator extends
+directly from squared Euclidean distances to inner products and cosine
+similarity (both reduce to the same unit-vector inner product after the
+centroid decomposition).  This example exercises that extension, which is
+implemented in :mod:`repro.core.similarity`:
+
+1. estimate raw inner products and cosine similarities with their bounds,
+2. run an approximate maximum-inner-product search (MIPS),
+3. compare against the exact top-k.
+
+Run with:  python examples/mips_cosine_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RaBitQ, RaBitQConfig, SimilarityEstimator
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n_vectors, dim = 8000, 256
+    k = 10
+
+    print(f"Generating {n_vectors} embedding-like vectors of dimension {dim} ...")
+    # Embedding-like data: latent factors plus a shared offset so that inner
+    # products carry real signal (the typical MIPS/recommendation setting).
+    latent = rng.standard_normal((n_vectors, 32))
+    mixing = rng.standard_normal((32, dim)) / np.sqrt(32)
+    data = latent @ mixing + 0.1 * rng.standard_normal((n_vectors, dim)) + 0.2
+    query = (rng.standard_normal(32) @ mixing) + 0.1 * rng.standard_normal(dim) + 0.2
+
+    quantizer = RaBitQ(RaBitQConfig(seed=0)).fit(data)
+    estimator = SimilarityEstimator(quantizer).fit_raw_terms(data)
+
+    # --- inner products -------------------------------------------------- #
+    estimate = estimator.estimate_inner_products(query)
+    true_ip = data @ query
+    error_scale = np.mean(np.abs(estimate.values - true_ip)) / np.mean(np.abs(true_ip))
+    coverage = (
+        (true_ip >= estimate.lower_bounds) & (true_ip <= estimate.upper_bounds)
+    ).mean()
+    print(f"\nInner-product estimation:")
+    print(f"  mean |error| / mean |true| : {error_scale * 100:.2f}%")
+    print(f"  confidence-interval coverage: {coverage * 100:.1f}%")
+
+    # --- MIPS ------------------------------------------------------------- #
+    ids, _ = estimator.top_k_inner_product(query, k)
+    true_top = np.argsort(-true_ip)[:k]
+    overlap = len(set(ids.tolist()) & set(true_top.tolist()))
+    print(f"\nApproximate MIPS: {overlap}/{k} of the true top-{k} retrieved "
+          "directly from the estimated inner products (no re-ranking).")
+
+    # --- cosine similarity ------------------------------------------------ #
+    cosine = estimator.estimate_cosine(query)
+    true_cos = true_ip / (np.linalg.norm(data, axis=1) * np.linalg.norm(query))
+    print(f"\nCosine-similarity estimation:")
+    print(f"  mean absolute error: {np.mean(np.abs(cosine.values - true_cos)):.4f}")
+    best = int(np.argmax(true_cos))
+    rank = int(np.where(np.argsort(-cosine.values) == best)[0][0])
+    print(f"  the truly most-similar vector is ranked {rank} by the estimates "
+          "(0 = first)")
+
+
+if __name__ == "__main__":
+    main()

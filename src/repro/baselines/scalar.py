@@ -1,0 +1,120 @@
+"""Per-dimension uniform scalar quantization (SQ8-style baseline).
+
+Scalar quantization methods quantize each coordinate independently onto a
+uniform grid (VA-file / SQ8 family, discussed in the paper's related work).
+They use more moderate compression rates than PQ in exchange for simplicity
+and accuracy; this implementation serves as an additional comparator and as
+a building block for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyDatasetError,
+    InvalidParameterError,
+    NotFittedError,
+)
+from repro.substrates.linalg import as_float_matrix
+
+
+class ScalarQuantizer:
+    """Uniform per-dimension scalar quantizer.
+
+    Parameters
+    ----------
+    bits:
+        Bits per coordinate (8 reproduces the common SQ8 setting).
+    """
+
+    def __init__(self, bits: int = 8) -> None:
+        if not 1 <= bits <= 16:
+            raise InvalidParameterError("bits must lie in [1, 16]")
+        self.bits = int(bits)
+        self.levels = (1 << self.bits) - 1
+        self._lower: np.ndarray | None = None
+        self._step: np.ndarray | None = None
+        self._codes: np.ndarray | None = None
+        self._dim: int | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._lower is not None
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Quantized training data, shape ``(n_vectors, dim)``."""
+        if self._codes is None:
+            raise NotFittedError("ScalarQuantizer must be fitted before use")
+        return self._codes
+
+    def fit(self, data: np.ndarray) -> "ScalarQuantizer":
+        """Learn the per-dimension value ranges from ``data`` and encode it."""
+        mat = as_float_matrix(data, "data")
+        if mat.shape[0] == 0:
+            raise EmptyDatasetError("cannot fit ScalarQuantizer on an empty dataset")
+        self._dim = mat.shape[1]
+        self._lower = mat.min(axis=0)
+        upper = mat.max(axis=0)
+        step = (upper - self._lower) / self.levels
+        step[step == 0.0] = 1.0
+        self._step = step
+        self._codes = self.encode(mat)
+        return self
+
+    def _check(self, data: np.ndarray) -> np.ndarray:
+        mat = as_float_matrix(data, "data")
+        if mat.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                f"data has dimension {mat.shape[1]}, quantizer expects {self._dim}"
+            )
+        return mat
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Quantize vectors onto the per-dimension grids."""
+        if self._lower is None or self._step is None:
+            raise NotFittedError("ScalarQuantizer must be fitted before use")
+        mat = self._check(data)
+        scaled = (mat - self._lower[None, :]) / self._step[None, :]
+        return np.clip(np.round(scaled), 0, self.levels).astype(np.uint16)
+
+    def decode(self, codes: np.ndarray | None = None) -> np.ndarray:
+        """Reconstruct vectors from codes."""
+        if self._lower is None or self._step is None:
+            raise NotFittedError("ScalarQuantizer must be fitted before use")
+        code_arr = self.codes if codes is None else np.asarray(codes)
+        return code_arr.astype(np.float64) * self._step[None, :] + self._lower[None, :]
+
+    def estimate_distances(
+        self, query: np.ndarray, *, codes: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Squared distances from ``query`` to the reconstructed vectors."""
+        if self._dim is None:
+            raise NotFittedError("ScalarQuantizer must be fitted before use")
+        vec = np.asarray(query, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != self._dim:
+            raise DimensionMismatchError(
+                f"query has dimension {vec.shape[0]}, quantizer expects {self._dim}"
+            )
+        reconstruction = self.decode(codes)
+        diff = reconstruction - vec[None, :]
+        return np.einsum("ij,ij->i", diff, diff)
+
+    def code_size_bits(self) -> int:
+        """Size of one quantization code in bits."""
+        if self._dim is None:
+            raise NotFittedError("ScalarQuantizer must be fitted before use")
+        return self._dim * self.bits
+
+    def quantization_error(self, data: np.ndarray) -> float:
+        """Mean squared reconstruction error of encoding then decoding ``data``."""
+        mat = self._check(data)
+        reconstructed = self.decode(self.encode(mat))
+        diff = mat - reconstructed
+        return float(np.mean(np.einsum("ij,ij->i", diff, diff)))
+
+
+__all__ = ["ScalarQuantizer"]

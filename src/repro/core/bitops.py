@@ -1,0 +1,187 @@
+"""Packed bit-string kernels (the single-code computation path of Sec. 3.3.2).
+
+RaBitQ quantization codes are ``D``-bit strings.  This module stores them as
+packed ``uint64`` words and provides the popcount-based inner products that
+the paper uses for estimating distances for a single data vector:
+
+    <x_b, q_u> = sum_j 2^j * <x_b, q_u^(j)>            (Eq. 21-22)
+
+where ``q_u^(j)`` is the ``j``-th bit-plane of the quantized query.  Each
+``<x_b, q_u^(j)>`` is a bitwise AND followed by a popcount.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+
+#: Number of bits per packed word.
+WORD_BITS = 64
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack an array of 0/1 values into ``uint64`` words.
+
+    Parameters
+    ----------
+    bits:
+        Array of shape ``(..., n_bits)`` containing only 0s and 1s.  The
+        trailing dimension is padded with zeros to a multiple of 64.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(..., ceil(n_bits / 64))`` and dtype ``uint64``.
+        Bit ``i`` of the original array is stored in word ``i // 64`` at bit
+        position ``i % 64`` (LSB-first within each word).
+    """
+    arr = np.asarray(bits)
+    if arr.ndim == 0:
+        raise InvalidParameterError("bits must have at least one dimension")
+    if arr.size and not np.isin(np.unique(arr), (0, 1)).all():
+        raise InvalidParameterError("bits must contain only 0s and 1s")
+    n_bits = arr.shape[-1]
+    n_words = (n_bits + WORD_BITS - 1) // WORD_BITS
+    padded_len = n_words * WORD_BITS
+    padded = np.zeros(arr.shape[:-1] + (padded_len,), dtype=np.uint64)
+    padded[..., :n_bits] = arr.astype(np.uint64)
+    reshaped = padded.reshape(arr.shape[:-1] + (n_words, WORD_BITS))
+    weights = (np.uint64(1) << np.arange(WORD_BITS, dtype=np.uint64))
+    # Multiply-and-sum in uint64; each bit contributes its positional weight.
+    return (reshaped * weights).sum(axis=-1, dtype=np.uint64)
+
+
+def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns a 0/1 array of ``uint8``."""
+    arr = np.asarray(words, dtype=np.uint64)
+    if n_bits < 0:
+        raise InvalidParameterError("n_bits must be non-negative")
+    n_words = arr.shape[-1]
+    if n_bits > n_words * WORD_BITS:
+        raise InvalidParameterError(
+            f"n_bits={n_bits} exceeds capacity of {n_words} words"
+        )
+    shifts = np.arange(WORD_BITS, dtype=np.uint64)
+    expanded = (arr[..., :, None] >> shifts) & np.uint64(1)
+    flat = expanded.reshape(arr.shape[:-1] + (n_words * WORD_BITS,))
+    return flat[..., :n_bits].astype(np.uint8)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Number of set bits in each ``uint64`` word (vectorized)."""
+    return np.bitwise_count(np.asarray(words, dtype=np.uint64))
+
+
+def popcount_total(words: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Total number of set bits along ``axis`` (typically the word axis)."""
+    return popcount(words).sum(axis=axis, dtype=np.int64)
+
+
+def binary_and_popcount(codes: np.ndarray, query_plane: np.ndarray) -> np.ndarray:
+    """Inner product of packed binary codes with one packed binary bit-plane.
+
+    Parameters
+    ----------
+    codes:
+        Packed codes, shape ``(n_codes, n_words)`` or ``(n_words,)``.
+    query_plane:
+        One packed bit-plane of the quantized query, shape ``(n_words,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``<x_b, plane>`` per code as ``int64``.
+    """
+    codes_arr = np.asarray(codes, dtype=np.uint64)
+    plane = np.asarray(query_plane, dtype=np.uint64)
+    if plane.ndim != 1:
+        raise DimensionMismatchError("query_plane must be one-dimensional")
+    if codes_arr.shape[-1] != plane.shape[0]:
+        raise DimensionMismatchError(
+            f"word-count mismatch: codes have {codes_arr.shape[-1]}, "
+            f"plane has {plane.shape[0]}"
+        )
+    return popcount(codes_arr & plane).sum(axis=-1, dtype=np.int64)
+
+
+def binary_dot_uint(codes: np.ndarray, query_planes: np.ndarray) -> np.ndarray:
+    """Compute ``<x_b, q_u>`` via bit-plane decomposition (Eq. 21-22).
+
+    Parameters
+    ----------
+    codes:
+        Packed binary codes, shape ``(n_codes, n_words)``.
+    query_planes:
+        Packed bit-planes of the quantized query, shape
+        ``(n_planes, n_words)``; plane ``j`` holds bit ``j`` of every query
+        coordinate.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer inner products ``<x_b, q_u>`` per code (``int64``).
+    """
+    codes_arr = np.atleast_2d(np.asarray(codes, dtype=np.uint64))
+    planes = np.atleast_2d(np.asarray(query_planes, dtype=np.uint64))
+    if codes_arr.shape[-1] != planes.shape[-1]:
+        raise DimensionMismatchError(
+            "codes and query_planes must have the same number of words"
+        )
+    total = np.zeros(codes_arr.shape[0], dtype=np.int64)
+    for j in range(planes.shape[0]):
+        total += binary_and_popcount(codes_arr, planes[j]) << j
+    return total
+
+
+def bitplanes_from_uint(values: np.ndarray, n_bits: int) -> np.ndarray:
+    """Decompose unsigned integers into packed bit-planes.
+
+    Parameters
+    ----------
+    values:
+        Unsigned integers (the quantized query coordinates), shape
+        ``(n_dims,)``.
+    n_bits:
+        Number of bit-planes to extract (``B_q``).
+
+    Returns
+    -------
+    numpy.ndarray
+        Packed planes of shape ``(n_bits, ceil(n_dims / 64))``; plane ``j``
+        contains bit ``j`` of every value.
+    """
+    vals = np.asarray(values, dtype=np.uint64)
+    if vals.ndim != 1:
+        raise DimensionMismatchError("values must be one-dimensional")
+    if n_bits < 1:
+        raise InvalidParameterError("n_bits must be at least 1")
+    max_allowed = (1 << n_bits) - 1
+    if vals.size and int(vals.max()) > max_allowed:
+        raise InvalidParameterError(
+            f"values contain {int(vals.max())} which does not fit in {n_bits} bits"
+        )
+    planes = [(vals >> np.uint64(j)) & np.uint64(1) for j in range(n_bits)]
+    return np.stack([pack_bits(p.astype(np.uint8)) for p in planes], axis=0)
+
+
+def hamming_distance(codes_a: np.ndarray, codes_b: np.ndarray) -> np.ndarray:
+    """Hamming distance between packed codes (broadcasting on the first axis)."""
+    a = np.asarray(codes_a, dtype=np.uint64)
+    b = np.asarray(codes_b, dtype=np.uint64)
+    if a.shape[-1] != b.shape[-1]:
+        raise DimensionMismatchError("codes must have the same number of words")
+    return popcount(a ^ b).sum(axis=-1, dtype=np.int64)
+
+
+__all__ = [
+    "WORD_BITS",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "popcount_total",
+    "binary_and_popcount",
+    "binary_dot_uint",
+    "bitplanes_from_uint",
+    "hamming_distance",
+]

@@ -1,0 +1,95 @@
+"""The conceptual RaBitQ codebook and bit-string code conversions.
+
+The codebook is the set of ``2^D`` bi-valued vectors whose coordinates are
+``±1/sqrt(D)`` (the vertices of a hypercube inscribed in the unit sphere),
+randomly rotated.  As in the paper, the codebook is never materialized; a
+quantization code is just the sign pattern of the inversely rotated data
+vector, stored as a ``D``-bit string.
+
+This module provides the conversions between the three representations used
+across the library:
+
+* ``signed``  — vectors with entries ``±1/sqrt(code_length)`` (the vector
+  ``x̄`` of the paper),
+* ``bits``    — 0/1 arrays (``x̄_b`` of the paper),
+* ``packed``  — ``uint64``-packed bit strings (storage format).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitops import pack_bits, unpack_bits
+from repro.exceptions import InvalidParameterError
+
+
+def signed_to_bits(signed: np.ndarray) -> np.ndarray:
+    """Convert sign patterns to 0/1 bit arrays.
+
+    Positive (and zero) entries map to 1, strictly negative entries to 0.
+    Mapping zero to 1 is an arbitrary but fixed tie-breaking rule; ties occur
+    only on padded dimensions and measure-zero inputs.
+    """
+    arr = np.asarray(signed, dtype=np.float64)
+    return (arr >= 0.0).astype(np.uint8)
+
+
+def bits_to_signed(bits: np.ndarray, code_length: int | None = None) -> np.ndarray:
+    """Convert 0/1 bit arrays into bi-valued vectors ``±1/sqrt(code_length)``.
+
+    This is the map ``x̄ = (2 x̄_b - 1) / sqrt(D)`` from Sec. 3.1.3.
+    ``code_length`` defaults to the trailing dimension of ``bits``.
+    """
+    arr = np.asarray(bits, dtype=np.float64)
+    if code_length is None:
+        code_length = arr.shape[-1]
+    if code_length <= 0:
+        raise InvalidParameterError("code_length must be positive")
+    return (2.0 * arr - 1.0) / np.sqrt(float(code_length))
+
+
+def encode_signs(rotated_vectors: np.ndarray) -> np.ndarray:
+    """Quantization codes (packed) for already inversely-rotated vectors.
+
+    Given ``P^-1 o`` for each (unit, padded) data vector ``o``, the nearest
+    codebook vector is the one whose signs match (Eq. 8), so the code is
+    simply the packed sign pattern.
+    """
+    bits = signed_to_bits(rotated_vectors)
+    return pack_bits(bits)
+
+
+def decode_codes(packed_codes: np.ndarray, code_length: int) -> np.ndarray:
+    """Reconstruct bi-valued vectors ``x̄`` from packed codes."""
+    bits = unpack_bits(packed_codes, code_length)
+    return bits_to_signed(bits, code_length)
+
+
+def codes_to_matrix(
+    packed_codes: np.ndarray, code_length: int, rotation=None
+) -> np.ndarray:
+    """Reconstruct quantized vectors, optionally rotated back to data space.
+
+    Without ``rotation`` this returns ``x̄`` (codebook frame); with a
+    :class:`repro.core.rotation.Rotation` it returns ``ō = P x̄``.
+    """
+    signed = decode_codes(packed_codes, code_length)
+    if rotation is None:
+        return signed
+    return rotation.apply(signed)
+
+
+def code_popcounts(bits: np.ndarray) -> np.ndarray:
+    """Number of 1s per code (the pre-computed ``sum_i x̄_b[i]`` of Eq. 20)."""
+    arr = np.asarray(bits)
+    return arr.astype(np.int64).sum(axis=-1)
+
+
+__all__ = [
+    "signed_to_bits",
+    "bits_to_signed",
+    "encode_signs",
+    "decode_codes",
+    "codes_to_matrix",
+    "code_popcounts",
+]

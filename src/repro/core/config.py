@@ -1,0 +1,110 @@
+"""Configuration object for the RaBitQ quantizer.
+
+The paper fixes its two knobs across all datasets (Sec. 5.1): the confidence
+parameter ``epsilon_0 = 1.9`` and the query-quantization bit width
+``B_q = 4``.  The quantization-code length defaults to the smallest multiple
+of 64 that is at least ``D`` (zero padding, Sec. 5.1 "Parameter Setting").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.exceptions import InvalidParameterError
+
+#: Default confidence parameter; the paper uses 1.9 across all datasets.
+DEFAULT_EPSILON0 = 1.9
+
+#: Default number of bits for the quantized query; the paper uses 4.
+DEFAULT_QUERY_BITS = 4
+
+#: Codes are padded to a multiple of this many bits so that they can be
+#: stored as a sequence of 64-bit words (paper Sec. 5.1).
+CODE_ALIGNMENT_BITS = 64
+
+
+def padded_code_length(dim: int, *, alignment: int = CODE_ALIGNMENT_BITS) -> int:
+    """Smallest multiple of ``alignment`` that is at least ``dim``."""
+    if dim <= 0:
+        raise InvalidParameterError("dim must be positive")
+    if alignment <= 0:
+        raise InvalidParameterError("alignment must be positive")
+    return ((dim + alignment - 1) // alignment) * alignment
+
+
+@dataclass(frozen=True)
+class RaBitQConfig:
+    """Hyper-parameters of the RaBitQ quantizer.
+
+    Attributes
+    ----------
+    epsilon0:
+        Confidence parameter of the error bound (paper's ``epsilon_0``).
+        Controls the width of the confidence interval used by the
+        error-bound-based re-ranking.
+    query_bits:
+        Number of bits ``B_q`` used by the randomized uniform scalar
+        quantization of the rotated query vector.
+    code_length:
+        Length of the quantization code in bits.  ``None`` means "the
+        smallest multiple of 64 that is >= D", resolved at fit time.
+    randomized_rounding:
+        Whether the query scalar quantization uses randomized rounding
+        (required for the theoretical guarantee; Sec. 3.3.1).  Disabling it
+        is exposed only for the ablation study.
+    rotation:
+        Which rotation implementation to use: ``"qr"`` for a dense random
+        orthogonal matrix obtained from a QR factorization, or
+        ``"hadamard"`` for the structured fast-Hadamard-style rotation.
+    seed:
+        Seed for the rotation matrix and randomized rounding.  ``None``
+        draws fresh entropy.
+    """
+
+    epsilon0: float = DEFAULT_EPSILON0
+    query_bits: int = DEFAULT_QUERY_BITS
+    code_length: Optional[int] = None
+    randomized_rounding: bool = True
+    rotation: str = "qr"
+    seed: Optional[int] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.epsilon0 < 0.0:
+            raise InvalidParameterError("epsilon0 must be non-negative")
+        if not 1 <= int(self.query_bits) <= 16:
+            raise InvalidParameterError("query_bits must lie in [1, 16]")
+        if self.code_length is not None and self.code_length <= 0:
+            raise InvalidParameterError("code_length must be positive when given")
+        if self.rotation not in ("qr", "hadamard"):
+            raise InvalidParameterError(
+                f"rotation must be 'qr' or 'hadamard', got {self.rotation!r}"
+            )
+
+    def resolve_code_length(self, dim: int) -> int:
+        """Return the concrete code length for data of dimension ``dim``.
+
+        The resolved length is never smaller than ``dim`` (padding only adds
+        zeros, it never truncates) and is rounded up to a multiple of 64.
+        """
+        if self.code_length is None:
+            return padded_code_length(dim)
+        if self.code_length < dim:
+            raise InvalidParameterError(
+                f"code_length={self.code_length} is smaller than the data "
+                f"dimension {dim}; RaBitQ only supports padding, not truncation"
+            )
+        return padded_code_length(self.code_length)
+
+    def with_overrides(self, **kwargs) -> "RaBitQConfig":
+        """Return a copy of the config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+__all__ = [
+    "RaBitQConfig",
+    "DEFAULT_EPSILON0",
+    "DEFAULT_QUERY_BITS",
+    "CODE_ALIGNMENT_BITS",
+    "padded_code_length",
+]

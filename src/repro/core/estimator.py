@@ -1,0 +1,199 @@
+"""The unbiased inner-product estimator and its error bound (Sec. 3.2).
+
+Given a data vector's quantization code and pre-computed alignment
+``<o_bar, o>``, the estimator of the inner product between the unit data
+vector ``o`` and the unit query ``q`` is::
+
+    est(<o, q>) = <o_bar, q> / <o_bar, o>
+
+It is unbiased, and with probability at least ``1 - 2 exp(-c0 eps0^2)`` its
+error is at most ``sqrt((1 - <o_bar,o>^2) / <o_bar,o>^2) * eps0 / sqrt(D-1)``
+(Theorem 3.2).  The squared distance between the raw vectors then follows
+from the normalization identity (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.theory import error_bound_epsilon
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class DistanceEstimate:
+    """Estimated squared distances together with their confidence bounds.
+
+    Attributes
+    ----------
+    distances:
+        Unbiased estimates of the squared Euclidean distances between the
+        raw query and each raw data vector.
+    lower_bounds:
+        Lower ends of the per-vector confidence intervals; used by the
+        error-bound-based re-ranking rule of Section 4.
+    upper_bounds:
+        Upper ends of the per-vector confidence intervals.
+    inner_products:
+        The underlying estimates of ``<o, q>`` for the unit vectors.
+    """
+
+    distances: np.ndarray
+    lower_bounds: np.ndarray
+    upper_bounds: np.ndarray
+    inner_products: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.distances.shape[0])
+
+
+def estimate_inner_product(
+    quantized_dot: np.ndarray, alignment: np.ndarray
+) -> np.ndarray:
+    """Estimate ``<o, q>`` as ``<o_bar, q> / <o_bar, o>`` element-wise.
+
+    Parameters
+    ----------
+    quantized_dot:
+        Values of ``<o_bar, q>`` per data vector.
+    alignment:
+        Pre-computed values of ``<o_bar, o>`` per data vector.  Entries that
+        are zero (possible only for degenerate all-zero inputs) yield an
+        estimate of 0.
+    """
+    dots = np.asarray(quantized_dot, dtype=np.float64)
+    align = np.asarray(alignment, dtype=np.float64)
+    if dots.shape != align.shape:
+        raise InvalidParameterError(
+            "quantized_dot and alignment must have the same shape"
+        )
+    safe = np.where(align != 0.0, align, 1.0)
+    est = dots / safe
+    return np.where(align != 0.0, est, 0.0)
+
+
+def confidence_interval_halfwidth(
+    alignment: np.ndarray, code_length: int, epsilon0: float
+) -> np.ndarray:
+    """Vectorized half-width of the estimator's confidence interval (Eq. 16)."""
+    align = np.asarray(alignment, dtype=np.float64)
+    if code_length < 2:
+        raise InvalidParameterError("code_length must be at least 2")
+    if epsilon0 < 0.0:
+        raise InvalidParameterError("epsilon0 must be non-negative")
+    safe = np.where(align != 0.0, align, 1.0)
+    ratio = np.clip(1.0 - align**2, 0.0, None) / (safe**2)
+    halfwidth = np.sqrt(ratio) * epsilon0 / np.sqrt(code_length - 1)
+    return np.where(align != 0.0, halfwidth, np.inf)
+
+
+def inner_product_to_squared_distance(
+    inner_products: np.ndarray,
+    data_to_centroid: np.ndarray,
+    query_to_centroid: float,
+) -> np.ndarray:
+    """Convert unit-vector inner products into raw squared distances (Eq. 2).
+
+    ``||o_r - q_r||^2 = ||o_r - c||^2 + ||q_r - c||^2
+    - 2 ||o_r - c|| ||q_r - c|| <o, q>``.
+    """
+    ips = np.asarray(inner_products, dtype=np.float64)
+    data_norms = np.asarray(data_to_centroid, dtype=np.float64)
+    if ips.shape != data_norms.shape:
+        raise InvalidParameterError(
+            "inner_products and data_to_centroid must have the same shape"
+        )
+    query_norm = float(query_to_centroid)
+    if query_norm < 0.0:
+        raise InvalidParameterError("query_to_centroid must be non-negative")
+    return data_norms**2 + query_norm**2 - 2.0 * data_norms * query_norm * ips
+
+
+def estimate_distances(
+    quantized_dot: np.ndarray,
+    alignment: np.ndarray,
+    data_to_centroid: np.ndarray,
+    query_to_centroid: float,
+    code_length: int,
+    epsilon0: float,
+) -> DistanceEstimate:
+    """Full estimation pipeline: inner products, distances and bounds.
+
+    This is the vectorized core of Algorithm 2 (lines 3-5): every input is a
+    per-data-vector array and the output carries the distance estimates plus
+    the confidence intervals needed by the re-ranking rule.
+
+    Notes
+    -----
+    Because the inner-product error is symmetric around the true value, the
+    *lower* bound of the squared distance corresponds to the *upper* bound
+    of the inner product (larger inner product means closer vectors).
+    """
+    ips = estimate_inner_product(quantized_dot, alignment)
+    halfwidth = confidence_interval_halfwidth(alignment, code_length, epsilon0)
+
+    distances = inner_product_to_squared_distance(
+        ips, data_to_centroid, query_to_centroid
+    )
+    # Inner products of unit vectors lie in [-1, 1]; capping the interval
+    # endpoints at that range (while never crossing the point estimate, which
+    # may drift slightly outside it due to query quantization) keeps the
+    # bounds finite even for degenerate vectors whose alignment is zero
+    # (infinite half-width).
+    ip_upper = np.minimum(ips + halfwidth, np.maximum(1.0, ips))
+    ip_lower = np.maximum(ips - halfwidth, np.minimum(-1.0, ips))
+    lower_bounds = inner_product_to_squared_distance(
+        ip_upper, data_to_centroid, query_to_centroid
+    )
+    upper_bounds = inner_product_to_squared_distance(
+        ip_lower, data_to_centroid, query_to_centroid
+    )
+    np.maximum(distances, 0.0, out=distances)
+    np.maximum(lower_bounds, 0.0, out=lower_bounds)
+    np.maximum(upper_bounds, 0.0, out=upper_bounds)
+    return DistanceEstimate(
+        distances=distances,
+        lower_bounds=lower_bounds,
+        upper_bounds=upper_bounds,
+        inner_products=ips,
+    )
+
+
+def naive_inner_product_estimate(quantized_dot: np.ndarray) -> np.ndarray:
+    """The biased "treat the quantized vector as the data vector" estimator.
+
+    This is the ``<o_bar, q>`` estimator ablated in Appendix F.2; it is kept
+    here so that the ablation experiment and tests can compare both.
+    """
+    return np.asarray(quantized_dot, dtype=np.float64).copy()
+
+
+def per_vector_error_bound(
+    alignment: np.ndarray, code_length: int, epsilon0: float
+) -> np.ndarray:
+    """Alias of :func:`confidence_interval_halfwidth` with a scalar fallback."""
+    result = confidence_interval_halfwidth(
+        np.atleast_1d(alignment), code_length, epsilon0
+    )
+    return result
+
+
+def theoretical_halfwidth_scalar(
+    alignment: float, code_length: int, epsilon0: float
+) -> float:
+    """Scalar convenience wrapper mirroring :func:`error_bound_epsilon`."""
+    return error_bound_epsilon(alignment, code_length, epsilon0)
+
+
+__all__ = [
+    "DistanceEstimate",
+    "estimate_inner_product",
+    "confidence_interval_halfwidth",
+    "inner_product_to_squared_distance",
+    "estimate_distances",
+    "naive_inner_product_estimate",
+    "per_vector_error_bound",
+    "theoretical_halfwidth_scalar",
+]

@@ -1,0 +1,124 @@
+"""Centroid-based normalization of raw vectors (Sec. 3.1.1).
+
+RaBitQ works on *unit* vectors.  Raw data vectors are centred on a centroid
+``c`` (the dataset mean, or the per-cluster IVF centroid) and scaled to unit
+norm.  The squared distance between raw vectors then decomposes (Eq. 2) into
+
+    ||o_r - q_r||^2 = ||o_r - c||^2 + ||q_r - c||^2
+                      - 2 ||o_r - c|| ||q_r - c|| <o, q>,
+
+so estimating the raw distance reduces to estimating the inner product of
+the normalized vectors.  The norms ``||o_r - c||`` are pre-computed at index
+time; ``||q_r - c||`` is computed once per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+from repro.substrates.linalg import as_float_matrix, normalize_rows
+
+
+@dataclass(frozen=True)
+class NormalizedVectors:
+    """Raw vectors normalized relative to a centroid.
+
+    Attributes
+    ----------
+    unit_vectors:
+        The unit vectors ``o = (o_r - c) / ||o_r - c||``; zero residuals stay
+        zero vectors.
+    norms:
+        The residual norms ``||o_r - c||``.
+    centroid:
+        The centroid ``c`` used for the normalization.
+    """
+
+    unit_vectors: np.ndarray
+    norms: np.ndarray
+    centroid: np.ndarray
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the vectors."""
+        return int(self.unit_vectors.shape[1])
+
+    def __len__(self) -> int:
+        return int(self.unit_vectors.shape[0])
+
+
+def compute_centroid(data: np.ndarray) -> np.ndarray:
+    """Mean of the raw data vectors (the default normalization centroid)."""
+    mat = as_float_matrix(data, "data")
+    return mat.mean(axis=0)
+
+
+def normalize_to_centroid(
+    data: np.ndarray, centroid: np.ndarray | None = None
+) -> NormalizedVectors:
+    """Centre ``data`` on ``centroid`` and normalize each residual to unit norm.
+
+    ``centroid`` defaults to the mean of ``data``.
+    """
+    mat = as_float_matrix(data, "data")
+    if centroid is None:
+        centroid = mat.mean(axis=0)
+    centre = np.asarray(centroid, dtype=np.float64).reshape(-1)
+    if centre.shape[0] != mat.shape[1]:
+        raise DimensionMismatchError(
+            f"centroid has dimension {centre.shape[0]}, data has {mat.shape[1]}"
+        )
+    residuals = mat - centre[None, :]
+    unit, norms = normalize_rows(residuals, return_norms=True)
+    return NormalizedVectors(unit_vectors=unit, norms=norms, centroid=centre)
+
+
+def normalize_query(query: np.ndarray, centroid: np.ndarray) -> tuple[np.ndarray, float]:
+    """Normalize a single raw query vector relative to ``centroid``.
+
+    Returns ``(unit_query, ||q_r - c||)``; a query that coincides with the
+    centroid returns the zero vector and norm 0.
+    """
+    vec = np.asarray(query, dtype=np.float64).reshape(-1)
+    centre = np.asarray(centroid, dtype=np.float64).reshape(-1)
+    if vec.shape[0] != centre.shape[0]:
+        raise DimensionMismatchError(
+            f"query has dimension {vec.shape[0]}, centroid has {centre.shape[0]}"
+        )
+    residual = vec - centre
+    norm = float(np.linalg.norm(residual))
+    if norm == 0.0:
+        return np.zeros_like(residual), 0.0
+    return residual / norm, norm
+
+
+def pad_vectors(vectors: np.ndarray, target_dim: int) -> np.ndarray:
+    """Zero-pad vectors to ``target_dim`` columns (code-length padding).
+
+    Padding raw dimensions with zeros before encoding lengthens the
+    quantization code and sharpens the error bound (paper Sec. 5.1) without
+    changing any norms or inner products.
+    """
+    mat = as_float_matrix(vectors, "vectors")
+    if target_dim < mat.shape[1]:
+        raise DimensionMismatchError(
+            f"target_dim={target_dim} is smaller than the vector dimension "
+            f"{mat.shape[1]}"
+        )
+    if target_dim == mat.shape[1]:
+        return mat
+    padded = np.zeros((mat.shape[0], target_dim), dtype=np.float64)
+    padded[:, : mat.shape[1]] = mat
+    return padded
+
+
+__all__ = [
+    "NormalizedVectors",
+    "compute_centroid",
+    "normalize_to_centroid",
+    "normalize_query",
+    "pad_vectors",
+]

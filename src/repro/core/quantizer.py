@@ -1,0 +1,445 @@
+"""The user-facing RaBitQ quantizer (Algorithms 1 and 2 of the paper).
+
+:class:`RaBitQ` ties together the components of :mod:`repro.core`:
+
+* **Index phase** (:meth:`RaBitQ.fit`): normalize the raw vectors relative to
+  a centroid, pad them to the code length, inversely rotate them, store the
+  sign patterns as packed bit strings, and pre-compute the residual norms
+  ``||o_r - c||`` and the alignments ``<o_bar, o>``.
+* **Query phase** (:meth:`RaBitQ.prepare_query` then
+  :meth:`RaBitQ.estimate_distances`): normalize and inversely rotate the raw
+  query, scalar-quantize it, and estimate the squared distance to every
+  stored vector together with confidence bounds.
+
+Three execution paths for ``<x_b, q_u>`` are provided and give identical
+results up to the documented quantization error:
+
+* ``"float"``     — exact float inner products with the reconstructed
+  bi-valued vectors (reference path, used in tests),
+* ``"bitwise"``   — bit-plane AND + popcount (the paper's single-code path),
+* ``"lut"``       — 4-bit look-up-table accumulation (the paper's batch /
+  fast-scan path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core import bitops, codebook, lut
+from repro.core.config import RaBitQConfig
+from repro.core.estimator import DistanceEstimate, estimate_distances
+from repro.core.normalization import (
+    compute_centroid,
+    normalize_query,
+    normalize_to_centroid,
+    pad_vectors,
+)
+from repro.core.query import QuantizedQueryVector, quantize_query_vector
+from repro.core.rotation import Rotation, make_rotation
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyDatasetError,
+    InvalidParameterError,
+    NotFittedError,
+)
+from repro.substrates.linalg import as_float_matrix
+from repro.substrates.rng import ensure_rng, spawn_rngs
+
+#: Supported computation paths for the quantized inner product.
+COMPUTE_MODES = ("float", "bitwise", "lut")
+
+
+@dataclass(frozen=True)
+class QuantizedDataset:
+    """Everything RaBitQ stores about an encoded set of vectors.
+
+    Attributes
+    ----------
+    packed_codes:
+        Packed ``uint64`` bit strings, shape ``(n_vectors, n_words)``.
+    code_popcounts:
+        Number of 1-bits per code (needed by Eq. 20).
+    alignments:
+        Pre-computed ``<o_bar, o>`` per vector.
+    norms:
+        Residual norms ``||o_r - c||`` per vector.
+    centroid:
+        Normalization centroid ``c``.
+    code_length:
+        Length of each code in bits (including padding).
+    dim:
+        Original data dimensionality (before padding).
+    """
+
+    packed_codes: np.ndarray
+    code_popcounts: np.ndarray
+    alignments: np.ndarray
+    norms: np.ndarray
+    centroid: np.ndarray
+    code_length: int
+    dim: int
+
+    def __len__(self) -> int:
+        return int(self.packed_codes.shape[0])
+
+    @property
+    def n_words(self) -> int:
+        """Number of 64-bit words per code."""
+        return int(self.packed_codes.shape[1])
+
+    def memory_bytes(self) -> int:
+        """Approximate index memory footprint in bytes (codes + per-vector floats)."""
+        code_bytes = self.packed_codes.nbytes
+        float_bytes = self.alignments.nbytes + self.norms.nbytes
+        popcount_bytes = self.code_popcounts.nbytes
+        return int(code_bytes + float_bytes + popcount_bytes)
+
+
+@dataclass(frozen=True)
+class QuantizedQuery:
+    """A query prepared for distance estimation against a fitted RaBitQ index.
+
+    Attributes
+    ----------
+    quantized:
+        The scalar-quantized rotated query ``q̄_u`` with its metadata.
+    rotated:
+        The (unquantized) rotated unit query ``q' = P^-1 q``.
+    query_norm:
+        ``||q_r - c||`` — the distance from the raw query to the centroid.
+    luts / luts_uint8:
+        Pre-built 4-bit look-up tables for the batch path (``luts_uint8``
+        additionally 8-bit quantized as the fast-scan layout does).
+    """
+
+    quantized: QuantizedQueryVector
+    rotated: np.ndarray
+    query_norm: float
+    luts: np.ndarray
+    luts_uint8: np.ndarray
+    lut_scale: float
+    lut_offset: float
+
+    @property
+    def code_length(self) -> int:
+        """Code length the query was prepared for."""
+        return int(self.rotated.shape[0])
+
+
+class RaBitQ:
+    """RaBitQ quantizer: D-bit codes with an unbiased distance estimator.
+
+    Parameters
+    ----------
+    config:
+        A :class:`repro.core.config.RaBitQConfig`; ``None`` uses the paper's
+        defaults (``epsilon_0 = 1.9``, ``B_q = 4``, code length = D rounded
+        up to a multiple of 64, QR rotation).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import RaBitQ
+    >>> rng = np.random.default_rng(7)
+    >>> data = rng.standard_normal((500, 64))
+    >>> quantizer = RaBitQ().fit(data)
+    >>> query = rng.standard_normal(64)
+    >>> estimate = quantizer.estimate_distances(query)
+    >>> len(estimate.distances)
+    500
+    """
+
+    def __init__(self, config: Optional[RaBitQConfig] = None) -> None:
+        self.config = config if config is not None else RaBitQConfig()
+        self._rotation: Rotation | None = None
+        self._dataset: QuantizedDataset | None = None
+        rotation_rng, query_rng = spawn_rngs(self.config.seed, 2)
+        self._rotation_rng = rotation_rng
+        self._query_rng = query_rng
+
+    # ------------------------------------------------------------------ #
+    # Index phase (Algorithm 1)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._dataset is not None
+
+    @property
+    def dataset(self) -> QuantizedDataset:
+        """The encoded dataset produced by :meth:`fit`."""
+        if self._dataset is None:
+            raise NotFittedError("RaBitQ must be fitted before use")
+        return self._dataset
+
+    @property
+    def rotation(self) -> Rotation:
+        """The sampled rotation ``P`` (available after :meth:`fit`)."""
+        if self._rotation is None:
+            raise NotFittedError("RaBitQ must be fitted before use")
+        return self._rotation
+
+    @property
+    def code_length(self) -> int:
+        """Code length in bits (available after :meth:`fit`)."""
+        return self.dataset.code_length
+
+    @property
+    def dim(self) -> int:
+        """Original data dimensionality (available after :meth:`fit`)."""
+        return self.dataset.dim
+
+    def fit(
+        self,
+        data: np.ndarray,
+        *,
+        centroid: np.ndarray | None = None,
+        rotation: Rotation | None = None,
+    ) -> "RaBitQ":
+        """Encode ``data`` (Algorithm 1) and return ``self``.
+
+        Parameters
+        ----------
+        data:
+            Raw data vectors, shape ``(n_vectors, dim)``.
+        centroid:
+            Normalization centroid; defaults to the mean of ``data``.  When
+            RaBitQ is used inside an IVF index each cluster passes its own
+            centroid here.
+        rotation:
+            Pre-built rotation to reuse (e.g. shared across IVF clusters so
+            that the query needs to be rotated only once).  When omitted a
+            fresh rotation is sampled according to the config.
+        """
+        raw = as_float_matrix(data, "data")
+        if raw.shape[0] == 0:
+            raise EmptyDatasetError("cannot fit RaBitQ on an empty dataset")
+        dim = raw.shape[1]
+        code_length = self.config.resolve_code_length(dim)
+
+        if rotation is not None:
+            if rotation.dim != code_length:
+                raise DimensionMismatchError(
+                    f"provided rotation has dim {rotation.dim}, "
+                    f"expected code length {code_length}"
+                )
+            self._rotation = rotation
+        else:
+            self._rotation = make_rotation(
+                self.config.rotation, code_length, self._rotation_rng
+            )
+
+        if centroid is None:
+            centroid = compute_centroid(raw)
+        normalized = normalize_to_centroid(raw, centroid)
+        padded_units = pad_vectors(normalized.unit_vectors, code_length)
+
+        # Inversely rotate the unit vectors and store their sign patterns.
+        rotated = self._rotation.apply_inverse(padded_units)
+        bits = codebook.signed_to_bits(rotated)
+        packed = bitops.pack_bits(bits)
+        popcounts = codebook.code_popcounts(bits)
+
+        # <o_bar, o> = <P x_bar, o> = <x_bar, P^-1 o>; computed exactly here.
+        signed = codebook.bits_to_signed(bits, code_length)
+        alignments = np.einsum("ij,ij->i", signed, rotated)
+
+        self._dataset = QuantizedDataset(
+            packed_codes=packed,
+            code_popcounts=popcounts,
+            alignments=alignments,
+            norms=normalized.norms,
+            centroid=normalized.centroid,
+            code_length=code_length,
+            dim=dim,
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Query phase (Algorithm 2)
+    # ------------------------------------------------------------------ #
+
+    def prepare_query(self, query: np.ndarray) -> QuantizedQuery:
+        """Normalize, rotate and quantize a raw query vector (Alg. 2, lines 1-2).
+
+        The returned object is reusable across all data vectors (and, inside
+        an IVF index, across all probed clusters that share the rotation and
+        centroid).
+        """
+        dataset = self.dataset
+        vec = np.asarray(query, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != dataset.dim:
+            raise DimensionMismatchError(
+                f"query has dimension {vec.shape[0]}, index expects {dataset.dim}"
+            )
+        unit_query, query_norm = normalize_query(vec, dataset.centroid)
+        padded = pad_vectors(unit_query.reshape(1, -1), dataset.code_length)
+        rotated = self.rotation.apply_inverse(padded).reshape(-1)
+        quantized = quantize_query_vector(
+            rotated,
+            self.config.query_bits,
+            randomized=self.config.randomized_rounding,
+            rng=self._query_rng,
+        )
+        luts = lut.build_query_luts(quantized.codes)
+        luts_uint8, scale, offset = lut.quantize_luts_to_uint8(luts)
+        return QuantizedQuery(
+            quantized=quantized,
+            rotated=rotated,
+            query_norm=query_norm,
+            luts=luts,
+            luts_uint8=luts_uint8,
+            lut_scale=scale,
+            lut_offset=offset,
+        )
+
+    def _quantized_inner_products(
+        self,
+        prepared: QuantizedQuery,
+        subset: np.ndarray | None,
+        compute: str,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(<o_bar, q>, alignments, norms)`` for the selected vectors."""
+        dataset = self.dataset
+        if subset is None:
+            packed = dataset.packed_codes
+            popcounts = dataset.code_popcounts
+            alignments = dataset.alignments
+            norms = dataset.norms
+        else:
+            idx = np.asarray(subset, dtype=np.intp)
+            packed = dataset.packed_codes[idx]
+            popcounts = dataset.code_popcounts[idx]
+            alignments = dataset.alignments[idx]
+            norms = dataset.norms[idx]
+
+        code_length = dataset.code_length
+        quantized = prepared.quantized
+
+        if compute == "float":
+            # Reference path: exact inner product with the unquantized
+            # rotated query (no scalar-quantization error at all).
+            signed = codebook.decode_codes(packed, code_length)
+            quantized_dot = signed @ prepared.rotated
+            return quantized_dot, alignments, norms
+
+        if compute == "bitwise":
+            integer_dot = bitops.binary_dot_uint(packed, quantized.bitplanes)
+        elif compute == "lut":
+            bits = bitops.unpack_bits(packed, code_length)
+            segments = lut.split_into_segments(bits)
+            integer_dot = lut.lut_accumulate(segments, prepared.luts)
+        else:
+            raise InvalidParameterError(
+                f"compute must be one of {COMPUTE_MODES}, got {compute!r}"
+            )
+
+        # Undo the affine query quantization (Eq. 19-20):
+        # <x_bar, q_bar> = 2 Delta / sqrt(D) <x_b, q_u>
+        #                  + 2 v_l / sqrt(D) * popcount(x_b)
+        #                  - Delta / sqrt(D) * sum(q_u) - sqrt(D) v_l
+        sqrt_d = np.sqrt(float(code_length))
+        delta = quantized.delta
+        lower = quantized.lower
+        quantized_dot = (
+            2.0 * delta / sqrt_d * integer_dot.astype(np.float64)
+            + 2.0 * lower / sqrt_d * popcounts.astype(np.float64)
+            - delta / sqrt_d * float(quantized.sum_codes)
+            - sqrt_d * lower
+        )
+        return quantized_dot, alignments, norms
+
+    def estimate_distances(
+        self,
+        query: np.ndarray | QuantizedQuery,
+        *,
+        subset: np.ndarray | None = None,
+        compute: str = "bitwise",
+        epsilon0: float | None = None,
+    ) -> DistanceEstimate:
+        """Estimate squared distances from a raw query to the stored vectors.
+
+        Parameters
+        ----------
+        query:
+            Either a raw query vector or an already-prepared
+            :class:`QuantizedQuery` (so the preparation cost can be shared).
+        subset:
+            Optional array of data-vector indices to estimate (used by the
+            IVF index to restrict the computation to probed clusters).
+        compute:
+            ``"bitwise"`` (default), ``"lut"`` or ``"float"``.
+        epsilon0:
+            Override of the confidence parameter (used by the Fig. 5 sweep).
+
+        Returns
+        -------
+        DistanceEstimate
+            Unbiased squared-distance estimates with confidence bounds.
+        """
+        if compute not in COMPUTE_MODES:
+            raise InvalidParameterError(
+                f"compute must be one of {COMPUTE_MODES}, got {compute!r}"
+            )
+        prepared = (
+            query if isinstance(query, QuantizedQuery) else self.prepare_query(query)
+        )
+        quantized_dot, alignments, norms = self._quantized_inner_products(
+            prepared, subset, compute
+        )
+        eps = self.config.epsilon0 if epsilon0 is None else float(epsilon0)
+        return estimate_distances(
+            quantized_dot,
+            alignments,
+            norms,
+            prepared.query_norm,
+            self.dataset.code_length,
+            eps,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+
+    def reconstruct(self, indices: np.ndarray | None = None) -> np.ndarray:
+        """Return the quantized unit vectors ``ō`` (rotated back to data space).
+
+        Mainly useful for tests and for the concentration experiments; the
+        reconstruction lives in the padded ``code_length``-dimensional space.
+        """
+        dataset = self.dataset
+        packed = (
+            dataset.packed_codes
+            if indices is None
+            else dataset.packed_codes[np.asarray(indices, dtype=np.intp)]
+        )
+        return codebook.codes_to_matrix(packed, dataset.code_length, self.rotation)
+
+    def code_bits(self, indices: np.ndarray | None = None) -> np.ndarray:
+        """Return codes as 0/1 arrays (unpacked)."""
+        dataset = self.dataset
+        packed = (
+            dataset.packed_codes
+            if indices is None
+            else dataset.packed_codes[np.asarray(indices, dtype=np.intp)]
+        )
+        return bitops.unpack_bits(packed, dataset.code_length)
+
+    def compression_ratio(self) -> float:
+        """Raw-vector bytes divided by quantization-code bytes."""
+        dataset = self.dataset
+        raw_bits = 32 * dataset.dim
+        code_bits = dataset.code_length
+        return raw_bits / code_bits
+
+
+__all__ = [
+    "RaBitQ",
+    "QuantizedDataset",
+    "QuantizedQuery",
+    "COMPUTE_MODES",
+]

@@ -1,0 +1,227 @@
+"""Random orthogonal transformations (the codebook randomization of Sec. 3.1.2).
+
+RaBitQ's codebook is the hypercube ``{-1/sqrt(D), +1/sqrt(D)}^D`` rotated by a
+random orthogonal matrix ``P``.  The matrix is never applied to the codebook
+explicitly; instead data vectors are multiplied by ``P^-1`` (= ``P^T``) at
+index time and query vectors at query time.
+
+Two implementations are provided:
+
+* :class:`QRRotation` — a dense, Haar-distributed orthogonal matrix obtained
+  from the QR factorization of a Gaussian matrix.  This matches the paper's
+  construction exactly.
+* :class:`FastHadamardRotation` — a structured rotation ``H D_3 H D_2 H D_1``
+  built from Walsh--Hadamard transforms and random sign flips.  It is an
+  ``O(D log D)`` approximation of a Haar rotation frequently used in practice
+  (a "fast JLT"); it is included as the optional/extension feature discussed
+  in the paper's related work and is exercised by an ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.substrates.linalg import as_float_matrix
+from repro.substrates.rng import RngLike, ensure_rng
+
+
+def sample_orthogonal_matrix(dim: int, rng: RngLike = None) -> np.ndarray:
+    """Sample a Haar-distributed random orthogonal matrix of size ``dim``.
+
+    The matrix is obtained by QR-factorizing a matrix of i.i.d. standard
+    Gaussians and fixing the signs so that the distribution is exactly the
+    Haar measure on the orthogonal group (Mezzadri, 2007).
+    """
+    if dim <= 0:
+        raise InvalidParameterError("dim must be positive")
+    generator = ensure_rng(rng)
+    gaussian = generator.standard_normal((dim, dim))
+    q_mat, r_mat = np.linalg.qr(gaussian)
+    # Normalize the signs: without this correction the QR decomposition does
+    # not yield the Haar measure.
+    signs = np.sign(np.diag(r_mat))
+    signs[signs == 0.0] = 1.0
+    return q_mat * signs[None, :]
+
+
+class Rotation(abc.ABC):
+    """Abstract interface of an orthogonal transformation ``P``.
+
+    The two directions used by RaBitQ are exposed explicitly:
+
+    * :meth:`apply` computes ``x P^T`` row-wise (i.e. ``P x`` for column
+      vectors) — rotating a vector *into* the randomized codebook's frame.
+    * :meth:`apply_inverse` computes ``x P`` row-wise (i.e. ``P^-1 x``) —
+      the transformation applied to data and query vectors before encoding.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise InvalidParameterError("dim must be positive")
+        self._dim = int(dim)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality the rotation operates on."""
+        return self._dim
+
+    def _check_dim(self, matrix: np.ndarray) -> np.ndarray:
+        mat = as_float_matrix(matrix, "vectors")
+        if mat.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                f"rotation expects dimension {self._dim}, got {mat.shape[1]}"
+            )
+        return mat
+
+    @abc.abstractmethod
+    def apply(self, vectors: np.ndarray) -> np.ndarray:
+        """Apply ``P`` to each row of ``vectors``."""
+
+    @abc.abstractmethod
+    def apply_inverse(self, vectors: np.ndarray) -> np.ndarray:
+        """Apply ``P^-1`` (= ``P^T``) to each row of ``vectors``."""
+
+    @abc.abstractmethod
+    def as_matrix(self) -> np.ndarray:
+        """Materialize ``P`` as a dense ``(dim, dim)`` matrix (for tests)."""
+
+
+class QRRotation(Rotation):
+    """Dense Haar-random orthogonal rotation (the paper's construction)."""
+
+    def __init__(self, dim: int, rng: RngLike = None) -> None:
+        super().__init__(dim)
+        self._matrix = sample_orthogonal_matrix(dim, rng)
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "QRRotation":
+        """Wrap an existing orthogonal matrix (no orthogonality re-check)."""
+        mat = np.asarray(matrix, dtype=np.float64)
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            raise InvalidParameterError("matrix must be square")
+        instance = cls.__new__(cls)
+        Rotation.__init__(instance, mat.shape[0])
+        instance._matrix = mat
+        return instance
+
+    def apply(self, vectors: np.ndarray) -> np.ndarray:
+        mat = self._check_dim(vectors)
+        return mat @ self._matrix.T
+
+    def apply_inverse(self, vectors: np.ndarray) -> np.ndarray:
+        mat = self._check_dim(vectors)
+        return mat @ self._matrix
+
+    def as_matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+
+def _next_power_of_two(value: int) -> int:
+    """Smallest power of two that is >= ``value``."""
+    power = 1
+    while power < value:
+        power *= 2
+    return power
+
+
+def hadamard_transform(matrix: np.ndarray) -> np.ndarray:
+    """In-place-style fast Walsh--Hadamard transform along the last axis.
+
+    The input's last-axis length must be a power of two.  The transform is
+    normalized by ``1/sqrt(n)`` so that it is orthogonal.
+    """
+    arr = np.array(matrix, dtype=np.float64, copy=True)
+    n = arr.shape[-1]
+    if n & (n - 1) != 0:
+        raise InvalidParameterError("Hadamard transform requires a power-of-two length")
+    h = 1
+    while h < n:
+        arr = arr.reshape(*arr.shape[:-1], n // (2 * h), 2, h)
+        top = arr[..., 0, :] + arr[..., 1, :]
+        bottom = arr[..., 0, :] - arr[..., 1, :]
+        arr = np.stack([top, bottom], axis=-2).reshape(*arr.shape[:-3], n)
+        h *= 2
+    return arr / np.sqrt(n)
+
+
+class FastHadamardRotation(Rotation):
+    """Structured rotation ``H D_r ... H D_1`` with random sign diagonals.
+
+    ``H`` is the normalized Walsh--Hadamard transform and each ``D_i`` is a
+    diagonal matrix of independent random signs.  With ``rounds >= 3`` the
+    transform behaves like a random rotation for JLT purposes while costing
+    only ``O(D log D)`` per vector.  The data dimension is internally padded
+    to the next power of two.
+    """
+
+    def __init__(self, dim: int, rng: RngLike = None, *, rounds: int = 3) -> None:
+        super().__init__(dim)
+        if rounds < 1:
+            raise InvalidParameterError("rounds must be at least 1")
+        generator = ensure_rng(rng)
+        self._rounds = int(rounds)
+        self._padded_dim = _next_power_of_two(dim)
+        self._signs = (
+            generator.integers(0, 2, size=(self._rounds, self._padded_dim)) * 2 - 1
+        ).astype(np.float64)
+
+    @property
+    def padded_dim(self) -> int:
+        """Internal power-of-two dimension used by the Hadamard transform."""
+        return self._padded_dim
+
+    def _pad(self, matrix: np.ndarray) -> np.ndarray:
+        if self._padded_dim == self._dim:
+            return matrix
+        padded = np.zeros((matrix.shape[0], self._padded_dim), dtype=np.float64)
+        padded[:, : self._dim] = matrix
+        return padded
+
+    def apply(self, vectors: np.ndarray) -> np.ndarray:
+        mat = self._pad(self._check_dim(vectors))
+        # Forward: P = (H D_r) ... (H D_1)
+        for i in range(self._rounds):
+            mat = hadamard_transform(mat * self._signs[i][None, :])
+        return mat[:, : self._dim]
+
+    def apply_inverse(self, vectors: np.ndarray) -> np.ndarray:
+        mat = self._pad(self._check_dim(vectors))
+        # Inverse: P^-1 = (D_1 H) ... (D_r H) since H and D_i are involutions
+        # up to normalization (H is symmetric orthogonal, D_i is diagonal ±1).
+        for i in reversed(range(self._rounds)):
+            mat = hadamard_transform(mat) * self._signs[i][None, :]
+        return mat[:, : self._dim]
+
+    def as_matrix(self) -> np.ndarray:
+        identity = np.eye(self._dim)
+        return self.apply(identity).T
+
+    def is_exactly_orthogonal(self) -> bool:
+        """The padded transform is orthogonal; the truncated one is not when
+        the data dimension is not a power of two."""
+        return self._padded_dim == self._dim
+
+
+def make_rotation(kind: str, dim: int, rng: RngLike = None) -> Rotation:
+    """Factory used by :class:`repro.core.quantizer.RaBitQ`.
+
+    ``kind`` is ``"qr"`` or ``"hadamard"``.
+    """
+    if kind == "qr":
+        return QRRotation(dim, rng)
+    if kind == "hadamard":
+        return FastHadamardRotation(dim, rng)
+    raise InvalidParameterError(f"unknown rotation kind: {kind!r}")
+
+
+__all__ = [
+    "Rotation",
+    "QRRotation",
+    "FastHadamardRotation",
+    "sample_orthogonal_matrix",
+    "hadamard_transform",
+    "make_rotation",
+]

@@ -1,0 +1,46 @@
+"""Dataset substrates: synthetic generators, standard-format IO and ground truth.
+
+The paper evaluates on six public million-scale datasets (Table 3).  Those
+datasets are not redistributable here, so this package provides synthetic
+generators that mimic their dimensionality and the structural properties that
+drive the experimental findings (clustered Gaussian data for SIFT/DEEP/GIST,
+a heavy-tailed variance-skewed generator for MSong — the case on which PQ
+fails — and a correlated dense-embedding generator for Word2Vec), plus
+readers/writers for the fvecs/ivecs/bvecs formats used by the ANN community.
+"""
+
+from repro.datasets.ground_truth import brute_force_ground_truth
+from repro.datasets.io import (
+    read_fvecs,
+    read_ivecs,
+    write_fvecs,
+    write_ivecs,
+)
+from repro.datasets.registry import (
+    DatasetSpec,
+    available_datasets,
+    load_dataset,
+)
+from repro.datasets.synthetic import (
+    Dataset,
+    make_clustered_dataset,
+    make_correlated_embedding_dataset,
+    make_gaussian_dataset,
+    make_skewed_variance_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "available_datasets",
+    "load_dataset",
+    "make_gaussian_dataset",
+    "make_clustered_dataset",
+    "make_skewed_variance_dataset",
+    "make_correlated_embedding_dataset",
+    "brute_force_ground_truth",
+    "read_fvecs",
+    "write_fvecs",
+    "read_ivecs",
+    "write_ivecs",
+]

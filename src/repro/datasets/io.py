@@ -1,0 +1,99 @@
+"""Readers and writers for the fvecs / ivecs / bvecs vector-file formats.
+
+These are the de-facto standard formats used by the ANN benchmarking
+community (SIFT1M, GIST1M, DEEP, ...).  Each vector is stored as a little-
+endian 4-byte integer dimension followed by the components (float32 for
+fvecs, int32 for ivecs, uint8 for bvecs).  Supporting them lets users drop in
+the paper's real datasets when they have access to them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+PathLike = Union[str, os.PathLike]
+
+
+def _read_vecs(path: PathLike, dtype: np.dtype, component_size: int) -> np.ndarray:
+    """Shared implementation for the *vecs formats."""
+    raw = np.fromfile(Path(path), dtype=np.uint8)
+    if raw.size == 0:
+        return np.empty((0, 0), dtype=dtype)
+    if raw.size < 4:
+        raise InvalidParameterError(f"{path!s} is too small to be a vecs file")
+    dim = int(np.frombuffer(raw[:4].tobytes(), dtype="<i4")[0])
+    if dim <= 0:
+        raise InvalidParameterError(f"{path!s} declares non-positive dimension {dim}")
+    record_bytes = 4 + dim * component_size
+    if raw.size % record_bytes != 0:
+        raise InvalidParameterError(
+            f"{path!s} has {raw.size} bytes which is not a multiple of the "
+            f"record size {record_bytes} for dimension {dim}"
+        )
+    n_vectors = raw.size // record_bytes
+    records = raw.reshape(n_vectors, record_bytes)
+    dims = records[:, :4].copy().view("<i4").reshape(-1)
+    if not np.all(dims == dim):
+        raise InvalidParameterError(f"{path!s} mixes different dimensions")
+    body = records[:, 4:].copy().view(dtype)
+    return body.reshape(n_vectors, dim)
+
+
+def _write_vecs(path: PathLike, vectors: np.ndarray, dtype: np.dtype) -> None:
+    """Shared implementation for writing the *vecs formats."""
+    arr = np.asarray(vectors)
+    if arr.ndim != 2:
+        raise InvalidParameterError("vectors must be a 2-D array")
+    arr = np.ascontiguousarray(arr, dtype=dtype)
+    n_vectors, dim = arr.shape
+    dims = np.full((n_vectors, 1), dim, dtype="<i4")
+    with open(Path(path), "wb") as handle:
+        for i in range(n_vectors):
+            handle.write(dims[i].tobytes())
+            handle.write(arr[i].tobytes())
+
+
+def read_fvecs(path: PathLike) -> np.ndarray:
+    """Read a ``.fvecs`` file into a float32 matrix."""
+    return _read_vecs(path, np.dtype("<f4"), 4)
+
+
+def write_fvecs(path: PathLike, vectors: np.ndarray) -> None:
+    """Write a float matrix to a ``.fvecs`` file."""
+    _write_vecs(path, vectors, np.dtype("<f4"))
+
+
+def read_ivecs(path: PathLike) -> np.ndarray:
+    """Read an ``.ivecs`` file (typically ground-truth neighbour ids)."""
+    return _read_vecs(path, np.dtype("<i4"), 4)
+
+
+def write_ivecs(path: PathLike, vectors: np.ndarray) -> None:
+    """Write an integer matrix to an ``.ivecs`` file."""
+    _write_vecs(path, vectors, np.dtype("<i4"))
+
+
+def read_bvecs(path: PathLike) -> np.ndarray:
+    """Read a ``.bvecs`` file into a uint8 matrix."""
+    return _read_vecs(path, np.dtype("u1"), 1)
+
+
+def write_bvecs(path: PathLike, vectors: np.ndarray) -> None:
+    """Write a uint8 matrix to a ``.bvecs`` file."""
+    _write_vecs(path, vectors, np.dtype("u1"))
+
+
+__all__ = [
+    "read_fvecs",
+    "write_fvecs",
+    "read_ivecs",
+    "write_ivecs",
+    "read_bvecs",
+    "write_bvecs",
+]

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError` so that callers can catch library-specific failures
+without also swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a model is used before :meth:`fit` has been called."""
+
+
+class DimensionMismatchError(ReproError):
+    """Raised when an input array has an unexpected dimensionality."""
+
+
+class InvalidParameterError(ReproError):
+    """Raised when a constructor or method receives an invalid parameter."""
+
+
+class EmptyDatasetError(ReproError):
+    """Raised when an operation requires a non-empty dataset."""

@@ -1,0 +1,42 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run_*`` function that returns structured result rows
+and can print the same rows/series the paper reports.  The benchmark suite in
+``benchmarks/`` and the examples in ``examples/`` are thin wrappers around
+these functions, so the full evaluation can also be driven programmatically:
+
+=====================  =========================================================
+Paper artifact          Module
+=====================  =========================================================
+Fig. 1 (right), Fig. 8  :mod:`repro.experiments.concentration`
+Fig. 3                  :mod:`repro.experiments.distance_estimation`
+Table 4                 :mod:`repro.experiments.indexing_time`
+Fig. 4, Fig. 10         :mod:`repro.experiments.ann_search`
+Fig. 5                  :mod:`repro.experiments.epsilon_sweep`
+Fig. 6                  :mod:`repro.experiments.bq_sweep`
+Fig. 7, Table 7         :mod:`repro.experiments.unbiasedness`
+Table 6                 :mod:`repro.experiments.ablation_codebook`
+=====================  =========================================================
+"""
+
+from repro.experiments.ablation_codebook import run_codebook_ablation
+from repro.experiments.ann_search import run_ann_search_experiment
+from repro.experiments.bq_sweep import run_bq_sweep
+from repro.experiments.concentration import run_concentration_experiment
+from repro.experiments.distance_estimation import run_distance_estimation_experiment
+from repro.experiments.epsilon_sweep import run_epsilon_sweep
+from repro.experiments.indexing_time import run_indexing_time_experiment
+from repro.experiments.report import format_table
+from repro.experiments.unbiasedness import run_unbiasedness_experiment
+
+__all__ = [
+    "run_concentration_experiment",
+    "run_distance_estimation_experiment",
+    "run_indexing_time_experiment",
+    "run_ann_search_experiment",
+    "run_epsilon_sweep",
+    "run_bq_sweep",
+    "run_unbiasedness_experiment",
+    "run_codebook_ablation",
+    "format_table",
+]

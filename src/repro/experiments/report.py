@@ -1,0 +1,79 @@
+"""Plain-text table formatting for experiment results.
+
+The experiment modules return lists of result dataclasses / dictionaries;
+this module renders them as aligned text tables so that the benchmark
+harness prints the same rows and series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import InvalidParameterError
+
+
+def _format_cell(value) -> str:
+    """Render one cell: floats get 4 significant-ish decimals, rest via str()."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:.1f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Format a list of mappings as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        One mapping per row; all rows should share the same keys.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional title printed above the table.
+    """
+    if not rows:
+        raise InvalidParameterError("cannot format an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(col) for col in columns]
+    body = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def rows_from_dataclasses(items: Iterable[object]) -> list[dict]:
+    """Convert an iterable of dataclass instances to dictionaries."""
+    out = []
+    for item in items:
+        if hasattr(item, "__dataclass_fields__"):
+            out.append(
+                {name: getattr(item, name) for name in item.__dataclass_fields__}
+            )
+        elif isinstance(item, Mapping):
+            out.append(dict(item))
+        else:
+            raise InvalidParameterError(
+                f"cannot convert {type(item).__name__} to a table row"
+            )
+    return out
+
+
+__all__ = ["format_table", "rows_from_dataclasses"]

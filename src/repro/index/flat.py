@@ -1,0 +1,85 @@
+"""Exact brute-force index.
+
+Used for ground truth, for exact re-ranking of candidates, and as the
+reference point of every accuracy metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyDatasetError,
+    InvalidParameterError,
+)
+from repro.substrates.linalg import as_float_matrix, squared_distances_to_point
+
+
+class FlatIndex:
+    """Stores raw vectors and answers exact k-NN queries by brute force."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        mat = as_float_matrix(data, "data")
+        if mat.shape[0] == 0:
+            raise EmptyDatasetError("cannot build a FlatIndex over an empty dataset")
+        self._data = mat
+
+    @property
+    def data(self) -> np.ndarray:
+        """The stored raw vectors."""
+        return self._data
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return int(self._data.shape[1])
+
+    def __len__(self) -> int:
+        return int(self._data.shape[0])
+
+    def _check_query(self, query: np.ndarray) -> np.ndarray:
+        vec = np.asarray(query, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != self.dim:
+            raise DimensionMismatchError(
+                f"query has dimension {vec.shape[0]}, index expects {self.dim}"
+            )
+        return vec
+
+    def distances(self, query: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:
+        """Exact squared distances from ``query`` to all (or selected) vectors."""
+        vec = self._check_query(query)
+        if ids is None:
+            return squared_distances_to_point(self._data, vec)
+        idx = np.asarray(ids, dtype=np.intp)
+        return squared_distances_to_point(self._data[idx], vec)
+
+    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exact ``k`` nearest neighbours: ``(ids, squared_distances)``."""
+        if k <= 0:
+            raise InvalidParameterError("k must be positive")
+        vec = self._check_query(query)
+        dists = squared_distances_to_point(self._data, vec)
+        k = min(k, dists.shape[0])
+        part = np.argpartition(dists, kth=k - 1)[:k]
+        order = np.argsort(dists[part], kind="stable")
+        ids = part[order]
+        return ids.astype(np.int64), dists[ids]
+
+    def rerank(
+        self, query: np.ndarray, candidate_ids: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact re-ranking of a candidate list: best ``k`` by true distance."""
+        if k <= 0:
+            raise InvalidParameterError("k must be positive")
+        idx = np.asarray(candidate_ids, dtype=np.intp).ravel()
+        if idx.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        vec = self._check_query(query)
+        dists = squared_distances_to_point(self._data[idx], vec)
+        k = min(k, idx.size)
+        order = np.argsort(dists, kind="stable")[:k]
+        return idx[order].astype(np.int64), dists[order]
+
+
+__all__ = ["FlatIndex"]

@@ -1,0 +1,256 @@
+"""Hierarchical Navigable Small World (HNSW) graph index.
+
+HNSW (Malkov & Yashunin, 2020) is the graph-based reference baseline of the
+paper's ANN experiments (Fig. 4).  This is a pure-NumPy/Python implementation
+of the standard algorithm: a layered proximity graph built by greedy
+insertion with the heuristic neighbour-selection rule, searched with the
+usual best-first beam search controlled by ``ef_search``.
+
+The implementation is intentionally faithful rather than micro-optimized; it
+serves as a relative reference curve in the QPS/recall trade-off, not as a
+competitor to C++ HNSW libraries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyDatasetError,
+    InvalidParameterError,
+    NotFittedError,
+)
+from repro.substrates.linalg import as_float_matrix, squared_distances_to_point
+from repro.substrates.rng import RngLike, ensure_rng
+
+
+class HNSWIndex:
+    """Hierarchical navigable small-world graph for ANN search.
+
+    Parameters
+    ----------
+    m:
+        Maximum out-degree per node on the upper layers (layer 0 allows
+        ``2 * m`` as in the reference implementation).
+    ef_construction:
+        Beam width used while inserting elements.
+    rng:
+        Seed or generator for the level assignment.
+    """
+
+    def __init__(
+        self,
+        m: int = 16,
+        ef_construction: int = 100,
+        *,
+        rng: RngLike = None,
+    ) -> None:
+        if m <= 0:
+            raise InvalidParameterError("m must be positive")
+        if ef_construction <= 0:
+            raise InvalidParameterError("ef_construction must be positive")
+        self.m = int(m)
+        self.m0 = 2 * int(m)
+        self.ef_construction = int(ef_construction)
+        self._rng = ensure_rng(rng)
+        self._level_multiplier = 1.0 / math.log(float(self.m))
+        self._data: np.ndarray | None = None
+        # One adjacency dict per layer: node id -> list of neighbour ids.
+        self._layers: list[dict[int, list[int]]] = []
+        self._entry_point: int | None = None
+        self._max_level: int = -1
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._data is not None
+
+    @property
+    def data(self) -> np.ndarray:
+        """The stored raw vectors."""
+        if self._data is None:
+            raise NotFittedError("HNSWIndex must be fitted before use")
+        return self._data
+
+    def __len__(self) -> int:
+        return 0 if self._data is None else int(self._data.shape[0])
+
+    def _draw_level(self) -> int:
+        return int(-math.log(max(self._rng.random(), 1e-12)) * self._level_multiplier)
+
+    def _distance(self, query: np.ndarray, node: int) -> float:
+        diff = self._data[node] - query
+        return float(diff @ diff)
+
+    def _distances(self, query: np.ndarray, nodes: list[int]) -> np.ndarray:
+        return squared_distances_to_point(self._data[nodes], query)
+
+    def _search_layer(
+        self, query: np.ndarray, entry_points: list[int], ef: int, layer: int
+    ) -> list[tuple[float, int]]:
+        """Best-first search on one layer; returns (distance, id) pairs."""
+        adjacency = self._layers[layer]
+        visited = set(entry_points)
+        candidates: list[tuple[float, int]] = []
+        results: list[tuple[float, int]] = []  # max-heap via negated distance
+        for point in entry_points:
+            dist = self._distance(query, point)
+            heapq.heappush(candidates, (dist, point))
+            heapq.heappush(results, (-dist, point))
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if results and dist > -results[0][0] and len(results) >= ef:
+                break
+            neighbours = [n for n in adjacency.get(node, []) if n not in visited]
+            if not neighbours:
+                continue
+            visited.update(neighbours)
+            dists = self._distances(query, neighbours)
+            for neighbour, neighbour_dist in zip(neighbours, dists):
+                neighbour_dist = float(neighbour_dist)
+                if len(results) < ef or neighbour_dist < -results[0][0]:
+                    heapq.heappush(candidates, (neighbour_dist, neighbour))
+                    heapq.heappush(results, (-neighbour_dist, neighbour))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return sorted([(-d, node) for d, node in results])
+
+    def _select_neighbours(
+        self, query: np.ndarray, candidates: list[tuple[float, int]], m: int
+    ) -> list[int]:
+        """Heuristic neighbour selection (Algorithm 4 of the HNSW paper)."""
+        selected: list[int] = []
+        for dist, node in sorted(candidates):
+            if len(selected) >= m:
+                break
+            keep = True
+            for chosen in selected:
+                if self._distance(self._data[node], chosen) < dist:
+                    keep = False
+                    break
+            if keep:
+                selected.append(node)
+        if not selected:
+            selected = [node for _, node in sorted(candidates)[:m]]
+        return selected
+
+    def fit(self, data: np.ndarray) -> "HNSWIndex":
+        """Build the graph by inserting every vector."""
+        mat = as_float_matrix(data, "data")
+        if mat.shape[0] == 0:
+            raise EmptyDatasetError("cannot build an HNSW index over an empty dataset")
+        self._data = mat
+        self._layers = []
+        self._entry_point = None
+        self._max_level = -1
+        for node in range(mat.shape[0]):
+            self._insert(node)
+        return self
+
+    def _insert(self, node: int) -> None:
+        level = self._draw_level()
+        while len(self._layers) <= level:
+            self._layers.append({})
+        for layer in range(level + 1):
+            self._layers[layer].setdefault(node, [])
+
+        if self._entry_point is None:
+            self._entry_point = node
+            self._max_level = level
+            return
+
+        query = self._data[node]
+        entry = self._entry_point
+        # Greedy descent through the layers above the node's level.
+        for layer in range(self._max_level, level, -1):
+            improved = True
+            while improved:
+                improved = False
+                for neighbour in self._layers[layer].get(entry, []):
+                    if self._distance(query, neighbour) < self._distance(query, entry):
+                        entry = neighbour
+                        improved = True
+
+        entry_points = [entry]
+        for layer in range(min(level, self._max_level), -1, -1):
+            max_degree = self.m0 if layer == 0 else self.m
+            found = self._search_layer(
+                query, entry_points, self.ef_construction, layer
+            )
+            neighbours = self._select_neighbours(query, found, max_degree)
+            self._layers[layer][node] = list(neighbours)
+            for neighbour in neighbours:
+                links = self._layers[layer].setdefault(neighbour, [])
+                links.append(node)
+                if len(links) > max_degree:
+                    # Shrink the neighbour's list with the same heuristic.
+                    candidate_pairs = [
+                        (self._distance(self._data[neighbour], other), other)
+                        for other in links
+                    ]
+                    self._layers[layer][neighbour] = self._select_neighbours(
+                        self._data[neighbour], candidate_pairs, max_degree
+                    )
+            entry_points = [node_id for _, node_id in found] or [entry]
+
+        if level > self._max_level:
+            self._max_level = level
+            self._entry_point = node
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+
+    def search(
+        self, query: np.ndarray, k: int, *, ef_search: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(ids, squared_distances)`` of the ``k`` approximate NNs."""
+        if self._data is None or self._entry_point is None:
+            raise NotFittedError("HNSWIndex must be fitted before use")
+        if k <= 0:
+            raise InvalidParameterError("k must be positive")
+        vec = np.asarray(query, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != self._data.shape[1]:
+            raise DimensionMismatchError(
+                f"query has dimension {vec.shape[0]}, index expects "
+                f"{self._data.shape[1]}"
+            )
+        ef = max(k, ef_search if ef_search is not None else max(2 * k, 50))
+
+        entry = self._entry_point
+        for layer in range(self._max_level, 0, -1):
+            improved = True
+            while improved:
+                improved = False
+                for neighbour in self._layers[layer].get(entry, []):
+                    if self._distance(vec, neighbour) < self._distance(vec, entry):
+                        entry = neighbour
+                        improved = True
+
+        found = self._search_layer(vec, [entry], ef, 0)
+        top = found[:k]
+        ids = np.asarray([node for _, node in top], dtype=np.int64)
+        dists = np.asarray([dist for dist, _ in top], dtype=np.float64)
+        return ids, dists
+
+    def degree_statistics(self) -> dict[str, float]:
+        """Mean/max out-degree of layer 0 (diagnostic helper)."""
+        if not self._layers:
+            raise NotFittedError("HNSWIndex must be fitted before use")
+        degrees = np.asarray([len(v) for v in self._layers[0].values()], dtype=np.int64)
+        return {
+            "mean_degree": float(degrees.mean()),
+            "max_degree": float(degrees.max()),
+            "n_layers": float(len(self._layers)),
+        }
+
+
+__all__ = ["HNSWIndex"]

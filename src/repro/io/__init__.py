@@ -1,0 +1,10 @@
+"""Index persistence: save and load fitted RaBitQ quantizers.
+
+The on-disk format is a single ``.npz`` archive holding the packed codes, the
+per-vector metadata, the rotation matrix and the configuration — everything
+Algorithm 2 needs at query time, without the raw vectors.
+"""
+
+from repro.io.persistence import load_rabitq, save_rabitq
+
+__all__ = ["save_rabitq", "load_rabitq"]

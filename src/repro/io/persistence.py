@@ -1,0 +1,109 @@
+"""Save/load support for fitted RaBitQ quantizers.
+
+A fitted :class:`repro.core.quantizer.RaBitQ` is fully described by
+
+* its configuration (``epsilon_0``, ``B_q``, rounding mode, code length),
+* the rotation matrix ``P``,
+* the packed quantization codes and their popcounts,
+* the per-vector alignments ``<ō, o>`` and residual norms ``||o_r - c||``,
+* the normalization centroid ``c``.
+
+This module serializes exactly those arrays into a NumPy ``.npz`` archive, so
+a query-serving process can load an index without re-encoding (and without
+the raw vectors, which are only needed if exact re-ranking is desired).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.config import RaBitQConfig
+from repro.core.quantizer import QuantizedDataset, RaBitQ
+from repro.core.rotation import QRRotation
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+PathLike = Union[str, os.PathLike]
+
+#: Format identifier stored in every archive, bumped on incompatible changes.
+FORMAT_VERSION = 1
+
+
+def save_rabitq(quantizer: RaBitQ, path: PathLike) -> None:
+    """Serialize a fitted RaBitQ quantizer to ``path`` (NumPy ``.npz``).
+
+    Raises
+    ------
+    NotFittedError
+        If the quantizer has not been fitted.
+    """
+    if not quantizer.is_fitted:
+        raise NotFittedError("cannot save an unfitted RaBitQ quantizer")
+    dataset = quantizer.dataset
+    config = quantizer.config
+    np.savez_compressed(
+        Path(path),
+        format_version=np.int64(FORMAT_VERSION),
+        packed_codes=dataset.packed_codes,
+        code_popcounts=dataset.code_popcounts,
+        alignments=dataset.alignments,
+        norms=dataset.norms,
+        centroid=dataset.centroid,
+        code_length=np.int64(dataset.code_length),
+        dim=np.int64(dataset.dim),
+        rotation_matrix=quantizer.rotation.as_matrix(),
+        epsilon0=np.float64(config.epsilon0),
+        query_bits=np.int64(config.query_bits),
+        randomized_rounding=np.bool_(config.randomized_rounding),
+        seed=np.int64(-1 if config.seed is None else config.seed),
+    )
+
+
+def load_rabitq(path: PathLike) -> RaBitQ:
+    """Load a RaBitQ quantizer previously stored with :func:`save_rabitq`.
+
+    The returned quantizer answers queries exactly as the saved one did
+    (identical codes, rotation and configuration).  The ``.npz`` extension is
+    appended by NumPy when saving, so both ``index`` and ``index.npz`` are
+    accepted here.
+    """
+    candidate = Path(path)
+    if not candidate.exists():
+        with_suffix = candidate.with_suffix(candidate.suffix + ".npz")
+        if with_suffix.exists():
+            candidate = with_suffix
+        else:
+            raise InvalidParameterError(f"no such index file: {path!s}")
+    with np.load(candidate) as archive:
+        version = int(archive["format_version"])
+        if version != FORMAT_VERSION:
+            raise InvalidParameterError(
+                f"unsupported index format version {version}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        seed = int(archive["seed"])
+        config = RaBitQConfig(
+            epsilon0=float(archive["epsilon0"]),
+            query_bits=int(archive["query_bits"]),
+            code_length=int(archive["code_length"]),
+            randomized_rounding=bool(archive["randomized_rounding"]),
+            seed=None if seed < 0 else seed,
+        )
+        quantizer = RaBitQ(config)
+        quantizer._rotation = QRRotation.from_matrix(archive["rotation_matrix"])
+        quantizer._dataset = QuantizedDataset(
+            packed_codes=archive["packed_codes"],
+            code_popcounts=archive["code_popcounts"],
+            alignments=archive["alignments"],
+            norms=archive["norms"],
+            centroid=archive["centroid"],
+            code_length=int(archive["code_length"]),
+            dim=int(archive["dim"]),
+        )
+    return quantizer
+
+
+__all__ = ["save_rabitq", "load_rabitq", "FORMAT_VERSION"]

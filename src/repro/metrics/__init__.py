@@ -1,0 +1,32 @@
+"""Evaluation metrics used by the paper's experiments.
+
+* :mod:`repro.metrics.relative_error` — average / maximum relative error of
+  estimated squared distances (Fig. 3, Tables 6-7).
+* :mod:`repro.metrics.recall` — recall@K of ANN results (Fig. 4, Fig. 5).
+* :mod:`repro.metrics.distance_ratio` — average distance ratio wrt the true
+  nearest neighbours (Fig. 4, right panels).
+* :mod:`repro.metrics.timing` — wall-clock timers and QPS helpers.
+* :mod:`repro.metrics.regression` — slope/intercept of estimated-vs-true
+  distance fits for the unbiasedness study (Fig. 7).
+"""
+
+from repro.metrics.distance_ratio import average_distance_ratio
+from repro.metrics.recall import recall_at_k
+from repro.metrics.regression import fit_estimated_vs_true
+from repro.metrics.relative_error import (
+    average_relative_error,
+    max_relative_error,
+    relative_errors,
+)
+from repro.metrics.timing import Timer, queries_per_second
+
+__all__ = [
+    "average_distance_ratio",
+    "recall_at_k",
+    "relative_errors",
+    "average_relative_error",
+    "max_relative_error",
+    "fit_estimated_vs_true",
+    "Timer",
+    "queries_per_second",
+]

@@ -1,0 +1,66 @@
+"""Average distance ratio metric (paper Sec. 5.1).
+
+For each query the returned ``K`` candidates are compared to the true ``K``
+nearest neighbours: the metric is the mean over ranks of the ratio between
+the returned candidate's distance and the true neighbour's distance at the
+same rank (>= 1, equal to 1 for perfect results), averaged over queries.
+Distances are *Euclidean* (not squared) ratios, following common usage in the
+ANN benchmarking literature; ratios where the true distance is zero are
+skipped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.substrates.linalg import as_float_matrix, squared_distances_to_point
+
+
+def average_distance_ratio(
+    data: np.ndarray,
+    queries: np.ndarray,
+    retrieved_ids: np.ndarray | list,
+    ground_truth_ids: np.ndarray | list,
+) -> float:
+    """Average distance ratio of retrieved results against ground truth.
+
+    Parameters
+    ----------
+    data:
+        The raw data vectors (needed to compute distances of retrieved ids).
+    queries:
+        The raw query vectors.
+    retrieved_ids:
+        Per-query retrieved candidate ids (list of arrays or 2-D array).
+    ground_truth_ids:
+        Per-query true nearest-neighbour ids sorted by ascending distance.
+    """
+    data_mat = as_float_matrix(data, "data")
+    query_mat = as_float_matrix(queries, "queries")
+    retrieved_rows = [np.asarray(row).ravel() for row in retrieved_ids]
+    truth_rows = [np.asarray(row).ravel() for row in ground_truth_ids]
+    if not (len(retrieved_rows) == len(truth_rows) == query_mat.shape[0]):
+        raise InvalidParameterError(
+            "queries, retrieved_ids and ground_truth_ids must agree in length"
+        )
+
+    per_query = []
+    for query, found, truth in zip(query_mat, retrieved_rows, truth_rows):
+        k = min(found.shape[0], truth.shape[0])
+        if k == 0:
+            continue
+        dists_all = np.sqrt(squared_distances_to_point(data_mat, query))
+        found_sorted = found[np.argsort(dists_all[found], kind="stable")][:k]
+        found_d = dists_all[found_sorted]
+        true_d = dists_all[truth[:k]]
+        mask = true_d > 0.0
+        if not mask.any():
+            continue
+        per_query.append(float(np.mean(found_d[mask] / true_d[mask])))
+    if not per_query:
+        return float("nan")
+    return float(np.mean(per_query))
+
+
+__all__ = ["average_distance_ratio"]

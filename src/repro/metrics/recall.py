@@ -1,0 +1,79 @@
+"""Recall@K for ANN search results (paper Sec. 5.1).
+
+Recall is the fraction of the true ``K`` nearest neighbours that appear in
+the returned candidate list, averaged over queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def recall_at_k(
+    retrieved: np.ndarray | list, ground_truth: np.ndarray | list, k: int | None = None
+) -> float:
+    """Average recall of ``retrieved`` against ``ground_truth``.
+
+    Parameters
+    ----------
+    retrieved:
+        Per-query arrays (or a 2-D array) of retrieved ids.  Rows may contain
+        fewer than ``k`` entries (e.g. when an index returns fewer results).
+    ground_truth:
+        Per-query arrays (or a 2-D array) of true nearest-neighbour ids.
+    k:
+        Number of ground-truth neighbours to evaluate against; defaults to
+        the ground-truth row length.
+
+    Returns
+    -------
+    float
+        Mean over queries of ``|retrieved ∩ true_k| / k``.
+    """
+    retrieved_rows = [np.asarray(row).ravel() for row in retrieved]
+    truth_rows = [np.asarray(row).ravel() for row in ground_truth]
+    if len(retrieved_rows) != len(truth_rows):
+        raise InvalidParameterError(
+            "retrieved and ground_truth must have the same number of queries"
+        )
+    if len(truth_rows) == 0:
+        raise InvalidParameterError("cannot compute recall over zero queries")
+
+    recalls = []
+    for found, truth in zip(retrieved_rows, truth_rows):
+        limit = k if k is not None else truth.shape[0]
+        if limit <= 0:
+            raise InvalidParameterError("k must be positive")
+        truth_set = truth[:limit]
+        if truth_set.size == 0:
+            recalls.append(1.0)
+            continue
+        hits = np.intersect1d(found, truth_set).size
+        recalls.append(hits / truth_set.size)
+    return float(np.mean(recalls))
+
+
+def per_query_recall(
+    retrieved: np.ndarray | list, ground_truth: np.ndarray | list, k: int | None = None
+) -> np.ndarray:
+    """Recall per query (same semantics as :func:`recall_at_k`)."""
+    retrieved_rows = [np.asarray(row).ravel() for row in retrieved]
+    truth_rows = [np.asarray(row).ravel() for row in ground_truth]
+    if len(retrieved_rows) != len(truth_rows):
+        raise InvalidParameterError(
+            "retrieved and ground_truth must have the same number of queries"
+        )
+    values = []
+    for found, truth in zip(retrieved_rows, truth_rows):
+        limit = k if k is not None else truth.shape[0]
+        truth_set = truth[:limit]
+        if truth_set.size == 0:
+            values.append(1.0)
+        else:
+            values.append(np.intersect1d(found, truth_set).size / truth_set.size)
+    return np.asarray(values, dtype=np.float64)
+
+
+__all__ = ["recall_at_k", "per_query_recall"]

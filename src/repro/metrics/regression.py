@@ -1,0 +1,42 @@
+"""Linear regression of estimated vs. true distances (unbiasedness study).
+
+Fig. 7 of the paper fits a line to (true distance, estimated distance) pairs:
+an unbiased estimator yields slope 1 and intercept 0, while PQ/OPQ-style
+estimators show a clearly different slope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class RegressionFit:
+    """Slope/intercept of a least-squares line plus the residual R^2."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+
+def fit_estimated_vs_true(estimated: np.ndarray, true: np.ndarray) -> RegressionFit:
+    """Least-squares fit ``estimated ≈ slope * true + intercept``."""
+    est = np.asarray(estimated, dtype=np.float64).ravel()
+    ref = np.asarray(true, dtype=np.float64).ravel()
+    if est.shape != ref.shape:
+        raise InvalidParameterError("estimated and true must have the same shape")
+    if est.size < 2:
+        raise InvalidParameterError("need at least two points to fit a line")
+    slope, intercept = np.polyfit(ref, est, deg=1)
+    predictions = slope * ref + intercept
+    total = float(np.sum((est - est.mean()) ** 2))
+    residual = float(np.sum((est - predictions) ** 2))
+    r_squared = 1.0 if total == 0.0 else 1.0 - residual / total
+    return RegressionFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+__all__ = ["RegressionFit", "fit_estimated_vs_true"]

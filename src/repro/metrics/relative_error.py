@@ -1,0 +1,49 @@
+"""Relative-error metrics on estimated squared distances (paper Sec. 5.1).
+
+The paper measures the accuracy of distance estimation with the average and
+the maximum relative error ``|est - true| / true`` over query/data pairs.
+Pairs whose true distance is (numerically) zero are excluded, mirroring the
+convention used when benchmarking on real datasets where exact duplicates are
+removed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def relative_errors(
+    estimated: np.ndarray, true: np.ndarray, *, zero_tolerance: float = 1e-12
+) -> np.ndarray:
+    """Element-wise relative errors, skipping pairs with ~zero true distance."""
+    est = np.asarray(estimated, dtype=np.float64).ravel()
+    ref = np.asarray(true, dtype=np.float64).ravel()
+    if est.shape != ref.shape:
+        raise InvalidParameterError("estimated and true must have the same shape")
+    if zero_tolerance < 0.0:
+        raise InvalidParameterError("zero_tolerance must be non-negative")
+    mask = ref > zero_tolerance
+    if not mask.any():
+        return np.empty(0, dtype=np.float64)
+    return np.abs(est[mask] - ref[mask]) / ref[mask]
+
+
+def average_relative_error(estimated: np.ndarray, true: np.ndarray) -> float:
+    """Mean of :func:`relative_errors`; returns ``nan`` if no valid pairs."""
+    errors = relative_errors(estimated, true)
+    if errors.size == 0:
+        return float("nan")
+    return float(errors.mean())
+
+
+def max_relative_error(estimated: np.ndarray, true: np.ndarray) -> float:
+    """Maximum of :func:`relative_errors`; returns ``nan`` if no valid pairs."""
+    errors = relative_errors(estimated, true)
+    if errors.size == 0:
+        return float("nan")
+    return float(errors.max())
+
+
+__all__ = ["relative_errors", "average_relative_error", "max_relative_error"]

@@ -1,0 +1,60 @@
+"""Timing helpers: wall-clock timers and queries-per-second calculations."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass
+class Timer:
+    """Simple context-manager wall-clock timer.
+
+    Examples
+    --------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def start(self) -> "Timer":
+        """Start (or restart) the timer manually."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer and return the elapsed seconds."""
+        self.elapsed = time.perf_counter() - self._start
+        return self.elapsed
+
+
+def queries_per_second(n_queries: int, elapsed_seconds: float) -> float:
+    """QPS given a number of queries and a wall-clock duration."""
+    if n_queries < 0:
+        raise InvalidParameterError("n_queries must be non-negative")
+    if elapsed_seconds <= 0.0:
+        return float("inf") if n_queries > 0 else 0.0
+    return n_queries / elapsed_seconds
+
+
+def nanoseconds_per_item(elapsed_seconds: float, n_items: int) -> float:
+    """Average nanoseconds spent per item (the paper's time-per-vector axis)."""
+    if n_items <= 0:
+        raise InvalidParameterError("n_items must be positive")
+    return elapsed_seconds * 1e9 / n_items
+
+
+__all__ = ["Timer", "queries_per_second", "nanoseconds_per_item"]

@@ -1,0 +1,26 @@
+"""Shared substrates used by quantizers and indexes.
+
+This sub-package hosts infrastructure the paper's systems depend on but that
+is not itself a contribution of the paper: random-number handling, a KMeans
+implementation (used by IVF and by the PQ/OPQ/LSQ baselines), and small
+linear-algebra helpers.
+"""
+
+from repro.substrates.kmeans import KMeans, KMeansResult, kmeans_fit
+from repro.substrates.linalg import (
+    normalize_rows,
+    pairwise_squared_distances,
+    squared_norms,
+)
+from repro.substrates.rng import ensure_rng, spawn_rngs
+
+__all__ = [
+    "KMeans",
+    "KMeansResult",
+    "kmeans_fit",
+    "ensure_rng",
+    "spawn_rngs",
+    "normalize_rows",
+    "pairwise_squared_distances",
+    "squared_norms",
+]

@@ -1,0 +1,123 @@
+"""Small linear-algebra helpers shared across the library.
+
+These functions are deliberately simple NumPy routines; they centralize the
+conventions (float64 accumulation, squared distances, safe normalization)
+that the rest of the code relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+
+
+def as_float_matrix(data: np.ndarray, name: str = "data") -> np.ndarray:
+    """Validate and return ``data`` as a 2-D ``float64`` array.
+
+    A 1-D vector is promoted to a single-row matrix.  Anything that is not
+    one- or two-dimensional raises :class:`DimensionMismatchError`.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise DimensionMismatchError(
+            f"{name} must be a 1-D vector or 2-D matrix, got ndim={arr.ndim}"
+        )
+    return arr
+
+
+def squared_norms(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise squared Euclidean norms of ``matrix``."""
+    mat = as_float_matrix(matrix, "matrix")
+    return np.einsum("ij,ij->i", mat, mat)
+
+
+def normalize_rows(
+    matrix: np.ndarray, *, return_norms: bool = False
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Normalize each row of ``matrix`` to unit Euclidean norm.
+
+    Zero rows are left as zeros (their norm is reported as 0).  When
+    ``return_norms`` is true the original norms are returned alongside the
+    normalized matrix.
+    """
+    mat = as_float_matrix(matrix, "matrix")
+    norms = np.sqrt(np.einsum("ij,ij->i", mat, mat))
+    safe = np.where(norms > 0.0, norms, 1.0)
+    normalized = mat / safe[:, None]
+    if return_norms:
+        return normalized, norms
+    return normalized
+
+
+def pairwise_squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between the rows of ``a`` and of ``b``.
+
+    Returns a matrix of shape ``(len(a), len(b))``.  Uses the expansion
+    ``|x - y|^2 = |x|^2 + |y|^2 - 2<x, y>`` and clips tiny negative values
+    introduced by floating-point cancellation.
+    """
+    a_mat = as_float_matrix(a, "a")
+    b_mat = as_float_matrix(b, "b")
+    if a_mat.shape[1] != b_mat.shape[1]:
+        raise DimensionMismatchError(
+            f"dimension mismatch: a has D={a_mat.shape[1]}, b has D={b_mat.shape[1]}"
+        )
+    a_sq = np.einsum("ij,ij->i", a_mat, a_mat)[:, None]
+    b_sq = np.einsum("ij,ij->i", b_mat, b_mat)[None, :]
+    cross = a_mat @ b_mat.T
+    dists = a_sq + b_sq - 2.0 * cross
+    np.maximum(dists, 0.0, out=dists)
+    return dists
+
+
+def squared_distances_to_point(matrix: np.ndarray, point: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance from every row of ``matrix`` to ``point``."""
+    mat = as_float_matrix(matrix, "matrix")
+    vec = np.asarray(point, dtype=np.float64).reshape(-1)
+    if mat.shape[1] != vec.shape[0]:
+        raise DimensionMismatchError(
+            f"dimension mismatch: matrix has D={mat.shape[1]}, point has D={vec.shape[0]}"
+        )
+    diff = mat - vec[None, :]
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def is_orthogonal(matrix: np.ndarray, *, atol: float = 1e-8) -> bool:
+    """Return ``True`` if ``matrix`` is (numerically) orthogonal."""
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        return False
+    identity = np.eye(mat.shape[0])
+    return bool(np.allclose(mat @ mat.T, identity, atol=atol))
+
+
+def gram_schmidt(matrix: np.ndarray) -> np.ndarray:
+    """Orthonormalize the rows of ``matrix`` with modified Gram-Schmidt.
+
+    Provided mainly for tests and for mirroring the constructive argument in
+    the paper's Appendix B; production code uses QR factorization instead.
+    """
+    mat = as_float_matrix(matrix, "matrix").copy()
+    rows, _ = mat.shape
+    for i in range(rows):
+        for j in range(i):
+            mat[i] -= np.dot(mat[i], mat[j]) * mat[j]
+        norm = np.linalg.norm(mat[i])
+        if norm <= 1e-15:
+            raise ValueError("matrix rows are linearly dependent; cannot orthonormalize")
+        mat[i] /= norm
+    return mat
+
+
+__all__ = [
+    "as_float_matrix",
+    "squared_norms",
+    "normalize_rows",
+    "pairwise_squared_distances",
+    "squared_distances_to_point",
+    "is_orthogonal",
+    "gram_schmidt",
+]

@@ -1,0 +1,101 @@
+"""Random-number-generator utilities.
+
+Every randomized component in the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None`` and routes it through
+:func:`ensure_rng`.  Passing generators explicitly keeps the experiments
+reproducible and avoids any hidden global state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator
+        (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+        A generator usable by all randomized components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(f"cannot build a Generator from {type(seed).__name__!s}")
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    This is the preferred way to give independent randomness to several
+    components (e.g. the rotation matrix and the query quantizer) while
+    keeping a single user-facing seed.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    root = ensure_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a single integer seed from ``rng`` suitable for child generators."""
+    return int(rng.integers(0, 2**63 - 1, dtype=np.int64))
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` and return it as ``float``."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def sample_unit_vector(dim: int, rng: RngLike = None) -> np.ndarray:
+    """Sample a vector uniformly from the unit sphere in ``dim`` dimensions."""
+    if dim <= 0:
+        raise ValueError("dim must be positive")
+    generator = ensure_rng(rng)
+    vec = generator.standard_normal(dim)
+    norm = np.linalg.norm(vec)
+    while norm == 0.0:  # pragma: no cover - probability zero, defensive only
+        vec = generator.standard_normal(dim)
+        norm = np.linalg.norm(vec)
+    return vec / norm
+
+
+def sample_unit_vectors(count: int, dim: int, rng: RngLike = None) -> np.ndarray:
+    """Sample ``count`` vectors independently and uniformly from the unit sphere."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    generator = ensure_rng(rng)
+    mat = generator.standard_normal((count, dim))
+    norms = np.linalg.norm(mat, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return mat / norms
+
+
+__all__: Sequence[str] = (
+    "RngLike",
+    "ensure_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "check_probability",
+    "sample_unit_vector",
+    "sample_unit_vectors",
+)

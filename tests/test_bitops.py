@@ -1,0 +1,148 @@
+"""Tests for repro.core.bitops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitops import (
+    WORD_BITS,
+    binary_and_popcount,
+    binary_dot_uint,
+    bitplanes_from_uint,
+    hamming_distance,
+    pack_bits,
+    popcount,
+    popcount_total,
+    unpack_bits,
+)
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+
+
+class TestPackUnpack:
+    def test_roundtrip(self, rng):
+        bits = rng.integers(0, 2, size=(5, 130)).astype(np.uint8)
+        packed = pack_bits(bits)
+        assert packed.shape == (5, 3)
+        np.testing.assert_array_equal(unpack_bits(packed, 130), bits)
+
+    def test_single_vector(self):
+        bits = np.array([1, 0, 1, 1], dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert packed.shape == (1,)
+        assert int(packed[0]) == 0b1101
+
+    def test_exact_word_boundary(self, rng):
+        bits = rng.integers(0, 2, size=(3, 128)).astype(np.uint8)
+        assert pack_bits(bits).shape == (3, 2)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(InvalidParameterError):
+            pack_bits(np.array([0, 1, 2]))
+
+    def test_rejects_scalar(self):
+        with pytest.raises(InvalidParameterError):
+            pack_bits(np.array(1))
+
+    def test_unpack_too_many_bits(self):
+        packed = pack_bits(np.zeros(64, dtype=np.uint8))
+        with pytest.raises(InvalidParameterError):
+            unpack_bits(packed, 65)
+
+    def test_unpack_negative_bits(self):
+        packed = pack_bits(np.zeros(64, dtype=np.uint8))
+        with pytest.raises(InvalidParameterError):
+            unpack_bits(packed, -1)
+
+    def test_padding_bits_are_zero(self):
+        bits = np.ones(10, dtype=np.uint8)
+        packed = pack_bits(bits)
+        unpacked_full = unpack_bits(packed, 64)
+        assert unpacked_full[:10].sum() == 10
+        assert unpacked_full[10:].sum() == 0
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 3, 255, 2**64 - 1], dtype=np.uint64)
+        np.testing.assert_array_equal(popcount(words), [0, 1, 2, 8, 64])
+
+    def test_total_matches_bit_sum(self, rng):
+        bits = rng.integers(0, 2, size=(4, 200)).astype(np.uint8)
+        packed = pack_bits(bits)
+        np.testing.assert_array_equal(popcount_total(packed), bits.sum(axis=1))
+
+
+class TestBinaryDotProducts:
+    def test_and_popcount_matches_naive(self, rng):
+        a = rng.integers(0, 2, size=(8, 96)).astype(np.uint8)
+        b = rng.integers(0, 2, size=96).astype(np.uint8)
+        expected = (a * b).sum(axis=1)
+        result = binary_and_popcount(pack_bits(a), pack_bits(b))
+        np.testing.assert_array_equal(result, expected)
+
+    def test_and_popcount_word_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            binary_and_popcount(np.zeros((2, 2), dtype=np.uint64), np.zeros(3, dtype=np.uint64))
+
+    def test_binary_dot_uint_matches_naive(self, rng):
+        n_bits = 4
+        codes = rng.integers(0, 2, size=(10, 70)).astype(np.uint8)
+        values = rng.integers(0, 2**n_bits, size=70).astype(np.uint64)
+        expected = (codes * values[None, :]).sum(axis=1)
+        planes = bitplanes_from_uint(values, n_bits)
+        result = binary_dot_uint(pack_bits(codes), planes)
+        np.testing.assert_array_equal(result, expected)
+
+    def test_binary_dot_uint_word_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            binary_dot_uint(
+                np.zeros((2, 1), dtype=np.uint64), np.zeros((4, 2), dtype=np.uint64)
+            )
+
+
+class TestBitplanes:
+    def test_roundtrip_values(self, rng):
+        values = rng.integers(0, 16, size=100).astype(np.uint64)
+        planes = bitplanes_from_uint(values, 4)
+        assert planes.shape == (4, 2)
+        rebuilt = np.zeros(100, dtype=np.uint64)
+        for j in range(4):
+            rebuilt += unpack_bits(planes[j], 100).astype(np.uint64) << np.uint64(j)
+        np.testing.assert_array_equal(rebuilt, values)
+
+    def test_value_overflow_raises(self):
+        with pytest.raises(InvalidParameterError):
+            bitplanes_from_uint(np.array([16], dtype=np.uint64), 4)
+
+    def test_requires_1d(self):
+        with pytest.raises(DimensionMismatchError):
+            bitplanes_from_uint(np.zeros((2, 2), dtype=np.uint64), 2)
+
+    def test_invalid_bit_count(self):
+        with pytest.raises(InvalidParameterError):
+            bitplanes_from_uint(np.zeros(4, dtype=np.uint64), 0)
+
+
+class TestHammingDistance:
+    def test_matches_naive(self, rng):
+        a = rng.integers(0, 2, size=(6, 100)).astype(np.uint8)
+        b = rng.integers(0, 2, size=100).astype(np.uint8)
+        expected = (a != b).sum(axis=1)
+        result = hamming_distance(pack_bits(a), pack_bits(b)[None, :])
+        np.testing.assert_array_equal(result, expected)
+
+    def test_zero_for_identical(self, rng):
+        a = rng.integers(0, 2, size=(3, 64)).astype(np.uint8)
+        packed = pack_bits(a)
+        np.testing.assert_array_equal(hamming_distance(packed, packed), [0, 0, 0])
+
+    def test_word_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            hamming_distance(
+                np.zeros((2, 1), dtype=np.uint64), np.zeros((2, 2), dtype=np.uint64)
+            )
+
+
+def test_word_bits_constant():
+    assert WORD_BITS == 64

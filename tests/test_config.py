@@ -1,0 +1,86 @@
+"""Tests for repro.core.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    CODE_ALIGNMENT_BITS,
+    DEFAULT_EPSILON0,
+    DEFAULT_QUERY_BITS,
+    RaBitQConfig,
+    padded_code_length,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestPaddedCodeLength:
+    @pytest.mark.parametrize(
+        "dim,expected",
+        [(1, 64), (64, 64), (65, 128), (128, 128), (420, 448), (960, 960)],
+    )
+    def test_values(self, dim, expected):
+        assert padded_code_length(dim) == expected
+
+    def test_custom_alignment(self):
+        assert padded_code_length(10, alignment=8) == 16
+
+    def test_invalid_dim(self):
+        with pytest.raises(InvalidParameterError):
+            padded_code_length(0)
+
+    def test_invalid_alignment(self):
+        with pytest.raises(InvalidParameterError):
+            padded_code_length(10, alignment=0)
+
+
+class TestRaBitQConfig:
+    def test_paper_defaults(self):
+        config = RaBitQConfig()
+        assert config.epsilon0 == DEFAULT_EPSILON0 == 1.9
+        assert config.query_bits == DEFAULT_QUERY_BITS == 4
+        assert config.code_length is None
+        assert config.randomized_rounding is True
+        assert config.rotation == "qr"
+
+    def test_resolve_default_code_length(self):
+        assert RaBitQConfig().resolve_code_length(100) == 128
+
+    def test_resolve_explicit_code_length_is_padded(self):
+        assert RaBitQConfig(code_length=130).resolve_code_length(100) == 192
+
+    def test_resolve_rejects_truncation(self):
+        with pytest.raises(InvalidParameterError):
+            RaBitQConfig(code_length=64).resolve_code_length(100)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RaBitQConfig(epsilon0=-0.1)
+
+    @pytest.mark.parametrize("bits", [0, 17])
+    def test_invalid_query_bits(self, bits):
+        with pytest.raises(InvalidParameterError):
+            RaBitQConfig(query_bits=bits)
+
+    def test_invalid_code_length(self):
+        with pytest.raises(InvalidParameterError):
+            RaBitQConfig(code_length=0)
+
+    def test_invalid_rotation(self):
+        with pytest.raises(InvalidParameterError):
+            RaBitQConfig(rotation="dct")
+
+    def test_with_overrides(self):
+        config = RaBitQConfig(seed=1)
+        other = config.with_overrides(epsilon0=2.5)
+        assert other.epsilon0 == 2.5
+        assert other.seed == 1
+        assert config.epsilon0 == DEFAULT_EPSILON0
+
+    def test_frozen(self):
+        config = RaBitQConfig()
+        with pytest.raises(AttributeError):
+            config.epsilon0 = 1.0
+
+    def test_alignment_constant(self):
+        assert CODE_ALIGNMENT_BITS == 64

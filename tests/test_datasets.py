@@ -1,0 +1,187 @@
+"""Tests for repro.datasets (synthetic generators, registry, ground truth)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ground_truth import brute_force_ground_truth, exact_squared_distances
+from repro.datasets.registry import available_datasets, get_spec, load_dataset
+from repro.datasets.synthetic import (
+    make_clustered_dataset,
+    make_correlated_embedding_dataset,
+    make_gaussian_dataset,
+    make_skewed_variance_dataset,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestSyntheticGenerators:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            make_gaussian_dataset,
+            make_clustered_dataset,
+            make_skewed_variance_dataset,
+            make_correlated_embedding_dataset,
+        ],
+    )
+    def test_shapes(self, factory):
+        dataset = factory(100, 10, 16, rng=0)
+        assert dataset.data.shape == (100, 16)
+        assert dataset.queries.shape == (10, 16)
+        assert dataset.dim == 16
+        assert dataset.n_data == 100
+        assert dataset.n_queries == 10
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            make_gaussian_dataset,
+            make_clustered_dataset,
+            make_skewed_variance_dataset,
+            make_correlated_embedding_dataset,
+        ],
+    )
+    def test_deterministic_given_seed(self, factory):
+        a = factory(50, 5, 8, rng=3)
+        b = factory(50, 5, 8, rng=3)
+        np.testing.assert_allclose(a.data, b.data)
+        np.testing.assert_allclose(a.queries, b.queries)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            make_gaussian_dataset(0, 5, 8)
+        with pytest.raises(InvalidParameterError):
+            make_gaussian_dataset(5, 0, 8)
+        with pytest.raises(InvalidParameterError):
+            make_gaussian_dataset(5, 5, 0)
+
+    def test_clustered_data_has_cluster_structure(self):
+        dataset = make_clustered_dataset(400, 10, 16, n_clusters=4, rng=0)
+        # With 4 well-separated clusters, the within-cluster variance is much
+        # smaller than the total variance.
+        from repro.substrates.kmeans import kmeans_fit
+
+        result = kmeans_fit(dataset.data, 4, rng=0)
+        total = ((dataset.data - dataset.data.mean(axis=0)) ** 2).sum()
+        assert result.inertia < 0.5 * total
+
+    def test_skewed_dataset_variance_decays(self):
+        dataset = make_skewed_variance_dataset(2000, 10, 32, rng=0)
+        variances = dataset.data.var(axis=0)
+        # The first dimensions carry far more variance than the last ones.
+        assert variances[:4].mean() > 5.0 * variances[-4:].mean()
+
+    def test_skewed_dataset_has_heavy_tails(self):
+        dataset = make_skewed_variance_dataset(3000, 10, 16, rng=0)
+        norms = np.linalg.norm(dataset.data, axis=1)
+        # Heavy-tailed scale mixture: the max norm is far above the median.
+        assert norms.max() > 4.0 * np.median(norms)
+
+    def test_embedding_dataset_is_low_rank(self):
+        dataset = make_correlated_embedding_dataset(
+            500, 10, 32, effective_rank=4, rng=0
+        )
+        singular_values = np.linalg.svd(
+            dataset.data - dataset.data.mean(axis=0), compute_uv=False
+        )
+        energy = np.cumsum(singular_values**2) / np.sum(singular_values**2)
+        assert energy[5] > 0.9
+
+    def test_invalid_generator_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            make_clustered_dataset(10, 2, 4, n_clusters=0)
+        with pytest.raises(InvalidParameterError):
+            make_skewed_variance_dataset(10, 2, 4, variance_decay=0.0)
+        with pytest.raises(InvalidParameterError):
+            make_skewed_variance_dataset(10, 2, 4, heavy_tail_df=1.0)
+        with pytest.raises(InvalidParameterError):
+            make_correlated_embedding_dataset(10, 2, 4, effective_rank=8)
+        with pytest.raises(InvalidParameterError):
+            make_correlated_embedding_dataset(10, 2, 4, spectrum_decay=0.0)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        names = available_datasets()
+        for expected in ("sift", "gist", "deep", "msong", "word2vec", "image"):
+            assert expected in names
+
+    def test_dimensions_match_paper_table3(self):
+        expected_dims = {
+            "msong": 420,
+            "sift": 128,
+            "deep": 256,
+            "word2vec": 300,
+            "gist": 960,
+            "image": 150,
+        }
+        for name, dim in expected_dims.items():
+            assert get_spec(name).dim == dim
+
+    def test_load_with_overrides(self):
+        dataset = load_dataset("sift", n_data=200, n_queries=5)
+        assert dataset.n_data == 200
+        assert dataset.n_queries == 5
+        assert dataset.dim == 128
+
+    def test_load_with_ground_truth(self):
+        dataset = load_dataset("sift", n_data=150, n_queries=4, ground_truth_k=3)
+        assert dataset.ground_truth.shape == (4, 3)
+
+    def test_load_is_deterministic(self):
+        a = load_dataset("deep", n_data=100, n_queries=3)
+        b = load_dataset("deep", n_data=100, n_queries=3)
+        np.testing.assert_allclose(a.data, b.data)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("imagenet")
+
+    def test_metadata_populated(self):
+        dataset = load_dataset("msong", n_data=100, n_queries=3)
+        assert dataset.metadata["paper_name"] == "MSong"
+        assert "description" in dataset.metadata
+
+
+class TestGroundTruth:
+    def test_matches_naive_search(self, rng):
+        data = rng.standard_normal((120, 8))
+        queries = rng.standard_normal((7, 8))
+        ids, dists = brute_force_ground_truth(data, queries, 5, return_distances=True)
+        for qi, query in enumerate(queries):
+            true = ((data - query) ** 2).sum(axis=1)
+            expected = np.argsort(true)[:5]
+            np.testing.assert_array_equal(ids[qi], expected)
+            np.testing.assert_allclose(dists[qi], true[expected], atol=1e-9)
+
+    def test_k_clipped_to_dataset_size(self, rng):
+        data = rng.standard_normal((6, 4))
+        queries = rng.standard_normal((2, 4))
+        ids = brute_force_ground_truth(data, queries, 20)
+        assert ids.shape == (2, 6)
+
+    def test_blocked_computation_matches_unblocked(self, rng):
+        data = rng.standard_normal((80, 6))
+        queries = rng.standard_normal((11, 6))
+        blocked = brute_force_ground_truth(data, queries, 4, block_size=3)
+        unblocked = brute_force_ground_truth(data, queries, 4, block_size=1000)
+        np.testing.assert_array_equal(blocked, unblocked)
+
+    def test_invalid_parameters(self, rng):
+        data = rng.standard_normal((10, 4))
+        queries = rng.standard_normal((2, 4))
+        with pytest.raises(InvalidParameterError):
+            brute_force_ground_truth(data, queries, 0)
+        with pytest.raises(InvalidParameterError):
+            brute_force_ground_truth(data, queries, 3, block_size=0)
+
+    def test_exact_squared_distances(self, rng):
+        data = rng.standard_normal((20, 4))
+        query = rng.standard_normal(4)
+        np.testing.assert_allclose(
+            exact_squared_distances(data, query),
+            ((data - query) ** 2).sum(axis=1),
+            atol=1e-9,
+        )

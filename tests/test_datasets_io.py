@@ -1,0 +1,88 @@
+"""Tests for repro.datasets.io (fvecs / ivecs / bvecs formats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import (
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_bvecs,
+    write_fvecs,
+    write_ivecs,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestFvecs:
+    def test_roundtrip(self, tmp_path, rng):
+        path = tmp_path / "vectors.fvecs"
+        data = rng.standard_normal((25, 12)).astype(np.float32)
+        write_fvecs(path, data)
+        loaded = read_fvecs(path)
+        np.testing.assert_allclose(loaded, data)
+        assert loaded.dtype == np.float32
+
+    def test_float64_input_is_downcast(self, tmp_path, rng):
+        path = tmp_path / "vectors.fvecs"
+        data = rng.standard_normal((5, 3))
+        write_fvecs(path, data)
+        np.testing.assert_allclose(read_fvecs(path), data.astype(np.float32))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fvecs"
+        path.write_bytes(b"")
+        assert read_fvecs(path).size == 0
+
+    def test_rejects_1d_input(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            write_fvecs(tmp_path / "bad.fvecs", np.zeros(4))
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.fvecs"
+        path.write_bytes(b"\x03\x00\x00\x00" + b"\x00" * 7)  # truncated record
+        with pytest.raises(InvalidParameterError):
+            read_fvecs(path)
+
+    def test_negative_dimension_rejected(self, tmp_path):
+        path = tmp_path / "bad_dim.fvecs"
+        path.write_bytes(np.array([-1], dtype="<i4").tobytes() + b"\x00" * 4)
+        with pytest.raises(InvalidParameterError):
+            read_fvecs(path)
+
+
+class TestIvecs:
+    def test_roundtrip(self, tmp_path, rng):
+        path = tmp_path / "gt.ivecs"
+        data = rng.integers(0, 1000, size=(10, 5)).astype(np.int32)
+        write_ivecs(path, data)
+        np.testing.assert_array_equal(read_ivecs(path), data)
+
+    def test_ground_truth_workflow(self, tmp_path, rng):
+        # Typical usage: store ground-truth neighbour ids and reload them.
+        from repro.datasets.ground_truth import brute_force_ground_truth
+
+        data = rng.standard_normal((50, 6))
+        queries = rng.standard_normal((4, 6))
+        ids = brute_force_ground_truth(data, queries, 3)
+        path = tmp_path / "gt.ivecs"
+        write_ivecs(path, ids)
+        np.testing.assert_array_equal(read_ivecs(path), ids)
+
+
+class TestBvecs:
+    def test_roundtrip(self, tmp_path, rng):
+        path = tmp_path / "vectors.bvecs"
+        data = rng.integers(0, 256, size=(8, 16)).astype(np.uint8)
+        write_bvecs(path, data)
+        np.testing.assert_array_equal(read_bvecs(path), data)
+
+    def test_mixed_dimension_rejected(self, tmp_path):
+        path = tmp_path / "mixed.bvecs"
+        record1 = np.array([2], dtype="<i4").tobytes() + bytes([1, 2])
+        record2 = np.array([3], dtype="<i4").tobytes() + bytes([1, 2])
+        path.write_bytes(record1 + record2)
+        with pytest.raises(InvalidParameterError):
+            read_bvecs(path)

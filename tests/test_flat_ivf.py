@@ -1,0 +1,171 @@
+"""Tests for repro.index.flat and repro.index.ivf."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyDatasetError,
+    InvalidParameterError,
+    NotFittedError,
+)
+from repro.index.flat import FlatIndex
+from repro.index.ivf import IVFIndex, default_n_clusters
+
+
+@pytest.fixture(scope="module")
+def flat_data():
+    rng = np.random.default_rng(2)
+    return rng.standard_normal((200, 16)), rng.standard_normal(16)
+
+
+class TestFlatIndex:
+    def test_search_returns_sorted_distances(self, flat_data):
+        data, query = flat_data
+        ids, dists = FlatIndex(data).search(query, 10)
+        assert ids.shape == (10,)
+        assert (np.diff(dists) >= 0).all()
+
+    def test_search_matches_naive(self, flat_data):
+        data, query = flat_data
+        ids, dists = FlatIndex(data).search(query, 5)
+        true = ((data - query) ** 2).sum(axis=1)
+        expected_ids = np.argsort(true)[:5]
+        np.testing.assert_array_equal(np.sort(ids), np.sort(expected_ids))
+        np.testing.assert_allclose(dists, np.sort(true)[:5], atol=1e-9)
+
+    def test_k_larger_than_dataset(self, flat_data):
+        data, query = flat_data
+        ids, _ = FlatIndex(data).search(query, 10_000)
+        assert ids.shape == (200,)
+
+    def test_distances_subset(self, flat_data):
+        data, query = flat_data
+        index = FlatIndex(data)
+        subset = np.array([3, 7, 11])
+        np.testing.assert_allclose(
+            index.distances(query, subset),
+            ((data[subset] - query) ** 2).sum(axis=1),
+            atol=1e-9,
+        )
+
+    def test_rerank_selects_best_candidates(self, flat_data):
+        data, query = flat_data
+        index = FlatIndex(data)
+        candidates = np.arange(50)
+        ids, dists = index.rerank(query, candidates, 5)
+        true = ((data[:50] - query) ** 2).sum(axis=1)
+        np.testing.assert_allclose(dists, np.sort(true)[:5], atol=1e-9)
+        assert set(ids).issubset(set(range(50)))
+
+    def test_rerank_empty_candidates(self, flat_data):
+        data, query = flat_data
+        ids, dists = FlatIndex(data).rerank(query, np.empty(0, dtype=np.int64), 5)
+        assert ids.size == 0 and dists.size == 0
+
+    def test_len_and_dim(self, flat_data):
+        data, _ = flat_data
+        index = FlatIndex(data)
+        assert len(index) == 200
+        assert index.dim == 16
+
+    def test_invalid_k(self, flat_data):
+        data, query = flat_data
+        with pytest.raises(InvalidParameterError):
+            FlatIndex(data).search(query, 0)
+
+    def test_query_dim_mismatch(self, flat_data):
+        data, _ = flat_data
+        with pytest.raises(DimensionMismatchError):
+            FlatIndex(data).search(np.zeros(17), 3)
+
+    def test_empty_data(self):
+        with pytest.raises(EmptyDatasetError):
+            FlatIndex(np.empty((0, 4)))
+
+
+class TestDefaultNClusters:
+    def test_scaling(self):
+        assert default_n_clusters(100) <= 100
+        assert default_n_clusters(1_000_000) == 4000
+        assert default_n_clusters(10_000_000) == 4096
+
+    def test_small_dataset(self):
+        assert default_n_clusters(5) <= 5
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            default_n_clusters(0)
+
+
+class TestIVFIndex:
+    def test_buckets_partition_dataset(self, flat_data):
+        data, _ = flat_data
+        index = IVFIndex(8, rng=0).fit(data)
+        all_ids = np.concatenate([bucket.vector_ids for bucket in index.buckets])
+        assert sorted(all_ids.tolist()) == list(range(200))
+
+    def test_bucket_sizes_sum(self, flat_data):
+        data, _ = flat_data
+        index = IVFIndex(8, rng=0).fit(data)
+        assert int(index.bucket_sizes().sum()) == 200
+
+    def test_probe_returns_nearest_centroids(self, flat_data):
+        data, query = flat_data
+        index = IVFIndex(8, rng=0).fit(data)
+        probed = index.probe(query, 3)
+        dists = ((index.centroids - query) ** 2).sum(axis=1)
+        expected = np.argsort(dists)[:3]
+        np.testing.assert_array_equal(np.sort(probed), np.sort(expected))
+
+    def test_probe_ordering(self, flat_data):
+        data, query = flat_data
+        index = IVFIndex(8, rng=0).fit(data)
+        probed = index.probe(query, 4)
+        dists = ((index.centroids[probed] - query) ** 2).sum(axis=1)
+        assert (np.diff(dists) >= 0).all()
+
+    def test_candidates_grow_with_nprobe(self, flat_data):
+        data, query = flat_data
+        index = IVFIndex(8, rng=0).fit(data)
+        few = index.candidates(query, 1)
+        many = index.candidates(query, 8)
+        assert many.shape[0] >= few.shape[0]
+        assert many.shape[0] == 200  # probing all clusters covers everything
+
+    def test_assignments_match_buckets(self, flat_data):
+        data, _ = flat_data
+        index = IVFIndex(8, rng=0).fit(data)
+        for bucket in index.buckets:
+            assert (index.assignments[bucket.vector_ids] == bucket.centroid_id).all()
+
+    def test_default_cluster_count_applied(self, flat_data):
+        data, _ = flat_data
+        index = IVFIndex(rng=0).fit(data)
+        assert len(index.buckets) == default_n_clusters(200)
+
+    def test_nprobe_validation(self, flat_data):
+        data, query = flat_data
+        index = IVFIndex(4, rng=0).fit(data)
+        with pytest.raises(InvalidParameterError):
+            index.probe(query, 0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            IVFIndex(4).centroids
+
+    def test_empty_data(self):
+        with pytest.raises(EmptyDatasetError):
+            IVFIndex(4).fit(np.empty((0, 4)))
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(InvalidParameterError):
+            IVFIndex(0)
+
+    def test_query_dim_mismatch(self, flat_data):
+        data, _ = flat_data
+        index = IVFIndex(4, rng=0).fit(data)
+        with pytest.raises(DimensionMismatchError):
+            index.probe(np.zeros(17), 1)

@@ -1,0 +1,107 @@
+"""Tests for repro.index.hnsw."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ground_truth import brute_force_ground_truth
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyDatasetError,
+    InvalidParameterError,
+    NotFittedError,
+)
+from repro.index.hnsw import HNSWIndex
+from repro.metrics.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def hnsw_setup():
+    rng = np.random.default_rng(17)
+    data = rng.standard_normal((600, 24))
+    queries = rng.standard_normal((15, 24))
+    index = HNSWIndex(m=8, ef_construction=60, rng=0).fit(data)
+    return data, queries, index
+
+
+class TestConstruction:
+    def test_indexes_all_points(self, hnsw_setup):
+        data, _, index = hnsw_setup
+        assert len(index) == 600
+        # Every point must appear on layer 0.
+        assert len(index._layers[0]) == 600
+
+    def test_degree_bounded(self, hnsw_setup):
+        _, _, index = hnsw_setup
+        stats = index.degree_statistics()
+        assert stats["max_degree"] <= 2 * 8
+        assert stats["n_layers"] >= 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            HNSWIndex(m=0)
+        with pytest.raises(InvalidParameterError):
+            HNSWIndex(m=4, ef_construction=0)
+
+    def test_empty_data(self):
+        with pytest.raises(EmptyDatasetError):
+            HNSWIndex().fit(np.empty((0, 4)))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            HNSWIndex().search(np.zeros(4), 1)
+
+
+class TestSearch:
+    def test_returns_sorted_results(self, hnsw_setup):
+        _, queries, index = hnsw_setup
+        ids, dists = index.search(queries[0], 10, ef_search=50)
+        assert ids.shape[0] <= 10
+        assert (np.diff(dists) >= 0).all()
+
+    def test_high_recall_with_large_ef(self, hnsw_setup):
+        data, queries, index = hnsw_setup
+        ground_truth = brute_force_ground_truth(data, queries, 10)
+        retrieved = [index.search(q, 10, ef_search=150)[0] for q in queries]
+        assert recall_at_k(retrieved, ground_truth, 10) >= 0.9
+
+    def test_recall_improves_with_ef(self, hnsw_setup):
+        data, queries, index = hnsw_setup
+        ground_truth = brute_force_ground_truth(data, queries, 10)
+        low = recall_at_k(
+            [index.search(q, 10, ef_search=10)[0] for q in queries], ground_truth, 10
+        )
+        high = recall_at_k(
+            [index.search(q, 10, ef_search=200)[0] for q in queries], ground_truth, 10
+        )
+        assert high >= low
+
+    def test_query_in_dataset_found(self, hnsw_setup):
+        data, _, index = hnsw_setup
+        ids, dists = index.search(data[42], 1, ef_search=80)
+        assert 42 in ids.tolist() or dists[0] < 1e-9
+
+    def test_distances_are_exact(self, hnsw_setup):
+        data, queries, index = hnsw_setup
+        ids, dists = index.search(queries[0], 5, ef_search=50)
+        expected = ((data[ids] - queries[0]) ** 2).sum(axis=1)
+        np.testing.assert_allclose(dists, expected, atol=1e-9)
+
+    def test_invalid_k(self, hnsw_setup):
+        _, queries, index = hnsw_setup
+        with pytest.raises(InvalidParameterError):
+            index.search(queries[0], 0)
+
+    def test_query_dim_mismatch(self, hnsw_setup):
+        _, _, index = hnsw_setup
+        with pytest.raises(DimensionMismatchError):
+            index.search(np.zeros(25), 3)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((150, 8))
+        query = rng.standard_normal(8)
+        a = HNSWIndex(m=6, ef_construction=40, rng=5).fit(data).search(query, 5)[0]
+        b = HNSWIndex(m=6, ef_construction=40, rng=5).fit(data).search(query, 5)[0]
+        np.testing.assert_array_equal(a, b)

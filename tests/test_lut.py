@@ -1,0 +1,115 @@
+"""Tests for repro.core.lut (4-bit LUT fast-scan emulation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lut import (
+    SEGMENT_BITS,
+    SEGMENT_PATTERNS,
+    build_query_luts,
+    lut_accumulate,
+    lut_accumulate_uint8,
+    quantize_luts_to_uint8,
+    split_into_segments,
+)
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+
+
+class TestSplitIntoSegments:
+    def test_shape(self, rng):
+        bits = rng.integers(0, 2, size=(5, 64))
+        assert split_into_segments(bits).shape == (5, 16)
+
+    def test_pattern_values(self):
+        bits = np.array([[1, 0, 1, 1, 0, 0, 0, 1]])
+        segments = split_into_segments(bits)
+        # First segment: bits (1,0,1,1) -> 1 + 4 + 8 = 13; second: 8.
+        np.testing.assert_array_equal(segments, [[13, 8]])
+
+    def test_requires_multiple_of_four(self):
+        with pytest.raises(InvalidParameterError):
+            split_into_segments(np.zeros((2, 6)))
+
+
+class TestBuildQueryLuts:
+    def test_shape(self, rng):
+        query = rng.integers(0, 16, size=64).astype(np.float64)
+        assert build_query_luts(query).shape == (16, SEGMENT_PATTERNS)
+
+    def test_pattern_zero_is_zero(self, rng):
+        query = rng.integers(0, 16, size=32).astype(np.float64)
+        luts = build_query_luts(query)
+        np.testing.assert_allclose(luts[:, 0], 0.0)
+
+    def test_pattern_all_ones_is_segment_sum(self, rng):
+        query = rng.integers(0, 16, size=32).astype(np.float64)
+        luts = build_query_luts(query)
+        segment_sums = query.reshape(-1, SEGMENT_BITS).sum(axis=1)
+        np.testing.assert_allclose(luts[:, SEGMENT_PATTERNS - 1], segment_sums)
+
+    def test_requires_multiple_of_four(self):
+        with pytest.raises(InvalidParameterError):
+            build_query_luts(np.zeros(10))
+
+
+class TestLutAccumulate:
+    def test_matches_naive_inner_product(self, rng):
+        n_codes, length = 20, 96
+        bits = rng.integers(0, 2, size=(n_codes, length))
+        query = rng.integers(0, 16, size=length).astype(np.float64)
+        expected = bits @ query
+        segments = split_into_segments(bits)
+        luts = build_query_luts(query)
+        np.testing.assert_allclose(lut_accumulate(segments, luts), expected)
+
+    def test_segment_count_mismatch(self, rng):
+        segments = np.zeros((2, 8), dtype=np.uint8)
+        luts = np.zeros((9, SEGMENT_PATTERNS))
+        with pytest.raises(DimensionMismatchError):
+            lut_accumulate(segments, luts)
+
+    def test_wrong_lut_width(self):
+        segments = np.zeros((2, 4), dtype=np.uint8)
+        with pytest.raises(DimensionMismatchError):
+            lut_accumulate(segments, np.zeros((4, 8)))
+
+
+class TestUint8Luts:
+    def test_quantize_roundtrip_accuracy(self, rng):
+        query = rng.integers(0, 16, size=64).astype(np.float64)
+        luts = build_query_luts(query)
+        quantized, scale, offset = quantize_luts_to_uint8(luts)
+        assert quantized.dtype == np.uint8
+        recovered = offset + scale * quantized.astype(np.float64)
+        assert np.max(np.abs(recovered - luts)) <= scale / 2 + 1e-9
+
+    def test_constant_luts(self):
+        luts = np.full((4, SEGMENT_PATTERNS), 3.0)
+        quantized, scale, offset = quantize_luts_to_uint8(luts)
+        np.testing.assert_array_equal(quantized, 0)
+        assert offset == 3.0
+
+    def test_accumulate_uint8_close_to_exact(self, rng):
+        n_codes, length = 30, 128
+        bits = rng.integers(0, 2, size=(n_codes, length))
+        query = rng.integers(0, 16, size=length).astype(np.float64)
+        segments = split_into_segments(bits)
+        luts = build_query_luts(query)
+        exact = lut_accumulate(segments, luts)
+        quantized, scale, offset = quantize_luts_to_uint8(luts)
+        approx = lut_accumulate_uint8(segments, quantized, scale, offset)
+        # The accumulated 8-bit error stays within n_segments * scale / 2.
+        assert np.max(np.abs(approx - exact)) <= segments.shape[1] * scale / 2 + 1e-9
+
+    def test_accumulate_uint8_requires_uint8(self, rng):
+        segments = np.zeros((2, 4), dtype=np.uint8)
+        with pytest.raises(InvalidParameterError):
+            lut_accumulate_uint8(segments, np.zeros((4, 16)), 1.0, 0.0)
+
+    def test_accumulate_uint8_segment_mismatch(self):
+        segments = np.zeros((2, 4), dtype=np.uint8)
+        luts = np.zeros((5, SEGMENT_PATTERNS), dtype=np.uint8)
+        with pytest.raises(DimensionMismatchError):
+            lut_accumulate_uint8(segments, luts, 1.0, 0.0)

@@ -1,0 +1,172 @@
+"""Tests for repro.metrics."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.metrics.distance_ratio import average_distance_ratio
+from repro.metrics.recall import per_query_recall, recall_at_k
+from repro.metrics.regression import fit_estimated_vs_true
+from repro.metrics.relative_error import (
+    average_relative_error,
+    max_relative_error,
+    relative_errors,
+)
+from repro.metrics.timing import Timer, nanoseconds_per_item, queries_per_second
+
+
+class TestRelativeError:
+    def test_exact_estimates_have_zero_error(self):
+        true = np.array([1.0, 2.0, 3.0])
+        assert average_relative_error(true, true) == 0.0
+        assert max_relative_error(true, true) == 0.0
+
+    def test_known_values(self):
+        true = np.array([1.0, 2.0])
+        est = np.array([1.1, 1.8])
+        np.testing.assert_allclose(relative_errors(est, true), [0.1, 0.1])
+
+    def test_zero_true_distances_skipped(self):
+        true = np.array([0.0, 2.0])
+        est = np.array([5.0, 2.2])
+        errors = relative_errors(est, true)
+        assert errors.shape == (1,)
+        assert errors[0] == pytest.approx(0.1)
+
+    def test_all_zero_true_distances(self):
+        assert np.isnan(average_relative_error(np.ones(3), np.zeros(3)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            relative_errors(np.zeros(2), np.zeros(3))
+
+    def test_max_greater_equal_average(self, rng):
+        true = rng.uniform(1, 10, size=100)
+        est = true * rng.uniform(0.8, 1.2, size=100)
+        assert max_relative_error(est, true) >= average_relative_error(est, true)
+
+
+class TestRecall:
+    def test_perfect_recall(self):
+        retrieved = [np.array([1, 2, 3]), np.array([4, 5, 6])]
+        truth = [np.array([3, 2, 1]), np.array([6, 5, 4])]
+        assert recall_at_k(retrieved, truth, 3) == 1.0
+
+    def test_partial_recall(self):
+        retrieved = [np.array([1, 2, 9])]
+        truth = [np.array([1, 2, 3])]
+        assert recall_at_k(retrieved, truth, 3) == pytest.approx(2.0 / 3.0)
+
+    def test_zero_recall(self):
+        assert recall_at_k([np.array([9, 10])], [np.array([1, 2])], 2) == 0.0
+
+    def test_k_subsets_ground_truth(self):
+        retrieved = [np.array([1])]
+        truth = [np.array([1, 2, 3])]
+        assert recall_at_k(retrieved, truth, 1) == 1.0
+
+    def test_per_query_values(self):
+        retrieved = [np.array([1, 2]), np.array([9, 9])]
+        truth = [np.array([1, 2]), np.array([1, 2])]
+        np.testing.assert_allclose(per_query_recall(retrieved, truth, 2), [1.0, 0.0])
+
+    def test_2d_array_inputs(self):
+        retrieved = np.array([[1, 2], [3, 4]])
+        truth = np.array([[2, 1], [4, 5]])
+        assert recall_at_k(retrieved, truth, 2) == pytest.approx(0.75)
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            recall_at_k([np.array([1])], [np.array([1]), np.array([2])], 1)
+
+    def test_empty_queries(self):
+        with pytest.raises(InvalidParameterError):
+            recall_at_k([], [], 1)
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            recall_at_k([np.array([1])], [np.array([1])], 0)
+
+
+class TestDistanceRatio:
+    def test_perfect_results_give_ratio_one(self, rng):
+        data = rng.standard_normal((50, 6))
+        queries = rng.standard_normal((4, 6))
+        true = np.array(
+            [np.argsort(((data - q) ** 2).sum(axis=1))[:5] for q in queries]
+        )
+        ratio = average_distance_ratio(data, queries, true, true)
+        assert ratio == pytest.approx(1.0)
+
+    def test_worse_results_give_larger_ratio(self, rng):
+        data = rng.standard_normal((50, 6))
+        queries = rng.standard_normal((4, 6))
+        true = np.array(
+            [np.argsort(((data - q) ** 2).sum(axis=1))[:5] for q in queries]
+        )
+        worst = np.array(
+            [np.argsort(((data - q) ** 2).sum(axis=1))[-5:] for q in queries]
+        )
+        good = average_distance_ratio(data, queries, true, true)
+        bad = average_distance_ratio(data, queries, worst, true)
+        assert bad > good
+
+    def test_length_mismatch(self, rng):
+        data = rng.standard_normal((10, 4))
+        queries = rng.standard_normal((2, 4))
+        with pytest.raises(InvalidParameterError):
+            average_distance_ratio(data, queries, [np.array([0])], [np.array([0])] * 2)
+
+
+class TestRegression:
+    def test_perfect_line(self):
+        true = np.linspace(1, 10, 50)
+        fit = fit_estimated_vs_true(2.0 * true + 1.0, true)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_unbiased_estimator_recovers_identity(self, rng):
+        true = rng.uniform(1, 10, size=500)
+        est = true + rng.normal(0, 0.01, size=500)
+        fit = fit_estimated_vs_true(est, true)
+        assert fit.slope == pytest.approx(1.0, abs=0.01)
+        assert fit.intercept == pytest.approx(0.0, abs=0.05)
+
+    def test_too_few_points(self):
+        with pytest.raises(InvalidParameterError):
+            fit_estimated_vs_true(np.array([1.0]), np.array([1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            fit_estimated_vs_true(np.zeros(3), np.zeros(4))
+
+
+class TestTiming:
+    def test_timer_context_manager(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_timer_manual(self):
+        timer = Timer().start()
+        time.sleep(0.005)
+        assert timer.stop() > 0.0
+
+    def test_qps(self):
+        assert queries_per_second(100, 2.0) == 50.0
+        assert queries_per_second(0, 0.0) == 0.0
+        assert queries_per_second(10, 0.0) == float("inf")
+
+    def test_qps_negative_queries(self):
+        with pytest.raises(InvalidParameterError):
+            queries_per_second(-1, 1.0)
+
+    def test_nanoseconds_per_item(self):
+        assert nanoseconds_per_item(1.0, 1000) == pytest.approx(1e6)
+        with pytest.raises(InvalidParameterError):
+            nanoseconds_per_item(1.0, 0)

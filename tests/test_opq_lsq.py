@@ -1,0 +1,154 @@
+"""Tests for repro.baselines.opq and repro.baselines.lsq."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.lsq import AdditiveQuantizer
+from repro.baselines.opq import OptimizedProductQuantizer
+from repro.baselines.pq import ProductQuantizer
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyDatasetError,
+    InvalidParameterError,
+    NotFittedError,
+)
+from repro.substrates.linalg import is_orthogonal
+
+
+@pytest.fixture(scope="module")
+def correlated_data():
+    """Data with strong cross-segment correlation (where OPQ helps)."""
+    rng = np.random.default_rng(5)
+    latent = rng.standard_normal((400, 4))
+    mixing = rng.standard_normal((4, 24))
+    return latent @ mixing + 0.05 * rng.standard_normal((400, 24))
+
+
+@pytest.fixture(scope="module")
+def opq_query():
+    return np.random.default_rng(6).standard_normal(24)
+
+
+class TestOPQ:
+    def test_rotation_is_orthogonal(self, correlated_data):
+        opq = OptimizedProductQuantizer(6, 4, n_iterations=2, rng=0).fit(correlated_data)
+        assert is_orthogonal(opq.rotation, atol=1e-6)
+
+    def test_codes_shape(self, correlated_data):
+        opq = OptimizedProductQuantizer(6, 4, n_iterations=2, rng=0).fit(correlated_data)
+        assert opq.codes.shape == (400, 6)
+
+    def test_improves_over_pq_on_correlated_data(self, correlated_data):
+        pq_error = ProductQuantizer(6, 4, rng=0).fit(correlated_data).quantization_error(
+            correlated_data
+        )
+        opq_error = (
+            OptimizedProductQuantizer(6, 4, n_iterations=4, rng=0)
+            .fit(correlated_data)
+            .quantization_error(correlated_data)
+        )
+        assert opq_error <= pq_error * 1.05  # at least on par, typically better
+
+    def test_adc_matches_reconstruction(self, correlated_data, opq_query):
+        opq = OptimizedProductQuantizer(6, 4, n_iterations=2, rng=0).fit(correlated_data)
+        estimates = opq.estimate_distances(opq_query)
+        reconstruction = opq.decode()
+        expected = ((reconstruction - opq_query) ** 2).sum(axis=1)
+        np.testing.assert_allclose(estimates, expected, atol=1e-8)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            OptimizedProductQuantizer(4).rotation
+
+    def test_invalid_iterations(self):
+        with pytest.raises(InvalidParameterError):
+            OptimizedProductQuantizer(4, n_iterations=0)
+
+    def test_empty_data(self):
+        with pytest.raises(EmptyDatasetError):
+            OptimizedProductQuantizer(4).fit(np.empty((0, 8)))
+
+    def test_dim_not_divisible(self, correlated_data):
+        with pytest.raises(DimensionMismatchError):
+            OptimizedProductQuantizer(5).fit(correlated_data)
+
+    def test_query_dim_mismatch(self, correlated_data):
+        opq = OptimizedProductQuantizer(6, 4, n_iterations=1, rng=0).fit(correlated_data)
+        with pytest.raises(DimensionMismatchError):
+            opq.estimate_distances(np.zeros(25))
+
+    def test_code_size_bits(self, correlated_data):
+        opq = OptimizedProductQuantizer(6, 4, n_iterations=1, rng=0).fit(correlated_data)
+        assert opq.code_size_bits() == 24
+
+
+class TestAdditiveQuantizer:
+    def test_codes_shape_and_range(self, correlated_data):
+        aq = AdditiveQuantizer(4, 4, rng=0).fit(correlated_data)
+        assert aq.codes.shape == (400, 4)
+        assert int(aq.codes.max()) < 16
+
+    def test_reconstruction_is_sum_of_codewords(self, correlated_data):
+        aq = AdditiveQuantizer(3, 4, rng=0).fit(correlated_data)
+        manual = np.zeros_like(correlated_data)
+        for m in range(3):
+            manual += aq.codebooks[m][aq.codes[:, m]]
+        np.testing.assert_allclose(aq.decode(), manual)
+
+    def test_estimate_matches_reconstruction_distance(self, correlated_data, opq_query):
+        aq = AdditiveQuantizer(3, 4, rng=0).fit(correlated_data)
+        estimates = aq.estimate_distances(opq_query)
+        expected = ((aq.decode() - opq_query) ** 2).sum(axis=1)
+        np.testing.assert_allclose(estimates, expected, atol=1e-8)
+
+    def test_more_codebooks_reduce_error(self, correlated_data):
+        small = AdditiveQuantizer(2, 4, rng=0).fit(correlated_data).quantization_error(
+            correlated_data
+        )
+        large = AdditiveQuantizer(6, 4, rng=0).fit(correlated_data).quantization_error(
+            correlated_data
+        )
+        assert large < small
+
+    def test_icm_improves_over_greedy_rounds(self, correlated_data):
+        # More ICM rounds should never make the training reconstruction worse.
+        one = AdditiveQuantizer(4, 4, icm_rounds=1, n_iterations=1, rng=0).fit(
+            correlated_data
+        )
+        three = AdditiveQuantizer(4, 4, icm_rounds=3, n_iterations=1, rng=0).fit(
+            correlated_data
+        )
+        err_one = np.mean(((one.decode() - correlated_data) ** 2).sum(axis=1))
+        err_three = np.mean(((three.decode() - correlated_data) ** 2).sum(axis=1))
+        assert err_three <= err_one * 1.05
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            AdditiveQuantizer(2).codes
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_codebooks": 0},
+            {"n_codebooks": 2, "code_bits": 0},
+            {"n_codebooks": 2, "n_iterations": 0},
+            {"n_codebooks": 2, "icm_rounds": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            AdditiveQuantizer(**kwargs)
+
+    def test_empty_data(self):
+        with pytest.raises(EmptyDatasetError):
+            AdditiveQuantizer(2).fit(np.empty((0, 8)))
+
+    def test_encode_dim_mismatch(self, correlated_data):
+        aq = AdditiveQuantizer(2, 4, rng=0).fit(correlated_data)
+        with pytest.raises(DimensionMismatchError):
+            aq.encode(np.zeros((2, 25)))
+
+    def test_code_size_bits(self, correlated_data):
+        assert AdditiveQuantizer(4, 4, rng=0).fit(correlated_data).code_size_bits() == 16

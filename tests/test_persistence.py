@@ -1,0 +1,101 @@
+"""Tests for repro.io.persistence (save/load of fitted RaBitQ indexes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import RaBitQConfig
+from repro.core.quantizer import RaBitQ
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.io import load_rabitq, save_rabitq
+from repro.io.persistence import FORMAT_VERSION
+
+
+@pytest.fixture(scope="module")
+def saved_index(tmp_path_factory):
+    rng = np.random.default_rng(4)
+    data = rng.standard_normal((250, 72))
+    quantizer = RaBitQ(RaBitQConfig(seed=7, epsilon0=2.2, query_bits=5)).fit(data)
+    path = tmp_path_factory.mktemp("indexes") / "rabitq_index.npz"
+    save_rabitq(quantizer, path)
+    return data, quantizer, path
+
+
+class TestSave:
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_rabitq(RaBitQ(), tmp_path / "index.npz")
+
+    def test_file_created(self, saved_index):
+        _, _, path = saved_index
+        assert path.exists()
+        assert path.stat().st_size > 0
+
+
+class TestLoad:
+    def test_roundtrip_preserves_dataset(self, saved_index):
+        _, original, path = saved_index
+        loaded = load_rabitq(path)
+        np.testing.assert_array_equal(
+            loaded.dataset.packed_codes, original.dataset.packed_codes
+        )
+        np.testing.assert_allclose(
+            loaded.dataset.alignments, original.dataset.alignments
+        )
+        np.testing.assert_allclose(loaded.dataset.norms, original.dataset.norms)
+        np.testing.assert_allclose(loaded.dataset.centroid, original.dataset.centroid)
+        assert loaded.code_length == original.code_length
+        assert loaded.dim == original.dim
+
+    def test_roundtrip_preserves_config(self, saved_index):
+        _, original, path = saved_index
+        loaded = load_rabitq(path)
+        assert loaded.config.epsilon0 == original.config.epsilon0
+        assert loaded.config.query_bits == original.config.query_bits
+        assert loaded.config.seed == original.config.seed
+
+    def test_loaded_index_answers_queries_identically(self, saved_index):
+        data, original, path = saved_index
+        loaded = load_rabitq(path)
+        query = np.random.default_rng(11).standard_normal(72)
+        # Use the float path so randomized query rounding does not interfere
+        # with the comparison.
+        original_estimate = original.estimate_distances(query, compute="float")
+        loaded_estimate = loaded.estimate_distances(query, compute="float")
+        np.testing.assert_allclose(
+            loaded_estimate.distances, original_estimate.distances, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            loaded_estimate.lower_bounds, original_estimate.lower_bounds, atol=1e-9
+        )
+
+    def test_loaded_index_accuracy(self, saved_index):
+        data, _, path = saved_index
+        loaded = load_rabitq(path)
+        query = np.random.default_rng(12).standard_normal(72)
+        estimate = loaded.estimate_distances(query)
+        true = ((data - query) ** 2).sum(axis=1)
+        rel = np.abs(estimate.distances - true) / true
+        assert rel.mean() < 0.15
+
+    def test_extension_is_optional(self, saved_index, tmp_path):
+        data, original, _ = saved_index
+        bare = tmp_path / "index_without_ext"
+        save_rabitq(original, bare)  # numpy appends .npz
+        loaded = load_rabitq(bare)
+        assert loaded.code_length == original.code_length
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            load_rabitq(tmp_path / "does_not_exist.npz")
+
+    def test_version_mismatch_rejected(self, saved_index, tmp_path):
+        _, _, path = saved_index
+        with np.load(path) as archive:
+            contents = {key: archive[key] for key in archive.files}
+        contents["format_version"] = np.int64(FORMAT_VERSION + 1)
+        bad_path = tmp_path / "future_index.npz"
+        np.savez_compressed(bad_path, **contents)
+        with pytest.raises(InvalidParameterError):
+            load_rabitq(bad_path)

@@ -1,0 +1,155 @@
+"""Tests for repro.baselines.pq (Product Quantization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pq import ProductQuantizer
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyDatasetError,
+    InvalidParameterError,
+    NotFittedError,
+)
+
+
+@pytest.fixture(scope="module")
+def pq_data():
+    rng = np.random.default_rng(3)
+    return rng.standard_normal((500, 32)), rng.standard_normal(32)
+
+
+class TestConstruction:
+    def test_invalid_segments(self):
+        with pytest.raises(InvalidParameterError):
+            ProductQuantizer(0)
+
+    @pytest.mark.parametrize("bits", [0, 17])
+    def test_invalid_bits(self, bits):
+        with pytest.raises(InvalidParameterError):
+            ProductQuantizer(4, bits)
+
+    def test_not_fitted(self):
+        quantizer = ProductQuantizer(4)
+        with pytest.raises(NotFittedError):
+            quantizer.codes
+        with pytest.raises(NotFittedError):
+            quantizer.codebooks
+
+
+class TestFitEncode:
+    def test_code_shape_and_range(self, pq_data):
+        data, _ = pq_data
+        quantizer = ProductQuantizer(8, 4, rng=0).fit(data)
+        assert quantizer.codes.shape == (500, 8)
+        assert int(quantizer.codes.max()) < 16
+
+    def test_codebook_shape(self, pq_data):
+        data, _ = pq_data
+        quantizer = ProductQuantizer(8, 4, rng=0).fit(data)
+        assert quantizer.codebooks.shape == (8, 16, 4)
+        assert quantizer.segment_dim == 4
+
+    def test_dimension_not_divisible(self, pq_data):
+        data, _ = pq_data
+        with pytest.raises(DimensionMismatchError):
+            ProductQuantizer(5, 4, rng=0).fit(data)
+
+    def test_empty_data(self):
+        with pytest.raises(EmptyDatasetError):
+            ProductQuantizer(4, 4).fit(np.empty((0, 8)))
+
+    def test_encode_new_data_matches_dim_check(self, pq_data):
+        data, _ = pq_data
+        quantizer = ProductQuantizer(8, 4, rng=0).fit(data)
+        with pytest.raises(DimensionMismatchError):
+            quantizer.encode(np.zeros((2, 33)))
+
+    def test_decode_shape(self, pq_data):
+        data, _ = pq_data
+        quantizer = ProductQuantizer(8, 4, rng=0).fit(data)
+        assert quantizer.decode().shape == data.shape
+
+    def test_reconstruction_reduces_with_more_centroids(self, pq_data):
+        data, _ = pq_data
+        coarse = ProductQuantizer(8, 2, rng=0).fit(data).quantization_error(data)
+        fine = ProductQuantizer(8, 6, rng=0).fit(data).quantization_error(data)
+        assert fine < coarse
+
+    def test_more_segments_reduce_error(self, pq_data):
+        data, _ = pq_data
+        few = ProductQuantizer(2, 4, rng=0).fit(data).quantization_error(data)
+        many = ProductQuantizer(16, 4, rng=0).fit(data).quantization_error(data)
+        assert many < few
+
+    def test_code_size_bits(self, pq_data):
+        data, _ = pq_data
+        assert ProductQuantizer(8, 4, rng=0).fit(data).code_size_bits() == 32
+
+    def test_small_dataset_fewer_points_than_centroids(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((10, 8))
+        quantizer = ProductQuantizer(2, 8, rng=0).fit(data)
+        estimates = quantizer.estimate_distances(rng.standard_normal(8))
+        assert estimates.shape == (10,)
+        assert np.isfinite(estimates).all()
+
+
+class TestDistanceEstimation:
+    def test_adc_matches_reconstruction_distance(self, pq_data):
+        # The ADC estimate equals the exact distance between the query and
+        # the reconstructed (decoded) data vector.
+        data, query = pq_data
+        quantizer = ProductQuantizer(8, 4, rng=0).fit(data)
+        estimates = quantizer.estimate_distances(query)
+        reconstruction = quantizer.decode()
+        expected = ((reconstruction - query) ** 2).sum(axis=1)
+        np.testing.assert_allclose(estimates, expected, atol=1e-9)
+
+    def test_reasonable_accuracy(self, pq_data):
+        data, query = pq_data
+        quantizer = ProductQuantizer(16, 4, rng=0).fit(data)
+        estimates = quantizer.estimate_distances(query)
+        true = ((data - query) ** 2).sum(axis=1)
+        rel = np.abs(estimates - true) / true
+        assert rel.mean() < 0.25
+
+    def test_query_dim_mismatch(self, pq_data):
+        data, _ = pq_data
+        quantizer = ProductQuantizer(8, 4, rng=0).fit(data)
+        with pytest.raises(DimensionMismatchError):
+            quantizer.estimate_distances(np.zeros(33))
+
+    def test_quantized_lut_close_to_exact(self, pq_data):
+        data, query = pq_data
+        exact = ProductQuantizer(8, 4, rng=0).fit(data)
+        lossy = ProductQuantizer(8, 4, quantize_lut=True, rng=0).fit(data)
+        a = exact.estimate_distances(query)
+        b = lossy.estimate_distances(query)
+        # 8-bit LUT quantization adds only a small extra error.
+        denom = np.maximum(a, 1e-9)
+        assert np.mean(np.abs(a - b) / denom) < 0.05
+
+    def test_custom_codes_argument(self, pq_data):
+        data, query = pq_data
+        quantizer = ProductQuantizer(8, 4, rng=0).fit(data)
+        subset_codes = quantizer.codes[:10]
+        estimates = quantizer.estimate_distances(query, codes=subset_codes)
+        np.testing.assert_allclose(
+            estimates, quantizer.estimate_distances(query)[:10]
+        )
+
+    def test_estimates_are_biased_downward_on_average(self, pq_data):
+        # PQ's ADC estimator is biased: because each centroid is the mean of
+        # its cell, E[||q - c(o)||^2] = E[||q - o||^2] - E[||o - c(o)||^2],
+        # i.e. it under-estimates the squared distance on average (this is
+        # the bias that Fig. 7 of the paper visualizes and RaBitQ removes).
+        data, query = pq_data
+        quantizer = ProductQuantizer(8, 4, rng=0).fit(data)
+        estimates = quantizer.estimate_distances(query)
+        true = ((data - query) ** 2).sum(axis=1)
+        reconstruction_mse = quantizer.quantization_error(data)
+        assert estimates.mean() < true.mean()
+        # The gap matches the reconstruction error to first order.
+        assert abs((true.mean() - estimates.mean()) - reconstruction_mse) < 0.5 * reconstruction_mse + 1.0

@@ -1,0 +1,87 @@
+"""Property-based tests for the KMeans and quantizer substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.pq import ProductQuantizer
+from repro.baselines.scalar import ScalarQuantizer
+from repro.substrates.kmeans import kmeans_fit
+
+_SETTINGS = dict(max_examples=25, deadline=None)
+
+finite_floats = st.floats(
+    min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestKMeansProperties:
+    @given(
+        data=st.data(),
+        n=st.integers(4, 60),
+        dim=st.integers(1, 8),
+        k=st.integers(1, 4),
+        seed=st.integers(0, 100),
+    )
+    @settings(**_SETTINGS)
+    def test_assignments_are_nearest_centroids(self, data, n, dim, k, seed):
+        points = data.draw(hnp.arrays(np.float64, (n, dim), elements=finite_floats))
+        k = min(k, n)
+        result = kmeans_fit(points, k, rng=seed)
+        dists = ((points[:, None, :] - result.centroids[None, :, :]) ** 2).sum(axis=2)
+        best = dists.min(axis=1)
+        assigned = dists[np.arange(n), result.assignments]
+        np.testing.assert_allclose(assigned, best, atol=1e-9)
+        assert result.inertia >= -1e-9
+        assert np.isclose(result.inertia, assigned.sum(), atol=1e-6)
+
+    @given(
+        data=st.data(),
+        n=st.integers(4, 40),
+        dim=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    @settings(**_SETTINGS)
+    def test_inertia_not_worse_than_single_cluster(self, data, n, dim, seed):
+        points = data.draw(hnp.arrays(np.float64, (n, dim), elements=finite_floats))
+        single = kmeans_fit(points, 1, rng=seed).inertia
+        double = kmeans_fit(points, min(2, n), rng=seed).inertia
+        assert double <= single + 1e-6
+
+
+class TestQuantizerReconstructionProperties:
+    @given(
+        data=st.data(),
+        n=st.integers(20, 80),
+        segments=st.sampled_from([2, 4]),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_pq_adc_equals_reconstruction_distance(self, data, n, segments, seed):
+        dim = segments * 3
+        points = data.draw(hnp.arrays(np.float64, (n, dim), elements=finite_floats))
+        query = data.draw(hnp.arrays(np.float64, dim, elements=finite_floats))
+        quantizer = ProductQuantizer(segments, 3, rng=seed).fit(points)
+        estimates = quantizer.estimate_distances(query)
+        expected = ((quantizer.decode() - query) ** 2).sum(axis=1)
+        np.testing.assert_allclose(estimates, expected, atol=1e-7, rtol=1e-7)
+
+    @given(
+        data=st.data(),
+        n=st.integers(5, 60),
+        dim=st.integers(1, 10),
+        bits=st.integers(2, 8),
+    )
+    @settings(**_SETTINGS)
+    def test_scalar_quantizer_error_bounded_by_step(self, data, n, dim, bits):
+        points = data.draw(hnp.arrays(np.float64, (n, dim), elements=finite_floats))
+        quantizer = ScalarQuantizer(bits).fit(points)
+        reconstruction = quantizer.decode(quantizer.encode(points))
+        value_range = points.max(axis=0) - points.min(axis=0)
+        step = value_range / (2**bits - 1)
+        # Round-to-nearest keeps each coordinate within half a step.
+        tolerance = step / 2 + 1e-9
+        assert (np.abs(reconstruction - points) <= tolerance[None, :] + 1e-12).all()

@@ -1,0 +1,115 @@
+"""Tests for repro.core.query (randomized scalar quantization of the query)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import (
+    QuantizedQueryVector,
+    dequantization_error,
+    quantize_query_vector,
+)
+from repro.core.theory import scalar_quantization_error_scale
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+
+
+class TestQuantizeQueryVector:
+    def test_codes_within_range(self, rng):
+        query = rng.standard_normal(128)
+        for bits in (1, 2, 4, 8):
+            quantized = quantize_query_vector(query, bits, rng=0)
+            assert int(quantized.codes.max()) <= (1 << bits) - 1
+            assert int(quantized.codes.min()) >= 0
+
+    def test_metadata_consistency(self, rng):
+        query = rng.standard_normal(64)
+        quantized = quantize_query_vector(query, 4, rng=0)
+        assert quantized.code_length == 64
+        assert quantized.sum_codes == int(quantized.codes.sum())
+        assert quantized.bits == 4
+        assert quantized.bitplanes.shape == (4, 1)
+
+    def test_dequantize_close_to_original(self, rng):
+        query = rng.standard_normal(256)
+        quantized = quantize_query_vector(query, 8, rng=0)
+        assert dequantization_error(query, quantized) <= quantized.delta + 1e-12
+
+    def test_randomized_rounding_error_bounded_by_delta(self, rng):
+        query = rng.standard_normal(100)
+        quantized = quantize_query_vector(query, 4, randomized=True, rng=0)
+        errors = np.abs(quantized.dequantize() - query)
+        assert (errors <= quantized.delta + 1e-12).all()
+
+    def test_deterministic_rounding_error_bounded_by_half_delta(self, rng):
+        query = rng.standard_normal(100)
+        quantized = quantize_query_vector(query, 4, randomized=False)
+        errors = np.abs(quantized.dequantize() - query)
+        assert (errors <= quantized.delta / 2 + 1e-12).all()
+
+    def test_randomized_rounding_is_unbiased(self):
+        # Repeated quantization of the same vector should average out to the
+        # original values (per-coordinate expectation equals the true value).
+        rng = np.random.default_rng(0)
+        query = rng.standard_normal(32)
+        repeats = 400
+        acc = np.zeros_like(query)
+        for i in range(repeats):
+            quantized = quantize_query_vector(query, 3, randomized=True, rng=i)
+            acc += quantized.dequantize()
+        mean = acc / repeats
+        quantized = quantize_query_vector(query, 3, randomized=True, rng=0)
+        # The bias should be far below the quantization step.
+        assert np.max(np.abs(mean - query)) < 0.15 * quantized.delta
+
+    def test_constant_query(self):
+        quantized = quantize_query_vector(np.full(16, 2.5), 4, rng=0)
+        np.testing.assert_array_equal(quantized.codes, 0)
+        np.testing.assert_allclose(quantized.dequantize(), 2.5)
+
+    def test_extremes_map_to_extreme_levels(self):
+        query = np.array([0.0, 1.0, 0.5])
+        quantized = quantize_query_vector(query, 2, randomized=False)
+        assert int(quantized.codes[0]) == 0
+        assert int(quantized.codes[1]) == 3
+
+    def test_error_decreases_with_bits(self, rng):
+        query = rng.standard_normal(512)
+        errors = []
+        for bits in (1, 2, 4, 8):
+            quantized = quantize_query_vector(query, bits, randomized=False)
+            errors.append(np.mean(np.abs(quantized.dequantize() - query)))
+        assert errors == sorted(errors, reverse=True)
+
+    def test_theoretical_scale_is_consistent(self):
+        # Table 5: the error scale halves for every extra bit.
+        ratio = scalar_quantization_error_scale(128, 4) / scalar_quantization_error_scale(
+            128, 5
+        )
+        assert ratio == pytest.approx(2.0)
+
+    def test_empty_query_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            quantize_query_vector(np.empty(0), 4)
+
+    @pytest.mark.parametrize("bits", [0, 17])
+    def test_invalid_bits(self, bits, rng):
+        with pytest.raises(InvalidParameterError):
+            quantize_query_vector(rng.standard_normal(8), bits)
+
+    def test_dequantization_error_length_mismatch(self, rng):
+        quantized = quantize_query_vector(rng.standard_normal(8), 4, rng=0)
+        with pytest.raises(DimensionMismatchError):
+            dequantization_error(rng.standard_normal(9), quantized)
+
+    def test_result_is_dataclass_with_expected_fields(self, rng):
+        quantized = quantize_query_vector(rng.standard_normal(8), 4, rng=0)
+        assert isinstance(quantized, QuantizedQueryVector)
+        assert set(quantized.__dataclass_fields__) == {
+            "codes",
+            "lower",
+            "delta",
+            "bits",
+            "sum_codes",
+            "bitplanes",
+        }

@@ -1,0 +1,135 @@
+"""Tests for repro.index.rerank (re-ranking strategies)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import RaBitQConfig
+from repro.core.quantizer import RaBitQ
+from repro.exceptions import InvalidParameterError
+from repro.index.flat import FlatIndex
+from repro.index.rerank import ErrorBoundReranker, NoReranker, TopCandidateReranker
+
+
+@pytest.fixture(scope="module")
+def rerank_setup():
+    rng = np.random.default_rng(21)
+    data = rng.standard_normal((600, 48))
+    query = rng.standard_normal(48)
+    quantizer = RaBitQ(RaBitQConfig(seed=1)).fit(data)
+    estimate = quantizer.estimate_distances(query)
+    flat = FlatIndex(data)
+    candidate_ids = np.arange(600, dtype=np.int64)
+    true_order = np.argsort(((data - query) ** 2).sum(axis=1))
+    return query, candidate_ids, estimate, flat, true_order
+
+
+class TestNoReranker:
+    def test_returns_estimated_ranking(self, rerank_setup):
+        query, ids, estimate, flat, _ = rerank_setup
+        out_ids, out_dists, n_exact = NoReranker().rerank(query, ids, estimate, flat, 10)
+        assert n_exact == 0
+        expected = ids[np.argsort(estimate.distances)][:10]
+        np.testing.assert_array_equal(out_ids, expected)
+        assert (np.diff(out_dists) >= 0).all()
+
+    def test_k_larger_than_candidates(self, rerank_setup):
+        query, ids, estimate, flat, _ = rerank_setup
+        out_ids, _, _ = NoReranker().rerank(query, ids[:5], _slice(estimate, 5), flat, 50)
+        assert out_ids.shape == (5,)
+
+    def test_invalid_k(self, rerank_setup):
+        query, ids, estimate, flat, _ = rerank_setup
+        with pytest.raises(InvalidParameterError):
+            NoReranker().rerank(query, ids, estimate, flat, 0)
+
+
+def _slice(estimate, n):
+    """Helper slicing a DistanceEstimate to its first n entries."""
+    from repro.core.estimator import DistanceEstimate
+
+    return DistanceEstimate(
+        distances=estimate.distances[:n],
+        lower_bounds=estimate.lower_bounds[:n],
+        upper_bounds=estimate.upper_bounds[:n],
+        inner_products=estimate.inner_products[:n],
+    )
+
+
+class TestTopCandidateReranker:
+    def test_exact_distances_returned(self, rerank_setup):
+        query, ids, estimate, flat, true_order = rerank_setup
+        out_ids, out_dists, n_exact = TopCandidateReranker(200).rerank(
+            query, ids, estimate, flat, 10
+        )
+        assert n_exact == 200
+        np.testing.assert_allclose(
+            out_dists, flat.distances(query, out_ids), atol=1e-9
+        )
+
+    def test_perfect_recall_with_full_budget(self, rerank_setup):
+        query, ids, estimate, flat, true_order = rerank_setup
+        out_ids, _, _ = TopCandidateReranker(600).rerank(query, ids, estimate, flat, 10)
+        np.testing.assert_array_equal(np.sort(out_ids), np.sort(true_order[:10]))
+
+    def test_larger_budget_not_worse(self, rerank_setup):
+        query, ids, estimate, flat, true_order = rerank_setup
+        small_ids, _, _ = TopCandidateReranker(20).rerank(query, ids, estimate, flat, 10)
+        large_ids, _, _ = TopCandidateReranker(300).rerank(query, ids, estimate, flat, 10)
+        truth = set(true_order[:10].tolist())
+        assert len(truth & set(large_ids.tolist())) >= len(truth & set(small_ids.tolist()))
+
+    def test_empty_candidates(self, rerank_setup):
+        query, _, estimate, flat, _ = rerank_setup
+        out_ids, out_dists, n_exact = TopCandidateReranker(10).rerank(
+            query, np.empty(0, dtype=np.int64), _slice(estimate, 0), flat, 5
+        )
+        assert out_ids.size == 0 and n_exact == 0
+
+    def test_invalid_budget(self):
+        with pytest.raises(InvalidParameterError):
+            TopCandidateReranker(0)
+
+
+class TestErrorBoundReranker:
+    def test_finds_true_nearest_neighbours(self, rerank_setup):
+        query, ids, estimate, flat, true_order = rerank_setup
+        out_ids, out_dists, _ = ErrorBoundReranker().rerank(
+            query, ids, estimate, flat, 10
+        )
+        recall = len(set(out_ids.tolist()) & set(true_order[:10].tolist())) / 10
+        assert recall >= 0.9
+
+    def test_exact_distances_returned(self, rerank_setup):
+        query, ids, estimate, flat, _ = rerank_setup
+        out_ids, out_dists, _ = ErrorBoundReranker().rerank(
+            query, ids, estimate, flat, 10
+        )
+        np.testing.assert_allclose(
+            out_dists, flat.distances(query, out_ids), atol=1e-9
+        )
+        assert (np.diff(out_dists) >= 0).all()
+
+    def test_prunes_exact_computations(self, rerank_setup):
+        query, ids, estimate, flat, _ = rerank_setup
+        _, _, n_exact = ErrorBoundReranker().rerank(query, ids, estimate, flat, 10)
+        # The bound-based rule should skip a substantial share of candidates.
+        assert n_exact < len(ids)
+
+    def test_more_work_than_top_k(self, rerank_setup):
+        query, ids, estimate, flat, _ = rerank_setup
+        _, _, n_exact = ErrorBoundReranker().rerank(query, ids, estimate, flat, 10)
+        assert n_exact >= 10
+
+    def test_empty_candidates(self, rerank_setup):
+        query, _, estimate, flat, _ = rerank_setup
+        out_ids, _, n_exact = ErrorBoundReranker().rerank(
+            query, np.empty(0, dtype=np.int64), _slice(estimate, 0), flat, 5
+        )
+        assert out_ids.size == 0 and n_exact == 0
+
+    def test_invalid_k(self, rerank_setup):
+        query, ids, estimate, flat, _ = rerank_setup
+        with pytest.raises(InvalidParameterError):
+            ErrorBoundReranker().rerank(query, ids, estimate, flat, 0)

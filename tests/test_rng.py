@@ -1,0 +1,110 @@
+"""Tests for repro.substrates.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.substrates.rng import (
+    check_probability,
+    derive_seed,
+    ensure_rng,
+    sample_unit_vector,
+    sample_unit_vectors,
+    spawn_rngs,
+)
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9, size=10)
+        b = ensure_rng(2).integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(
+            a.integers(0, 10**9, size=20), b.integers(0, 10**9, size=20)
+        )
+
+    def test_deterministic_given_seed(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(9, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(9, 3)]
+        assert first == second
+
+
+class TestDeriveSeed:
+    def test_returns_int(self):
+        assert isinstance(derive_seed(np.random.default_rng(0)), int)
+
+    def test_deterministic(self):
+        assert derive_seed(np.random.default_rng(5)) == derive_seed(
+            np.random.default_rng(5)
+        )
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_valid(self, value):
+        assert check_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, 2.0])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value)
+
+
+class TestSampleUnitVector:
+    def test_unit_norm(self):
+        vec = sample_unit_vector(64, 0)
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+
+    def test_dimension(self):
+        assert sample_unit_vector(17, 0).shape == (17,)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            sample_unit_vector(0)
+
+    def test_batch_unit_norms(self):
+        mat = sample_unit_vectors(10, 32, 1)
+        np.testing.assert_allclose(np.linalg.norm(mat, axis=1), 1.0)
+
+    def test_batch_shape(self):
+        assert sample_unit_vectors(5, 8, 0).shape == (5, 8)
+
+    def test_batch_negative_count(self):
+        with pytest.raises(ValueError):
+            sample_unit_vectors(-1, 8)

@@ -1,0 +1,146 @@
+"""Tests for repro.core.rotation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rotation import (
+    FastHadamardRotation,
+    QRRotation,
+    hadamard_transform,
+    make_rotation,
+    sample_orthogonal_matrix,
+)
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.substrates.linalg import is_orthogonal
+
+
+class TestSampleOrthogonalMatrix:
+    def test_is_orthogonal(self):
+        assert is_orthogonal(sample_orthogonal_matrix(32, 0))
+
+    def test_deterministic_with_seed(self):
+        np.testing.assert_allclose(
+            sample_orthogonal_matrix(16, 7), sample_orthogonal_matrix(16, 7)
+        )
+
+    def test_different_seeds_differ(self):
+        a = sample_orthogonal_matrix(16, 1)
+        b = sample_orthogonal_matrix(16, 2)
+        assert not np.allclose(a, b)
+
+    def test_determinant_magnitude_one(self):
+        mat = sample_orthogonal_matrix(10, 3)
+        assert abs(abs(np.linalg.det(mat)) - 1.0) < 1e-9
+
+    def test_invalid_dim(self):
+        with pytest.raises(InvalidParameterError):
+            sample_orthogonal_matrix(0)
+
+
+class TestQRRotation:
+    def test_apply_preserves_norm(self, rng):
+        rotation = QRRotation(24, 0)
+        vecs = rng.standard_normal((10, 24))
+        rotated = rotation.apply(vecs)
+        np.testing.assert_allclose(
+            np.linalg.norm(rotated, axis=1), np.linalg.norm(vecs, axis=1), atol=1e-9
+        )
+
+    def test_apply_inverse_is_inverse(self, rng):
+        rotation = QRRotation(24, 0)
+        vecs = rng.standard_normal((5, 24))
+        np.testing.assert_allclose(
+            rotation.apply_inverse(rotation.apply(vecs)), vecs, atol=1e-9
+        )
+
+    def test_inner_product_invariance(self, rng):
+        rotation = QRRotation(16, 0)
+        a = rng.standard_normal((1, 16))
+        b = rng.standard_normal((1, 16))
+        before = (a @ b.T).item()
+        after = (rotation.apply(a) @ rotation.apply(b).T).item()
+        assert before == pytest.approx(after, abs=1e-9)
+
+    def test_as_matrix_orthogonal(self):
+        assert is_orthogonal(QRRotation(12, 0).as_matrix())
+
+    def test_dimension_check(self, rng):
+        rotation = QRRotation(8, 0)
+        with pytest.raises(DimensionMismatchError):
+            rotation.apply(rng.standard_normal((2, 9)))
+
+    def test_from_matrix_roundtrip(self):
+        mat = sample_orthogonal_matrix(6, 5)
+        rotation = QRRotation.from_matrix(mat)
+        np.testing.assert_allclose(rotation.as_matrix(), mat)
+
+    def test_from_matrix_rejects_non_square(self):
+        with pytest.raises(InvalidParameterError):
+            QRRotation.from_matrix(np.zeros((3, 4)))
+
+
+class TestHadamardTransform:
+    def test_orthogonality(self):
+        mat = hadamard_transform(np.eye(8))
+        np.testing.assert_allclose(mat @ mat.T, np.eye(8), atol=1e-9)
+
+    def test_involution(self, rng):
+        vecs = rng.standard_normal((3, 16))
+        np.testing.assert_allclose(
+            hadamard_transform(hadamard_transform(vecs)), vecs, atol=1e-9
+        )
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(InvalidParameterError):
+            hadamard_transform(np.zeros((2, 6)))
+
+    def test_known_small_case(self):
+        result = hadamard_transform(np.array([[1.0, 0.0]]))
+        np.testing.assert_allclose(result, [[1 / np.sqrt(2), 1 / np.sqrt(2)]])
+
+
+class TestFastHadamardRotation:
+    def test_norm_preserved_power_of_two(self, rng):
+        rotation = FastHadamardRotation(32, 0)
+        vecs = rng.standard_normal((6, 32))
+        np.testing.assert_allclose(
+            np.linalg.norm(rotation.apply(vecs), axis=1),
+            np.linalg.norm(vecs, axis=1),
+            atol=1e-9,
+        )
+
+    def test_inverse_power_of_two(self, rng):
+        rotation = FastHadamardRotation(64, 0)
+        vecs = rng.standard_normal((4, 64))
+        np.testing.assert_allclose(
+            rotation.apply_inverse(rotation.apply(vecs)), vecs, atol=1e-9
+        )
+
+    def test_padded_dim_for_non_power_of_two(self):
+        rotation = FastHadamardRotation(48, 0)
+        assert rotation.padded_dim == 64
+        assert not rotation.is_exactly_orthogonal()
+
+    def test_exactly_orthogonal_flag(self):
+        assert FastHadamardRotation(16, 0).is_exactly_orthogonal()
+
+    def test_invalid_rounds(self):
+        with pytest.raises(InvalidParameterError):
+            FastHadamardRotation(16, 0, rounds=0)
+
+    def test_as_matrix_shape(self):
+        assert FastHadamardRotation(8, 0).as_matrix().shape == (8, 8)
+
+
+class TestMakeRotation:
+    def test_qr_kind(self):
+        assert isinstance(make_rotation("qr", 8, 0), QRRotation)
+
+    def test_hadamard_kind(self):
+        assert isinstance(make_rotation("hadamard", 8, 0), FastHadamardRotation)
+
+    def test_unknown_kind(self):
+        with pytest.raises(InvalidParameterError):
+            make_rotation("fft", 8, 0)

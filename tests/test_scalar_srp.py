@@ -1,0 +1,145 @@
+"""Tests for repro.baselines.scalar and repro.baselines.srp."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.scalar import ScalarQuantizer
+from repro.baselines.srp import SignedRandomProjection
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyDatasetError,
+    InvalidParameterError,
+    NotFittedError,
+)
+
+
+@pytest.fixture(scope="module")
+def sq_data():
+    rng = np.random.default_rng(8)
+    return rng.standard_normal((300, 20)), rng.standard_normal(20)
+
+
+class TestScalarQuantizer:
+    def test_codes_in_range(self, sq_data):
+        data, _ = sq_data
+        sq = ScalarQuantizer(8).fit(data)
+        assert int(sq.codes.max()) <= 255
+        assert int(sq.codes.min()) >= 0
+
+    def test_reconstruction_error_small_with_8_bits(self, sq_data):
+        data, _ = sq_data
+        sq = ScalarQuantizer(8).fit(data)
+        per_dim_error = np.abs(sq.decode() - data).max()
+        value_range = data.max() - data.min()
+        assert per_dim_error <= value_range / 255
+
+    def test_error_decreases_with_bits(self, sq_data):
+        data, _ = sq_data
+        coarse = ScalarQuantizer(2).fit(data).quantization_error(data)
+        fine = ScalarQuantizer(8).fit(data).quantization_error(data)
+        assert fine < coarse
+
+    def test_estimate_matches_reconstruction(self, sq_data):
+        data, query = sq_data
+        sq = ScalarQuantizer(8).fit(data)
+        estimates = sq.estimate_distances(query)
+        expected = ((sq.decode() - query) ** 2).sum(axis=1)
+        np.testing.assert_allclose(estimates, expected, atol=1e-9)
+
+    def test_accuracy_against_true_distances(self, sq_data):
+        data, query = sq_data
+        sq = ScalarQuantizer(8).fit(data)
+        true = ((data - query) ** 2).sum(axis=1)
+        rel = np.abs(sq.estimate_distances(query) - true) / true
+        assert rel.mean() < 0.02
+
+    def test_constant_dimension_handled(self):
+        data = np.hstack(
+            [np.ones((50, 1)), np.random.default_rng(0).standard_normal((50, 3))]
+        )
+        sq = ScalarQuantizer(4).fit(data)
+        np.testing.assert_allclose(sq.decode()[:, 0], 1.0)
+
+    def test_code_size_bits(self, sq_data):
+        data, _ = sq_data
+        assert ScalarQuantizer(8).fit(data).code_size_bits() == 160
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            ScalarQuantizer(8).codes
+        with pytest.raises(NotFittedError):
+            ScalarQuantizer(8).estimate_distances(np.zeros(4))
+
+    @pytest.mark.parametrize("bits", [0, 17])
+    def test_invalid_bits(self, bits):
+        with pytest.raises(InvalidParameterError):
+            ScalarQuantizer(bits)
+
+    def test_empty_data(self):
+        with pytest.raises(EmptyDatasetError):
+            ScalarQuantizer(8).fit(np.empty((0, 4)))
+
+    def test_dim_mismatch(self, sq_data):
+        data, _ = sq_data
+        sq = ScalarQuantizer(8).fit(data)
+        with pytest.raises(DimensionMismatchError):
+            sq.encode(np.zeros((2, 21)))
+
+
+class TestSignedRandomProjection:
+    def test_sketch_shape(self, sq_data):
+        data, _ = sq_data
+        srp = SignedRandomProjection(128, rng=0).fit(data)
+        assert srp.packed_sketches.shape == (300, 2)
+
+    def test_angle_estimates_in_range(self, sq_data):
+        data, query = sq_data
+        srp = SignedRandomProjection(256, rng=0).fit(data)
+        angles = srp.estimate_angles(query)
+        assert (angles >= 0.0).all() and (angles <= np.pi).all()
+
+    def test_angle_estimation_accuracy(self, sq_data):
+        data, query = sq_data
+        srp = SignedRandomProjection(1024, rng=0).fit(data)
+        estimated = srp.estimate_angles(query)
+        cosines = (data @ query) / (
+            np.linalg.norm(data, axis=1) * np.linalg.norm(query)
+        )
+        true_angles = np.arccos(np.clip(cosines, -1.0, 1.0))
+        assert np.mean(np.abs(estimated - true_angles)) < 0.12
+
+    def test_distance_estimates_reasonable(self, sq_data):
+        data, query = sq_data
+        srp = SignedRandomProjection(1024, rng=0).fit(data)
+        true = ((data - query) ** 2).sum(axis=1)
+        rel = np.abs(srp.estimate_distances(query) - true) / true
+        assert rel.mean() < 0.35
+
+    def test_identical_vector_has_zero_angle(self, sq_data):
+        data, _ = sq_data
+        srp = SignedRandomProjection(512, rng=0).fit(data)
+        angles = srp.estimate_angles(data[0])
+        assert angles[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_code_size_bits(self):
+        assert SignedRandomProjection(64).code_size_bits() == 64
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            SignedRandomProjection(64).estimate_distances(np.zeros(4))
+
+    def test_invalid_bits(self):
+        with pytest.raises(InvalidParameterError):
+            SignedRandomProjection(0)
+
+    def test_empty_data(self):
+        with pytest.raises(EmptyDatasetError):
+            SignedRandomProjection(32).fit(np.empty((0, 4)))
+
+    def test_dim_mismatch(self, sq_data):
+        data, _ = sq_data
+        srp = SignedRandomProjection(64, rng=0).fit(data)
+        with pytest.raises(DimensionMismatchError):
+            srp.sketch(np.zeros((2, 21)))

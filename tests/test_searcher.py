@@ -1,0 +1,133 @@
+"""Tests for repro.index.searcher (IVF + quantizer ANN pipelines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pq import ProductQuantizer
+from repro.core.config import RaBitQConfig
+from repro.datasets.ground_truth import brute_force_ground_truth
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.index.rerank import NoReranker, TopCandidateReranker
+from repro.index.searcher import IVFQuantizedSearcher, SearchResult
+from repro.metrics.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def ann_setup():
+    rng = np.random.default_rng(31)
+    data = rng.standard_normal((1500, 40))
+    queries = rng.standard_normal((12, 40))
+    ground_truth = brute_force_ground_truth(data, queries, 10)
+    return data, queries, ground_truth
+
+
+@pytest.fixture(scope="module")
+def rabitq_searcher(ann_setup):
+    data, _, _ = ann_setup
+    return IVFQuantizedSearcher(
+        "rabitq", n_clusters=24, rabitq_config=RaBitQConfig(seed=0), rng=0
+    ).fit(data)
+
+
+class TestRaBitQSearcher:
+    def test_high_recall_when_probing_everything(self, ann_setup, rabitq_searcher):
+        data, queries, ground_truth = ann_setup
+        results = rabitq_searcher.search_batch(queries, 10, nprobe=24)
+        recall = recall_at_k([r.ids for r in results], ground_truth, 10)
+        assert recall >= 0.95
+
+    def test_recall_improves_with_nprobe(self, ann_setup, rabitq_searcher):
+        data, queries, ground_truth = ann_setup
+        low = recall_at_k(
+            [r.ids for r in rabitq_searcher.search_batch(queries, 10, nprobe=1)],
+            ground_truth,
+            10,
+        )
+        high = recall_at_k(
+            [r.ids for r in rabitq_searcher.search_batch(queries, 10, nprobe=16)],
+            ground_truth,
+            10,
+        )
+        assert high >= low
+
+    def test_result_structure(self, ann_setup, rabitq_searcher):
+        _, queries, _ = ann_setup
+        result = rabitq_searcher.search(queries[0], 5, nprobe=4)
+        assert isinstance(result, SearchResult)
+        assert result.ids.shape[0] <= 5
+        assert result.n_exact <= result.n_candidates
+        assert (np.diff(result.distances) >= 0).all()
+
+    def test_distances_are_exact_after_rerank(self, ann_setup, rabitq_searcher):
+        data, queries, _ = ann_setup
+        result = rabitq_searcher.search(queries[0], 5, nprobe=8)
+        expected = ((data[result.ids] - queries[0]) ** 2).sum(axis=1)
+        np.testing.assert_allclose(result.distances, expected, atol=1e-9)
+
+    def test_error_bound_rerank_prunes_candidates(self, ann_setup, rabitq_searcher):
+        _, queries, _ = ann_setup
+        result = rabitq_searcher.search(queries[0], 10, nprobe=24)
+        assert result.n_exact < result.n_candidates
+
+    def test_invalid_k(self, ann_setup, rabitq_searcher):
+        _, queries, _ = ann_setup
+        with pytest.raises(InvalidParameterError):
+            rabitq_searcher.search(queries[0], 0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            IVFQuantizedSearcher("rabitq").search(np.zeros(4), 1)
+
+    def test_no_rerank_variant(self, ann_setup):
+        data, queries, ground_truth = ann_setup
+        searcher = IVFQuantizedSearcher(
+            "rabitq",
+            n_clusters=24,
+            rabitq_config=RaBitQConfig(seed=0),
+            reranker=NoReranker(),
+            rng=0,
+        ).fit(data)
+        results = searcher.search_batch(queries, 10, nprobe=24)
+        assert all(r.n_exact == 0 for r in results)
+        recall = recall_at_k([r.ids for r in results], ground_truth, 10)
+        # Without re-ranking the recall drops but stays well above chance.
+        assert 0.2 <= recall <= 1.0
+
+
+class TestExternalQuantizerSearcher:
+    def test_pq_pipeline_recall(self, ann_setup):
+        data, queries, ground_truth = ann_setup
+        pq = ProductQuantizer(20, 4, rng=0)
+        searcher = IVFQuantizedSearcher(
+            "external",
+            external_quantizer=pq,
+            n_clusters=24,
+            reranker=TopCandidateReranker(150),
+            rng=0,
+        ).fit(data)
+        results = searcher.search_batch(queries, 10, nprobe=24)
+        recall = recall_at_k([r.ids for r in results], ground_truth, 10)
+        assert recall >= 0.9
+
+    def test_external_requires_quantizer(self):
+        with pytest.raises(InvalidParameterError):
+            IVFQuantizedSearcher("external")
+
+    def test_unknown_kind(self):
+        with pytest.raises(InvalidParameterError):
+            IVFQuantizedSearcher("lsh")
+
+    def test_exact_counts_bounded_by_budget(self, ann_setup):
+        data, queries, _ = ann_setup
+        pq = ProductQuantizer(20, 4, rng=0)
+        searcher = IVFQuantizedSearcher(
+            "external",
+            external_quantizer=pq,
+            n_clusters=24,
+            reranker=TopCandidateReranker(50),
+            rng=0,
+        ).fit(data)
+        result = searcher.search(queries[0], 10, nprobe=24)
+        assert result.n_exact <= 50

@@ -1,0 +1,143 @@
+"""Tests for repro.core.similarity (inner-product / cosine estimation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import RaBitQConfig
+from repro.core.quantizer import RaBitQ
+from repro.core.similarity import SimilarityEstimator
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def similarity_setup():
+    rng = np.random.default_rng(9)
+    data = rng.standard_normal((400, 96)) + 0.5  # non-zero mean, realistic MIPS
+    query = rng.standard_normal(96) + 0.5
+    # Pad the codes to 256 bits so the estimation error is small enough for
+    # the accuracy assertions to be meaningful rather than noise-dominated.
+    quantizer = RaBitQ(RaBitQConfig(seed=0, code_length=256)).fit(data)
+    estimator = SimilarityEstimator(quantizer).fit_raw_terms(data)
+    return data, query, estimator
+
+
+class TestConstruction:
+    def test_requires_fitted_quantizer(self):
+        with pytest.raises(NotFittedError):
+            SimilarityEstimator(RaBitQ())
+
+    def test_requires_raw_terms_before_estimation(self, similarity_setup):
+        data, query, _ = similarity_setup
+        quantizer = RaBitQ(RaBitQConfig(seed=1)).fit(data)
+        estimator = SimilarityEstimator(quantizer)
+        with pytest.raises(NotFittedError):
+            estimator.estimate_inner_products(query)
+
+    def test_raw_terms_shape_validation(self, similarity_setup):
+        data, _, _ = similarity_setup
+        quantizer = RaBitQ(RaBitQConfig(seed=1)).fit(data)
+        estimator = SimilarityEstimator(quantizer)
+        with pytest.raises(InvalidParameterError):
+            estimator.fit_raw_terms(data[:10])
+        with pytest.raises(InvalidParameterError):
+            estimator.fit_raw_terms(np.zeros((data.shape[0], data.shape[1] + 1)))
+
+
+class TestInnerProductEstimation:
+    def test_accuracy(self, similarity_setup):
+        data, query, estimator = similarity_setup
+        estimate = estimator.estimate_inner_products(query)
+        true = data @ query
+        scale = np.abs(true).mean()
+        errors = np.abs(estimate.values - true) / scale
+        # The additive error of the raw inner product scales with
+        # ||o_r - c|| * ||q_r - c||, so the error relative to the typical
+        # inner-product magnitude is sizeable at D=96 (padded to 256 bits);
+        # the assertion checks it stays within the theoretically expected
+        # range rather than being tight.
+        assert errors.mean() < 0.25
+
+    def test_unbiased_over_rotations(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((60, 48)) + 0.3
+        query = rng.standard_normal(48) + 0.3
+        true = data @ query
+        acc = np.zeros(60)
+        repeats = 25
+        for seed in range(repeats):
+            quantizer = RaBitQ(RaBitQConfig(seed=seed, code_length=128)).fit(data)
+            est = SimilarityEstimator(quantizer).fit_raw_terms(data)
+            acc += est.estimate_inner_products(query, compute="float").values
+        mean_estimate = acc / repeats
+        residual = np.abs(mean_estimate - true) / np.abs(true).mean()
+        # Averaging over 25 independent rotations shrinks the error by 5x
+        # relative to a single estimate, which is what unbiasedness predicts.
+        assert residual.mean() < 0.08
+
+    def test_bounds_bracket_values(self, similarity_setup):
+        _, query, estimator = similarity_setup
+        estimate = estimator.estimate_inner_products(query)
+        assert (estimate.lower_bounds <= estimate.values + 1e-9).all()
+        assert (estimate.values <= estimate.upper_bounds + 1e-9).all()
+
+    def test_bounds_cover_true_values_mostly(self, similarity_setup):
+        data, query, estimator = similarity_setup
+        estimate = estimator.estimate_inner_products(query)
+        true = data @ query
+        covered = (true >= estimate.lower_bounds) & (true <= estimate.upper_bounds)
+        assert covered.mean() > 0.85
+
+    def test_rejects_prepared_query(self, similarity_setup):
+        data, query, estimator = similarity_setup
+        prepared = estimator.quantizer.prepare_query(query)
+        with pytest.raises(InvalidParameterError):
+            estimator.estimate_inner_products(prepared)
+
+
+class TestCosineEstimation:
+    def test_values_in_valid_range(self, similarity_setup):
+        _, query, estimator = similarity_setup
+        estimate = estimator.estimate_cosine(query)
+        assert (estimate.values >= -1.0).all() and (estimate.values <= 1.0).all()
+
+    def test_accuracy(self, similarity_setup):
+        data, query, estimator = similarity_setup
+        estimate = estimator.estimate_cosine(query)
+        true = (data @ query) / (
+            np.linalg.norm(data, axis=1) * np.linalg.norm(query)
+        )
+        assert np.mean(np.abs(estimate.values - true)) < 0.1
+
+    def test_ranking_quality(self, similarity_setup):
+        # The estimated cosines should rank the truly most-similar vectors
+        # near the top.
+        data, query, estimator = similarity_setup
+        estimate = estimator.estimate_cosine(query)
+        true = (data @ query) / (
+            np.linalg.norm(data, axis=1) * np.linalg.norm(query)
+        )
+        top_true = set(np.argsort(-true)[:10].tolist())
+        top_est = set(np.argsort(-estimate.values)[:20].tolist())
+        assert len(top_true & top_est) >= 7
+
+
+class TestTopKInnerProduct:
+    def test_returns_high_inner_product_items(self, similarity_setup):
+        data, query, estimator = similarity_setup
+        ids, values = estimator.top_k_inner_product(query, 10)
+        true = data @ query
+        top_true = set(np.argsort(-true)[:20].tolist())
+        assert len(set(ids.tolist()) & top_true) >= 6
+        assert (np.diff(values) <= 1e-9).all()
+
+    def test_k_clipped(self, similarity_setup):
+        data, query, estimator = similarity_setup
+        ids, _ = estimator.top_k_inner_product(query, 10_000)
+        assert ids.shape[0] == data.shape[0]
+
+    def test_invalid_k(self, similarity_setup):
+        _, query, estimator = similarity_setup
+        with pytest.raises(InvalidParameterError):
+            estimator.top_k_inner_product(query, 0)

@@ -1,0 +1,137 @@
+"""Tests for repro.core.theory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.core.theory import (
+    coordinate_density,
+    epsilon0_for_failure_probability,
+    error_bound_epsilon,
+    expected_alignment,
+    failure_probability_bound,
+    recommended_query_bits,
+    scalar_quantization_error_scale,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestExpectedAlignment:
+    @pytest.mark.parametrize("dim", [100, 1000, 10_000, 100_000, 1_000_000])
+    def test_paper_range(self, dim):
+        # The paper states the expectation lies in [0.798, 0.800] for
+        # D between 1e2 and 1e6.
+        value = expected_alignment(dim)
+        assert 0.797 <= value <= 0.801
+
+    def test_monotone_convergence_to_limit(self):
+        # As D grows the expectation approaches sqrt(2 / pi) ≈ 0.7979.
+        assert abs(expected_alignment(10**6) - np.sqrt(2.0 / np.pi)) < 1e-3
+
+    def test_small_dim(self):
+        # For D = 2 the closed form reduces to sqrt(2) * E[|u_1|] with u
+        # uniform on the circle, i.e. 2 * sqrt(2) / pi ≈ 0.9003.
+        assert expected_alignment(2) == pytest.approx(2.0 * np.sqrt(2.0) / np.pi, rel=1e-9)
+
+    def test_invalid_dim(self):
+        with pytest.raises(InvalidParameterError):
+            expected_alignment(1)
+
+
+class TestCoordinateDensity:
+    def test_integrates_to_one(self):
+        xs = np.linspace(-1, 1, 4001)
+        density = coordinate_density(64, xs)
+        total = integrate.trapezoid(density, xs)
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_zero_outside_support(self):
+        assert coordinate_density(16, np.array([1.5]))[0] == 0.0
+
+    def test_symmetric(self):
+        xs = np.array([0.3])
+        assert coordinate_density(32, xs)[0] == pytest.approx(
+            coordinate_density(32, -xs)[0]
+        )
+
+    def test_invalid_dim(self):
+        with pytest.raises(InvalidParameterError):
+            coordinate_density(1, np.array([0.0]))
+
+
+class TestErrorBound:
+    def test_decreases_with_dim(self):
+        small = error_bound_epsilon(0.8, 128, 1.9)
+        large = error_bound_epsilon(0.8, 1024, 1.9)
+        assert large < small
+
+    def test_scales_linearly_with_epsilon0(self):
+        one = error_bound_epsilon(0.8, 128, 1.0)
+        two = error_bound_epsilon(0.8, 128, 2.0)
+        assert two == pytest.approx(2.0 * one)
+
+    def test_zero_alignment_gives_infinite_bound(self):
+        assert error_bound_epsilon(0.0, 128, 1.9) == np.inf
+
+    def test_perfect_alignment_gives_zero_bound(self):
+        assert error_bound_epsilon(1.0, 128, 1.9) == pytest.approx(0.0)
+
+    def test_matches_formula(self):
+        alignment, dim, eps = 0.8, 101, 1.9
+        expected = np.sqrt((1 - alignment**2) / alignment**2) * eps / np.sqrt(dim - 1)
+        assert error_bound_epsilon(alignment, dim, eps) == pytest.approx(expected)
+
+    def test_invalid_dim(self):
+        with pytest.raises(InvalidParameterError):
+            error_bound_epsilon(0.8, 1, 1.9)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            error_bound_epsilon(0.8, 128, -1.0)
+
+
+class TestFailureProbability:
+    def test_decreasing_in_epsilon(self):
+        assert failure_probability_bound(2.0) < failure_probability_bound(1.0)
+
+    def test_capped_at_one(self):
+        assert failure_probability_bound(0.0) == 1.0
+
+    def test_inverse_relationship(self):
+        delta = 0.01
+        eps = epsilon0_for_failure_probability(delta)
+        assert failure_probability_bound(eps) == pytest.approx(delta, rel=1e-9)
+
+    def test_invalid_delta(self):
+        with pytest.raises(InvalidParameterError):
+            epsilon0_for_failure_probability(1.5)
+
+    def test_invalid_c0(self):
+        with pytest.raises(InvalidParameterError):
+            failure_probability_bound(1.0, c0=0.0)
+
+
+class TestRecommendations:
+    @pytest.mark.parametrize("dim", [64, 128, 960, 10_000])
+    def test_bq_recommendation_is_four_for_practical_dims(self, dim):
+        assert recommended_query_bits(dim) == 4
+
+    def test_bq_invalid_dim(self):
+        with pytest.raises(InvalidParameterError):
+            recommended_query_bits(1)
+
+    def test_scalar_error_scale_decreases_with_bits(self):
+        assert scalar_quantization_error_scale(128, 8) < scalar_quantization_error_scale(
+            128, 2
+        )
+
+    def test_scalar_error_scale_decreases_with_dim(self):
+        assert scalar_quantization_error_scale(1024, 4) < scalar_quantization_error_scale(
+            64, 4
+        )
+
+    def test_scalar_error_scale_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            scalar_quantization_error_scale(128, 0)
