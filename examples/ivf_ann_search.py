@@ -5,6 +5,13 @@ index whose per-cluster centroids double as RaBitQ normalization centroids,
 the error-bound-based re-ranking rule (no tuning), and a comparison against
 an IVF-OPQ pipeline that needs a hand-tuned re-ranking budget.
 
+Queries are answered through the vectorized batch engine
+(``IVFQuantizedSearcher.search_batch``): IVF probing runs once for the whole
+query matrix and each probed cluster's packed codes are scanned once per
+group of queries, which is several times faster than looping ``search`` while
+returning element-wise identical results.  The final section measures that
+speedup directly.
+
 Run with:  python examples/ivf_ann_search.py
 """
 
@@ -57,12 +64,39 @@ def main() -> None:
         rng=0,
     ).fit(dataset.data)
 
-    print("\nQPS / recall trade-off (sweep of nprobe):")
+    print("\nQPS / recall trade-off (sweep of nprobe, batch engine):")
     for nprobe in (2, 4, 8, 16, 32):
         evaluate("IVF-RaBitQ", rabitq_searcher, dataset, k, nprobe)
     print()
     for nprobe in (2, 4, 8, 16, 32):
         evaluate("IVF-OPQ (rerank=200)", opq_searcher, dataset, k, nprobe)
+
+    print("\nBatch engine vs sequential per-query loop (identical results):")
+    # Two freshly built searchers with the same seeds: querying consumes the
+    # cluster quantizers' randomized-rounding streams, and batch/sequential
+    # equality is a statement about equal starting states.
+    def build_rabitq():
+        return IVFQuantizedSearcher(
+            "rabitq", n_clusters=64, rabitq_config=RaBitQConfig(seed=0), rng=0
+        ).fit(dataset.data)
+
+    nprobe = 8
+    batch_searcher, seq_searcher = build_rabitq(), build_rabitq()
+    start = time.perf_counter()
+    batch = batch_searcher.search_batch(dataset.queries, k, nprobe=nprobe)
+    t_batch = time.perf_counter() - start
+    start = time.perf_counter()
+    sequential = [seq_searcher.search(q, k, nprobe=nprobe) for q in dataset.queries]
+    t_sequential = time.perf_counter() - start
+    same_ids = all(
+        np.array_equal(b.ids, s.ids) and np.array_equal(b.distances, s.distances)
+        for b, s in zip(batch, sequential)
+    )
+    print(f"  search_batch: {len(batch) / t_batch:8.1f} QPS "
+          f"({batch.total_exact} exact computations in total)")
+    print(f"  search loop : {len(sequential) / t_sequential:8.1f} QPS")
+    print(f"  speedup     : {t_sequential / t_batch:.1f}x   "
+          f"same retrieved ids: {same_ids}")
 
     print("\nNote: absolute QPS numbers reflect the pure-Python substrate, not "
           "the paper's AVX2 kernels; the comparison of interest is the shape "

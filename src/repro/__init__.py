@@ -23,7 +23,12 @@ Quickstart
 
 from repro.core.config import RaBitQConfig
 from repro.core.estimator import DistanceEstimate
-from repro.core.quantizer import QuantizedDataset, QuantizedQuery, RaBitQ
+from repro.core.quantizer import (
+    QuantizedDataset,
+    QuantizedQuery,
+    QuantizedQueryBatch,
+    RaBitQ,
+)
 from repro.core.similarity import SimilarityEstimate, SimilarityEstimator
 from repro.exceptions import (
     DimensionMismatchError,
@@ -42,6 +47,7 @@ __all__ = [
     "DistanceEstimate",
     "QuantizedDataset",
     "QuantizedQuery",
+    "QuantizedQueryBatch",
     "SimilarityEstimator",
     "SimilarityEstimate",
     "save_rabitq",

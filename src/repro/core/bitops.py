@@ -8,6 +8,15 @@ the paper uses for estimating distances for a single data vector:
 
 where ``q_u^(j)`` is the ``j``-th bit-plane of the quantized query.  Each
 ``<x_b, q_u^(j)>`` is a bitwise AND followed by a popcount.
+
+For multi-query (batch) workloads the same decomposition is evaluated for a
+whole *matrix* of quantized queries at once: :func:`bitplanes_from_uint_batch`
+packs the bit-planes of every query and :func:`binary_dot_uint_batch` produces
+the full ``(n_queries, n_codes)`` integer inner-product matrix with one
+broadcasted AND + popcount per bit-plane.  The batch kernels are exact — they
+return the same integers as looping :func:`binary_dot_uint` over queries —
+which is what lets the batch search engine guarantee results identical to the
+per-query path.
 """
 
 from __future__ import annotations
@@ -39,7 +48,9 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     arr = np.asarray(bits)
     if arr.ndim == 0:
         raise InvalidParameterError("bits must have at least one dimension")
-    if arr.size and not np.isin(np.unique(arr), (0, 1)).all():
+    # Cheap hot-path validation: a fused elementwise check instead of the
+    # former sort-based ``np.unique`` scan (O(n log n) and an extra copy).
+    if arr.size and ((arr != 0) & (arr != 1)).any():
         raise InvalidParameterError("bits must contain only 0s and 1s")
     n_bits = arr.shape[-1]
     n_words = (n_bits + WORD_BITS - 1) // WORD_BITS
@@ -134,6 +145,116 @@ def binary_dot_uint(codes: np.ndarray, query_planes: np.ndarray) -> np.ndarray:
     return total
 
 
+#: Below this many ``n_queries * n_codes * n_words`` cells the broadcasted
+#: popcount path wins (no unpacking); above it the kernel unpacks and hands
+#: the work to BLAS GEMM, which is exact for these integer magnitudes
+#: (every partial sum stays far below 2^53).
+_BATCH_KERNEL_GEMM_CELLS = 32_768
+
+#: Cap on the float64 cells of the unpacked code matrix per GEMM call
+#: (about 256 MiB); larger code sets are processed in chunks of codes.
+_GEMM_MAX_CODE_CELLS = 32_000_000
+
+
+def binary_dot_uint_batch(
+    codes: np.ndarray,
+    query_planes: np.ndarray,
+    *,
+    query_values: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute ``<x_b, q_u>`` for every (query, code) pair (batch Eq. 21-22).
+
+    Two exact execution strategies share this entry point: small workloads
+    run the broadcasted AND + popcount directly on the packed words; large
+    ones unpack the codes (in bounded chunks along the code axis) and
+    evaluate the batch as float64 GEMMs.  The GEMM is *not* an
+    approximation — bits are 0/1 and the quantized query coordinates fit in
+    16 bits, so every product and partial sum is an integer far below 2^53
+    and float64 arithmetic is exact regardless of accumulation order.
+
+    Parameters
+    ----------
+    codes:
+        Packed binary codes, shape ``(n_codes, n_words)``.
+    query_planes:
+        Packed bit-planes of the quantized queries, shape
+        ``(n_queries, n_planes, n_words)`` (one :func:`bitplanes_from_uint`
+        stack per query, see :func:`bitplanes_from_uint_batch`).
+    query_values:
+        Optional unpacked quantized query coordinates of shape
+        ``(n_queries, n_dims)`` with ``n_dims <= n_words * 64`` — the array
+        ``query_planes`` was packed from.  Callers that still hold the raw
+        codes (e.g. :class:`~repro.core.query.QuantizedQueryMatrix`) pass
+        them here so the GEMM path skips reconstructing them from the
+        bit-planes; the result is identical either way.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer inner products of shape ``(n_queries, n_codes)`` as
+        ``int64``.  Row ``i`` equals ``binary_dot_uint(codes,
+        query_planes[i])`` exactly (both strategies are integer-exact).
+    """
+    codes_arr = np.atleast_2d(np.asarray(codes, dtype=np.uint64))
+    planes = np.asarray(query_planes, dtype=np.uint64)
+    if planes.ndim == 2:
+        planes = planes[None, :, :]
+    if planes.ndim != 3:
+        raise DimensionMismatchError(
+            "query_planes must have shape (n_queries, n_planes, n_words)"
+        )
+    if codes_arr.shape[-1] != planes.shape[-1]:
+        raise DimensionMismatchError(
+            "codes and query_planes must have the same number of words"
+        )
+    n_queries, n_planes, n_words = planes.shape
+    n_codes = codes_arr.shape[0]
+    n_bits = n_words * WORD_BITS
+    if query_values is not None:
+        provided = np.asarray(query_values)
+        if (
+            provided.ndim != 2
+            or provided.shape[0] != n_queries
+            or provided.shape[1] > n_bits
+        ):
+            raise DimensionMismatchError(
+                "query_values must have shape (n_queries, n_dims) with "
+                "n_dims <= n_words * 64"
+            )
+    total = np.zeros((n_queries, n_codes), dtype=np.int64)
+    if n_codes == 0 or n_queries == 0:
+        return total
+
+    # The GEMM strategy is exact only while every product and partial sum
+    # stays an integer below 2^53; query values of at most 16 bits guarantee
+    # that with huge margin, so wider bit-plane stacks always take the
+    # popcount path.
+    if n_planes <= 16 and n_queries * n_codes * n_words >= _BATCH_KERNEL_GEMM_CELLS:
+        values = np.zeros((n_queries, n_bits), dtype=np.float64)
+        if query_values is not None:
+            values[:, : provided.shape[1]] = provided.astype(np.float64)
+        else:
+            for j in range(n_planes):
+                values += float(1 << j) * unpack_bits(
+                    planes[:, j, :], n_bits
+                ).astype(np.float64)
+        # Chunk the code axis so the unpacked float64 code matrix stays
+        # bounded; each chunk fills a column block of the result.
+        chunk = max(1, _GEMM_MAX_CODE_CELLS // n_bits)
+        for start in range(0, n_codes, chunk):
+            block = codes_arr[start : start + chunk]
+            code_bits = unpack_bits(block, n_bits).astype(np.float64)
+            total[:, start : start + chunk] = np.rint(
+                values @ code_bits.T
+            ).astype(np.int64)
+        return total
+
+    for j in range(n_planes):
+        anded = codes_arr[None, :, :] & planes[:, j, None, :]
+        total += popcount(anded).sum(axis=-1, dtype=np.int64) << j
+    return total
+
+
 def bitplanes_from_uint(values: np.ndarray, n_bits: int) -> np.ndarray:
     """Decompose unsigned integers into packed bit-planes.
 
@@ -165,6 +286,40 @@ def bitplanes_from_uint(values: np.ndarray, n_bits: int) -> np.ndarray:
     return np.stack([pack_bits(p.astype(np.uint8)) for p in planes], axis=0)
 
 
+def bitplanes_from_uint_batch(values: np.ndarray, n_bits: int) -> np.ndarray:
+    """Decompose a matrix of unsigned integers into packed bit-planes.
+
+    Parameters
+    ----------
+    values:
+        Unsigned integers, shape ``(n_queries, n_dims)`` (one quantized query
+        per row).
+    n_bits:
+        Number of bit-planes to extract (``B_q``).
+
+    Returns
+    -------
+    numpy.ndarray
+        Packed planes of shape ``(n_queries, n_bits, ceil(n_dims / 64))``;
+        entry ``[i, j]`` equals ``bitplanes_from_uint(values[i], n_bits)[j]``.
+    """
+    vals = np.asarray(values, dtype=np.uint64)
+    if vals.ndim != 2:
+        raise DimensionMismatchError("values must be two-dimensional")
+    if n_bits < 1:
+        raise InvalidParameterError("n_bits must be at least 1")
+    max_allowed = (1 << n_bits) - 1
+    if vals.size and int(vals.max()) > max_allowed:
+        raise InvalidParameterError(
+            f"values contain {int(vals.max())} which does not fit in {n_bits} bits"
+        )
+    planes = [
+        pack_bits(((vals >> np.uint64(j)) & np.uint64(1)).astype(np.uint8))
+        for j in range(n_bits)
+    ]
+    return np.stack(planes, axis=1)
+
+
 def hamming_distance(codes_a: np.ndarray, codes_b: np.ndarray) -> np.ndarray:
     """Hamming distance between packed codes (broadcasting on the first axis)."""
     a = np.asarray(codes_a, dtype=np.uint64)
@@ -182,6 +337,8 @@ __all__ = [
     "popcount_total",
     "binary_and_popcount",
     "binary_dot_uint",
+    "binary_dot_uint_batch",
     "bitplanes_from_uint",
+    "bitplanes_from_uint_batch",
     "hamming_distance",
 ]

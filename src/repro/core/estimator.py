@@ -108,7 +108,14 @@ def inner_product_to_squared_distance(
     query_norm = float(query_to_centroid)
     if query_norm < 0.0:
         raise InvalidParameterError("query_to_centroid must be non-negative")
-    return data_norms**2 + query_norm**2 - 2.0 * data_norms * query_norm * ips
+    # Squares are spelled as multiplications, not ``**``: Python's float pow
+    # goes through libm and can differ from an IEEE multiply by 1 ULP, which
+    # would break the bit-identity between this path and the batched one.
+    return (
+        data_norms * data_norms
+        + query_norm * query_norm
+        - 2.0 * data_norms * query_norm * ips
+    )
 
 
 def estimate_distances(
@@ -161,6 +168,78 @@ def estimate_distances(
     )
 
 
+def estimate_distances_batch(
+    quantized_dot: np.ndarray,
+    alignment: np.ndarray,
+    data_to_centroid: np.ndarray,
+    query_to_centroid: np.ndarray,
+    code_length: int,
+    epsilon0: float,
+) -> DistanceEstimate:
+    """Batched variant of :func:`estimate_distances` for a query *matrix*.
+
+    Parameters
+    ----------
+    quantized_dot:
+        ``<o_bar, q>`` per (query, data vector), shape
+        ``(n_queries, n_codes)``.
+    alignment / data_to_centroid:
+        Per-data-vector arrays of shape ``(n_codes,)``, shared by all
+        queries.
+    query_to_centroid:
+        Per-query norms ``||q_r - c||``, shape ``(n_queries,)``.
+    code_length / epsilon0:
+        As in :func:`estimate_distances`.
+
+    Returns
+    -------
+    DistanceEstimate
+        All four fields have shape ``(n_queries, n_codes)``; row ``i``
+        is bit-identical to ``estimate_distances(quantized_dot[i], ...,
+        float(query_to_centroid[i]), ...)`` because every operation is the
+        same elementwise arithmetic, merely broadcast across queries.
+    """
+    dots = np.asarray(quantized_dot, dtype=np.float64)
+    align = np.asarray(alignment, dtype=np.float64)
+    data_norms = np.asarray(data_to_centroid, dtype=np.float64)
+    query_norms = np.asarray(query_to_centroid, dtype=np.float64)
+    if dots.ndim != 2:
+        raise InvalidParameterError("quantized_dot must be 2-D (queries x codes)")
+    if align.shape != (dots.shape[1],) or data_norms.shape != (dots.shape[1],):
+        raise InvalidParameterError(
+            "alignment and data_to_centroid must have shape (n_codes,)"
+        )
+    if query_norms.shape != (dots.shape[0],):
+        raise InvalidParameterError("query_to_centroid must have shape (n_queries,)")
+    if (query_norms < 0.0).any():
+        raise InvalidParameterError("query_to_centroid must be non-negative")
+
+    safe = np.where(align != 0.0, align, 1.0)
+    ips = np.where(align != 0.0, dots / safe, 0.0)
+    halfwidth = confidence_interval_halfwidth(align, code_length, epsilon0)
+
+    dn = data_norms[None, :]
+    qn = query_norms[:, None]
+    # Multiplication (not ``**``) mirrors inner_product_to_squared_distance
+    # exactly — see the note there about libm pow vs IEEE multiply.
+    dn_sq = dn * dn
+    qn_sq = qn * qn
+    distances = dn_sq + qn_sq - 2.0 * dn * qn * ips
+    ip_upper = np.minimum(ips + halfwidth, np.maximum(1.0, ips))
+    ip_lower = np.maximum(ips - halfwidth, np.minimum(-1.0, ips))
+    lower_bounds = dn_sq + qn_sq - 2.0 * dn * qn * ip_upper
+    upper_bounds = dn_sq + qn_sq - 2.0 * dn * qn * ip_lower
+    np.maximum(distances, 0.0, out=distances)
+    np.maximum(lower_bounds, 0.0, out=lower_bounds)
+    np.maximum(upper_bounds, 0.0, out=upper_bounds)
+    return DistanceEstimate(
+        distances=distances,
+        lower_bounds=lower_bounds,
+        upper_bounds=upper_bounds,
+        inner_products=ips,
+    )
+
+
 def naive_inner_product_estimate(quantized_dot: np.ndarray) -> np.ndarray:
     """The biased "treat the quantized vector as the data vector" estimator.
 
@@ -193,6 +272,7 @@ __all__ = [
     "confidence_interval_halfwidth",
     "inner_product_to_squared_distance",
     "estimate_distances",
+    "estimate_distances_batch",
     "naive_inner_product_estimate",
     "per_vector_error_bound",
     "theoretical_halfwidth_scalar",

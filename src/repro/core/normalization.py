@@ -95,6 +95,31 @@ def normalize_query(query: np.ndarray, centroid: np.ndarray) -> tuple[np.ndarray
     return residual / norm, norm
 
 
+def normalize_queries(
+    queries: np.ndarray, centroid: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize a matrix of raw queries relative to ``centroid``.
+
+    Returns ``(unit_queries, norms)`` with one row / entry per query.  The
+    norms are computed row by row with the exact same reduction as
+    :func:`normalize_query` (``np.linalg.norm`` on a 1-D vector) rather than
+    an axis-reduction over the matrix: BLAS reduces 1-D and 2-D inputs in
+    different accumulation orders, and the batch search engine relies on
+    batch preparation being bit-identical to the per-query path.
+    """
+    mat = as_float_matrix(queries, "queries")
+    centre = np.asarray(centroid, dtype=np.float64).reshape(-1)
+    if mat.shape[1] != centre.shape[0]:
+        raise DimensionMismatchError(
+            f"queries have dimension {mat.shape[1]}, centroid has {centre.shape[0]}"
+        )
+    units = np.empty_like(mat)
+    norms = np.empty(mat.shape[0], dtype=np.float64)
+    for i in range(mat.shape[0]):
+        units[i], norms[i] = normalize_query(mat[i], centre)
+    return units, norms
+
+
 def pad_vectors(vectors: np.ndarray, target_dim: int) -> np.ndarray:
     """Zero-pad vectors to ``target_dim`` columns (code-length padding).
 
@@ -120,5 +145,6 @@ __all__ = [
     "compute_centroid",
     "normalize_to_centroid",
     "normalize_query",
+    "normalize_queries",
     "pad_vectors",
 ]

@@ -6,6 +6,17 @@ integer.  To keep the computation unbiased the rounding is randomized: a
 value ``v = v_l + m * delta + t`` is rounded up with probability ``t /
 delta`` and down otherwise (Eq. 18), which makes the expected quantized
 value equal to the true value.
+
+Two granularities are provided:
+
+* :func:`quantize_query_vector` — one query at a time (Algorithm 2 as
+  written in the paper),
+* :func:`quantize_query_matrix` — a whole matrix of rotated queries at once,
+  for the batch search engine.  It consumes the randomized-rounding stream
+  in exactly the same order as row-by-row calls of
+  :func:`quantize_query_vector` (degenerate constant rows draw nothing,
+  mirroring the scalar path), so batch and sequential quantization produce
+  bit-identical codes from the same generator state.
 """
 
 from __future__ import annotations
@@ -14,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.bitops import bitplanes_from_uint
+from repro.core.bitops import bitplanes_from_uint, bitplanes_from_uint_batch
 from repro.exceptions import DimensionMismatchError, InvalidParameterError
 from repro.substrates.rng import RngLike, ensure_rng
 
@@ -118,6 +129,138 @@ def quantize_query_vector(
     )
 
 
+@dataclass(frozen=True)
+class QuantizedQueryMatrix:
+    """A batch of scalar-quantized rotated queries (one per row).
+
+    Attributes
+    ----------
+    codes:
+        Unsigned integer representations, shape ``(n_queries, code_length)``.
+    lower:
+        Per-query range minima ``v_l``, shape ``(n_queries,)``.
+    delta:
+        Per-query step sizes ``Δ``, shape ``(n_queries,)``.
+    bits:
+        Bit width ``B_q`` (shared by all queries).
+    sum_codes:
+        Per-query code sums, shape ``(n_queries,)``.
+    bitplanes:
+        Packed bit-planes, shape ``(n_queries, bits, n_words)``.
+    """
+
+    codes: np.ndarray
+    lower: np.ndarray
+    delta: np.ndarray
+    bits: int
+    sum_codes: np.ndarray
+    bitplanes: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        """Number of quantized queries in the batch."""
+        return int(self.codes.shape[0])
+
+    @property
+    def code_length(self) -> int:
+        """Number of quantized coordinates per query."""
+        return int(self.codes.shape[1])
+
+    def row(self, i: int) -> QuantizedQueryVector:
+        """The ``i``-th query as a single :class:`QuantizedQueryVector`."""
+        return QuantizedQueryVector(
+            codes=self.codes[i],
+            lower=float(self.lower[i]),
+            delta=float(self.delta[i]),
+            bits=self.bits,
+            sum_codes=int(self.sum_codes[i]),
+            bitplanes=self.bitplanes[i],
+        )
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct ``q̄ = Δ * q̄_u + v_l`` row-wise."""
+        return (
+            self.delta[:, None] * self.codes.astype(np.float64) + self.lower[:, None]
+        )
+
+
+def quantize_query_matrix(
+    rotated_queries: np.ndarray,
+    bits: int,
+    *,
+    randomized: bool = True,
+    rng: RngLike = None,
+) -> QuantizedQueryMatrix:
+    """Quantize a matrix of rotated queries into ``B_q``-bit integers.
+
+    Exactly equivalent to calling :func:`quantize_query_vector` on each row
+    with the same generator: per-row minima/maxima, step sizes and rounding
+    offsets match the scalar path bit for bit, and degenerate (constant) rows
+    consume no randomness, just as the scalar path skips its draw.
+
+    Parameters
+    ----------
+    rotated_queries:
+        The rotated queries ``q' = P^-1 q``, shape ``(n_queries,
+        code_length)``.  An empty batch (0 rows) is allowed.
+    bits / randomized / rng:
+        As in :func:`quantize_query_vector`.
+    """
+    mat = np.asarray(rotated_queries, dtype=np.float64)
+    if mat.ndim != 2:
+        raise DimensionMismatchError("rotated_queries must be a 2-D matrix")
+    n_queries, code_length = mat.shape
+    if n_queries and code_length == 0:
+        raise DimensionMismatchError("rotated_queries must be non-empty")
+    if not 1 <= int(bits) <= 16:
+        raise InvalidParameterError("bits must lie in [1, 16]")
+    bits = int(bits)
+    levels = (1 << bits) - 1
+
+    if n_queries == 0:
+        empty_codes = np.zeros((0, code_length), dtype=np.uint64)
+        return QuantizedQueryMatrix(
+            codes=empty_codes,
+            lower=np.zeros(0, dtype=np.float64),
+            delta=np.ones(0, dtype=np.float64),
+            bits=bits,
+            sum_codes=np.zeros(0, dtype=np.int64),
+            bitplanes=bitplanes_from_uint_batch(empty_codes, bits),
+        )
+
+    lower = mat.min(axis=1)
+    upper = mat.max(axis=1)
+    value_range = upper - lower
+    # Mirror the scalar branch condition (``if value_range <= 0.0``) exactly:
+    # a NaN range must land in the live branch (and consume a rounding draw)
+    # just as it does in quantize_query_vector, or the RNG streams of the two
+    # paths would desynchronize for every later row.
+    live = ~(value_range <= 0.0)
+
+    codes = np.zeros((n_queries, code_length), dtype=np.float64)
+    delta = np.ones(n_queries, dtype=np.float64)
+    if live.any():
+        delta[live] = value_range[live] / levels
+        scaled = (mat[live] - lower[live, None]) / delta[live, None]
+        if randomized:
+            generator = ensure_rng(rng)
+            offsets = generator.random((int(live.sum()), code_length))
+            codes[live] = np.floor(scaled + offsets)
+        else:
+            codes[live] = np.round(scaled)
+        codes[live] = np.clip(codes[live], 0, levels)
+    codes = codes.astype(np.uint64)
+
+    return QuantizedQueryMatrix(
+        codes=codes,
+        lower=lower,
+        delta=delta,
+        bits=bits,
+        sum_codes=codes.sum(axis=1, dtype=np.int64),
+        bitplanes=bitplanes_from_uint_batch(codes, bits),
+    )
+
+
 def dequantization_error(
     rotated_query: np.ndarray, quantized: QuantizedQueryVector
 ) -> float:
@@ -134,6 +277,8 @@ def dequantization_error(
 
 __all__ = [
     "QuantizedQueryVector",
+    "QuantizedQueryMatrix",
     "quantize_query_vector",
+    "quantize_query_matrix",
     "dequantization_error",
 ]

@@ -17,7 +17,11 @@ from repro.index.rerank import (
     NoReranker,
     TopCandidateReranker,
 )
-from repro.index.searcher import IVFQuantizedSearcher, SearchResult
+from repro.index.searcher import (
+    BatchSearchResult,
+    IVFQuantizedSearcher,
+    SearchResult,
+)
 
 __all__ = [
     "FlatIndex",
@@ -28,4 +32,5 @@ __all__ = [
     "NoReranker",
     "IVFQuantizedSearcher",
     "SearchResult",
+    "BatchSearchResult",
 ]

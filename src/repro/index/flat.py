@@ -1,7 +1,10 @@
 """Exact brute-force index.
 
 Used for ground truth, for exact re-ranking of candidates, and as the
-reference point of every accuracy metric.
+reference point of every accuracy metric.  Batch variants
+(:meth:`FlatIndex.search_batch`, :meth:`FlatIndex.rerank_batch`) answer a
+whole query matrix per call; top-k selection uses argpartition-based
+partial sorts rather than full stable sorts on the hot path.
 """
 
 from __future__ import annotations
@@ -13,7 +16,13 @@ from repro.exceptions import (
     EmptyDatasetError,
     InvalidParameterError,
 )
-from repro.substrates.linalg import as_float_matrix, squared_distances_to_point
+from repro.substrates.linalg import (
+    as_float_matrix,
+    squared_distances_to_point,
+    squared_distances_to_points,
+    stable_topk_indices,
+    topk_indices,
+)
 
 
 class FlatIndex:
@@ -61,9 +70,7 @@ class FlatIndex:
         vec = self._check_query(query)
         dists = squared_distances_to_point(self._data, vec)
         k = min(k, dists.shape[0])
-        part = np.argpartition(dists, kth=k - 1)[:k]
-        order = np.argsort(dists[part], kind="stable")
-        ids = part[order]
+        ids = topk_indices(dists, k)
         return ids.astype(np.int64), dists[ids]
 
     def rerank(
@@ -78,8 +85,53 @@ class FlatIndex:
         vec = self._check_query(query)
         dists = squared_distances_to_point(self._data[idx], vec)
         k = min(k, idx.size)
-        order = np.argsort(dists, kind="stable")[:k]
+        order = stable_topk_indices(dists, k)
         return idx[order].astype(np.int64), dists[order]
+
+    def search_batch(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Exact k-NN for every row of ``queries``: ``(ids_list, dists_list)``.
+
+        The distance matrix is computed once for the whole batch; per-query
+        top-k selection uses the argpartition-based partial sort.
+        """
+        if k <= 0:
+            raise InvalidParameterError("k must be positive")
+        mat = as_float_matrix(queries, "queries")
+        if mat.shape[0] and mat.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"queries have dimension {mat.shape[1]}, index expects {self.dim}"
+            )
+        k = min(k, self._data.shape[0])
+        dists = squared_distances_to_points(self._data, mat)
+        ids_out: list[np.ndarray] = []
+        dists_out: list[np.ndarray] = []
+        for i in range(mat.shape[0]):
+            ids = topk_indices(dists[i], k)
+            ids_out.append(ids.astype(np.int64))
+            dists_out.append(dists[i][ids])
+        return ids_out, dists_out
+
+    def rerank_batch(
+        self,
+        queries: np.ndarray,
+        candidate_ids: list[np.ndarray] | tuple[np.ndarray, ...],
+        k: int,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Exact re-ranking of one candidate list per query row."""
+        mat = as_float_matrix(queries, "queries")
+        if mat.shape[0] != len(candidate_ids):
+            raise DimensionMismatchError(
+                "need exactly one candidate list per query"
+            )
+        ids_out: list[np.ndarray] = []
+        dists_out: list[np.ndarray] = []
+        for i in range(mat.shape[0]):
+            ids, dists = self.rerank(mat[i], candidate_ids[i], k)
+            ids_out.append(ids)
+            dists_out.append(dists)
+        return ids_out, dists_out
 
 
 __all__ = ["FlatIndex"]

@@ -21,7 +21,12 @@ from repro.exceptions import (
     NotFittedError,
 )
 from repro.substrates.kmeans import kmeans_fit
-from repro.substrates.linalg import as_float_matrix, squared_distances_to_point
+from repro.substrates.linalg import (
+    as_float_matrix,
+    squared_distances_to_point,
+    squared_distances_to_points,
+    topk_indices,
+)
 from repro.substrates.rng import RngLike, ensure_rng
 
 
@@ -152,9 +157,34 @@ class IVFIndex:
         vec = self._check_query(query)
         dists = squared_distances_to_point(self.centroids, vec)
         nprobe = min(nprobe, dists.shape[0])
-        part = np.argpartition(dists, kth=nprobe - 1)[:nprobe]
-        order = np.argsort(dists[part], kind="stable")
-        return part[order].astype(np.int64)
+        return topk_indices(dists, nprobe).astype(np.int64)
+
+    def probe_batch(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
+        """Probed cluster ids for every row of ``queries`` at once.
+
+        Returns an ``(n_queries, min(nprobe, n_clusters))`` matrix whose row
+        ``i`` equals ``probe(queries[i], nprobe)`` exactly: the
+        centroid-distance matrix is computed with the same elementwise
+        arithmetic as the per-query path (broadcasted difference +
+        ``einsum`` reduction), and the selection runs the identical
+        argpartition/argsort code per row.
+        """
+        if nprobe <= 0:
+            raise InvalidParameterError("nprobe must be positive")
+        mat = as_float_matrix(queries, "queries")
+        if self._dim is None:
+            raise NotFittedError("IVFIndex must be fitted before use")
+        if mat.shape[0] and mat.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                f"queries have dimension {mat.shape[1]}, index expects {self._dim}"
+            )
+        centroids = self.centroids
+        dists = squared_distances_to_points(centroids, mat)
+        nprobe = min(nprobe, centroids.shape[0])
+        out = np.empty((mat.shape[0], nprobe), dtype=np.int64)
+        for i in range(mat.shape[0]):
+            out[i] = topk_indices(dists[i], nprobe)
+        return out
 
     def candidates(self, query: np.ndarray, nprobe: int) -> np.ndarray:
         """All vector ids contained in the probed clusters (concatenated)."""

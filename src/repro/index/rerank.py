@@ -14,6 +14,15 @@ probed IVF clusters, a re-ranking step decides which candidates get their
   holds with (very) high probability by Theorem 3.2.
 * :class:`NoReranker` — returns the candidates ranked purely by estimated
   distance (the "w/o re-ranking" ablation of Appendix F.3).
+
+Candidate selection avoids full ``O(n log n)`` stable sorts on the hot path:
+:func:`repro.substrates.linalg.stable_topk_indices` narrows the selection
+with an ``O(n)`` argpartition and only sorts the survivors, with ties broken
+by ascending index exactly as the stable full sort would.  Every strategy
+also exposes :meth:`Reranker.rerank_batch`, the per-query loop used by the
+batch search engine (the estimates differ per query, so re-ranking is
+inherently per-query work; all strategies keep batch output identical to
+looping :meth:`Reranker.rerank`).
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ import numpy as np
 from repro.core.estimator import DistanceEstimate
 from repro.exceptions import InvalidParameterError
 from repro.index.flat import FlatIndex
+from repro.substrates.linalg import stable_topk_indices
 
 
 class Reranker(abc.ABC):
@@ -48,6 +58,33 @@ class Reranker(abc.ABC):
         the cost measure the paper's QPS differences ultimately track.
         """
 
+    def rerank_batch(
+        self,
+        queries: np.ndarray,
+        candidate_ids: list[np.ndarray] | tuple[np.ndarray, ...],
+        estimates: list[DistanceEstimate] | tuple[DistanceEstimate, ...],
+        flat_index: FlatIndex,
+        k: int,
+    ) -> list[tuple[np.ndarray, np.ndarray, int]]:
+        """Re-rank one candidate list + estimate per query row.
+
+        The default implementation loops :meth:`rerank`, which guarantees
+        batch results identical to the sequential path.
+        """
+        queries_mat = np.asarray(queries, dtype=np.float64)
+        if queries_mat.ndim != 2 or queries_mat.shape[0] != len(candidate_ids):
+            raise InvalidParameterError(
+                "queries must be a matrix with one row per candidate list"
+            )
+        if len(candidate_ids) != len(estimates):
+            raise InvalidParameterError(
+                "need exactly one DistanceEstimate per candidate list"
+            )
+        return [
+            self.rerank(queries_mat[i], candidate_ids[i], estimates[i], flat_index, k)
+            for i in range(queries_mat.shape[0])
+        ]
+
 
 class NoReranker(Reranker):
     """Rank candidates purely by their estimated distances (no exact step)."""
@@ -67,7 +104,7 @@ class NoReranker(Reranker):
         k = min(k, ids.shape[0])
         if k == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), 0
-        order = np.argsort(est, kind="stable")[:k]
+        order = stable_topk_indices(est, k)
         return ids[order], est[order], 0
 
 
@@ -100,7 +137,7 @@ class TopCandidateReranker(Reranker):
         if ids.shape[0] == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), 0
         keep = min(self.n_candidates, ids.shape[0])
-        order = np.argsort(estimate.distances, kind="stable")[:keep]
+        order = stable_topk_indices(estimate.distances, keep)
         shortlist = ids[order]
         final_ids, final_dists = flat_index.rerank(query, shortlist, k)
         return final_ids, final_dists, int(shortlist.shape[0])
@@ -116,6 +153,14 @@ class ErrorBoundReranker(Reranker):
     Because candidates are visited in estimated order and the bound holds with
     high probability, the true nearest neighbours are sent to re-ranking with
     high probability while far-away candidates are skipped cheaply.
+
+    The estimated-distance ordering is materialized lazily: only a doubling
+    prefix of the stable order is computed (via argpartition-based partial
+    selection), and the scan stops early once no unvisited candidate's lower
+    bound can beat the current ``k``-th best exact distance — the threshold
+    only ever decreases, so none of the remaining candidates could ever be
+    selected.  Both changes are output-preserving: ids, distances and the
+    exact-computation count match the eager full-sort implementation.
     """
 
     def rerank(
@@ -129,34 +174,44 @@ class ErrorBoundReranker(Reranker):
         if k <= 0:
             raise InvalidParameterError("k must be positive")
         ids = np.asarray(candidate_ids, dtype=np.int64)
-        if ids.shape[0] == 0:
+        n_candidates = ids.shape[0]
+        if n_candidates == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), 0
 
-        order = np.argsort(estimate.distances, kind="stable")
-        ordered_ids = ids[order]
-        ordered_lower = estimate.lower_bounds[order]
+        est = estimate.distances
+        lower = estimate.lower_bounds
 
-        # Batch the exact-distance computations: we compute exact distances
-        # for the visited prefix lazily, but NumPy-vectorize per chunk to
+        # Batch the exact-distance computations: exact distances are computed
+        # for the visited prefix lazily, but NumPy-vectorized per chunk to
         # keep the Python overhead bounded.
         heap: list[float] = []  # max-heap via negated distances
         results: dict[int, float] = {}
         n_exact = 0
         chunk = max(64, k)
         idx = 0
-        n_candidates = ordered_ids.shape[0]
+        m = 0  # length of the materialized stable-order prefix
+        order = np.empty(0, dtype=np.intp)
         while idx < n_candidates:
-            stop = min(idx + chunk, n_candidates)
-            block_ids = ordered_ids[idx:stop]
-            block_lower = ordered_lower[idx:stop]
+            if idx >= m:
+                if len(heap) >= k:
+                    threshold = -heap[0]
+                    unvisited = np.ones(n_candidates, dtype=bool)
+                    unvisited[order[:idx]] = False
+                    if not (lower[unvisited] <= threshold).any():
+                        break
+                m = min(n_candidates, max(chunk, 2 * m))
+                order = stable_topk_indices(est, m)
+            stop = min(idx + chunk, m)
+            block = order[idx:stop]
             threshold = -heap[0] if len(heap) >= k else np.inf
             # Candidates whose lower bound already exceeds the k-th best exact
             # distance can be dropped without computing their exact distance.
-            selected = block_ids[block_lower <= threshold]
+            selected = block[lower[block] <= threshold]
             if selected.shape[0] > 0:
-                exact = flat_index.distances(query, selected)
+                selected_ids = ids[selected]
+                exact = flat_index.distances(query, selected_ids)
                 n_exact += int(selected.shape[0])
-                for vec_id, dist in zip(selected.tolist(), exact.tolist()):
+                for vec_id, dist in zip(selected_ids.tolist(), exact.tolist()):
                     if len(heap) < k:
                         heapq.heappush(heap, -dist)
                         results[vec_id] = dist
@@ -167,13 +222,10 @@ class ErrorBoundReranker(Reranker):
 
         if not results:
             # Fall back to the estimated ranking if every candidate was pruned
-            # (can only happen with a pathological, e.g. zero-width, bound).
+            # (can only happen with a pathological, e.g. NaN, bound).
             fallback = min(k, n_candidates)
-            return (
-                ordered_ids[:fallback],
-                estimate.distances[order][:fallback],
-                n_exact,
-            )
+            full_order = stable_topk_indices(est, fallback)
+            return ids[full_order], est[full_order], n_exact
         sorted_items = sorted(results.items(), key=lambda item: item[1])[:k]
         final_ids = np.asarray([item[0] for item in sorted_items], dtype=np.int64)
         final_dists = np.asarray([item[1] for item in sorted_items], dtype=np.float64)

@@ -85,6 +85,83 @@ def squared_distances_to_point(matrix: np.ndarray, point: np.ndarray) -> np.ndar
     return np.einsum("ij,ij->i", diff, diff)
 
 
+#: Cap on the float64 cells of the per-chunk difference tensor in
+#: :func:`squared_distances_to_points` (about 256 MiB).
+_DIST_BATCH_MAX_CELLS = 32_000_000
+
+
+def squared_distances_to_points(matrix: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Squared distances from every row of ``matrix`` to every row of ``points``.
+
+    Returns a matrix of shape ``(len(points), len(matrix))`` whose row ``i``
+    is bit-identical to ``squared_distances_to_point(matrix, points[i])``
+    (broadcasted difference + the same ``einsum`` reduction — unlike
+    :func:`pairwise_squared_distances`, whose norm-expansion trick is faster
+    but rounds differently).  The point axis is processed in chunks so the
+    intermediate difference tensor stays bounded.
+    """
+    mat = as_float_matrix(matrix, "matrix")
+    pts = as_float_matrix(points, "points")
+    if pts.shape[0] and mat.shape[1] != pts.shape[1]:
+        raise DimensionMismatchError(
+            f"dimension mismatch: matrix has D={mat.shape[1]}, "
+            f"points have D={pts.shape[1]}"
+        )
+    out = np.empty((pts.shape[0], mat.shape[0]), dtype=np.float64)
+    chunk = max(1, _DIST_BATCH_MAX_CELLS // max(1, mat.shape[0] * mat.shape[1]))
+    for start in range(0, pts.shape[0], chunk):
+        block = pts[start : start + chunk]
+        diff = mat[None, :, :] - block[:, None, :]
+        out[start : start + chunk] = np.einsum("qij,qij->qi", diff, diff)
+    return out
+
+
+def topk_indices(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest entries, in ascending value order.
+
+    The classic argpartition + partial-sort idiom shared by the flat and IVF
+    probing paths.  Unlike :func:`stable_topk_indices`, ties at the
+    selection boundary are resolved by ``argpartition`` (deterministically
+    for a given input, but not by index), which is the long-standing
+    behavior of those call sites.  ``k`` must satisfy ``1 <= k <= len(values)``
+    (callers clamp).
+    """
+    vals = np.asarray(values)
+    part = np.argpartition(vals, kth=k - 1)[:k]
+    order = np.argsort(vals[part], kind="stable")
+    return part[order]
+
+
+def stable_topk_indices(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest entries, in stable ascending order.
+
+    Returns exactly ``np.argsort(values, kind="stable")[:k]`` — ties are
+    broken by ascending index — but avoids the full ``O(n log n)`` stable
+    sort on the hot path: an ``O(n)`` ``argpartition`` narrows the
+    selection, boundary ties are resolved explicitly in index order, and
+    only the ``k`` survivors are sorted.
+    """
+    vals = np.asarray(values)
+    if vals.ndim != 1:
+        raise DimensionMismatchError("values must be one-dimensional")
+    n = vals.shape[0]
+    if k >= n:
+        return np.argsort(vals, kind="stable")
+    if k <= 0:
+        return np.empty(0, dtype=np.intp)
+    part = np.argpartition(vals, kth=k - 1)[:k]
+    boundary = vals[part].max()
+    strict = np.flatnonzero(vals < boundary)
+    ties = np.flatnonzero(vals == boundary)[: k - strict.shape[0]]
+    chosen = np.concatenate([strict, ties])
+    if chosen.shape[0] < k:
+        # NaN boundary (argpartition sorts NaN last): fall back to the
+        # reference stable sort, which handles NaN placement consistently.
+        return np.argsort(vals, kind="stable")[:k]
+    order = np.argsort(vals[chosen], kind="stable")
+    return chosen[order]
+
+
 def is_orthogonal(matrix: np.ndarray, *, atol: float = 1e-8) -> bool:
     """Return ``True`` if ``matrix`` is (numerically) orthogonal."""
     mat = np.asarray(matrix, dtype=np.float64)
@@ -118,6 +195,9 @@ __all__ = [
     "normalize_rows",
     "pairwise_squared_distances",
     "squared_distances_to_point",
+    "squared_distances_to_points",
+    "topk_indices",
+    "stable_topk_indices",
     "is_orthogonal",
     "gram_schmidt",
 ]

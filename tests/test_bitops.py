@@ -9,7 +9,9 @@ from repro.core.bitops import (
     WORD_BITS,
     binary_and_popcount,
     binary_dot_uint,
+    binary_dot_uint_batch,
     bitplanes_from_uint,
+    bitplanes_from_uint_batch,
     hamming_distance,
     pack_bits,
     popcount,
@@ -39,6 +41,26 @@ class TestPackUnpack:
     def test_rejects_non_binary(self):
         with pytest.raises(InvalidParameterError):
             pack_bits(np.array([0, 1, 2]))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            np.array([0, 1, -1]),
+            np.array([0.5, 0.0, 1.0]),
+            np.array([[0, 1], [1, 2]]),
+            np.array([0, 1, 1 + 1e-9]),
+        ],
+        ids=["negative", "fractional", "matrix-with-two", "near-one"],
+    )
+    def test_rejects_non_binary_variants(self, bad):
+        with pytest.raises(InvalidParameterError):
+            pack_bits(bad)
+
+    def test_accepts_bool_and_float_binaries(self):
+        np.testing.assert_array_equal(
+            pack_bits(np.array([True, False, True])),
+            pack_bits(np.array([1.0, 0.0, 1.0])),
+        )
 
     def test_rejects_scalar(self):
         with pytest.raises(InvalidParameterError):
@@ -101,6 +123,112 @@ class TestBinaryDotProducts:
             )
 
 
+class TestBinaryDotUintBatch:
+    def test_matches_naive(self, rng):
+        n_bits = 4
+        codes = rng.integers(0, 2, size=(12, 70)).astype(np.uint8)
+        values = rng.integers(0, 2**n_bits, size=(5, 70)).astype(np.uint64)
+        expected = values.astype(np.int64) @ codes.T.astype(np.int64)
+        planes = bitplanes_from_uint_batch(values, n_bits)
+        result = binary_dot_uint_batch(pack_bits(codes), planes)
+        np.testing.assert_array_equal(result, expected)
+
+    def test_gemm_path_matches_popcount_path(self, rng):
+        # 64 queries x 256 codes x 2 words crosses the GEMM dispatch
+        # threshold; the result must still be the exact integer matrix.
+        n_bits = 4
+        codes = rng.integers(0, 2, size=(256, 128)).astype(np.uint8)
+        values = rng.integers(0, 2**n_bits, size=(64, 128)).astype(np.uint64)
+        planes = bitplanes_from_uint_batch(values, n_bits)
+        packed = pack_bits(codes)
+        result = binary_dot_uint_batch(packed, planes)
+        for i in (0, 31, 63):
+            np.testing.assert_array_equal(result[i], binary_dot_uint(packed, planes[i]))
+
+    def test_query_values_fast_path_matches(self, rng):
+        n_bits = 4
+        codes = rng.integers(0, 2, size=(256, 100)).astype(np.uint8)
+        values = rng.integers(0, 2**n_bits, size=(64, 100)).astype(np.uint64)
+        planes = bitplanes_from_uint_batch(values, n_bits)
+        packed = pack_bits(codes)
+        np.testing.assert_array_equal(
+            binary_dot_uint_batch(packed, planes, query_values=values),
+            binary_dot_uint_batch(packed, planes),
+        )
+
+    def test_query_values_shape_mismatch(self, rng):
+        codes = pack_bits(rng.integers(0, 2, size=(256, 128)).astype(np.uint8))
+        values = rng.integers(0, 16, size=(64, 128)).astype(np.uint64)
+        planes = bitplanes_from_uint_batch(values, 4)
+        with pytest.raises(DimensionMismatchError):
+            binary_dot_uint_batch(codes, planes, query_values=values[:10])
+
+    @pytest.mark.parametrize("n_codes", [4, 256], ids=["popcount-path", "gemm-path"])
+    def test_query_values_rejects_1d_on_both_paths(self, rng, n_codes):
+        codes = pack_bits(rng.integers(0, 2, size=(n_codes, 128)).astype(np.uint8))
+        values = rng.integers(0, 16, size=(64, 128)).astype(np.uint64)
+        planes = bitplanes_from_uint_batch(values, 4)
+        with pytest.raises(DimensionMismatchError):
+            binary_dot_uint_batch(codes, planes, query_values=values[0])
+
+    def test_wide_planes_stay_exact(self, rng):
+        # Query values beyond 16 bits could overflow the float64 GEMM's
+        # exactness margin, so workloads with wide bit-plane stacks must
+        # take the popcount path and stay integer-exact even above the
+        # GEMM dispatch threshold (64 * 512 * 1 = 32768 cells here).
+        n_bits = 20
+        codes = rng.integers(0, 2, size=(512, 64)).astype(np.uint8)
+        values = rng.integers(0, 1 << n_bits, size=(64, 64)).astype(np.uint64)
+        planes = bitplanes_from_uint_batch(values, n_bits)
+        packed = pack_bits(codes)
+        result = binary_dot_uint_batch(packed, planes)
+        for i in (0, 63):
+            np.testing.assert_array_equal(result[i], binary_dot_uint(packed, planes[i]))
+
+    def test_gemm_code_chunking_matches(self, rng, monkeypatch):
+        import repro.core.bitops as bitops_module
+
+        codes = pack_bits(rng.integers(0, 2, size=(300, 128)).astype(np.uint8))
+        values = rng.integers(0, 16, size=(40, 128)).astype(np.uint64)
+        planes = bitplanes_from_uint_batch(values, 4)
+        full = binary_dot_uint_batch(codes, planes)
+        # Force several code chunks within the GEMM path.
+        monkeypatch.setattr(bitops_module, "_GEMM_MAX_CODE_CELLS", 128 * 70)
+        chunked = binary_dot_uint_batch(codes, planes)
+        np.testing.assert_array_equal(full, chunked)
+
+    def test_single_query_planes_promoted(self, rng):
+        n_bits = 3
+        codes = rng.integers(0, 2, size=(6, 64)).astype(np.uint8)
+        values = rng.integers(0, 2**n_bits, size=64).astype(np.uint64)
+        planes = bitplanes_from_uint(values, n_bits)
+        packed = pack_bits(codes)
+        result = binary_dot_uint_batch(packed, planes)
+        assert result.shape == (1, 6)
+        np.testing.assert_array_equal(result[0], binary_dot_uint(packed, planes))
+
+    def test_empty_inputs(self):
+        codes = np.zeros((0, 1), dtype=np.uint64)
+        planes = np.zeros((3, 2, 1), dtype=np.uint64)
+        assert binary_dot_uint_batch(codes, planes).shape == (3, 0)
+        assert binary_dot_uint_batch(
+            np.zeros((4, 1), dtype=np.uint64), np.zeros((0, 2, 1), dtype=np.uint64)
+        ).shape == (0, 4)
+
+    def test_word_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            binary_dot_uint_batch(
+                np.zeros((2, 1), dtype=np.uint64), np.zeros((3, 4, 2), dtype=np.uint64)
+            )
+
+    def test_bad_plane_rank(self):
+        with pytest.raises(DimensionMismatchError):
+            binary_dot_uint_batch(
+                np.zeros((2, 1), dtype=np.uint64),
+                np.zeros((2, 3, 4, 1), dtype=np.uint64),
+            )
+
+
 class TestBitplanes:
     def test_roundtrip_values(self, rng):
         values = rng.integers(0, 16, size=100).astype(np.uint64)
@@ -122,6 +250,25 @@ class TestBitplanes:
     def test_invalid_bit_count(self):
         with pytest.raises(InvalidParameterError):
             bitplanes_from_uint(np.zeros(4, dtype=np.uint64), 0)
+
+    def test_batch_matches_per_row(self, rng):
+        values = rng.integers(0, 16, size=(5, 100)).astype(np.uint64)
+        planes = bitplanes_from_uint_batch(values, 4)
+        assert planes.shape == (5, 4, 2)
+        for i in range(5):
+            np.testing.assert_array_equal(planes[i], bitplanes_from_uint(values[i], 4))
+
+    def test_batch_requires_2d(self):
+        with pytest.raises(DimensionMismatchError):
+            bitplanes_from_uint_batch(np.zeros(4, dtype=np.uint64), 2)
+
+    def test_batch_value_overflow_raises(self):
+        with pytest.raises(InvalidParameterError):
+            bitplanes_from_uint_batch(np.array([[16]], dtype=np.uint64), 4)
+
+    def test_batch_empty(self):
+        planes = bitplanes_from_uint_batch(np.zeros((0, 70), dtype=np.uint64), 3)
+        assert planes.shape == (0, 3, 2)
 
 
 class TestHammingDistance:

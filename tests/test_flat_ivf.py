@@ -65,6 +65,53 @@ class TestFlatIndex:
         ids, dists = FlatIndex(data).rerank(query, np.empty(0, dtype=np.int64), 5)
         assert ids.size == 0 and dists.size == 0
 
+    def test_search_batch_matches_search(self, flat_data):
+        data, query = flat_data
+        rng = np.random.default_rng(4)
+        queries = np.vstack([query, rng.standard_normal((5, 16))])
+        index = FlatIndex(data)
+        ids_list, dists_list = index.search_batch(queries, 7)
+        assert len(ids_list) == 6
+        for i in range(6):
+            want_ids, want_dists = index.search(queries[i], 7)
+            np.testing.assert_array_equal(ids_list[i], want_ids)
+            np.testing.assert_array_equal(dists_list[i], want_dists)
+
+    def test_search_batch_chunking_matches(self, flat_data, monkeypatch):
+        import repro.substrates.linalg as linalg_module
+
+        data, _ = flat_data
+        rng = np.random.default_rng(5)
+        queries = rng.standard_normal((9, 16))
+        index = FlatIndex(data)
+        full = index.search_batch(queries, 4)
+        # Force a tiny chunk so several chunks are exercised.
+        monkeypatch.setattr(linalg_module, "_DIST_BATCH_MAX_CELLS", 1)
+        chunked = index.search_batch(queries, 4)
+        for a, b in zip(full[0], chunked[0]):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(full[1], chunked[1]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_rerank_batch_matches_rerank(self, flat_data):
+        data, query = flat_data
+        rng = np.random.default_rng(6)
+        queries = np.vstack([query, rng.standard_normal(16)])
+        candidates = [np.arange(30, dtype=np.int64), np.arange(50, 90, dtype=np.int64)]
+        index = FlatIndex(data)
+        ids_list, dists_list = index.rerank_batch(queries, candidates, 5)
+        for i in range(2):
+            want_ids, want_dists = index.rerank(queries[i], candidates[i], 5)
+            np.testing.assert_array_equal(ids_list[i], want_ids)
+            np.testing.assert_array_equal(dists_list[i], want_dists)
+
+    def test_rerank_batch_length_mismatch(self, flat_data):
+        data, query = flat_data
+        with pytest.raises(DimensionMismatchError):
+            FlatIndex(data).rerank_batch(
+                np.vstack([query, query]), [np.arange(3)], 2
+            )
+
     def test_len_and_dim(self, flat_data):
         data, _ = flat_data
         index = FlatIndex(data)

@@ -14,6 +14,7 @@ from repro.substrates.linalg import (
     pairwise_squared_distances,
     squared_distances_to_point,
     squared_norms,
+    stable_topk_indices,
 )
 
 
@@ -117,3 +118,50 @@ class TestOrthogonality:
         mat = np.array([[1.0, 0.0], [2.0, 0.0]])
         with pytest.raises(ValueError):
             gram_schmidt(mat)
+
+
+class TestStableTopkIndices:
+    def test_matches_stable_argsort_prefix(self, rng):
+        values = rng.standard_normal(300)
+        for k in (1, 5, 120, 299):
+            np.testing.assert_array_equal(
+                stable_topk_indices(values, k),
+                np.argsort(values, kind="stable")[:k],
+            )
+
+    def test_tie_order_is_stable(self):
+        # Many duplicates straddling the selection boundary: ties must be
+        # broken by ascending index, exactly like the stable full sort.
+        values = np.array([2.0, 1.0, 1.0, 0.5, 1.0, 1.0, 2.0, 1.0])
+        np.testing.assert_array_equal(
+            stable_topk_indices(values, 4), np.array([3, 1, 2, 4])
+        )
+        np.testing.assert_array_equal(
+            stable_topk_indices(values, 6), np.array([3, 1, 2, 4, 5, 7])
+        )
+
+    def test_all_equal_values(self):
+        values = np.full(10, 7.5)
+        np.testing.assert_array_equal(stable_topk_indices(values, 4), np.arange(4))
+
+    def test_k_at_least_n_returns_full_order(self, rng):
+        values = rng.standard_normal(20)
+        np.testing.assert_array_equal(
+            stable_topk_indices(values, 20), np.argsort(values, kind="stable")
+        )
+        np.testing.assert_array_equal(
+            stable_topk_indices(values, 50), np.argsort(values, kind="stable")
+        )
+
+    def test_k_nonpositive(self):
+        assert stable_topk_indices(np.arange(5.0), 0).size == 0
+
+    def test_requires_1d(self):
+        with pytest.raises(DimensionMismatchError):
+            stable_topk_indices(np.zeros((2, 2)), 1)
+
+    def test_nan_fallback_matches_stable_sort(self):
+        values = np.array([np.nan, 1.0, np.nan, 0.0])
+        np.testing.assert_array_equal(
+            stable_topk_indices(values, 3), np.argsort(values, kind="stable")[:3]
+        )

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.normalization import (
     compute_centroid,
+    normalize_queries,
     normalize_query,
     normalize_to_centroid,
     pad_vectors,
@@ -76,6 +77,27 @@ class TestNormalizeQuery:
     def test_dim_mismatch(self):
         with pytest.raises(DimensionMismatchError):
             normalize_query(np.zeros(4), np.zeros(5))
+
+
+class TestNormalizeQueries:
+    def test_matches_per_row_exactly(self, rng):
+        queries = rng.standard_normal((6, 8))
+        centroid = rng.standard_normal(8)
+        queries[2] = centroid  # zero-residual row
+        units, norms = normalize_queries(queries, centroid)
+        assert units.shape == (6, 8) and norms.shape == (6,)
+        for i in range(6):
+            unit, norm = normalize_query(queries[i], centroid)
+            np.testing.assert_array_equal(units[i], unit)
+            assert norms[i] == norm
+
+    def test_empty_batch(self):
+        units, norms = normalize_queries(np.empty((0, 5)), np.zeros(5))
+        assert units.shape == (0, 5) and norms.shape == (0,)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            normalize_queries(np.zeros((2, 4)), np.zeros(5))
 
 
 class TestPadVectors:

@@ -92,6 +92,138 @@ class TestTopCandidateReranker:
             TopCandidateReranker(0)
 
 
+class TestTieOrder:
+    """The argpartition-based selection must break ties like a stable sort."""
+
+    def _tied_estimate(self):
+        from repro.core.estimator import DistanceEstimate
+
+        # Heavy duplication straddling every interesting boundary.
+        est = np.array([3.0, 1.0, 2.0, 1.0, 1.0, 2.0, 1.0, 3.0, 2.0, 1.0])
+        return DistanceEstimate(
+            distances=est,
+            lower_bounds=est - 0.5,
+            upper_bounds=est + 0.5,
+            inner_products=np.zeros_like(est),
+        )
+
+    def test_no_reranker_tie_order(self, rerank_setup):
+        query, _, _, flat, _ = rerank_setup
+        estimate = self._tied_estimate()
+        ids = np.arange(100, 110, dtype=np.int64)
+        out_ids, out_dists, _ = NoReranker().rerank(query, ids, estimate, flat, 7)
+        reference = ids[np.argsort(estimate.distances, kind="stable")[:7]]
+        np.testing.assert_array_equal(out_ids, reference)
+        np.testing.assert_array_equal(
+            out_dists, estimate.distances[np.argsort(estimate.distances, kind="stable")[:7]]
+        )
+
+    def test_top_candidate_tie_order(self, rerank_setup):
+        query, _, _, flat, _ = rerank_setup
+        estimate = self._tied_estimate()
+        ids = np.arange(10, dtype=np.int64)
+        # Budget of 3 cuts through the block of tied 1.0 estimates: the
+        # shortlist must contain the lowest-index ties, as a stable full
+        # sort would select.
+        out_ids, _, n_exact = TopCandidateReranker(3).rerank(
+            query, ids, estimate, flat, 3
+        )
+        assert n_exact == 3
+        assert set(out_ids.tolist()) == {1, 3, 4}
+
+
+class TestErrorBoundLazyOrdering:
+    """The lazy-prefix + early-exit scan must reproduce the eager algorithm."""
+
+    @staticmethod
+    def _eager_reference(query, candidate_ids, estimate, flat_index, k):
+        """The original eager implementation: full stable sort, no early exit."""
+        import heapq
+
+        ids = np.asarray(candidate_ids, dtype=np.int64)
+        order = np.argsort(estimate.distances, kind="stable")
+        ordered_ids = ids[order]
+        ordered_lower = estimate.lower_bounds[order]
+        heap, results, n_exact = [], {}, 0
+        chunk = max(64, k)
+        idx = 0
+        while idx < ordered_ids.shape[0]:
+            stop = min(idx + chunk, ordered_ids.shape[0])
+            block_ids = ordered_ids[idx:stop]
+            block_lower = ordered_lower[idx:stop]
+            threshold = -heap[0] if len(heap) >= k else np.inf
+            selected = block_ids[block_lower <= threshold]
+            if selected.shape[0] > 0:
+                exact = flat_index.distances(query, selected)
+                n_exact += int(selected.shape[0])
+                for vec_id, dist in zip(selected.tolist(), exact.tolist()):
+                    if len(heap) < k:
+                        heapq.heappush(heap, -dist)
+                        results[vec_id] = dist
+                    elif dist < -heap[0]:
+                        heapq.heapreplace(heap, -dist)
+                        results[vec_id] = dist
+            idx = stop
+        items = sorted(results.items(), key=lambda item: item[1])[:k]
+        return (
+            np.asarray([i for i, _ in items], dtype=np.int64),
+            np.asarray([d for _, d in items], dtype=np.float64),
+            n_exact,
+        )
+
+    @pytest.mark.parametrize("k", [1, 7, 64, 130])
+    def test_matches_eager_reference(self, rerank_setup, k):
+        query, ids, estimate, flat, _ = rerank_setup
+        got = ErrorBoundReranker().rerank(query, ids, estimate, flat, k)
+        want = self._eager_reference(query, ids, estimate, flat, k)
+        np.testing.assert_array_equal(got[0], want[0])
+        np.testing.assert_array_equal(got[1], want[1])
+        assert got[2] == want[2]
+
+    def test_matches_eager_reference_with_ties(self, rerank_setup):
+        query, ids, estimate, flat, _ = rerank_setup
+        # Quantize the estimates coarsely to create massive tie blocks.
+        from repro.core.estimator import DistanceEstimate
+
+        tied = DistanceEstimate(
+            distances=np.round(estimate.distances, 0),
+            lower_bounds=np.round(estimate.lower_bounds, 0),
+            upper_bounds=estimate.upper_bounds,
+            inner_products=estimate.inner_products,
+        )
+        got = ErrorBoundReranker().rerank(query, ids, tied, flat, 10)
+        want = self._eager_reference(query, ids, tied, flat, 10)
+        np.testing.assert_array_equal(got[0], want[0])
+        np.testing.assert_array_equal(got[1], want[1])
+        assert got[2] == want[2]
+
+
+class TestRerankBatch:
+    def test_default_batch_matches_loop(self, rerank_setup):
+        query, ids, estimate, flat, _ = rerank_setup
+        rng = np.random.default_rng(3)
+        queries = np.stack([query, query + 0.1 * rng.standard_normal(query.shape[0])])
+        estimates = [estimate, _slice(estimate, len(ids))]
+        candidate_lists = [ids, ids]
+        for reranker in (NoReranker(), TopCandidateReranker(50), ErrorBoundReranker()):
+            batch = reranker.rerank_batch(queries, candidate_lists, estimates, flat, 5)
+            assert len(batch) == 2
+            for i, (got_ids, got_dists, got_exact) in enumerate(batch):
+                want_ids, want_dists, want_exact = reranker.rerank(
+                    queries[i], candidate_lists[i], estimates[i], flat, 5
+                )
+                np.testing.assert_array_equal(got_ids, want_ids)
+                np.testing.assert_array_equal(got_dists, want_dists)
+                assert got_exact == want_exact
+
+    def test_batch_shape_validation(self, rerank_setup):
+        query, ids, estimate, flat, _ = rerank_setup
+        with pytest.raises(InvalidParameterError):
+            NoReranker().rerank_batch(
+                np.stack([query, query]), [ids], [estimate], flat, 5
+            )
+
+
 class TestErrorBoundReranker:
     def test_finds_true_nearest_neighbours(self, rerank_setup):
         query, ids, estimate, flat, true_order = rerank_setup

@@ -10,7 +10,11 @@ from repro.core.config import RaBitQConfig
 from repro.datasets.ground_truth import brute_force_ground_truth
 from repro.exceptions import InvalidParameterError, NotFittedError
 from repro.index.rerank import NoReranker, TopCandidateReranker
-from repro.index.searcher import IVFQuantizedSearcher, SearchResult
+from repro.index.searcher import (
+    BatchSearchResult,
+    IVFQuantizedSearcher,
+    SearchResult,
+)
 from repro.metrics.recall import recall_at_k
 
 
@@ -94,6 +98,66 @@ class TestRaBitQSearcher:
         recall = recall_at_k([r.ids for r in results], ground_truth, 10)
         # Without re-ranking the recall drops but stays well above chance.
         assert 0.2 <= recall <= 1.0
+
+
+class TestRecallRegression:
+    """Pin IVF-RaBitQ recall on the seeded synthetic dataset.
+
+    Every component is seeded, so these operating points are deterministic;
+    the thresholds sit just below the measured values (0.733 at nprobe=8,
+    0.933 at nprobe=16) so that future performance work cannot silently
+    degrade accuracy.  A fresh searcher is built per point because querying
+    consumes the cluster quantizers' randomized-rounding streams.
+    """
+
+    @pytest.mark.parametrize(
+        "nprobe,min_recall", [(8, 0.70), (16, 0.90)]
+    )
+    def test_recall_at_10_pinned(self, ann_setup, nprobe, min_recall):
+        data, queries, ground_truth = ann_setup
+        searcher = IVFQuantizedSearcher(
+            "rabitq", n_clusters=24, rabitq_config=RaBitQConfig(seed=0), rng=0
+        ).fit(data)
+        results = searcher.search_batch(queries, 10, nprobe=nprobe)
+        recall = recall_at_k([r.ids for r in results], ground_truth, 10)
+        assert recall >= min_recall
+
+
+class TestBatchSearch:
+    def test_batch_result_type_and_counters(self, ann_setup, rabitq_searcher):
+        _, queries, _ = ann_setup
+        result = rabitq_searcher.search_batch(queries, 5, nprobe=4)
+        assert isinstance(result, BatchSearchResult)
+        assert len(result) == queries.shape[0]
+        assert result.n_candidates.shape == (queries.shape[0],)
+        assert result.total_exact <= result.total_candidates
+        assert all(isinstance(r, SearchResult) for r in result)
+
+    def test_batch_matches_sequential_loop(self, ann_setup):
+        data, queries, _ = ann_setup
+
+        def build():
+            return IVFQuantizedSearcher(
+                "rabitq", n_clusters=24, rabitq_config=RaBitQConfig(seed=0), rng=0
+            ).fit(data)
+
+        batch = build().search_batch(queries, 10, nprobe=8)
+        seq_searcher = build()
+        sequential = [seq_searcher.search(q, 10, nprobe=8) for q in queries]
+        for got, want in zip(batch, sequential):
+            np.testing.assert_array_equal(got.ids, want.ids)
+            np.testing.assert_array_equal(got.distances, want.distances)
+            assert got.n_candidates == want.n_candidates
+            assert got.n_exact == want.n_exact
+
+    def test_batch_invalid_k(self, ann_setup, rabitq_searcher):
+        _, queries, _ = ann_setup
+        with pytest.raises(InvalidParameterError):
+            rabitq_searcher.search_batch(queries, 0)
+
+    def test_batch_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            IVFQuantizedSearcher("rabitq").search_batch(np.zeros((2, 4)), 1)
 
 
 class TestExternalQuantizerSearcher:
