@@ -12,6 +12,10 @@ group of queries, which is several times faster than looping ``search`` while
 returning element-wise identical results.  The final section measures that
 speedup directly.
 
+The searcher built here is also fully mutable and persistable —
+``insert`` / ``delete`` / ``compact`` and ``save_searcher`` /
+``load_searcher`` (see ``examples/quickstart.py`` for that lifecycle).
+
 Run with:  python examples/ivf_ann_search.py
 """
 

@@ -9,7 +9,13 @@ This example mirrors the paper's Algorithm 1 (index phase) and Algorithm 2
 3. compare the estimates (and their confidence intervals) with the exact
    distances,
 4. estimate distances for a whole *batch* of queries at once with
-   ``estimate_distances_batch``.
+   ``estimate_distances_batch``,
+5. run the full mutable index lifecycle: build an ``IVFQuantizedSearcher``,
+   ``insert`` new vectors (encoded incrementally against the fitted
+   rotation and centroids), ``delete`` vectors by id (tombstones +
+   automatic compaction), and ``save_searcher`` / ``load_searcher`` the
+   whole thing — a reloaded searcher answers queries *bit-identically*,
+   including the randomized-rounding streams.
 
 When to batch: ``estimate_distances`` answers one query; whenever several
 queries are available together (offline evaluation, multi-user serving),
@@ -23,9 +29,13 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
-from repro import RaBitQ, RaBitQConfig
+from repro import RaBitQ, RaBitQConfig, load_searcher, save_searcher
+from repro.index.searcher import IVFQuantizedSearcher
 
 
 def main() -> None:
@@ -80,6 +90,46 @@ def main() -> None:
     batch_error = np.abs(batch_estimate.distances - batch_exact) / batch_exact
     print(f"Average relative error across the batch: "
           f"{batch_error.mean() * 100:.2f}%")
+
+    # Index lifecycle: a real deployment inserts and deletes vectors after
+    # the initial build, and restarts from disk without re-encoding.
+    print("\n--- Mutable index lifecycle (insert / delete / save / load) ---")
+    searcher = IVFQuantizedSearcher(
+        "rabitq", n_clusters=64, rabitq_config=config, rng=0
+    ).fit(data)
+    print(f"Fitted searcher over {searcher.n_live} vectors "
+          f"(ids 0 .. {searcher.n_live - 1})")
+
+    # Insert: nearest-centroid assignment + incremental RaBitQ encoding
+    # against the fitted rotation; nothing already stored is re-encoded.
+    new_vectors = rng.standard_normal((100, dim))
+    new_ids = searcher.insert(new_vectors)
+    print(f"Inserted {new_ids.shape[0]} vectors -> ids "
+          f"{new_ids[0]} .. {new_ids[-1]}")
+
+    # Delete: tombstones take effect immediately; storage is reclaimed by
+    # compact(), which runs automatically at the configured threshold.
+    searcher.delete(new_ids[:50])
+    print(f"Deleted 50 of them: live={searcher.n_live}, "
+          f"tombstoned={searcher.n_deleted}")
+
+    # Persistence: the archive captures codes, centroids, raw vectors,
+    # tombstones, the id mapping and the query-time RNG streams, so the
+    # reloaded searcher continues *bit-identically* from the saved moment
+    # (note the save happens before the query: querying advances the
+    # randomized-rounding streams, and identity means identical streams).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "searcher.npz"
+        save_searcher(searcher, path)
+        restored = load_searcher(path)
+        print(f"Saved {path.stat().st_size / 1024:.1f} KiB archive and "
+              f"reloaded it")
+        result = searcher.search(query, 5, nprobe=16)
+        again = restored.search(query, 5, nprobe=16)
+        print(f"Original searcher top-5 ids: {result.ids.tolist()}")
+        print(f"Reloaded searcher top-5 ids: {again.ids.tolist()} "
+              f"(identical: "
+              f"{np.array_equal(result.ids, again.ids) and np.array_equal(result.distances, again.distances)})")
 
 
 if __name__ == "__main__":

@@ -35,9 +35,10 @@ from repro.exceptions import (
     EmptyDatasetError,
     InvalidParameterError,
     NotFittedError,
+    PersistenceError,
     ReproError,
 )
-from repro.io import load_rabitq, save_rabitq
+from repro.io import load_rabitq, load_searcher, save_rabitq, save_searcher
 
 __version__ = "1.0.0"
 
@@ -52,10 +53,13 @@ __all__ = [
     "SimilarityEstimate",
     "save_rabitq",
     "load_rabitq",
+    "save_searcher",
+    "load_searcher",
     "ReproError",
     "NotFittedError",
     "DimensionMismatchError",
     "InvalidParameterError",
     "EmptyDatasetError",
+    "PersistenceError",
     "__version__",
 ]

@@ -16,6 +16,12 @@
   multi-query popcount kernel producing an ``(n_queries, n_codes)`` estimate
   matrix.  The batch path returns bit-identical estimates to looping the
   single-query path, so callers can batch freely without changing results.
+* **Mutation** (:meth:`RaBitQ.add` and :meth:`RaBitQ.keep_rows`): new rows
+  can be encoded incrementally against the fitted centroid/rotation and
+  appended, and stored rows can be dropped (tombstone compaction).  Both
+  operations leave the estimates of the untouched rows bit-identical, which
+  is what the mutable index lifecycle of
+  :class:`repro.index.searcher.IVFQuantizedSearcher` builds on.
 
 Three execution paths for ``<x_b, q_u>`` are provided and give identical
 results up to the documented quantization error:
@@ -279,6 +285,31 @@ class RaBitQ:
 
         if centroid is None:
             centroid = compute_centroid(raw)
+        packed, popcounts, alignments, norms, centre = self._encode_rows(
+            raw, centroid, code_length
+        )
+        self._dataset = QuantizedDataset(
+            packed_codes=packed,
+            code_popcounts=popcounts,
+            alignments=alignments,
+            norms=norms,
+            centroid=centre,
+            code_length=code_length,
+            dim=dim,
+        )
+        return self
+
+    def _encode_rows(
+        self, raw: np.ndarray, centroid: np.ndarray, code_length: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Encode raw rows against ``centroid`` with the current rotation.
+
+        Returns ``(packed_codes, code_popcounts, alignments, norms,
+        centroid)`` — the per-row fields of :class:`QuantizedDataset`.  Used
+        both by :meth:`fit` and by the incremental :meth:`add` path, so newly
+        inserted rows go through exactly the fit-time encoding pipeline.
+        """
+        assert self._rotation is not None
         normalized = normalize_to_centroid(raw, centroid)
         padded_units = pad_vectors(normalized.unit_vectors, code_length)
 
@@ -291,15 +322,65 @@ class RaBitQ:
         # <o_bar, o> = <P x_bar, o> = <x_bar, P^-1 o>; computed exactly here.
         signed = codebook.bits_to_signed(bits, code_length)
         alignments = np.einsum("ij,ij->i", signed, rotated)
+        return packed, popcounts, alignments, normalized.norms, normalized.centroid
 
+    def add(self, data: np.ndarray) -> "RaBitQ":
+        """Incrementally encode new rows against the fitted centroid/rotation.
+
+        The new rows are appended to the stored dataset: they are normalized
+        to the *existing* centroid, inversely rotated with the *existing*
+        rotation and packed exactly like fit-time rows, so distance estimates
+        for previously stored vectors are completely unaffected.  Used by the
+        mutable index lifecycle (``IVFQuantizedSearcher.insert``).
+        """
+        dataset = self.dataset
+        raw = as_float_matrix(data, "data")
+        if raw.shape[0] == 0:
+            return self
+        if raw.shape[1] != dataset.dim:
+            raise DimensionMismatchError(
+                f"new rows have dimension {raw.shape[1]}, index expects "
+                f"{dataset.dim}"
+            )
+        packed, popcounts, alignments, norms, _ = self._encode_rows(
+            raw, dataset.centroid, dataset.code_length
+        )
         self._dataset = QuantizedDataset(
-            packed_codes=packed,
-            code_popcounts=popcounts,
-            alignments=alignments,
-            norms=normalized.norms,
-            centroid=normalized.centroid,
-            code_length=code_length,
-            dim=dim,
+            packed_codes=np.concatenate([dataset.packed_codes, packed]),
+            code_popcounts=np.concatenate([dataset.code_popcounts, popcounts]),
+            alignments=np.concatenate([dataset.alignments, alignments]),
+            norms=np.concatenate([dataset.norms, norms]),
+            centroid=dataset.centroid,
+            code_length=dataset.code_length,
+            dim=dataset.dim,
+        )
+        return self
+
+    def keep_rows(self, keep: np.ndarray) -> "RaBitQ":
+        """Drop all stored rows where ``keep`` is ``False`` (order-preserving).
+
+        ``keep`` is a boolean mask over the stored rows.  Row-local metadata
+        (codes, popcounts, alignments, norms) is sliced, so estimates for the
+        surviving rows are bit-identical to the pre-compaction values.  Used
+        by tombstone compaction (``IVFQuantizedSearcher.compact``).
+        """
+        dataset = self.dataset
+        mask = np.asarray(keep, dtype=bool).reshape(-1)
+        if mask.shape[0] != len(dataset):
+            raise DimensionMismatchError(
+                f"keep mask has length {mask.shape[0]}, dataset has "
+                f"{len(dataset)} rows"
+            )
+        if mask.all():
+            return self
+        self._dataset = QuantizedDataset(
+            packed_codes=dataset.packed_codes[mask],
+            code_popcounts=dataset.code_popcounts[mask],
+            alignments=dataset.alignments[mask],
+            norms=dataset.norms[mask],
+            centroid=dataset.centroid,
+            code_length=dataset.code_length,
+            dim=dataset.dim,
         )
         return self
 

@@ -168,10 +168,40 @@ class FastHadamardRotation(Rotation):
             generator.integers(0, 2, size=(self._rounds, self._padded_dim)) * 2 - 1
         ).astype(np.float64)
 
+    @classmethod
+    def from_signs(cls, dim: int, signs: np.ndarray) -> "FastHadamardRotation":
+        """Rebuild a rotation from its stored sign diagonals.
+
+        ``signs`` must have shape ``(rounds, padded_dim)`` with ``padded_dim``
+        the next power of two >= ``dim``.  Because the sign diagonals fully
+        determine the transform, the reconstructed rotation applies the exact
+        same floating-point operations as the original — this is what the
+        persistence layer uses so that a reloaded index stays bit-identical.
+        """
+        mat = np.asarray(signs, dtype=np.float64)
+        if mat.ndim != 2:
+            raise InvalidParameterError("signs must be a (rounds, padded_dim) matrix")
+        if mat.shape[1] != _next_power_of_two(dim):
+            raise DimensionMismatchError(
+                f"signs have padded dimension {mat.shape[1]}, expected "
+                f"{_next_power_of_two(dim)} for dim={dim}"
+            )
+        instance = cls.__new__(cls)
+        Rotation.__init__(instance, dim)
+        instance._rounds = int(mat.shape[0])
+        instance._padded_dim = int(mat.shape[1])
+        instance._signs = mat
+        return instance
+
     @property
     def padded_dim(self) -> int:
         """Internal power-of-two dimension used by the Hadamard transform."""
         return self._padded_dim
+
+    @property
+    def signs(self) -> np.ndarray:
+        """The ``(rounds, padded_dim)`` random sign diagonals (for persistence)."""
+        return self._signs.copy()
 
     def _pad(self, matrix: np.ndarray) -> np.ndarray:
         if self._padded_dim == self._dim:

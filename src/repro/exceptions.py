@@ -26,3 +26,11 @@ class InvalidParameterError(ReproError):
 
 class EmptyDatasetError(ReproError):
     """Raised when an operation requires a non-empty dataset."""
+
+
+class PersistenceError(ReproError):
+    """Raised when a saved index cannot be read or written.
+
+    Covers missing/corrupt/truncated archives, wrong magic headers and
+    unsupported format versions.
+    """

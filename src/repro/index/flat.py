@@ -5,6 +5,13 @@ reference point of every accuracy metric.  Batch variants
 (:meth:`FlatIndex.search_batch`, :meth:`FlatIndex.rerank_batch`) answer a
 whole query matrix per call; top-k selection uses argpartition-based
 partial sorts rather than full stable sorts on the hot path.
+
+The index is *mutable*: :meth:`FlatIndex.add` appends rows (amortized O(1)
+via a geometrically grown buffer) and :meth:`FlatIndex.keep_rows` drops rows
+during tombstone compaction.  Both are used by the index lifecycle of
+:class:`repro.index.searcher.IVFQuantizedSearcher`; note that the
+:attr:`FlatIndex.data` property returns a *view* into the growable buffer,
+so callers should not hold on to it across mutations.
 """
 
 from __future__ import annotations
@@ -26,26 +33,83 @@ from repro.substrates.linalg import (
 
 
 class FlatIndex:
-    """Stores raw vectors and answers exact k-NN queries by brute force."""
+    """Stores raw vectors and answers exact k-NN queries by brute force.
 
-    def __init__(self, data: np.ndarray) -> None:
+    Parameters
+    ----------
+    data:
+        Initial raw vectors, shape ``(n_vectors, dim)``.
+    allow_empty:
+        Permit constructing the index with zero rows (used when reloading a
+        fully-compacted index from disk); by default an empty dataset is
+        rejected.
+    """
+
+    def __init__(self, data: np.ndarray, *, allow_empty: bool = False) -> None:
         mat = as_float_matrix(data, "data")
-        if mat.shape[0] == 0:
+        if mat.shape[0] == 0 and not allow_empty:
             raise EmptyDatasetError("cannot build a FlatIndex over an empty dataset")
-        self._data = mat
+        self._buffer = mat
+        self._size = int(mat.shape[0])
 
     @property
     def data(self) -> np.ndarray:
-        """The stored raw vectors."""
-        return self._data
+        """The stored raw vectors (a view; invalidated by :meth:`add`)."""
+        return self._buffer[: self._size]
 
     @property
     def dim(self) -> int:
         """Vector dimensionality."""
-        return int(self._data.shape[1])
+        return int(self._buffer.shape[1])
 
     def __len__(self) -> int:
-        return int(self._data.shape[0])
+        return self._size
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, vectors: np.ndarray) -> np.ndarray:
+        """Append rows and return their assigned row ids (positions).
+
+        The backing buffer grows geometrically, so a long sequence of small
+        inserts costs amortized O(1) copies per row.
+        """
+        mat = as_float_matrix(vectors, "vectors")
+        if mat.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        if mat.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"vectors have dimension {mat.shape[1]}, index expects {self.dim}"
+            )
+        needed = self._size + mat.shape[0]
+        if needed > self._buffer.shape[0]:
+            capacity = max(needed, 2 * self._buffer.shape[0], 8)
+            grown = np.empty((capacity, self.dim), dtype=np.float64)
+            grown[: self._size] = self._buffer[: self._size]
+            self._buffer = grown
+        self._buffer[self._size : needed] = mat
+        slots = np.arange(self._size, needed, dtype=np.int64)
+        self._size = needed
+        return slots
+
+    def keep_rows(self, keep: np.ndarray) -> "FlatIndex":
+        """Drop all rows where ``keep`` is ``False`` (order-preserving)."""
+        mask = np.asarray(keep, dtype=bool).reshape(-1)
+        if mask.shape[0] != self._size:
+            raise DimensionMismatchError(
+                f"keep mask has length {mask.shape[0]}, index has {self._size} rows"
+            )
+        if mask.all():
+            return self
+        # Boolean-mask indexing already returns a fresh contiguous array.
+        self._buffer = self._buffer[: self._size][mask]
+        self._size = int(self._buffer.shape[0])
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
 
     def _check_query(self, query: np.ndarray) -> np.ndarray:
         vec = np.asarray(query, dtype=np.float64).reshape(-1)
@@ -59,16 +123,16 @@ class FlatIndex:
         """Exact squared distances from ``query`` to all (or selected) vectors."""
         vec = self._check_query(query)
         if ids is None:
-            return squared_distances_to_point(self._data, vec)
+            return squared_distances_to_point(self.data, vec)
         idx = np.asarray(ids, dtype=np.intp)
-        return squared_distances_to_point(self._data[idx], vec)
+        return squared_distances_to_point(self.data[idx], vec)
 
     def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         """Exact ``k`` nearest neighbours: ``(ids, squared_distances)``."""
         if k <= 0:
             raise InvalidParameterError("k must be positive")
         vec = self._check_query(query)
-        dists = squared_distances_to_point(self._data, vec)
+        dists = squared_distances_to_point(self.data, vec)
         k = min(k, dists.shape[0])
         ids = topk_indices(dists, k)
         return ids.astype(np.int64), dists[ids]
@@ -83,7 +147,7 @@ class FlatIndex:
         if idx.size == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
         vec = self._check_query(query)
-        dists = squared_distances_to_point(self._data[idx], vec)
+        dists = squared_distances_to_point(self.data[idx], vec)
         k = min(k, idx.size)
         order = stable_topk_indices(dists, k)
         return idx[order].astype(np.int64), dists[order]
@@ -103,8 +167,8 @@ class FlatIndex:
             raise DimensionMismatchError(
                 f"queries have dimension {mat.shape[1]}, index expects {self.dim}"
             )
-        k = min(k, self._data.shape[0])
-        dists = squared_distances_to_points(self._data, mat)
+        k = min(k, self._size)
+        dists = squared_distances_to_points(self.data, mat)
         ids_out: list[np.ndarray] = []
         dists_out: list[np.ndarray] = []
         for i in range(mat.shape[0]):

@@ -6,6 +6,15 @@ buckets whose centroids are closest to the query.  Section 4 of the paper
 combines RaBitQ (and the PQ/OPQ baselines) with this index: quantization
 codes are stored per bucket, and the per-cluster centroid doubles as the
 normalization centroid of RaBitQ.
+
+After :meth:`IVFIndex.fit` the inverted lists are mutable without
+re-clustering: :meth:`IVFIndex.assign` finds the nearest existing centroid
+for new vectors, :meth:`IVFIndex.append` adds their ids to the buckets, and
+:meth:`IVFIndex.keep_rows` drops ids during tombstone compaction (remapping
+the surviving ids to their new, contiguous positions).  Because ids are
+always appended in ascending order and compaction remaps monotonically,
+every bucket's id list stays sorted — which lets the persistence layer
+reconstruct the buckets from the flat assignment array alone.
 """
 
 from __future__ import annotations
@@ -128,16 +137,143 @@ class IVFIndex:
             mat, n_clusters, max_iter=self.kmeans_iters, rng=self._rng
         )
         self._centroids = result.centroids
-        self._assignments = result.assignments
-        self._buckets = [
+        self._assignments = np.asarray(result.assignments, dtype=np.int64)
+        self._buckets = self._buckets_from_assignments(
+            self._assignments, n_clusters
+        )
+        return self
+
+    @staticmethod
+    def _buckets_from_assignments(
+        assignments: np.ndarray, n_clusters: int
+    ) -> list[IVFBucket]:
+        """Build the inverted lists from a flat assignment array.
+
+        One stable argsort + searchsorted pass instead of a per-cluster
+        ``flatnonzero`` scan: the stable sort keeps equal keys in positional
+        order, so every bucket's id list comes out sorted ascending exactly
+        as the per-cluster scan would produce it.
+        """
+        order = np.argsort(assignments, kind="stable").astype(np.int64)
+        boundaries = np.searchsorted(
+            assignments[order], np.arange(n_clusters + 1)
+        )
+        return [
             IVFBucket(
                 centroid_id=cluster_id,
-                vector_ids=np.flatnonzero(result.assignments == cluster_id).astype(
-                    np.int64
-                ),
+                vector_ids=order[boundaries[cluster_id] : boundaries[cluster_id + 1]],
             )
             for cluster_id in range(n_clusters)
         ]
+
+    @classmethod
+    def from_state(
+        cls,
+        centroids: np.ndarray,
+        assignments: np.ndarray,
+        *,
+        kmeans_iters: int = 15,
+        rng: RngLike = None,
+    ) -> "IVFIndex":
+        """Rebuild a fitted index from its centroids and assignment array.
+
+        Used by the persistence layer: because bucket id lists are always
+        sorted ascending (see the module docstring), the buckets rebuilt here
+        are exactly the ones that were saved.
+        """
+        centre = as_float_matrix(centroids, "centroids")
+        assigned = np.asarray(assignments, dtype=np.int64).reshape(-1)
+        if assigned.size and (
+            assigned.min() < 0 or assigned.max() >= centre.shape[0]
+        ):
+            raise InvalidParameterError(
+                "assignments reference clusters outside the centroid matrix"
+            )
+        index = cls(centre.shape[0], kmeans_iters=kmeans_iters, rng=rng)
+        index._centroids = centre
+        index._assignments = assigned
+        index._dim = int(centre.shape[1])
+        index._buckets = cls._buckets_from_assignments(assigned, centre.shape[0])
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Mutation (no re-clustering)
+    # ------------------------------------------------------------------ #
+
+    def assign(self, vectors: np.ndarray) -> np.ndarray:
+        """Nearest-centroid cluster id for every row of ``vectors``.
+
+        Ties break toward the lowest cluster id (``argmin``), so assignment
+        is deterministic.
+        """
+        mat = as_float_matrix(vectors, "vectors")
+        if self._dim is None:
+            raise NotFittedError("IVFIndex must be fitted before use")
+        if mat.shape[0] and mat.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                f"vectors have dimension {mat.shape[1]}, index expects {self._dim}"
+            )
+        if mat.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        dists = squared_distances_to_points(self.centroids, mat)
+        return np.argmin(dists, axis=1).astype(np.int64)
+
+    def append(self, vector_ids: np.ndarray, cluster_ids: np.ndarray) -> None:
+        """Add ``vector_ids[i]`` to bucket ``cluster_ids[i]`` for all ``i``.
+
+        ``vector_ids`` must continue the stored ids contiguously (the next
+        unused position onward, in order): ids double as positions into the
+        flat ``assignments`` array, and the persistence layer rebuilds the
+        buckets from that array alone.  A gap would silently desynchronize
+        the two, so it is rejected here.
+        """
+        buckets = self.buckets
+        ids = np.asarray(vector_ids, dtype=np.int64).reshape(-1)
+        clusters = np.asarray(cluster_ids, dtype=np.int64).reshape(-1)
+        if ids.shape[0] != clusters.shape[0]:
+            raise InvalidParameterError(
+                "vector_ids and cluster_ids must have equal length"
+            )
+        if ids.shape[0] == 0:
+            return
+        floor = self._assignments.shape[0] if self._assignments is not None else 0
+        expected = np.arange(floor, floor + ids.shape[0], dtype=np.int64)
+        if not np.array_equal(ids, expected):
+            raise InvalidParameterError(
+                f"vector_ids must contiguously extend the index "
+                f"({floor} .. {floor + ids.shape[0] - 1}, in order)"
+            )
+        if clusters.min() < 0 or clusters.max() >= len(buckets):
+            raise InvalidParameterError("cluster_ids reference unknown clusters")
+        for cid in np.unique(clusters):
+            members = ids[clusters == cid]
+            bucket = buckets[int(cid)]
+            buckets[int(cid)] = IVFBucket(
+                centroid_id=bucket.centroid_id,
+                vector_ids=np.concatenate([bucket.vector_ids, members]),
+            )
+        self._assignments = np.concatenate([self.assignments, clusters])
+
+    def keep_rows(self, keep: np.ndarray) -> "IVFIndex":
+        """Drop all ids where ``keep`` is ``False``, remapping the survivors.
+
+        Surviving ids are renumbered to their position among the survivors
+        (the same remapping applied to the flat index), preserving relative
+        order within every bucket.  Centroids are unchanged.
+        """
+        assignments = self.assignments
+        mask = np.asarray(keep, dtype=bool).reshape(-1)
+        if mask.shape[0] != assignments.shape[0]:
+            raise DimensionMismatchError(
+                f"keep mask has length {mask.shape[0]}, index has "
+                f"{assignments.shape[0]} ids"
+            )
+        if mask.all():
+            return self
+        self._assignments = assignments[mask]
+        self._buckets = self._buckets_from_assignments(
+            self._assignments, len(self.buckets)
+        )
         return self
 
     def _check_query(self, query: np.ndarray) -> np.ndarray:

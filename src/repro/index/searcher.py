@@ -25,6 +25,32 @@ Two query entry points are provided:
   counters, and is guaranteed to be element-wise identical (ids *and*
   distances) to running :meth:`search` in a loop — batching changes
   throughput, never answers.
+
+The index is *mutable* after :meth:`IVFQuantizedSearcher.fit` (the index
+lifecycle required by a serving deployment):
+
+* :meth:`IVFQuantizedSearcher.insert` encodes new vectors incrementally —
+  nearest-centroid assignment against the existing IVF centroids, RaBitQ
+  encoding against the fitted rotation and per-cluster centroids — without
+  re-clustering or re-encoding anything already stored.
+* :meth:`IVFQuantizedSearcher.delete` removes vectors by id using
+  tombstones; deleted vectors stop appearing in results immediately, and
+  :meth:`IVFQuantizedSearcher.compact` (triggered automatically once the
+  tombstone fraction reaches ``compact_threshold``) reclaims their storage.
+  ``insert`` and ``compact`` require ``quantizer_kind="rabitq"``; searchers
+  wrapping an external baseline quantizer support tombstone deletion only.
+* Results always report *external* ids: a vector keeps its id across any
+  interleaving of inserts, deletes and compactions.  After a fresh ``fit``
+  the external ids are ``0 .. n-1`` (the row positions), so existing code
+  is unaffected.
+
+Tombstone filtering is applied identically on the sequential and batch
+paths (the full per-cluster estimate is always computed, then dead rows are
+masked out), so the batch ≡ sequential guarantee holds at every point of the
+lifecycle.  A fitted searcher — including tombstones, id mapping and the
+cluster quantizers' random streams — can be serialized with
+:func:`repro.io.persistence.save_searcher` and reloaded bit-identically with
+:func:`repro.io.persistence.load_searcher`.
 """
 
 from __future__ import annotations
@@ -38,7 +64,11 @@ from repro.core.config import RaBitQConfig
 from repro.core.estimator import DistanceEstimate
 from repro.core.quantizer import RaBitQ
 from repro.core.rotation import make_rotation
-from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.exceptions import (
+    DimensionMismatchError,
+    InvalidParameterError,
+    NotFittedError,
+)
 from repro.index.flat import FlatIndex
 from repro.index.ivf import IVFIndex
 from repro.index.rerank import ErrorBoundReranker, Reranker
@@ -150,6 +180,10 @@ class IVFQuantizedSearcher:
         must be supplied explicitly for baselines.
     rng:
         Seed or generator for the IVF clustering.
+    compact_threshold:
+        Tombstone fraction at which :meth:`delete` triggers an automatic
+        :meth:`compact` (``None`` disables auto-compaction; explicit
+        ``compact()`` calls still work).
     """
 
     def __init__(
@@ -161,6 +195,7 @@ class IVFQuantizedSearcher:
         external_quantizer=None,
         reranker: Optional[Reranker] = None,
         rng: RngLike = None,
+        compact_threshold: float | None = 0.25,
     ) -> None:
         if quantizer_kind not in ("rabitq", "external"):
             raise InvalidParameterError(
@@ -169,6 +204,10 @@ class IVFQuantizedSearcher:
         if quantizer_kind == "external" and external_quantizer is None:
             raise InvalidParameterError(
                 "external_quantizer must be provided when quantizer_kind='external'"
+            )
+        if compact_threshold is not None and not 0.0 < compact_threshold <= 1.0:
+            raise InvalidParameterError(
+                "compact_threshold must lie in (0, 1] or be None"
             )
         self.quantizer_kind = quantizer_kind
         self.n_clusters = n_clusters
@@ -179,11 +218,19 @@ class IVFQuantizedSearcher:
         self.reranker: Reranker = (
             reranker if reranker is not None else ErrorBoundReranker()
         )
+        self.compact_threshold = compact_threshold
         self._rng = ensure_rng(rng)
         self._ivf: IVFIndex | None = None
         self._flat: FlatIndex | None = None
         self._cluster_quantizers: list[RaBitQ] | None = None
-        self._data: np.ndarray | None = None
+        self._shared_rotation = None
+        # Lifecycle state: slot -> external id, external id -> slot, and the
+        # per-slot tombstone mask (True = live).
+        self._ids: np.ndarray | None = None
+        self._id_to_slot: dict[int, int] = {}
+        self._live: np.ndarray | None = None
+        self._n_dead = 0
+        self._next_id = 0
 
     # ------------------------------------------------------------------ #
     # Index phase
@@ -209,9 +256,13 @@ class IVFQuantizedSearcher:
         return self._flat
 
     def fit(self, data: np.ndarray) -> "IVFQuantizedSearcher":
-        """Build the IVF index and train the quantizer(s) on ``data``."""
+        """Build the IVF index and train the quantizer(s) on ``data``.
+
+        External ids are assigned positionally (``0 .. n-1``); they remain
+        stable across later :meth:`insert` / :meth:`delete` /
+        :meth:`compact` calls.
+        """
         mat = as_float_matrix(data, "data")
-        self._data = mat
         self._flat = FlatIndex(mat)
         self._ivf = IVFIndex(self.n_clusters, rng=self._rng).fit(mat)
 
@@ -222,6 +273,7 @@ class IVFQuantizedSearcher:
             shared_rotation = make_rotation(
                 self.rabitq_config.rotation, code_length, self._rng
             )
+            self._shared_rotation = shared_rotation
             quantizers: list[RaBitQ] = []
             for bucket in self._ivf.buckets:
                 if len(bucket) == 0:
@@ -237,7 +289,204 @@ class IVFQuantizedSearcher:
             self._cluster_quantizers = quantizers
         else:
             self.external_quantizer.fit(mat)
+        n = mat.shape[0]
+        self._ids = np.arange(n, dtype=np.int64)
+        self._id_to_slot = {i: i for i in range(n)}
+        self._live = np.ones(n, dtype=bool)
+        self._n_dead = 0
+        self._next_id = n
         return self
+
+    # ------------------------------------------------------------------ #
+    # Mutation phase (index lifecycle)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_total(self) -> int:
+        """Number of stored slots, including tombstoned ones."""
+        if self._live is None:
+            raise NotFittedError("IVFQuantizedSearcher must be fitted before use")
+        return int(self._live.shape[0])
+
+    @property
+    def n_deleted(self) -> int:
+        """Number of tombstoned (deleted but not yet compacted) vectors."""
+        if self._live is None:
+            raise NotFittedError("IVFQuantizedSearcher must be fitted before use")
+        return self._n_dead
+
+    @property
+    def n_live(self) -> int:
+        """Number of searchable vectors."""
+        return self.n_total - self.n_deleted
+
+    @property
+    def live_ids(self) -> np.ndarray:
+        """External ids of all searchable vectors (ascending slot order)."""
+        if self._ids is None or self._live is None:
+            raise NotFittedError("IVFQuantizedSearcher must be fitted before use")
+        return self._ids[self._live].copy()
+
+    def insert(
+        self, vectors: np.ndarray, ids: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Add new vectors to the fitted index and return their external ids.
+
+        Each vector is assigned to the nearest existing IVF centroid and
+        RaBitQ-encoded against the fitted rotation and that cluster's
+        centroid — no re-clustering and no re-encoding of existing vectors.
+        Estimates for previously stored vectors are bit-identical before and
+        after the insert.
+
+        Parameters
+        ----------
+        vectors:
+            New raw vectors, shape ``(n_new, dim)`` (or a single vector).
+        ids:
+            Optional external ids for the new vectors; must be unique and
+            not currently present.  Default: consecutive fresh ids.
+        """
+        if self._ivf is None or self._flat is None:
+            raise NotFittedError("IVFQuantizedSearcher must be fitted before use")
+        if self.quantizer_kind != "rabitq":
+            raise InvalidParameterError(
+                "insert is only supported for quantizer_kind='rabitq'"
+            )
+        mat = as_float_matrix(vectors, "vectors")
+        n_new = mat.shape[0]
+        if n_new == 0:
+            return np.empty(0, dtype=np.int64)
+        if mat.shape[1] != self._flat.dim:
+            raise DimensionMismatchError(
+                f"vectors have dimension {mat.shape[1]}, index expects "
+                f"{self._flat.dim}"
+            )
+        if ids is None:
+            new_ids = np.arange(self._next_id, self._next_id + n_new, dtype=np.int64)
+        else:
+            new_ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+            if new_ids.shape[0] != n_new:
+                raise InvalidParameterError(
+                    "need exactly one external id per inserted vector"
+                )
+            if np.unique(new_ids).shape[0] != n_new:
+                raise InvalidParameterError("inserted ids must be unique")
+            collisions = [i for i in new_ids.tolist() if i in self._id_to_slot]
+            if collisions:
+                raise InvalidParameterError(
+                    f"ids already present in the index: {collisions[:5]}"
+                )
+
+        cluster_ids = self._ivf.assign(mat)
+        slots = self._flat.add(mat)
+        self._ivf.append(slots, cluster_ids)
+        assert self._cluster_quantizers is not None
+        for cid in np.unique(cluster_ids):
+            rows = np.flatnonzero(cluster_ids == cid)
+            block = mat[rows]
+            quantizer = self._cluster_quantizers[int(cid)]
+            if quantizer is None:
+                # The bucket was empty at fit time (or emptied by a compact):
+                # build its quantizer now, sharing the fitted rotation and
+                # using the cluster centroid, exactly as fit() would have.
+                quantizer = RaBitQ(self.rabitq_config)
+                quantizer.fit(
+                    block,
+                    centroid=self._ivf.centroids[int(cid)],
+                    rotation=self._shared_rotation,
+                )
+                self._cluster_quantizers[int(cid)] = quantizer
+            else:
+                quantizer.add(block)
+
+        assert self._ids is not None and self._live is not None
+        self._ids = np.concatenate([self._ids, new_ids])
+        self._live = np.concatenate([self._live, np.ones(n_new, dtype=bool)])
+        for slot, ext in zip(slots.tolist(), new_ids.tolist()):
+            self._id_to_slot[ext] = slot
+        self._next_id = max(self._next_id, int(new_ids.max()) + 1)
+        return new_ids
+
+    def delete(self, ids: np.ndarray | int) -> int:
+        """Tombstone the given external ids and return how many were removed.
+
+        Deleted vectors stop appearing in search results immediately.  For
+        RaBitQ searchers their storage is reclaimed by :meth:`compact`,
+        which runs automatically once the tombstone fraction reaches
+        ``compact_threshold``; external-quantizer searchers support
+        tombstoning only (their baseline quantizers cannot re-index codes,
+        so compaction is unavailable and tombstones persist).  Unknown (or
+        already-deleted) ids raise :class:`InvalidParameterError`;
+        duplicate ids in the request are collapsed.
+        """
+        if self._ivf is None or self._live is None:
+            raise NotFittedError("IVFQuantizedSearcher must be fitted before use")
+        requested = np.unique(np.asarray(ids, dtype=np.int64).reshape(-1))
+        slots = []
+        missing = []
+        for ext in requested.tolist():
+            slot = self._id_to_slot.get(ext)
+            if slot is None:
+                missing.append(ext)
+            else:
+                slots.append((ext, slot))
+        if missing:
+            raise InvalidParameterError(
+                f"cannot delete unknown or already-deleted ids: {missing[:5]}"
+            )
+        for ext, slot in slots:
+            del self._id_to_slot[ext]
+            self._live[slot] = False
+        self._n_dead += len(slots)
+        if (
+            self.compact_threshold is not None
+            and self.quantizer_kind == "rabitq"
+            and self._n_dead >= self.compact_threshold * self._live.shape[0]
+        ):
+            self.compact()
+        return len(slots)
+
+    def compact(self) -> int:
+        """Physically drop tombstoned vectors; return the number reclaimed.
+
+        Dead rows are removed from the flat index, the inverted lists and
+        the per-cluster code matrices, and the surviving slots are renumbered
+        contiguously.  External ids are untouched, and because every removed
+        row is row-local in the quantized datasets, search results (ids,
+        distances *and* cost counters) are identical before and after a
+        compaction.
+        """
+        if self._ivf is None or self._flat is None or self._live is None:
+            raise NotFittedError("IVFQuantizedSearcher must be fitted before use")
+        if self.quantizer_kind != "rabitq":
+            raise InvalidParameterError(
+                "compact is only supported for quantizer_kind='rabitq'"
+            )
+        if self._n_dead == 0:
+            return 0
+        keep = self._live.copy()
+        assert self._cluster_quantizers is not None and self._ids is not None
+        for cid, bucket in enumerate(self._ivf.buckets):
+            quantizer = self._cluster_quantizers[cid]
+            if quantizer is None or len(bucket) == 0:
+                continue
+            mask = keep[bucket.vector_ids]
+            if mask.all():
+                continue
+            if not mask.any():
+                self._cluster_quantizers[cid] = None
+                continue
+            quantizer.keep_rows(mask)
+        self._ivf.keep_rows(keep)
+        self._flat.keep_rows(keep)
+        self._ids = self._ids[keep]
+        self._live = np.ones(self._ids.shape[0], dtype=bool)
+        self._id_to_slot = {
+            int(ext): slot for slot, ext in enumerate(self._ids.tolist())
+        }
+        reclaimed = self._n_dead
+        self._n_dead = 0
+        return reclaimed
 
     # ------------------------------------------------------------------ #
     # Query phase
@@ -246,8 +495,16 @@ class IVFQuantizedSearcher:
     def _estimate_rabitq(
         self, query: np.ndarray, cluster_ids: np.ndarray
     ) -> tuple[np.ndarray, DistanceEstimate]:
-        """Estimate distances for all vectors in the probed clusters."""
+        """Estimate distances for all live vectors in the probed clusters.
+
+        Tombstoned rows are masked out *after* the full per-cluster estimate
+        (never skipped before it): this keeps the per-cluster randomized
+        query-rounding streams — and with them the batch ≡ sequential
+        guarantee — independent of the deletion pattern.
+        """
         assert self._cluster_quantizers is not None and self._ivf is not None
+        assert self._live is not None
+        live = self._live
         id_blocks: list[np.ndarray] = []
         dist_blocks: list[np.ndarray] = []
         lower_blocks: list[np.ndarray] = []
@@ -259,11 +516,21 @@ class IVFQuantizedSearcher:
             if quantizer is None or len(bucket) == 0:
                 continue
             estimate = quantizer.estimate_distances(query)
-            id_blocks.append(bucket.vector_ids)
-            dist_blocks.append(estimate.distances)
-            lower_blocks.append(estimate.lower_bounds)
-            upper_blocks.append(estimate.upper_bounds)
-            ip_blocks.append(estimate.inner_products)
+            mask = live[bucket.vector_ids]
+            if mask.all():
+                id_blocks.append(bucket.vector_ids)
+                dist_blocks.append(estimate.distances)
+                lower_blocks.append(estimate.lower_bounds)
+                upper_blocks.append(estimate.upper_bounds)
+                ip_blocks.append(estimate.inner_products)
+                continue
+            if not mask.any():
+                continue
+            id_blocks.append(bucket.vector_ids[mask])
+            dist_blocks.append(estimate.distances[mask])
+            lower_blocks.append(estimate.lower_bounds[mask])
+            upper_blocks.append(estimate.upper_bounds[mask])
+            ip_blocks.append(estimate.inner_products[mask])
         if not id_blocks:
             empty = np.empty(0, dtype=np.float64)
             return np.empty(0, dtype=np.int64), DistanceEstimate(
@@ -285,12 +552,17 @@ class IVFQuantizedSearcher:
         self, query: np.ndarray, cluster_ids: np.ndarray
     ) -> tuple[np.ndarray, DistanceEstimate]:
         """Estimate distances with the external (PQ/OPQ-style) quantizer."""
-        assert self._ivf is not None
-        blocks = [
-            self._ivf.buckets[int(cid)].vector_ids
-            for cid in cluster_ids
-            if len(self._ivf.buckets[int(cid)]) > 0
-        ]
+        assert self._ivf is not None and self._live is not None
+        live = self._live
+        blocks: list[np.ndarray] = []
+        for cid in cluster_ids:
+            ids = self._ivf.buckets[int(cid)].vector_ids
+            if ids.shape[0] == 0:
+                continue
+            mask = live[ids]
+            if not mask.any():
+                continue
+            blocks.append(ids if mask.all() else ids[mask])
         if not blocks:
             empty = np.empty(0, dtype=np.float64)
             return np.empty(0, dtype=np.int64), DistanceEstimate(
@@ -338,11 +610,16 @@ class IVFQuantizedSearcher:
             vec, candidate_ids, estimate, self._flat, k
         )
         return SearchResult(
-            ids=ids,
+            ids=self._to_external_ids(ids),
             distances=dists,
             n_candidates=int(candidate_ids.shape[0]),
             n_exact=n_exact,
         )
+
+    def _to_external_ids(self, slots: np.ndarray) -> np.ndarray:
+        """Map internal slot positions to the stable external ids."""
+        assert self._ids is not None
+        return self._ids[np.asarray(slots, dtype=np.intp)]
 
     def _estimate_rabitq_batch(
         self, query_mat: np.ndarray, probes: np.ndarray
@@ -359,6 +636,8 @@ class IVFQuantizedSearcher:
         bit-identical.
         """
         assert self._cluster_quantizers is not None and self._ivf is not None
+        assert self._live is not None
+        live = self._live
         n_queries = query_mat.shape[0]
         probe_lists = probes.tolist()
         groups: dict[int, list[int]] = {}
@@ -389,8 +668,20 @@ class IVFQuantizedSearcher:
                     estimate.inner_products,
                 )
             )
+            # Tombstone filtering mirrors the sequential path exactly: the
+            # full-cluster estimate above has already consumed the cluster's
+            # query-rounding stream, and dead columns are masked out of the
+            # same computed tensor the sequential path masks row-wise.
+            mask = live[bucket.vector_ids]
+            if mask.all():
+                vector_ids = bucket.vector_ids
+            elif not mask.any():
+                continue
+            else:
+                vector_ids = bucket.vector_ids[mask]
+                stacked = stacked[:, :, mask]
             rows = {qi: row for row, qi in enumerate(query_ids)}
-            cluster_blocks[cid] = (rows, bucket.vector_ids, stacked)
+            cluster_blocks[cid] = (rows, vector_ids, stacked)
 
         per_query: list[tuple[np.ndarray, DistanceEstimate]] = []
         for qi in range(n_queries):
@@ -509,7 +800,7 @@ class IVFQuantizedSearcher:
                 self._flat,
                 k,
             )
-            ids_out.extend(ids for ids, _, _ in reranked)
+            ids_out.extend(self._to_external_ids(ids) for ids, _, _ in reranked)
             dists_out.extend(dists for _, dists, _ in reranked)
             n_candidates.extend(ids.shape[0] for ids in candidate_lists)
             n_exact.extend(exact for _, _, exact in reranked)

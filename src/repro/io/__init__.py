@@ -1,10 +1,25 @@
-"""Index persistence: save and load fitted RaBitQ quantizers.
+"""Index persistence: save and load fitted quantizers and searchers.
 
-The on-disk format is a single ``.npz`` archive holding the packed codes, the
-per-vector metadata, the rotation matrix and the configuration — everything
-Algorithm 2 needs at query time, without the raw vectors.
+Two on-disk formats, both single ``.npz`` archives with a versioned magic
+header:
+
+* a bare RaBitQ quantizer (:func:`save_rabitq` / :func:`load_rabitq`) —
+  packed codes, per-vector metadata, rotation and configuration; everything
+  Algorithm 2 needs at query time, without the raw vectors;
+* a full IVF searcher (:func:`save_searcher` / :func:`load_searcher`) —
+  additionally the IVF centroids/assignments, the raw vectors for exact
+  re-ranking, the tombstone/external-id lifecycle state and the query-time
+  RNG streams, so a restarted server resumes with bit-identical results.
+
+Unreadable archives (missing, truncated, corrupt, wrong magic or version)
+raise :class:`repro.exceptions.PersistenceError`.
 """
 
-from repro.io.persistence import load_rabitq, save_rabitq
+from repro.io.persistence import (
+    load_rabitq,
+    load_searcher,
+    save_rabitq,
+    save_searcher,
+)
 
-__all__ = ["save_rabitq", "load_rabitq"]
+__all__ = ["save_rabitq", "load_rabitq", "save_searcher", "load_searcher"]

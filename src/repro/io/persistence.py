@@ -1,21 +1,32 @@
-"""Save/load support for fitted RaBitQ quantizers.
+"""Save/load support for fitted RaBitQ quantizers and full IVF searchers.
 
-A fitted :class:`repro.core.quantizer.RaBitQ` is fully described by
+Two archive formats are provided, both NumPy ``.npz`` files with a versioned
+magic header:
 
-* its configuration (``epsilon_0``, ``B_q``, rounding mode, code length),
-* the rotation matrix ``P``,
-* the packed quantization codes and their popcounts,
-* the per-vector alignments ``<ō, o>`` and residual norms ``||o_r - c||``,
-* the normalization centroid ``c``.
+* :func:`save_rabitq` / :func:`load_rabitq` — a single fitted
+  :class:`repro.core.quantizer.RaBitQ`: configuration, rotation matrix,
+  packed codes, per-vector metadata, centroid and the query-rounding RNG
+  state.  Enough for a query-serving process that does estimation only (no
+  raw vectors, so no exact re-ranking).
+* :func:`save_searcher` / :func:`load_searcher` — a complete
+  :class:`repro.index.searcher.IVFQuantizedSearcher`: IVF centroids and
+  assignments, the per-cluster packed code matrices, the raw vectors of the
+  flat re-ranking index, the tombstone mask and external-id mapping of the
+  mutable lifecycle, the re-ranker, and every random stream consumed at
+  query time.  A reloaded searcher answers ``search`` / ``search_batch``
+  *bit-identically* (ids, distances and cost counters) to the saved one,
+  and supports further ``insert`` / ``delete`` / ``compact`` calls.
 
-This module serializes exactly those arrays into a NumPy ``.npz`` archive, so
-a query-serving process can load an index without re-encoding (and without
-the raw vectors, which are only needed if exact re-ranking is desired).
+Every load error caused by the file itself — missing, truncated, corrupt,
+wrong magic, unsupported version — raises
+:class:`repro.exceptions.PersistenceError`.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Union
 
@@ -23,13 +34,160 @@ import numpy as np
 
 from repro.core.config import RaBitQConfig
 from repro.core.quantizer import QuantizedDataset, RaBitQ
-from repro.core.rotation import QRRotation
-from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.core.rotation import FastHadamardRotation, QRRotation, Rotation
+from repro.exceptions import (
+    DimensionMismatchError,
+    InvalidParameterError,
+    NotFittedError,
+    PersistenceError,
+)
+from repro.index.flat import FlatIndex
+from repro.index.ivf import IVFIndex
+from repro.index.rerank import (
+    ErrorBoundReranker,
+    NoReranker,
+    Reranker,
+    TopCandidateReranker,
+)
+from repro.index.searcher import IVFQuantizedSearcher
 
 PathLike = Union[str, os.PathLike]
 
-#: Format identifier stored in every archive, bumped on incompatible changes.
-FORMAT_VERSION = 1
+#: Magic identifiers distinguishing the two archive flavours.
+MAGIC_RABITQ = "rabitq/quantizer"
+MAGIC_SEARCHER = "rabitq/searcher"
+
+#: Quantizer-archive format, bumped on incompatible changes.  Version 2
+#: added the magic header and the query-RNG state.
+FORMAT_VERSION = 2
+
+#: Searcher-archive format, bumped on incompatible changes.
+SEARCHER_FORMAT_VERSION = 1
+
+#: Errors that ``np.load`` / zip decompression raise on unreadable input.
+_READ_ERRORS = (OSError, ValueError, zipfile.BadZipFile, EOFError, KeyError)
+
+#: Additionally, errors that internally-inconsistent archive contents raise
+#: while the loaders re-assemble objects (mis-sized arrays, malformed RNG
+#: state dicts, out-of-range config values, ...).  All are converted to
+#: :class:`PersistenceError`.
+_PARSE_ERRORS = _READ_ERRORS + (
+    IndexError,
+    TypeError,
+    AttributeError,
+    InvalidParameterError,
+    DimensionMismatchError,
+)
+
+
+# --------------------------------------------------------------------- #
+# Shared helpers
+# --------------------------------------------------------------------- #
+
+
+def _resolve_path(path: PathLike) -> Path:
+    """Accept both ``index`` and ``index.npz`` (NumPy appends the suffix)."""
+    candidate = Path(path)
+    if not candidate.exists():
+        with_suffix = candidate.with_suffix(candidate.suffix + ".npz")
+        if with_suffix.exists():
+            return with_suffix
+        raise PersistenceError(f"no such index file: {path!s}")
+    return candidate
+
+
+def _open_archive(path: PathLike, *, magic: str, version: int, kind: str):
+    """Open an ``.npz`` archive and validate its magic header and version."""
+    candidate = _resolve_path(path)
+    try:
+        archive = np.load(candidate)
+    except _READ_ERRORS as exc:
+        raise PersistenceError(
+            f"cannot read {kind} file {candidate!s}: corrupt or truncated "
+            f"archive ({exc})"
+        ) from exc
+    try:
+        if "magic" not in archive.files:
+            # Pre-magic archives (quantizer format v1) still carried a
+            # format_version entry: report those as outdated, not foreign.
+            if (
+                "format_version" in archive.files
+                and int(archive["format_version"]) != version
+            ):
+                raise PersistenceError(
+                    f"unsupported {kind} format version "
+                    f"{int(archive['format_version'])}; this build reads "
+                    f"version {version}"
+                )
+            raise PersistenceError(
+                f"{candidate!s} is not a {kind} archive (missing magic header)"
+            )
+        if "format_version" not in archive.files:
+            raise PersistenceError(
+                f"{candidate!s} is not a {kind} archive (missing format version)"
+            )
+        found_magic = str(archive["magic"])
+        found_version = int(archive["format_version"])
+        if found_magic != magic:
+            raise PersistenceError(
+                f"{candidate!s} is not a {kind} archive "
+                f"(magic {found_magic!r}, expected {magic!r})"
+            )
+        if found_version != version:
+            raise PersistenceError(
+                f"unsupported {kind} format version {found_version}; "
+                f"this build reads version {version}"
+            )
+    except Exception:
+        archive.close()
+        raise
+    return archive
+
+
+def _json_default(obj):
+    """JSON fallback for bit-generator states (MT19937 keeps an ndarray key)."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.integer):
+        return int(obj)
+    raise TypeError(f"cannot serialize {type(obj).__name__} to JSON")
+
+
+def _rng_state_json(rng: np.random.Generator) -> str:
+    """Serialize a generator's bit-generator state to JSON."""
+    return json.dumps(rng.bit_generator.state, default=_json_default)
+
+
+def _rng_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a serialized bit-generator state."""
+    name = state.get("bit_generator", "PCG64")
+    bitgen_cls = getattr(np.random, name, None)
+    if bitgen_cls is None:
+        raise PersistenceError(f"unknown bit generator in archive: {name!r}")
+    bitgen = bitgen_cls()
+    bitgen.state = state
+    return np.random.Generator(bitgen)
+
+
+def _save_rotation(rotation: Rotation) -> dict:
+    """Archive entries that reconstruct ``rotation`` bit-identically."""
+    if isinstance(rotation, FastHadamardRotation):
+        # The sign diagonals fully determine the transform; storing them
+        # (rather than the dense materialization) keeps the reloaded
+        # rotation's floating-point behaviour exactly identical.
+        return {"rotation_signs": rotation.signs}
+    return {"rotation_matrix": rotation.as_matrix()}
+
+
+def _load_rotation(archive, dim: int) -> Rotation:
+    if "rotation_signs" in archive.files:
+        return FastHadamardRotation.from_signs(dim, archive["rotation_signs"])
+    return QRRotation.from_matrix(archive["rotation_matrix"])
+
+
+# --------------------------------------------------------------------- #
+# Bare quantizer archives
+# --------------------------------------------------------------------- #
 
 
 def save_rabitq(quantizer: RaBitQ, path: PathLike) -> None:
@@ -46,6 +204,7 @@ def save_rabitq(quantizer: RaBitQ, path: PathLike) -> None:
     config = quantizer.config
     np.savez_compressed(
         Path(path),
+        magic=np.str_(MAGIC_RABITQ),
         format_version=np.int64(FORMAT_VERSION),
         packed_codes=dataset.packed_codes,
         code_popcounts=dataset.code_popcounts,
@@ -54,56 +213,356 @@ def save_rabitq(quantizer: RaBitQ, path: PathLike) -> None:
         centroid=dataset.centroid,
         code_length=np.int64(dataset.code_length),
         dim=np.int64(dataset.dim),
-        rotation_matrix=quantizer.rotation.as_matrix(),
         epsilon0=np.float64(config.epsilon0),
         query_bits=np.int64(config.query_bits),
         randomized_rounding=np.bool_(config.randomized_rounding),
+        rotation_kind=np.str_(config.rotation),
         seed=np.int64(-1 if config.seed is None else config.seed),
+        query_rng_state=np.str_(_rng_state_json(quantizer._query_rng)),
+        **_save_rotation(quantizer.rotation),
     )
 
 
 def load_rabitq(path: PathLike) -> RaBitQ:
     """Load a RaBitQ quantizer previously stored with :func:`save_rabitq`.
 
-    The returned quantizer answers queries exactly as the saved one did
-    (identical codes, rotation and configuration).  The ``.npz`` extension is
-    appended by NumPy when saving, so both ``index`` and ``index.npz`` are
-    accepted here.
+    The returned quantizer answers queries exactly as the saved one would
+    have (identical codes, rotation, configuration and randomized-rounding
+    stream).  The ``.npz`` extension is appended by NumPy when saving, so
+    both ``index`` and ``index.npz`` are accepted here.
+
+    Raises
+    ------
+    PersistenceError
+        If the file is missing, truncated or corrupt, is not a RaBitQ
+        quantizer archive, or uses an unsupported format version.
     """
-    candidate = Path(path)
-    if not candidate.exists():
-        with_suffix = candidate.with_suffix(candidate.suffix + ".npz")
-        if with_suffix.exists():
-            candidate = with_suffix
-        else:
-            raise InvalidParameterError(f"no such index file: {path!s}")
-    with np.load(candidate) as archive:
-        version = int(archive["format_version"])
-        if version != FORMAT_VERSION:
-            raise InvalidParameterError(
-                f"unsupported index format version {version}; "
-                f"this build reads version {FORMAT_VERSION}"
+    with _open_archive(
+        path, magic=MAGIC_RABITQ, version=FORMAT_VERSION, kind="RaBitQ index"
+    ) as archive:
+        try:
+            seed = int(archive["seed"])
+            config = RaBitQConfig(
+                epsilon0=float(archive["epsilon0"]),
+                query_bits=int(archive["query_bits"]),
+                code_length=int(archive["code_length"]),
+                randomized_rounding=bool(archive["randomized_rounding"]),
+                rotation=str(archive["rotation_kind"]),
+                seed=None if seed < 0 else seed,
             )
-        seed = int(archive["seed"])
-        config = RaBitQConfig(
-            epsilon0=float(archive["epsilon0"]),
-            query_bits=int(archive["query_bits"]),
-            code_length=int(archive["code_length"]),
-            randomized_rounding=bool(archive["randomized_rounding"]),
-            seed=None if seed < 0 else seed,
-        )
-        quantizer = RaBitQ(config)
-        quantizer._rotation = QRRotation.from_matrix(archive["rotation_matrix"])
-        quantizer._dataset = QuantizedDataset(
-            packed_codes=archive["packed_codes"],
-            code_popcounts=archive["code_popcounts"],
-            alignments=archive["alignments"],
-            norms=archive["norms"],
-            centroid=archive["centroid"],
-            code_length=int(archive["code_length"]),
-            dim=int(archive["dim"]),
-        )
+            quantizer = RaBitQ(config)
+            quantizer._rotation = _load_rotation(
+                archive, int(archive["code_length"])
+            )
+            quantizer._dataset = QuantizedDataset(
+                packed_codes=archive["packed_codes"],
+                code_popcounts=archive["code_popcounts"],
+                alignments=archive["alignments"],
+                norms=archive["norms"],
+                centroid=archive["centroid"],
+                code_length=int(archive["code_length"]),
+                dim=int(archive["dim"]),
+            )
+            quantizer._query_rng = _rng_from_state(
+                json.loads(str(archive["query_rng_state"]))
+            )
+        except _PARSE_ERRORS as exc:
+            raise PersistenceError(
+                f"cannot read RaBitQ index file {path!s}: corrupt or "
+                f"truncated archive ({exc})"
+            ) from exc
     return quantizer
 
 
-__all__ = ["save_rabitq", "load_rabitq", "FORMAT_VERSION"]
+# --------------------------------------------------------------------- #
+# Full searcher archives
+# --------------------------------------------------------------------- #
+
+_RERANKER_KINDS = {
+    ErrorBoundReranker: "error_bound",
+    TopCandidateReranker: "top_candidate",
+    NoReranker: "none",
+}
+
+
+def _save_reranker(reranker: Reranker) -> tuple[str, int]:
+    kind = _RERANKER_KINDS.get(type(reranker))
+    if kind is None:
+        raise InvalidParameterError(
+            f"cannot serialize re-ranker of type {type(reranker).__name__}; "
+            f"supported: {sorted(k.__name__ for k in _RERANKER_KINDS)}"
+        )
+    param = (
+        reranker.n_candidates if isinstance(reranker, TopCandidateReranker) else 0
+    )
+    return kind, int(param)
+
+
+def _load_reranker(kind: str, param: int) -> Reranker:
+    if kind == "error_bound":
+        return ErrorBoundReranker()
+    if kind == "top_candidate":
+        return TopCandidateReranker(param)
+    if kind == "none":
+        return NoReranker()
+    raise PersistenceError(f"unknown re-ranker kind in archive: {kind!r}")
+
+
+def save_searcher(searcher: IVFQuantizedSearcher, path: PathLike) -> None:
+    """Serialize a fitted :class:`IVFQuantizedSearcher` to ``path``.
+
+    The archive captures the complete query-time and lifecycle state —
+    quantized codes, IVF centroids/assignments, raw vectors, tombstones,
+    external-id mapping and RNG streams — so that :func:`load_searcher`
+    reproduces search results bit-identically and supports further
+    mutation.
+
+    Raises
+    ------
+    NotFittedError
+        If the searcher has not been fitted.
+    InvalidParameterError
+        If the searcher uses an external (non-RaBitQ) quantizer or a custom
+        re-ranker that the archive format cannot represent.
+    """
+    if not searcher.is_fitted:
+        raise NotFittedError("cannot save an unfitted IVFQuantizedSearcher")
+    if searcher.quantizer_kind != "rabitq":
+        raise InvalidParameterError(
+            "save_searcher only supports quantizer_kind='rabitq'"
+        )
+    reranker_kind, reranker_param = _save_reranker(searcher.reranker)
+
+    ivf = searcher.ivf
+    flat = searcher.flat
+    config = searcher.rabitq_config
+    quantizers = searcher._cluster_quantizers
+    assert quantizers is not None
+    assert searcher._ids is not None and searcher._live is not None
+
+    dim = flat.dim
+    code_length = config.resolve_code_length(dim)
+    n_words = (code_length + 63) // 64
+    n_slots = len(flat)
+
+    # Per-slot quantized metadata, scattered from the per-cluster datasets.
+    # Every slot lives in exactly one bucket, and bucket row order matches
+    # quantizer row order, so this is a pure re-indexing.
+    packed_codes = np.zeros((n_slots, n_words), dtype=np.uint64)
+    code_popcounts = np.zeros(n_slots, dtype=np.int64)
+    alignments = np.zeros(n_slots, dtype=np.float64)
+    norms = np.zeros(n_slots, dtype=np.float64)
+    rng_states: list[dict | None] = []
+    for cid, bucket in enumerate(ivf.buckets):
+        quantizer = quantizers[cid]
+        if quantizer is None or len(bucket) == 0:
+            rng_states.append(None)
+            continue
+        dataset = quantizer.dataset
+        slots = bucket.vector_ids
+        packed_codes[slots] = dataset.packed_codes
+        code_popcounts[slots] = dataset.code_popcounts
+        alignments[slots] = dataset.alignments
+        norms[slots] = dataset.norms
+        rng_states.append(quantizer._query_rng.bit_generator.state)
+
+    assert searcher._shared_rotation is not None
+    rotation_entries = _save_rotation(searcher._shared_rotation)
+
+    np.savez_compressed(
+        Path(path),
+        magic=np.str_(MAGIC_SEARCHER),
+        format_version=np.int64(SEARCHER_FORMAT_VERSION),
+        # RaBitQ configuration
+        epsilon0=np.float64(config.epsilon0),
+        query_bits=np.int64(config.query_bits),
+        config_code_length=np.int64(
+            -1 if config.code_length is None else config.code_length
+        ),
+        code_length=np.int64(code_length),
+        randomized_rounding=np.bool_(config.randomized_rounding),
+        rotation_kind=np.str_(config.rotation),
+        seed=np.int64(-1 if config.seed is None else config.seed),
+        # Searcher construction parameters
+        n_clusters_param=np.int64(
+            -1 if searcher.n_clusters is None else searcher.n_clusters
+        ),
+        kmeans_iters=np.int64(ivf.kmeans_iters),
+        compact_threshold=np.float64(
+            np.nan
+            if searcher.compact_threshold is None
+            else searcher.compact_threshold
+        ),
+        reranker_kind=np.str_(reranker_kind),
+        reranker_param=np.int64(reranker_param),
+        # IVF + flat index state
+        centroids=ivf.centroids,
+        assignments=ivf.assignments,
+        data=flat.data,
+        # Quantized per-slot metadata
+        packed_codes=packed_codes,
+        code_popcounts=code_popcounts,
+        alignments=alignments,
+        norms=norms,
+        # Lifecycle state
+        ids=searcher._ids,
+        live=searcher._live,
+        next_id=np.int64(searcher._next_id),
+        # Random streams
+        quantizer_rng_states=np.str_(
+            json.dumps(rng_states, default=_json_default)
+        ),
+        searcher_rng_state=np.str_(_rng_state_json(searcher._rng)),
+        **rotation_entries,
+    )
+
+
+def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
+    """Load a searcher previously stored with :func:`save_searcher`.
+
+    The returned searcher is fully fitted and mutable, and its
+    ``search`` / ``search_batch`` answers — ids, distances and cost
+    counters — are element-wise identical to what the saved searcher would
+    have returned from the moment it was saved.
+
+    Raises
+    ------
+    PersistenceError
+        If the file is missing, truncated or corrupt, is not a searcher
+        archive, or uses an unsupported format version.
+    """
+    with _open_archive(
+        path,
+        magic=MAGIC_SEARCHER,
+        version=SEARCHER_FORMAT_VERSION,
+        kind="searcher index",
+    ) as archive:
+        try:
+            seed = int(archive["seed"])
+            config_code_length = int(archive["config_code_length"])
+            config = RaBitQConfig(
+                epsilon0=float(archive["epsilon0"]),
+                query_bits=int(archive["query_bits"]),
+                code_length=(
+                    None if config_code_length < 0 else config_code_length
+                ),
+                randomized_rounding=bool(archive["randomized_rounding"]),
+                rotation=str(archive["rotation_kind"]),
+                seed=None if seed < 0 else seed,
+            )
+            n_clusters_param = int(archive["n_clusters_param"])
+            threshold = float(archive["compact_threshold"])
+            searcher = IVFQuantizedSearcher(
+                "rabitq",
+                n_clusters=None if n_clusters_param < 0 else n_clusters_param,
+                rabitq_config=config,
+                reranker=_load_reranker(
+                    str(archive["reranker_kind"]), int(archive["reranker_param"])
+                ),
+                rng=_rng_from_state(
+                    json.loads(str(archive["searcher_rng_state"]))
+                ),
+                compact_threshold=None if np.isnan(threshold) else threshold,
+            )
+
+            data = np.asarray(archive["data"], dtype=np.float64)
+            dim = int(data.shape[1])
+            code_length = int(archive["code_length"])
+            rotation = _load_rotation(archive, code_length)
+            searcher._shared_rotation = rotation
+            searcher._flat = FlatIndex(data, allow_empty=True)
+            searcher._ivf = IVFIndex.from_state(
+                archive["centroids"],
+                archive["assignments"],
+                kmeans_iters=int(archive["kmeans_iters"]),
+                rng=searcher._rng,
+            )
+
+            packed_codes = archive["packed_codes"]
+            code_popcounts = archive["code_popcounts"]
+            alignments = archive["alignments"]
+            norms = archive["norms"]
+            n_slots = data.shape[0]
+            n_words = (code_length + 63) // 64
+            if packed_codes.ndim != 2 or packed_codes.shape[1] != n_words:
+                raise PersistenceError(
+                    f"archive has inconsistent code matrices: packed_codes "
+                    f"shape {packed_codes.shape} does not match code length "
+                    f"{code_length} ({n_words} words)"
+                )
+            for name, array in (
+                ("assignments", searcher._ivf.assignments),
+                ("packed_codes", packed_codes),
+                ("code_popcounts", code_popcounts),
+                ("alignments", alignments),
+                ("norms", norms),
+                ("ids", archive["ids"]),
+                ("live", archive["live"]),
+            ):
+                if array.shape[0] != n_slots:
+                    raise PersistenceError(
+                        f"archive has inconsistent per-slot arrays: "
+                        f"{name} has {array.shape[0]} rows, data has {n_slots}"
+                    )
+            rng_states = json.loads(str(archive["quantizer_rng_states"]))
+            if len(rng_states) != len(searcher._ivf.buckets):
+                raise PersistenceError(
+                    "archive has inconsistent cluster metadata: "
+                    f"{len(rng_states)} RNG states for "
+                    f"{len(searcher._ivf.buckets)} clusters"
+                )
+            quantizers: list[RaBitQ] = []
+            for cid, bucket in enumerate(searcher._ivf.buckets):
+                if len(bucket) == 0:
+                    quantizers.append(None)  # type: ignore[arg-type]
+                    continue
+                state = rng_states[cid]
+                if state is None:
+                    raise PersistenceError(
+                        f"archive has no RNG state for non-empty cluster {cid}"
+                    )
+                slots = bucket.vector_ids
+                quantizer = RaBitQ(config)
+                quantizer._rotation = rotation
+                quantizer._dataset = QuantizedDataset(
+                    packed_codes=packed_codes[slots],
+                    code_popcounts=code_popcounts[slots],
+                    alignments=alignments[slots],
+                    norms=norms[slots],
+                    centroid=searcher._ivf.centroids[cid],
+                    code_length=code_length,
+                    dim=dim,
+                )
+                quantizer._query_rng = _rng_from_state(state)
+                quantizers.append(quantizer)
+            searcher._cluster_quantizers = quantizers
+
+            searcher._ids = np.asarray(archive["ids"], dtype=np.int64)
+            searcher._live = np.asarray(archive["live"], dtype=bool)
+            searcher._n_dead = int((~searcher._live).sum())
+            searcher._next_id = int(archive["next_id"])
+            searcher._id_to_slot = {
+                int(ext): slot
+                for slot, (ext, alive) in enumerate(
+                    zip(searcher._ids.tolist(), searcher._live.tolist())
+                )
+                if alive
+            }
+        except _PARSE_ERRORS as exc:
+            raise PersistenceError(
+                f"cannot read searcher index file {path!s}: corrupt or "
+                f"truncated archive ({exc})"
+            ) from exc
+    return searcher
+
+
+__all__ = [
+    "save_rabitq",
+    "load_rabitq",
+    "save_searcher",
+    "load_searcher",
+    "FORMAT_VERSION",
+    "SEARCHER_FORMAT_VERSION",
+    "MAGIC_RABITQ",
+    "MAGIC_SEARCHER",
+]

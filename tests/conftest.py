@@ -9,10 +9,26 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
 
 from repro.core.config import RaBitQConfig
 from repro.core.quantizer import RaBitQ
 from repro.datasets.synthetic import make_clustered_dataset, make_gaussian_dataset
+
+# Hypothesis profiles: "default" governs a local/tier-1 `pytest` run; "ci"
+# is selected with `--hypothesis-profile=ci` by the CI property-test job.
+# Both disable the per-example deadline (searcher-building examples have
+# noisy timings, especially on shared CI runners); the ci profile triples
+# the example budget for suites that don't pin max_examples inline (the
+# lifecycle suite) and prints reproduction blobs on failure.
+hypothesis_settings.register_profile("default", deadline=None, max_examples=10)
+hypothesis_settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
 
 
 @pytest.fixture(scope="session")

@@ -216,3 +216,120 @@ class TestIVFIndex:
         index = IVFIndex(4, rng=0).fit(data)
         with pytest.raises(DimensionMismatchError):
             index.probe(np.zeros(17), 1)
+
+
+class TestFlatIndexMutation:
+    def test_add_appends_rows_and_returns_slots(self, flat_data):
+        data, query = flat_data
+        index = FlatIndex(data)
+        extra = np.random.default_rng(3).standard_normal((30, 16))
+        slots = index.add(extra)
+        np.testing.assert_array_equal(slots, np.arange(200, 230))
+        assert len(index) == 230
+        np.testing.assert_array_equal(index.data[200:], extra)
+        # Existing rows and their exact distances are untouched.
+        np.testing.assert_array_equal(index.data[:200], data)
+
+    def test_add_many_small_batches(self, flat_data):
+        data, _ = flat_data
+        index = FlatIndex(data)
+        rng = np.random.default_rng(4)
+        rows = [rng.standard_normal(16) for _ in range(25)]
+        for row in rows:
+            index.add(row)
+        assert len(index) == 225
+        np.testing.assert_array_equal(index.data[200:], np.asarray(rows))
+
+    def test_add_empty_is_noop(self, flat_data):
+        data, _ = flat_data
+        index = FlatIndex(data)
+        assert index.add(np.empty((0, 16))).shape == (0,)
+        assert len(index) == 200
+
+    def test_add_dimension_mismatch(self, flat_data):
+        data, _ = flat_data
+        with pytest.raises(DimensionMismatchError):
+            FlatIndex(data).add(np.zeros((2, 5)))
+
+    def test_keep_rows_drops_and_preserves_order(self, flat_data):
+        data, query = flat_data
+        index = FlatIndex(data)
+        keep = np.ones(200, dtype=bool)
+        keep[::3] = False
+        index.keep_rows(keep)
+        assert len(index) == int(keep.sum())
+        np.testing.assert_array_equal(index.data, data[keep])
+
+    def test_keep_rows_mask_length_checked(self, flat_data):
+        data, _ = flat_data
+        with pytest.raises(DimensionMismatchError):
+            FlatIndex(data).keep_rows(np.ones(3, dtype=bool))
+
+    def test_allow_empty_construction(self):
+        index = FlatIndex(np.empty((0, 8)), allow_empty=True)
+        assert len(index) == 0
+        with pytest.raises(EmptyDatasetError):
+            FlatIndex(np.empty((0, 8)))
+
+
+class TestIVFIndexMutation:
+    def test_assign_matches_fit_assignments(self, flat_data):
+        data, _ = flat_data
+        index = IVFIndex(8, rng=0).fit(data)
+        # Re-assigning the training data reproduces the kmeans assignment
+        # (Lloyd terminates with points attached to their nearest centroid).
+        np.testing.assert_array_equal(index.assign(data), index.assignments)
+
+    def test_append_extends_buckets_in_order(self, flat_data):
+        data, _ = flat_data
+        index = IVFIndex(8, rng=0).fit(data)
+        extra = np.random.default_rng(5).standard_normal((20, 16))
+        clusters = index.assign(extra)
+        index.append(np.arange(200, 220), clusters)
+        assert index.assignments.shape == (220,)
+        for bucket in index.buckets:
+            # The sorted-ascending invariant the persistence layer relies on.
+            assert (np.diff(bucket.vector_ids) > 0).all()
+        np.testing.assert_array_equal(index.assignments[200:], clusters)
+
+    def test_append_rejects_non_contiguous_ids(self, flat_data):
+        data, _ = flat_data
+        index = IVFIndex(8, rng=0).fit(data)
+        with pytest.raises(InvalidParameterError):
+            index.append(np.array([150]), np.array([0]))  # id already stored
+        with pytest.raises(InvalidParameterError):
+            index.append(np.array([201, 200]), np.array([0, 0]))  # out of order
+        with pytest.raises(InvalidParameterError):
+            index.append(np.array([205]), np.array([0]))  # gap after 199
+        with pytest.raises(InvalidParameterError):
+            index.append(np.array([200, 202]), np.array([0, 0]))  # internal gap
+
+    def test_keep_rows_remaps_ids(self, flat_data):
+        data, _ = flat_data
+        index = IVFIndex(8, rng=0).fit(data)
+        keep = np.ones(200, dtype=bool)
+        keep[50:100] = False
+        expected = index.assignments[keep]
+        index.keep_rows(keep)
+        np.testing.assert_array_equal(index.assignments, expected)
+        sizes = sum(len(bucket) for bucket in index.buckets)
+        assert sizes == 150
+        for bucket in index.buckets:
+            if len(bucket):
+                assert bucket.vector_ids.max() < 150
+
+    def test_from_state_roundtrip(self, flat_data):
+        data, query = flat_data
+        index = IVFIndex(8, rng=0).fit(data)
+        rebuilt = IVFIndex.from_state(index.centroids, index.assignments)
+        np.testing.assert_array_equal(
+            rebuilt.probe(query, 4), index.probe(query, 4)
+        )
+        for got, want in zip(rebuilt.buckets, index.buckets):
+            np.testing.assert_array_equal(got.vector_ids, want.vector_ids)
+
+    def test_from_state_rejects_bad_assignments(self, flat_data):
+        data, _ = flat_data
+        index = IVFIndex(4, rng=0).fit(data)
+        with pytest.raises(InvalidParameterError):
+            IVFIndex.from_state(index.centroids, np.array([0, 99]))

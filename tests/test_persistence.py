@@ -7,9 +7,9 @@ import pytest
 
 from repro.core.config import RaBitQConfig
 from repro.core.quantizer import RaBitQ
-from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.exceptions import NotFittedError, PersistenceError
 from repro.io import load_rabitq, save_rabitq
-from repro.io.persistence import FORMAT_VERSION
+from repro.io.persistence import FORMAT_VERSION, MAGIC_RABITQ
 
 
 @pytest.fixture(scope="module")
@@ -87,15 +87,97 @@ class TestLoad:
         assert loaded.code_length == original.code_length
 
     def test_missing_file(self, tmp_path):
-        with pytest.raises(InvalidParameterError):
+        with pytest.raises(PersistenceError):
             load_rabitq(tmp_path / "does_not_exist.npz")
+
+    def test_hadamard_rotation_roundtrip_bit_identical(self, tmp_path):
+        # The structured rotation is stored as its sign diagonals, not a
+        # dense matrix, so the reloaded transform applies the exact same
+        # floating-point operations and estimates match bit for bit.
+        rng = np.random.default_rng(31)
+        data = rng.standard_normal((120, 100))
+        quantizer = RaBitQ(RaBitQConfig(seed=3, rotation="hadamard")).fit(data)
+        path = tmp_path / "hadamard.npz"
+        save_rabitq(quantizer, path)
+        loaded = load_rabitq(path)
+        assert loaded.config.rotation == "hadamard"
+        query = rng.standard_normal(100)
+        original = quantizer.estimate_distances(query, compute="float")
+        reloaded = loaded.estimate_distances(query, compute="float")
+        np.testing.assert_array_equal(reloaded.distances, original.distances)
+
+    def test_rng_stream_resumes_after_load(self, saved_index, tmp_path):
+        # Randomized query rounding must continue from the saved stream, so
+        # the loaded quantizer's bitwise estimates match the original's.
+        data, _, _ = saved_index
+        quantizer = RaBitQ(RaBitQConfig(seed=9)).fit(data)
+        query = np.random.default_rng(21).standard_normal(72)
+        quantizer.estimate_distances(query)  # advance the rounding stream
+        path = tmp_path / "advanced.npz"
+        save_rabitq(quantizer, path)
+        loaded = load_rabitq(path)
+        follow_up = np.random.default_rng(22).standard_normal(72)
+        original = quantizer.estimate_distances(follow_up)
+        reloaded = loaded.estimate_distances(follow_up)
+        np.testing.assert_array_equal(reloaded.distances, original.distances)
+        np.testing.assert_array_equal(reloaded.lower_bounds, original.lower_bounds)
+
+
+class TestCorruptArchives:
+    """The versioned magic header rejects anything that is not a valid index."""
+
+    def _clone_with(self, path, tmp_path, **overrides):
+        with np.load(path) as archive:
+            contents = {key: archive[key] for key in archive.files}
+        for key, value in overrides.items():
+            if value is None:
+                contents.pop(key, None)
+            else:
+                contents[key] = value
+        bad_path = tmp_path / "modified_index.npz"
+        np.savez_compressed(bad_path, **contents)
+        return bad_path
 
     def test_version_mismatch_rejected(self, saved_index, tmp_path):
         _, _, path = saved_index
-        with np.load(path) as archive:
-            contents = {key: archive[key] for key in archive.files}
-        contents["format_version"] = np.int64(FORMAT_VERSION + 1)
-        bad_path = tmp_path / "future_index.npz"
-        np.savez_compressed(bad_path, **contents)
-        with pytest.raises(InvalidParameterError):
-            load_rabitq(bad_path)
+        bad = self._clone_with(
+            path, tmp_path, format_version=np.int64(FORMAT_VERSION + 1)
+        )
+        with pytest.raises(PersistenceError, match="format version"):
+            load_rabitq(bad)
+
+    def test_missing_header_rejected(self, saved_index, tmp_path):
+        _, _, path = saved_index
+        bad = self._clone_with(path, tmp_path, magic=None)
+        with pytest.raises(PersistenceError, match="magic"):
+            load_rabitq(bad)
+
+    def test_wrong_magic_rejected(self, saved_index, tmp_path):
+        _, _, path = saved_index
+        bad = self._clone_with(path, tmp_path, magic=np.str_("something/else"))
+        with pytest.raises(PersistenceError, match="magic"):
+            load_rabitq(bad)
+        assert MAGIC_RABITQ != "something/else"
+
+    def test_truncated_file_rejected(self, saved_index, tmp_path):
+        _, _, path = saved_index
+        raw = path.read_bytes()
+        for fraction in (3, 2):
+            truncated = tmp_path / f"truncated_{fraction}.npz"
+            truncated.write_bytes(raw[: len(raw) // fraction])
+            with pytest.raises(PersistenceError):
+                load_rabitq(truncated)
+
+    def test_not_a_zip_rejected(self, tmp_path):
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"this is not an npz archive at all")
+        with pytest.raises(PersistenceError):
+            load_rabitq(garbage)
+
+    def test_malformed_rng_state_rejected(self, saved_index, tmp_path):
+        _, _, path = saved_index
+        bad = self._clone_with(
+            path, tmp_path, query_rng_state=np.str_('"not a state dict"')
+        )
+        with pytest.raises(PersistenceError):
+            load_rabitq(bad)

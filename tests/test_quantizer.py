@@ -240,3 +240,73 @@ class TestIntrospection:
         assert not quantizer.is_fitted
         quantizer.fit(data)
         assert quantizer.is_fitted
+
+
+class TestIncrementalEncode:
+    """RaBitQ.add / RaBitQ.keep_rows — the mutable-lifecycle primitives."""
+
+    def test_add_matches_joint_fit_exactly(self, data_and_query):
+        # Encoding is deterministic given centroid + rotation, so fitting on
+        # A then adding B must equal fitting on A ∪ B bit for bit.
+        data, _ = data_and_query
+        part_a, part_b = data[:250], data[250:]
+        centroid = data.mean(axis=0)
+        rotation = QRRotation(64, rng=0)
+        incremental = RaBitQ(RaBitQConfig(seed=1)).fit(
+            part_a, centroid=centroid, rotation=rotation
+        )
+        incremental.add(part_b)
+        joint = RaBitQ(RaBitQConfig(seed=1)).fit(
+            data, centroid=centroid, rotation=rotation
+        )
+        np.testing.assert_array_equal(
+            incremental.dataset.packed_codes, joint.dataset.packed_codes
+        )
+        np.testing.assert_array_equal(
+            incremental.dataset.code_popcounts, joint.dataset.code_popcounts
+        )
+        np.testing.assert_array_equal(
+            incremental.dataset.alignments, joint.dataset.alignments
+        )
+        np.testing.assert_array_equal(
+            incremental.dataset.norms, joint.dataset.norms
+        )
+
+    def test_add_leaves_existing_rows_untouched(self, data_and_query):
+        data, query = data_and_query
+        quantizer = RaBitQ(RaBitQConfig(seed=2)).fit(data[:300])
+        before = quantizer.estimate_distances(query, compute="float")
+        quantizer.add(data[300:])
+        after = quantizer.estimate_distances(query, compute="float")
+        np.testing.assert_array_equal(
+            after.distances[:300], before.distances
+        )
+        assert len(quantizer.dataset) == 400
+
+    def test_add_validates_dimension_and_fit_state(self, data_and_query):
+        data, _ = data_and_query
+        with pytest.raises(NotFittedError):
+            RaBitQ().add(data)
+        quantizer = RaBitQ(RaBitQConfig(seed=3)).fit(data)
+        with pytest.raises(DimensionMismatchError):
+            quantizer.add(np.zeros((2, 7)))
+        quantizer.add(np.empty((0, 60)))  # no-op
+        assert len(quantizer.dataset) == 400
+
+    def test_keep_rows_slices_metadata(self, data_and_query):
+        data, query = data_and_query
+        quantizer = RaBitQ(RaBitQConfig(seed=4)).fit(data)
+        reference = RaBitQ(RaBitQConfig(seed=4)).fit(data)
+        keep = np.ones(400, dtype=bool)
+        keep[::4] = False
+        quantizer.keep_rows(keep)
+        assert len(quantizer.dataset) == int(keep.sum())
+        full = reference.estimate_distances(query, compute="float")
+        kept = quantizer.estimate_distances(query, compute="float")
+        np.testing.assert_array_equal(kept.distances, full.distances[keep])
+
+    def test_keep_rows_validates_mask(self, data_and_query):
+        data, _ = data_and_query
+        quantizer = RaBitQ(RaBitQConfig(seed=5)).fit(data)
+        with pytest.raises(DimensionMismatchError):
+            quantizer.keep_rows(np.ones(3, dtype=bool))
