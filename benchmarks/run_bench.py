@@ -1,0 +1,360 @@
+#!/usr/bin/env python
+"""Machine-readable ANN benchmark runner (the ``BENCH_ann.json`` trajectory).
+
+Unlike the ``bench_fig*.py`` pytest modules (which print human-readable
+tables), this is a plain script that executes the fig4-style ANN search
+benchmark plus the kernel micro-benchmarks at *fixed* sizes and writes the
+measurements to a JSON file, so that every PR leaves a machine-readable perf
+trajectory behind and CI can fail on regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py \
+        --label after --out benchmarks/results/BENCH_ann.json
+
+    # CI perf smoke: small sizes + regression gate against the committed
+    # baseline (fails when single-query QPS drops by more than 30%).
+    PYTHONPATH=src python benchmarks/run_bench.py --small \
+        --label ci --out BENCH_ann_ci.json \
+        --check benchmarks/results/BENCH_ann_small.json --check-label after
+
+The output file accumulates one entry per ``--label`` under ``"runs"`` (so a
+single file can hold the pre-change ``before`` and post-change ``after``
+measurements side by side); when both ``before`` and ``after`` are present a
+``"speedup"`` section is derived from them.
+
+Measured quantities per run:
+
+* ``fit_seconds`` — index construction time (KMeans + encoding).
+* ``single_query`` — QPS of the sequential :meth:`IVFQuantizedSearcher.search`
+  loop.
+* ``batch`` — QPS of :meth:`IVFQuantizedSearcher.search_batch`.
+* ``recall_at_10`` — recall of the batch results against brute force (batch
+  and sequential results are guaranteed element-wise identical, so one recall
+  covers both).
+* ``phases`` — coarse per-phase breakdown of the sequential path (probe /
+  rerank / estimation+preparation) from an instrumented second pass.
+* ``kernels`` — micro-benchmarks of the packed-bit kernels at fixed sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import RaBitQConfig  # noqa: E402
+from repro.datasets.registry import load_dataset  # noqa: E402
+from repro.metrics.recall import recall_at_k  # noqa: E402
+from repro.index.searcher import IVFQuantizedSearcher  # noqa: E402
+
+
+def _timeit(fn, *, repeat: int = 5, number: int = 1) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``number`` calls of ``fn``."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - start) / number)
+    return best
+
+
+class _TimingReranker:
+    """Transparent re-ranker proxy accumulating time spent in re-ranking."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.seconds = 0.0
+
+    def rerank(self, *args, **kwargs):
+        start = time.perf_counter()
+        out = self._inner.rerank(*args, **kwargs)
+        self.seconds += time.perf_counter() - start
+        return out
+
+    def rerank_batch(self, *args, **kwargs):
+        start = time.perf_counter()
+        out = self._inner.rerank_batch(*args, **kwargs)
+        self.seconds += time.perf_counter() - start
+        return out
+
+
+def bench_ann(args) -> dict:
+    """Fig. 4-style ANN benchmark at fixed sizes; returns the results dict."""
+    print(
+        f"[run_bench] dataset: sift-analogue n={args.n} dim=128 "
+        f"n_queries={args.n_queries} (seed {args.seed})",
+        flush=True,
+    )
+    dataset = load_dataset(
+        "sift",
+        n_data=args.n,
+        n_queries=args.n_queries,
+        ground_truth_k=args.k,
+        rng=args.seed,
+    )
+    data, queries = dataset.data, dataset.queries
+
+    start = time.perf_counter()
+    searcher = IVFQuantizedSearcher(
+        "rabitq", rabitq_config=RaBitQConfig(seed=0), rng=0
+    ).fit(data)
+    fit_seconds = time.perf_counter() - start
+    n_clusters = len(searcher.ivf.buckets)
+    print(
+        f"[run_bench] fit: {fit_seconds:.1f}s ({n_clusters} clusters)",
+        flush=True,
+    )
+
+    k, nprobe = args.k, args.nprobe
+    # Warm both paths (BLAS pools, lazy allocations, scratch buffers).
+    searcher.search_batch(queries[: min(16, len(queries))], k, nprobe=nprobe)
+    for query in queries[: min(16, len(queries))]:
+        searcher.search(query, k, nprobe=nprobe)
+
+    n_single = min(args.n_queries, args.n_single)
+    start = time.perf_counter()
+    for query in queries[:n_single]:
+        searcher.search(query, k, nprobe=nprobe)
+    single_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = searcher.search_batch(queries, k, nprobe=nprobe)
+    batch_seconds = time.perf_counter() - start
+
+    recall = recall_at_k([r.ids for r in batch], dataset.ground_truth, k)
+
+    # Instrumented pass for the coarse phase breakdown (separate from the
+    # timed runs above so the proxies cannot skew the QPS numbers).
+    n_phase = min(n_single, 100)
+    probe_seconds = _timeit(
+        lambda: searcher.ivf.probe_batch(queries[:n_phase], nprobe), repeat=3
+    )
+    proxy = _TimingReranker(searcher.reranker)
+    searcher.reranker = proxy
+    try:
+        start = time.perf_counter()
+        for query in queries[:n_phase]:
+            searcher.search(query, k, nprobe=nprobe)
+        instrumented_seconds = time.perf_counter() - start
+    finally:
+        searcher.reranker = proxy._inner
+    rerank_seconds = proxy.seconds
+
+    results = {
+        "fit_seconds": round(fit_seconds, 3),
+        "n_clusters": n_clusters,
+        "single_query": {
+            "n_queries": n_single,
+            "seconds": round(single_seconds, 4),
+            "qps": round(n_single / single_seconds, 1),
+        },
+        "batch": {
+            "n_queries": args.n_queries,
+            "seconds": round(batch_seconds, 4),
+            "qps": round(args.n_queries / batch_seconds, 1),
+        },
+        "recall_at_10": round(float(recall), 4),
+        "avg_candidates_per_query": round(
+            batch.total_candidates / len(batch), 1
+        ),
+        "avg_exact_per_query": round(batch.total_exact / len(batch), 1),
+        "phases": {
+            "n_queries": n_phase,
+            "probe_seconds_per_query": round(probe_seconds / n_phase, 6),
+            "rerank_seconds_per_query": round(rerank_seconds / n_phase, 6),
+            "estimate_and_prepare_seconds_per_query": round(
+                max(0.0, instrumented_seconds - rerank_seconds) / n_phase
+                - probe_seconds / n_phase,
+                6,
+            ),
+        },
+    }
+    print(
+        f"[run_bench] single {results['single_query']['qps']} QPS | "
+        f"batch {results['batch']['qps']} QPS | recall@{k} {recall:.4f}",
+        flush=True,
+    )
+    return results
+
+
+def bench_kernels(args) -> dict:
+    """Micro-benchmarks of the packed-bit and estimation kernels."""
+    from repro.core import bitops
+    from repro.core.estimator import estimate_distances
+
+    rng = np.random.default_rng(args.seed)
+    n_codes, n_bits = (20_000, 128) if not args.small else (5_000, 128)
+    bits = rng.integers(0, 2, size=(n_codes, n_bits)).astype(np.uint8)
+    packed = bitops.pack_bits(bits)
+    plane_values = rng.integers(0, 16, size=n_bits).astype(np.uint64)
+    planes = bitops.bitplanes_from_uint(plane_values, 4)
+
+    out = {
+        "n_codes": n_codes,
+        "n_bits": n_bits,
+        "pack_bits_seconds": _timeit(lambda: bitops.pack_bits(bits)),
+        "unpack_bits_seconds": _timeit(
+            lambda: bitops.unpack_bits(packed, n_bits)
+        ),
+        "binary_dot_uint_seconds": _timeit(
+            lambda: bitops.binary_dot_uint(packed, planes)
+        ),
+    }
+
+    quantized_dot = rng.normal(size=n_codes)
+    alignments = rng.uniform(0.5, 1.0, size=n_codes)
+    norms = rng.uniform(0.5, 2.0, size=n_codes)
+    out["estimate_distances_seconds"] = _timeit(
+        lambda: estimate_distances(
+            quantized_dot, alignments, norms, 1.0, n_bits, 1.9
+        )
+    )
+
+    try:  # Present only on arena-enabled builds.
+        from repro.core.estimator import build_code_consts, fused_estimate
+
+        consts = build_code_consts(
+            alignments, norms, bitops.popcount_total(packed), n_bits, 1.9
+        )
+        out["fused_estimate_seconds"] = _timeit(
+            lambda: fused_estimate(quantized_dot, consts, 1.0)
+        )
+    except ImportError:
+        pass
+
+    out = {
+        key: (round(val, 6) if isinstance(val, float) else val)
+        for key, val in out.items()
+    }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=100_000, help="data size")
+    parser.add_argument("--n-queries", type=int, default=1000)
+    parser.add_argument(
+        "--n-single",
+        type=int,
+        default=500,
+        help="queries timed in the sequential loop (<= --n-queries)",
+    )
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--nprobe", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="CI-scale sizes (10k vectors, 200 queries, nprobe 8)",
+    )
+    parser.add_argument("--label", default="after")
+    parser.add_argument(
+        "--out", default="benchmarks/results/BENCH_ann.json"
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        help="baseline JSON; exit 1 when single-query QPS regresses",
+    )
+    parser.add_argument("--check-label", default="after")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional single-query QPS drop",
+    )
+    parser.add_argument("--skip-kernels", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.small:
+        args.n = min(args.n, 10_000)
+        args.n_queries = min(args.n_queries, 200)
+        args.n_single = min(args.n_single, 200)
+        args.nprobe = 8
+
+    run = {
+        "config": {
+            "n": args.n,
+            "dim": 128,
+            "n_queries": args.n_queries,
+            "k": args.k,
+            "nprobe": args.nprobe,
+            "seed": args.seed,
+            "small": bool(args.small),
+        },
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "results": bench_ann(args),
+    }
+    if not args.skip_kernels:
+        run["kernels"] = bench_kernels(args)
+
+    out_path = Path(args.out)
+    doc = {"runs": {}}
+    if out_path.exists():
+        try:
+            doc = json.loads(out_path.read_text())
+        except (OSError, ValueError):
+            print(f"[run_bench] overwriting unreadable {out_path}")
+            doc = {"runs": {}}
+    doc.setdefault("runs", {})[args.label] = run
+    if "before" in doc["runs"] and "after" in doc["runs"]:
+        before = doc["runs"]["before"]["results"]
+        after = doc["runs"]["after"]["results"]
+        doc["speedup"] = {
+            "single_query_qps": round(
+                after["single_query"]["qps"] / before["single_query"]["qps"], 2
+            ),
+            "batch_qps": round(
+                after["batch"]["qps"] / before["batch"]["qps"], 2
+            ),
+            "recall_at_10_delta": round(
+                after["recall_at_10"] - before["recall_at_10"], 4
+            ),
+        }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"[run_bench] wrote {out_path}")
+
+    if args.check:
+        baseline_doc = json.loads(Path(args.check).read_text())
+        baseline = baseline_doc["runs"][args.check_label]
+        base_cfg, cfg = baseline["config"], run["config"]
+        for key in ("n", "n_queries", "k", "nprobe"):
+            if base_cfg[key] != cfg[key]:
+                print(
+                    f"[run_bench] baseline config mismatch on {key!r}: "
+                    f"{base_cfg[key]} != {cfg[key]}; regression check skipped"
+                )
+                return 0
+        base_qps = baseline["results"]["single_query"]["qps"]
+        got_qps = run["results"]["single_query"]["qps"]
+        floor = (1.0 - args.max_regression) * base_qps
+        print(
+            f"[run_bench] regression gate: {got_qps} QPS vs baseline "
+            f"{base_qps} QPS (floor {floor:.1f})"
+        )
+        if got_qps < floor:
+            print("[run_bench] FAIL: single-query QPS regressed > "
+                  f"{args.max_regression:.0%}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

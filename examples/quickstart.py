@@ -17,6 +17,14 @@ This example mirrors the paper's Algorithm 1 (index phase) and Algorithm 2
    whole thing — a reloaded searcher answers queries *bit-identically*,
    including the randomized-rounding streams.
 
+The searcher stores its codes in a contiguous *code arena* — one
+cluster-grouped packed code matrix plus one fused matrix of per-code
+estimator constants — so probing clusters yields contiguous array slices
+and estimation runs as one integer inner-product pass plus one fused
+affine transform (see ``benchmarks/README.md`` for the layout, the v3
+archive format, and ``benchmarks/run_bench.py`` for the tracked
+single-query/batch QPS trajectory in ``BENCH_ann.json``).
+
 When to batch: ``estimate_distances`` answers one query; whenever several
 queries are available together (offline evaluation, multi-user serving),
 ``estimate_distances_batch`` — and, at the index level,
@@ -99,6 +107,11 @@ def main() -> None:
     ).fit(data)
     print(f"Fitted searcher over {searcher.n_live} vectors "
           f"(ids 0 .. {searcher.n_live - 1})")
+    arena = searcher.arena
+    print(f"Code arena: {arena.n_rows} codes in {arena.n_clusters} "
+          f"contiguous cluster regions, "
+          f"{arena.memory_bytes() / 1024:.1f} KiB "
+          "(packed codes + unpacked GEMM operand + fused constants)")
 
     # Insert: nearest-centroid assignment + incremental RaBitQ encoding
     # against the fitted rotation; nothing already stored is re-encoded.

@@ -28,6 +28,13 @@ from repro.exceptions import DimensionMismatchError, InvalidParameterError
 #: Number of bits per packed word.
 WORD_BITS = 64
 
+#: Explicit little-endian word dtype: the byte-level pack/unpack kernels
+#: rely on byte ``j`` of a word holding bits ``8j .. 8j+7``, which is the
+#: little-endian layout.  ``astype`` from/to this dtype is a no-op on
+#: little-endian platforms and a byte swap on big-endian ones, keeping the
+#: packed format platform-independent.
+_WORD_VIEW_DTYPE = np.dtype("<u8")
+
 
 def pack_bits(bits: np.ndarray) -> np.ndarray:
     """Pack an array of 0/1 values into ``uint64`` words.
@@ -54,29 +61,45 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
         raise InvalidParameterError("bits must contain only 0s and 1s")
     n_bits = arr.shape[-1]
     n_words = (n_bits + WORD_BITS - 1) // WORD_BITS
-    padded_len = n_words * WORD_BITS
-    padded = np.zeros(arr.shape[:-1] + (padded_len,), dtype=np.uint64)
-    padded[..., :n_bits] = arr.astype(np.uint64)
-    reshaped = padded.reshape(arr.shape[:-1] + (n_words, WORD_BITS))
-    weights = (np.uint64(1) << np.arange(WORD_BITS, dtype=np.uint64))
-    # Multiply-and-sum in uint64; each bit contributes its positional weight.
-    return (reshaped * weights).sum(axis=-1, dtype=np.uint64)
+    if arr.dtype != np.uint8 and arr.dtype != np.bool_:
+        arr = arr.astype(np.uint8)
+    # ``np.packbits(bitorder="little")`` packs element ``8*j + k`` into bit
+    # ``k`` of byte ``j`` — exactly the LSB-first layout of our words on a
+    # little-endian platform, so the packed bytes can be reinterpreted as
+    # ``uint64`` words directly (a view, not an arithmetic reduction).
+    packed_bytes = np.packbits(arr, axis=-1, bitorder="little")
+    n_word_bytes = n_words * (WORD_BITS // 8)
+    if packed_bytes.shape[-1] != n_word_bytes:
+        # Only inputs whose bit count is not a multiple of 64 pay for the
+        # zero-padded copy; aligned inputs are viewed in place.
+        padded = np.zeros(arr.shape[:-1] + (n_word_bytes,), dtype=np.uint8)
+        padded[..., : packed_bytes.shape[-1]] = packed_bytes
+        packed_bytes = padded
+    words = packed_bytes.view(_WORD_VIEW_DTYPE).astype(np.uint64, copy=False)
+    return words.reshape(arr.shape[:-1] + (n_words,))
 
 
 def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
-    """Inverse of :func:`pack_bits`; returns a 0/1 array of ``uint8``."""
-    arr = np.asarray(words, dtype=np.uint64)
+    """Inverse of :func:`pack_bits`; returns a 0/1 array of ``uint8``.
+
+    The words are expanded with a single :func:`numpy.unpackbits` call
+    bounded by ``count=n_bits``, so no ``(..., n_words, 64)`` intermediate is
+    materialized: peak memory is the output array itself (plus the byte view
+    of the input), not 8x the output as with the former broadcasted-shift
+    expansion.
+    """
+    arr = np.ascontiguousarray(words, dtype=np.uint64)
     if n_bits < 0:
         raise InvalidParameterError("n_bits must be non-negative")
-    n_words = arr.shape[-1]
+    n_words = arr.shape[-1] if arr.ndim else 0
     if n_bits > n_words * WORD_BITS:
         raise InvalidParameterError(
             f"n_bits={n_bits} exceeds capacity of {n_words} words"
         )
-    shifts = np.arange(WORD_BITS, dtype=np.uint64)
-    expanded = (arr[..., :, None] >> shifts) & np.uint64(1)
-    flat = expanded.reshape(arr.shape[:-1] + (n_words * WORD_BITS,))
-    return flat[..., :n_bits].astype(np.uint8)
+    if arr.size == 0 or n_bits == 0:
+        return np.zeros(arr.shape[:-1] + (n_bits,), dtype=np.uint8)
+    as_bytes = arr.astype(_WORD_VIEW_DTYPE, copy=False).view(np.uint8)
+    return np.unpackbits(as_bytes, axis=-1, count=n_bits, bitorder="little")
 
 
 def popcount(words: np.ndarray) -> np.ndarray:

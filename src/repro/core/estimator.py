@@ -240,6 +240,152 @@ def estimate_distances_batch(
     )
 
 
+# --------------------------------------------------------------------- #
+# Fused estimation kernels (code-arena hot path)
+# --------------------------------------------------------------------- #
+#
+# The arena-backed search path stores, for every encoded vector, a column of
+# pre-computed estimator constants so that query-time estimation reduces to
+# one integer inner-product pass plus one vectorized affine transform.  Each
+# constant is pre-computed with the *same elementwise operation* the
+# reference functions above would apply at query time, so fused results are
+# bit-identical to :func:`estimate_distances` /
+# :func:`estimate_distances_batch`.
+
+#: Row indices of the fused per-code constants matrix (``N_CONSTS`` rows,
+#: one column per code).  Stored constants-major so each constant's slice
+#: over a contiguous code range is itself contiguous.
+CONST_NORM = 0  #: ``||o_r - c||``
+CONST_NORM_SQ = 1  #: ``norm * norm`` (the estimator's ``dn * dn``)
+CONST_TWO_NORM = 2  #: ``2.0 * norm`` (the estimator's ``2.0 * dn``)
+CONST_ALIGN = 3  #: ``<o_bar, o>``
+CONST_SAFE_ALIGN = 4  #: ``align`` with zeros replaced by 1 (division guard)
+CONST_HALFWIDTH = 5  #: confidence-interval half-width for the config epsilon0
+CONST_POPCOUNT = 6  #: ``popcount(x_b)`` as float64 (Eq. 20 affine term)
+N_CONSTS = 7
+
+
+def build_code_consts(
+    alignments: np.ndarray,
+    norms: np.ndarray,
+    code_popcounts: np.ndarray,
+    code_length: int,
+    epsilon0: float,
+) -> np.ndarray:
+    """Fused per-code estimator constants, shape ``(N_CONSTS, n_codes)``.
+
+    Every row is computed with the exact operation the reference estimator
+    applies at query time (e.g. ``norm * norm``, not ``norm ** 2``), so
+    consuming these constants in :func:`fused_estimate` reproduces
+    :func:`estimate_distances` bit for bit.
+    """
+    align = np.asarray(alignments, dtype=np.float64).reshape(-1)
+    data_norms = np.asarray(norms, dtype=np.float64).reshape(-1)
+    pops = np.asarray(code_popcounts).reshape(-1)
+    if align.shape != data_norms.shape or align.shape != pops.shape:
+        raise InvalidParameterError(
+            "alignments, norms and code_popcounts must have the same length"
+        )
+    consts = np.empty((N_CONSTS, align.shape[0]), dtype=np.float64)
+    consts[CONST_NORM] = data_norms
+    consts[CONST_NORM_SQ] = data_norms * data_norms
+    consts[CONST_TWO_NORM] = 2.0 * data_norms
+    consts[CONST_ALIGN] = align
+    consts[CONST_SAFE_ALIGN] = np.where(align != 0.0, align, 1.0)
+    consts[CONST_HALFWIDTH] = confidence_interval_halfwidth(
+        align, code_length, epsilon0
+    )
+    consts[CONST_POPCOUNT] = pops.astype(np.float64)
+    return consts
+
+
+def undo_query_quantization(
+    integer_dot: np.ndarray,
+    popcounts: np.ndarray,
+    delta,
+    lower,
+    sum_codes,
+    code_length: int,
+) -> np.ndarray:
+    """Affine undo of the scalar query quantization (Eq. 19-20).
+
+    ``<x_bar, q_bar> = 2Δ/√D <x_b, q_u> + 2 v_l/√D popcount(x_b)
+    - Δ/√D Σ q_u - √D v_l``, with the exact operation order of the
+    single-query path in :class:`repro.core.quantizer.RaBitQ`.  Scalars give
+    the sequential form; per-query ``(n_queries, 1)`` arrays (with a 2-D
+    ``integer_dot`` and ``popcounts[None, :]``) give the batched form — the
+    broadcasting changes nothing elementwise.
+    """
+    sqrt_d = np.sqrt(float(code_length))
+    dot_f = np.asarray(integer_dot, dtype=np.float64)
+    return (
+        2.0 * delta / sqrt_d * dot_f
+        + 2.0 * lower / sqrt_d * popcounts
+        - delta / sqrt_d * sum_codes
+        - sqrt_d * lower
+    )
+
+
+def fused_estimate(
+    quantized_dot: np.ndarray,
+    consts: np.ndarray,
+    query_norms,
+) -> DistanceEstimate:
+    """Distance estimates + bounds from fused per-code constants.
+
+    Parameters
+    ----------
+    quantized_dot:
+        ``<o_bar, q>`` per code — ``(n,)`` for one query (or a flat
+        multi-cluster candidate set) or ``(n_queries, n)`` for a batch.
+    consts:
+        Output of :func:`build_code_consts` for exactly those ``n`` codes
+        (columns aligned with ``quantized_dot``'s last axis).
+    query_norms:
+        ``||q_r - c||`` — a scalar, an ``(n,)`` per-candidate array (flat
+        layout spanning clusters with different centroids), or an
+        ``(n_queries, 1)`` column for the batch form.
+
+    Returns
+    -------
+    DistanceEstimate
+        Bit-identical to :func:`estimate_distances` (respectively
+        :func:`estimate_distances_batch`) on the same inputs: every step is
+        the same elementwise arithmetic, with the query-independent factors
+        read from ``consts`` instead of recomputed.
+    """
+    dots = np.asarray(quantized_dot, dtype=np.float64)
+    if consts.ndim != 2 or consts.shape[0] != N_CONSTS:
+        raise InvalidParameterError(
+            f"consts must have shape ({N_CONSTS}, n_codes)"
+        )
+    if dots.shape[-1] != consts.shape[1]:
+        raise InvalidParameterError(
+            "quantized_dot and consts disagree on the number of codes"
+        )
+    align = consts[CONST_ALIGN]
+    ips = np.where(align != 0.0, dots / consts[CONST_SAFE_ALIGN], 0.0)
+    halfwidth = consts[CONST_HALFWIDTH]
+    dn_sq = consts[CONST_NORM_SQ]
+    two_dn = consts[CONST_TWO_NORM]
+    qn = query_norms
+    qn_sq = qn * qn
+    distances = dn_sq + qn_sq - two_dn * qn * ips
+    ip_upper = np.minimum(ips + halfwidth, np.maximum(1.0, ips))
+    ip_lower = np.maximum(ips - halfwidth, np.minimum(-1.0, ips))
+    lower_bounds = dn_sq + qn_sq - two_dn * qn * ip_upper
+    upper_bounds = dn_sq + qn_sq - two_dn * qn * ip_lower
+    np.maximum(distances, 0.0, out=distances)
+    np.maximum(lower_bounds, 0.0, out=lower_bounds)
+    np.maximum(upper_bounds, 0.0, out=upper_bounds)
+    return DistanceEstimate(
+        distances=distances,
+        lower_bounds=lower_bounds,
+        upper_bounds=upper_bounds,
+        inner_products=ips,
+    )
+
+
 def naive_inner_product_estimate(quantized_dot: np.ndarray) -> np.ndarray:
     """The biased "treat the quantized vector as the data vector" estimator.
 
@@ -268,6 +414,17 @@ def theoretical_halfwidth_scalar(
 
 __all__ = [
     "DistanceEstimate",
+    "CONST_NORM",
+    "CONST_NORM_SQ",
+    "CONST_TWO_NORM",
+    "CONST_ALIGN",
+    "CONST_SAFE_ALIGN",
+    "CONST_HALFWIDTH",
+    "CONST_POPCOUNT",
+    "N_CONSTS",
+    "build_code_consts",
+    "undo_query_quantization",
+    "fused_estimate",
     "estimate_inner_product",
     "confidence_interval_halfwidth",
     "inner_product_to_squared_distance",

@@ -68,10 +68,43 @@ from repro.exceptions import (
     NotFittedError,
 )
 from repro.substrates.linalg import as_float_matrix
-from repro.substrates.rng import ensure_rng, spawn_rngs
+from repro.substrates.rng import spawn_rngs
 
 #: Supported computation paths for the quantized inner product.
 COMPUTE_MODES = ("float", "bitwise", "lut")
+
+
+def encode_rows(
+    raw: np.ndarray,
+    centroid: np.ndarray,
+    rotation: Rotation,
+    code_length: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Encode raw rows against ``centroid`` with ``rotation`` (Algorithm 1).
+
+    The stateless core of the index phase, shared by :meth:`RaBitQ.fit`,
+    the incremental :meth:`RaBitQ.add` path and the arena-backed
+    :class:`repro.index.searcher.IVFQuantizedSearcher` (which stores codes
+    in a contiguous arena instead of per-cluster quantizer objects).
+
+    Returns ``(packed_codes, bits, code_popcounts, alignments, norms)`` —
+    ``bits`` is the unpacked 0/1 ``uint8`` code matrix the packed codes were
+    built from (the arena keeps it as the operand of its integer-exact GEMM
+    kernel).
+    """
+    normalized = normalize_to_centroid(raw, centroid)
+    padded_units = pad_vectors(normalized.unit_vectors, code_length)
+
+    # Inversely rotate the unit vectors and store their sign patterns.
+    rotated = rotation.apply_inverse(padded_units)
+    bits = codebook.signed_to_bits(rotated)
+    packed = bitops.pack_bits(bits)
+    popcounts = codebook.code_popcounts(bits)
+
+    # <o_bar, o> = <P x_bar, o> = <x_bar, P^-1 o>; computed exactly here.
+    signed = codebook.bits_to_signed(bits, code_length)
+    alignments = np.einsum("ij,ij->i", signed, rotated)
+    return packed, bits, popcounts, alignments, normalized.norms
 
 
 @dataclass(frozen=True)
@@ -310,19 +343,11 @@ class RaBitQ:
         inserted rows go through exactly the fit-time encoding pipeline.
         """
         assert self._rotation is not None
-        normalized = normalize_to_centroid(raw, centroid)
-        padded_units = pad_vectors(normalized.unit_vectors, code_length)
-
-        # Inversely rotate the unit vectors and store their sign patterns.
-        rotated = self._rotation.apply_inverse(padded_units)
-        bits = codebook.signed_to_bits(rotated)
-        packed = bitops.pack_bits(bits)
-        popcounts = codebook.code_popcounts(bits)
-
-        # <o_bar, o> = <P x_bar, o> = <x_bar, P^-1 o>; computed exactly here.
-        signed = codebook.bits_to_signed(bits, code_length)
-        alignments = np.einsum("ij,ij->i", signed, rotated)
-        return packed, popcounts, alignments, normalized.norms, normalized.centroid
+        centre = np.asarray(centroid, dtype=np.float64).reshape(-1)
+        packed, _, popcounts, alignments, norms = encode_rows(
+            raw, centre, self._rotation, code_length
+        )
+        return packed, popcounts, alignments, norms, centre
 
     def add(self, data: np.ndarray) -> "RaBitQ":
         """Incrementally encode new rows against the fitted centroid/rotation.
@@ -693,6 +718,7 @@ class RaBitQ:
 
 __all__ = [
     "RaBitQ",
+    "encode_rows",
     "QuantizedDataset",
     "QuantizedQuery",
     "QuantizedQueryBatch",

@@ -58,7 +58,7 @@ class QuantizedQueryVector:
     delta: float
     bits: int
     sum_codes: int
-    bitplanes: np.ndarray
+    bitplanes: np.ndarray | None
 
     @property
     def code_length(self) -> int:
@@ -76,6 +76,7 @@ def quantize_query_vector(
     *,
     randomized: bool = True,
     rng: RngLike = None,
+    with_bitplanes: bool = True,
 ) -> QuantizedQueryVector:
     """Quantize the rotated query ``q'`` into ``B_q``-bit unsigned integers.
 
@@ -91,6 +92,11 @@ def quantize_query_vector(
         round-to-nearest rule is applied (exposed for the ablation study).
     rng:
         Seed or generator for the randomized rounding.
+    with_bitplanes:
+        Also pack the bit-planes for the popcount kernel (the default).
+        Callers on the GEMM/arena path never touch them; skipping the
+        packing there removes the most expensive step of query preparation
+        without consuming any randomness (``bitplanes`` is then ``None``).
     """
     query = np.asarray(rotated_query, dtype=np.float64).reshape(-1)
     if query.size == 0:
@@ -118,7 +124,7 @@ def quantize_query_vector(
             codes = np.round(scaled)
         codes = np.clip(codes, 0, levels).astype(np.uint64)
 
-    planes = bitplanes_from_uint(codes, bits)
+    planes = bitplanes_from_uint(codes, bits) if with_bitplanes else None
     return QuantizedQueryVector(
         codes=codes,
         lower=lower,
@@ -154,7 +160,7 @@ class QuantizedQueryMatrix:
     delta: np.ndarray
     bits: int
     sum_codes: np.ndarray
-    bitplanes: np.ndarray
+    bitplanes: np.ndarray | None
 
     @property
     def n_queries(self) -> int:
@@ -174,7 +180,7 @@ class QuantizedQueryMatrix:
             delta=float(self.delta[i]),
             bits=self.bits,
             sum_codes=int(self.sum_codes[i]),
-            bitplanes=self.bitplanes[i],
+            bitplanes=None if self.bitplanes is None else self.bitplanes[i],
         )
 
     def dequantize(self) -> np.ndarray:
@@ -190,6 +196,7 @@ def quantize_query_matrix(
     *,
     randomized: bool = True,
     rng: RngLike = None,
+    with_bitplanes: bool = True,
 ) -> QuantizedQueryMatrix:
     """Quantize a matrix of rotated queries into ``B_q``-bit integers.
 
@@ -203,7 +210,7 @@ def quantize_query_matrix(
     rotated_queries:
         The rotated queries ``q' = P^-1 q``, shape ``(n_queries,
         code_length)``.  An empty batch (0 rows) is allowed.
-    bits / randomized / rng:
+    bits / randomized / rng / with_bitplanes:
         As in :func:`quantize_query_vector`.
     """
     mat = np.asarray(rotated_queries, dtype=np.float64)
@@ -225,7 +232,11 @@ def quantize_query_matrix(
             delta=np.ones(0, dtype=np.float64),
             bits=bits,
             sum_codes=np.zeros(0, dtype=np.int64),
-            bitplanes=bitplanes_from_uint_batch(empty_codes, bits),
+            bitplanes=(
+                bitplanes_from_uint_batch(empty_codes, bits)
+                if with_bitplanes
+                else None
+            ),
         )
 
     lower = mat.min(axis=1)
@@ -257,7 +268,9 @@ def quantize_query_matrix(
         delta=delta,
         bits=bits,
         sum_codes=codes.sum(axis=1, dtype=np.int64),
-        bitplanes=bitplanes_from_uint_batch(codes, bits),
+        bitplanes=(
+            bitplanes_from_uint_batch(codes, bits) if with_bitplanes else None
+        ),
     )
 
 

@@ -1,0 +1,272 @@
+"""Contiguous code arena: cluster-grouped storage for quantized codes.
+
+The pre-arena searcher kept one :class:`repro.core.quantizer.RaBitQ` object
+per IVF cluster, each owning its own small code matrix and per-vector float
+arrays.  Scanning ``nprobe`` clusters then meant iterating Python objects and
+concatenating dozens of small arrays per query.  The :class:`CodeArena`
+replaces that object soup with one contiguous, cluster-grouped layout:
+
+* ``codes`` — one ``(capacity, n_words)`` ``uint64`` matrix of packed codes;
+* ``bits`` — the same codes unpacked to 0/1 ``uint8`` (the operand of the
+  integer-exact GEMM/GEMV estimation kernel; 1 byte per code bit);
+* ``consts`` — one ``(N_CONSTS, capacity)`` float64 matrix of fused
+  estimator constants (see :func:`repro.core.estimator.build_code_consts`),
+  stored constants-major so each constant's slice over a cluster is
+  contiguous;
+* ``slots`` — the searcher slot id of every arena row;
+* a CSR-style region table (``starts`` / ``sizes`` / ``caps``) mapping each
+  cluster to its contiguous row range.
+
+Probing a cluster therefore yields *views* — zero-copy contiguous slices of
+``codes`` / ``bits`` / ``consts`` / ``slots`` — instead of per-object Python
+iteration.  Row order inside a cluster region always equals the IVF bucket's
+id order (ascending slot id), which is exactly the row order the per-cluster
+quantizers used to store, so estimates read from the arena are bit-identical
+to the pre-arena layout.
+
+The arena is maintained incrementally across the index lifecycle: cluster
+regions carry geometric capacity slack, so :meth:`CodeArena.append` writes
+in place and only rebuilds the arena (amortized O(1) per appended row) when
+a region overflows; :meth:`CodeArena.compact` drops tombstoned rows and
+renumbers the surviving slots in one pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimator import N_CONSTS
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+
+#: Extra capacity factor applied to a cluster region when it overflows.
+_GROWTH_FACTOR = 2.0
+
+
+class CodeArena:
+    """Contiguous cluster-grouped storage of packed codes + fused constants.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of cluster regions.
+    code_length:
+        Code length in bits (the ``bits`` matrix has this many columns).
+    n_words:
+        Words per packed code (``ceil(code_length / 64)``).
+    """
+
+    __slots__ = (
+        "codes",
+        "bits",
+        "consts",
+        "slots",
+        "starts",
+        "sizes",
+        "caps",
+        "code_length",
+        "n_words",
+    )
+
+    def __init__(self, n_clusters: int, code_length: int, n_words: int) -> None:
+        if n_clusters <= 0:
+            raise InvalidParameterError("n_clusters must be positive")
+        self.code_length = int(code_length)
+        self.n_words = int(n_words)
+        self.codes = np.empty((0, self.n_words), dtype=np.uint64)
+        self.bits = np.empty((0, self.code_length), dtype=np.uint8)
+        self.consts = np.empty((N_CONSTS, 0), dtype=np.float64)
+        self.slots = np.empty(0, dtype=np.int64)
+        self.starts = np.zeros(n_clusters, dtype=np.int64)
+        self.sizes = np.zeros(n_clusters, dtype=np.int64)
+        self.caps = np.zeros(n_clusters, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of cluster regions."""
+        return int(self.starts.shape[0])
+
+    @property
+    def n_rows(self) -> int:
+        """Number of stored codes (live regions, excluding slack)."""
+        return int(self.sizes.sum())
+
+    def memory_bytes(self) -> int:
+        """Approximate arena footprint (codes + bits + constants + ids)."""
+        return int(
+            self.codes.nbytes
+            + self.bits.nbytes
+            + self.consts.nbytes
+            + self.slots.nbytes
+        )
+
+    def cluster_range(self, cid: int) -> tuple[int, int]:
+        """``(start, end)`` row range of cluster ``cid``'s live rows."""
+        start = int(self.starts[cid])
+        return start, start + int(self.sizes[cid])
+
+    def cluster_codes(self, cid: int) -> np.ndarray:
+        """Packed codes of cluster ``cid`` (a contiguous view)."""
+        start, end = self.cluster_range(cid)
+        return self.codes[start:end]
+
+    def cluster_bits(self, cid: int) -> np.ndarray:
+        """Unpacked 0/1 codes of cluster ``cid`` (a contiguous view)."""
+        start, end = self.cluster_range(cid)
+        return self.bits[start:end]
+
+    def cluster_consts(self, cid: int) -> np.ndarray:
+        """Fused constants of cluster ``cid``, shape ``(N_CONSTS, size)``."""
+        start, end = self.cluster_range(cid)
+        return self.consts[:, start:end]
+
+    def cluster_slots(self, cid: int) -> np.ndarray:
+        """Searcher slot ids of cluster ``cid``'s rows (a view)."""
+        start, end = self.cluster_range(cid)
+        return self.slots[start:end]
+
+    # ------------------------------------------------------------------ #
+    # Construction and mutation
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_blocks(
+        cls,
+        n_clusters: int,
+        code_length: int,
+        n_words: int,
+        blocks: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+    ) -> "CodeArena":
+        """Build an arena from per-cluster ``(codes, bits, consts, slots)``.
+
+        Used at fit and load time; regions are laid out tightly (no slack —
+        slack appears on the first overflowing append).
+        """
+        arena = cls(n_clusters, code_length, n_words)
+        sizes = np.zeros(n_clusters, dtype=np.int64)
+        for cid, (codes, _, _, _) in blocks.items():
+            sizes[cid] = codes.shape[0]
+        arena._allocate(sizes, sizes)
+        for cid, (codes, bits, consts, slots) in blocks.items():
+            arena._write_block(cid, 0, codes, bits, consts, slots)
+            arena.sizes[cid] = codes.shape[0]
+        return arena
+
+    def _allocate(self, sizes: np.ndarray, caps: np.ndarray) -> None:
+        """(Re)allocate the backing arrays for the given region capacities."""
+        total = int(caps.sum())
+        self.codes = np.zeros((total, self.n_words), dtype=np.uint64)
+        self.bits = np.zeros((total, self.code_length), dtype=np.uint8)
+        self.consts = np.zeros((N_CONSTS, total), dtype=np.float64)
+        self.slots = np.full(total, -1, dtype=np.int64)
+        self.caps = caps.astype(np.int64, copy=True)
+        self.starts = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(self.caps)[:-1]]
+        )
+        self.sizes = sizes.astype(np.int64, copy=True)
+
+    def _write_block(self, cid, offset, codes, bits, consts, slots) -> None:
+        pos = int(self.starts[cid]) + int(offset)
+        end = pos + codes.shape[0]
+        self.codes[pos:end] = codes
+        self.bits[pos:end] = bits
+        self.consts[:, pos:end] = consts
+        self.slots[pos:end] = slots
+
+    def append(
+        self,
+        cid: int,
+        codes: np.ndarray,
+        bits: np.ndarray,
+        consts: np.ndarray,
+        slots: np.ndarray,
+    ) -> None:
+        """Append encoded rows to cluster ``cid``'s region.
+
+        Fits into the region's capacity slack when possible (pure in-place
+        writes); otherwise the arena is rebuilt once with geometrically
+        grown capacity for the overflowing cluster, keeping a long sequence
+        of inserts amortized O(1) copies per row.
+        """
+        n_new = codes.shape[0]
+        if n_new == 0:
+            return
+        if codes.shape[1] != self.n_words or bits.shape[1] != self.code_length:
+            raise DimensionMismatchError(
+                "appended codes do not match the arena's code length"
+            )
+        size = int(self.sizes[cid])
+        if size + n_new > int(self.caps[cid]):
+            new_caps = self.caps.copy()
+            new_caps[cid] = max(
+                size + n_new, int(_GROWTH_FACTOR * (size + n_new)), 8
+            )
+            self._rebuild(new_caps)
+        self._write_block(cid, size, codes, bits, consts, slots)
+        self.sizes[cid] = size + n_new
+
+    def _rebuild(self, new_caps: np.ndarray) -> None:
+        """Re-lay-out every region with the given capacities (data preserved)."""
+        old_codes, old_bits = self.codes, self.bits
+        old_consts, old_slots = self.consts, self.slots
+        old_starts, sizes = self.starts.copy(), self.sizes.copy()
+        self._allocate(sizes, new_caps)
+        for cid in range(self.n_clusters):
+            size = int(sizes[cid])
+            if size == 0:
+                continue
+            src = slice(int(old_starts[cid]), int(old_starts[cid]) + size)
+            self._write_block(
+                cid,
+                0,
+                old_codes[src],
+                old_bits[src],
+                old_consts[:, src],
+                old_slots[src],
+            )
+
+    def compact(self, keep_slot: np.ndarray) -> None:
+        """Drop rows whose slot is marked dead and renumber surviving slots.
+
+        ``keep_slot`` is a boolean mask over *searcher slots* (``True`` =
+        live).  Surviving rows keep their relative order inside each cluster
+        region, and their slot ids are remapped to the slot's position among
+        the survivors — the same renumbering the flat and IVF indexes apply
+        during tombstone compaction.
+        """
+        mask = np.asarray(keep_slot, dtype=bool).reshape(-1)
+        remap = np.cumsum(mask, dtype=np.int64) - 1
+        old_codes, old_bits = self.codes, self.bits
+        old_consts, old_slots = self.consts, self.slots
+        old_starts, old_sizes = self.starts.copy(), self.sizes.copy()
+
+        new_sizes = np.zeros_like(old_sizes)
+        kept_rows: list[tuple[int, np.ndarray]] = []
+        for cid in range(self.n_clusters):
+            size = int(old_sizes[cid])
+            if size == 0:
+                continue
+            start = int(old_starts[cid])
+            rows = slice(start, start + size)
+            row_mask = mask[old_slots[rows]]
+            kept = np.flatnonzero(row_mask) + start
+            new_sizes[cid] = kept.shape[0]
+            if kept.shape[0]:
+                kept_rows.append((cid, kept))
+
+        self._allocate(new_sizes, new_sizes)
+        for cid, kept in kept_rows:
+            self._write_block(
+                cid,
+                0,
+                old_codes[kept],
+                old_bits[kept],
+                old_consts[:, kept],
+                remap[old_slots[kept]],
+            )
+
+
+__all__ = ["CodeArena"]

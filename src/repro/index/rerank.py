@@ -28,7 +28,6 @@ looping :meth:`Reranker.rerank`).
 from __future__ import annotations
 
 import abc
-import heapq
 
 import numpy as np
 
@@ -180,21 +179,51 @@ class ErrorBoundReranker(Reranker):
 
         est = estimate.distances
         lower = estimate.lower_bounds
+        # Exact distances are computed inline (gather + difference + einsum
+        # — the same operations as FlatIndex.distances, without the per-call
+        # validation); ``data`` is a view of the flat index's raw vectors.
+        vec = np.asarray(query, dtype=np.float64).reshape(-1)
+        data = flat_index.data
 
         # Batch the exact-distance computations: exact distances are computed
         # for the visited prefix lazily, but NumPy-vectorized per chunk to
-        # keep the Python overhead bounded.
-        heap: list[float] = []  # max-heap via negated distances
-        results: dict[int, float] = {}
+        # keep the Python overhead bounded.  The evolving k-th-best threshold
+        # is maintained with a small pooled array per chunk instead of a
+        # per-element Python heap; the pool holds every computed
+        # (id, distance) pair in visit order, so the final stable selection
+        # reproduces the heap implementation's output — including tie
+        # handling and the exact-computation count — exactly.
+        pool_ids: list[np.ndarray] = []
+        pool_dists: list[np.ndarray] = []
+        kbest = np.empty(0, dtype=np.float64)  # k smallest exact dists so far
+        n_pooled = 0
         n_exact = 0
         chunk = max(64, k)
+
+        # For moderate candidate sets, materialize the full stable order once
+        # and pre-compute the suffix minimum of the lower bounds along it:
+        # "can any unvisited candidate still beat the threshold?" then costs
+        # O(1) per chunk instead of an O(n) scan per doubling round.  The
+        # stop condition is unchanged — the scan ends exactly when every
+        # remaining chunk would select nothing (the threshold only ever
+        # decreases), so ids, distances and the exact-computation count all
+        # match the lazily-doubling implementation.
+        suffix_min: np.ndarray | None = None
+        if n_candidates <= 8192:
+            m = n_candidates
+            order = stable_topk_indices(est, n_candidates)
+            suffix_min = np.minimum.accumulate(lower[order][::-1])[::-1]
+        else:
+            m = 0  # length of the materialized stable-order prefix
+            order = np.empty(0, dtype=np.intp)
         idx = 0
-        m = 0  # length of the materialized stable-order prefix
-        order = np.empty(0, dtype=np.intp)
         while idx < n_candidates:
-            if idx >= m:
-                if len(heap) >= k:
-                    threshold = -heap[0]
+            if suffix_min is not None:
+                if n_pooled >= k and suffix_min[idx] > kbest.max():
+                    break
+            elif idx >= m:
+                if n_pooled >= k:
+                    threshold = kbest.max()
                     unvisited = np.ones(n_candidates, dtype=bool)
                     unvisited[order[:idx]] = False
                     if not (lower[unvisited] <= threshold).any():
@@ -203,33 +232,42 @@ class ErrorBoundReranker(Reranker):
                 order = stable_topk_indices(est, m)
             stop = min(idx + chunk, m)
             block = order[idx:stop]
-            threshold = -heap[0] if len(heap) >= k else np.inf
+            threshold = kbest.max() if n_pooled >= k else np.inf
             # Candidates whose lower bound already exceeds the k-th best exact
             # distance can be dropped without computing their exact distance.
             selected = block[lower[block] <= threshold]
             if selected.shape[0] > 0:
                 selected_ids = ids[selected]
-                exact = flat_index.distances(query, selected_ids)
+                diff = data[selected_ids] - vec[None, :]
+                exact = np.einsum("ij,ij->i", diff, diff)
                 n_exact += int(selected.shape[0])
-                for vec_id, dist in zip(selected_ids.tolist(), exact.tolist()):
-                    if len(heap) < k:
-                        heapq.heappush(heap, -dist)
-                        results[vec_id] = dist
-                    elif dist < -heap[0]:
-                        heapq.heapreplace(heap, -dist)
-                        results[vec_id] = dist
+                pool_ids.append(selected_ids)
+                pool_dists.append(exact)
+                n_pooled += int(selected.shape[0])
+                # Update the k smallest multiset (only its max — the
+                # threshold — is ever read, so boundary ties are immaterial).
+                merged = np.concatenate([kbest, exact])
+                kbest = (
+                    np.partition(merged, k - 1)[:k]
+                    if merged.shape[0] > k
+                    else merged
+                )
             idx = stop
 
-        if not results:
+        if n_pooled == 0:
             # Fall back to the estimated ranking if every candidate was pruned
             # (can only happen with a pathological, e.g. NaN, bound).
             fallback = min(k, n_candidates)
             full_order = stable_topk_indices(est, fallback)
             return ids[full_order], est[full_order], n_exact
-        sorted_items = sorted(results.items(), key=lambda item: item[1])[:k]
-        final_ids = np.asarray([item[0] for item in sorted_items], dtype=np.int64)
-        final_dists = np.asarray([item[1] for item in sorted_items], dtype=np.float64)
-        return final_ids, final_dists, n_exact
+        all_ids = pool_ids[0] if len(pool_ids) == 1 else np.concatenate(pool_ids)
+        all_dists = (
+            pool_dists[0] if len(pool_dists) == 1 else np.concatenate(pool_dists)
+        )
+        # Stable top-k over the pool in visit order == the heap version's
+        # "sorted by distance, ties by first computation" output.
+        final = stable_topk_indices(all_dists, min(k, n_pooled))
+        return all_ids[final], all_dists[final], n_exact
 
 
 __all__ = [

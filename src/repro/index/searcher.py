@@ -3,9 +3,10 @@
 :class:`IVFQuantizedSearcher` couples the IVF coarse index with a quantizer
 and a re-ranking strategy:
 
-* **IVF-RaBitQ** — per-cluster RaBitQ quantizers sharing a single rotation;
-  the cluster centroid is the normalization centroid, and candidates are
-  re-ranked with the error-bound rule (no tuning).
+* **IVF-RaBitQ** — RaBitQ codes encoded per cluster (each cluster's centroid
+  is the normalization centroid, all clusters share one rotation) and stored
+  in a single contiguous :class:`repro.index.arena.CodeArena`; candidates
+  are re-ranked with the error-bound rule (no tuning).
 * **IVF-PQ / IVF-OPQ** — a PQ or OPQ quantizer trained globally; candidates
   are re-ranked with a fixed candidate count (the paper sweeps 500 / 1000 /
   2500).
@@ -18,13 +19,43 @@ Two query entry points are provided:
   computations) so the benchmark harness can report both accuracy and work.
 * :meth:`IVFQuantizedSearcher.search_batch` — the vectorized batch engine.
   IVF probing runs once for the whole query matrix, queries are grouped by
-  probed cluster so each cluster's packed code matrix is scanned once per
-  query group (via the multi-query popcount kernel), and re-ranking runs
-  per query on the assembled estimates.  The returned
-  :class:`BatchSearchResult` carries per-query results plus aggregate cost
-  counters, and is guaranteed to be element-wise identical (ids *and*
-  distances) to running :meth:`search` in a loop — batching changes
-  throughput, never answers.
+  probed cluster so each cluster's code block is scanned once per query
+  group, and re-ranking runs per query on the assembled estimates.  The
+  returned :class:`BatchSearchResult` carries per-query results plus
+  aggregate cost counters, and is guaranteed to be element-wise identical
+  (ids *and* distances) to running :meth:`search` in a loop — batching
+  changes throughput, never answers.
+
+**Hot-path layout.**  Quantized codes live in a contiguous, cluster-grouped
+code arena: one packed ``uint64`` code matrix, one unpacked 0/1 ``uint8``
+matrix (the operand of the integer-exact GEMM estimation kernel), and one
+fused matrix of per-code estimator constants (norms, ``<o_bar, o>``
+correction terms, error-bound half-widths, popcounts — see
+:func:`repro.core.estimator.build_code_consts`).  Probing ``nprobe``
+clusters yields contiguous array slices; distances and bounds for the whole
+candidate set are produced by one integer inner-product pass plus one fused
+affine transform (:func:`repro.core.estimator.fused_estimate`), written
+straight into a preallocated per-searcher scratch-buffer pool — no
+per-cluster ``DistanceEstimate`` blocks and no per-query concatenation or
+temporaries.  The integer pass is a float64 GEMM/GEMV on the unpacked
+codes, which is *exact* (bits are 0/1 and quantized query coordinates fit
+in 16 bits, so every partial sum is an integer far below 2^53), hence
+bit-identical to the packed popcount kernel.
+
+Per-cluster query preparation (normalize to the cluster centroid, rotate,
+randomized-rounding quantization against the cluster's private rounding
+stream) keeps the exact arithmetic of the pre-arena implementation, so
+search results are bit-identical to the former per-cluster-quantizer code —
+the equivalence suite in ``tests/test_arena_equivalence.py`` checks this
+against a literal port of that implementation.  Optionally, prepared
+queries can be memoized per ``(query bytes, cluster)`` with a FIFO eviction
+cap (``query_cache_size``): repeated identical queries — common in
+benchmark loops and dedup-heavy traffic — then skip re-preparation entirely
+and consume no randomness.  The cache is off by default because replaying a
+query *without* consuming the rounding stream changes how later draws line
+up compared to an uncached searcher (results remain valid estimates, and
+batch ≡ sequential still holds exactly: the batch path simulates the
+sequential cache bookkeeping, including FIFO evictions).
 
 The index is *mutable* after :meth:`IVFQuantizedSearcher.fit` (the index
 lifecycle required by a serving deployment):
@@ -32,7 +63,9 @@ lifecycle required by a serving deployment):
 * :meth:`IVFQuantizedSearcher.insert` encodes new vectors incrementally —
   nearest-centroid assignment against the existing IVF centroids, RaBitQ
   encoding against the fitted rotation and per-cluster centroids — without
-  re-clustering or re-encoding anything already stored.
+  re-clustering or re-encoding anything already stored.  New codes are
+  appended to their cluster's arena region in place (regions keep geometric
+  capacity slack).
 * :meth:`IVFQuantizedSearcher.delete` removes vectors by id using
   tombstones; deleted vectors stop appearing in results immediately, and
   :meth:`IVFQuantizedSearcher.compact` (triggered automatically once the
@@ -48,32 +81,42 @@ Tombstone filtering is applied identically on the sequential and batch
 paths (the full per-cluster estimate is always computed, then dead rows are
 masked out), so the batch ≡ sequential guarantee holds at every point of the
 lifecycle.  A fitted searcher — including tombstones, id mapping and the
-cluster quantizers' random streams — can be serialized with
+per-cluster query-rounding streams — can be serialized with
 :func:`repro.io.persistence.save_searcher` and reloaded bit-identically with
 :func:`repro.io.persistence.load_searcher`.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.core.config import RaBitQConfig
-from repro.core.estimator import DistanceEstimate
-from repro.core.quantizer import RaBitQ
-from repro.core.rotation import make_rotation
+from repro.core.estimator import (
+    CONST_POPCOUNT,
+    N_CONSTS,
+    DistanceEstimate,
+    build_code_consts,
+    fused_estimate,
+    undo_query_quantization,
+)
+from repro.core.quantizer import encode_rows
+from repro.core.query import quantize_query_matrix, quantize_query_vector
+from repro.core.rotation import QRRotation, make_rotation
 from repro.exceptions import (
     DimensionMismatchError,
     InvalidParameterError,
     NotFittedError,
 )
+from repro.index.arena import CodeArena
 from repro.index.flat import FlatIndex
 from repro.index.ivf import IVFIndex
 from repro.index.rerank import ErrorBoundReranker, Reranker
 from repro.substrates.linalg import as_float_matrix
-from repro.substrates.rng import RngLike, ensure_rng
+from repro.substrates.rng import RngLike, ensure_rng, spawn_rngs
 
 
 #: Cap on the number of live (query, candidate) estimate pairs per
@@ -158,20 +201,46 @@ class BatchSearchResult:
         return int(self.n_exact.sum())
 
 
+class _PreparedClusterQuery:
+    """A query prepared against one cluster's centroid/rounding stream.
+
+    Lightweight (slots-only) so it can be cached per ``(query, cluster)``:
+    the quantized query coordinates as float64 (the GEMV operand), the
+    affine undo coefficients, and the query-to-centroid norm.  An instance
+    with ``codes_f64 is None`` is an unfilled placeholder (the batch path's
+    cache bookkeeping creates those before the vectorized preparation).
+    """
+
+    __slots__ = ("codes_f64", "delta", "lower", "sum_codes_f", "query_norm")
+
+    def __init__(self) -> None:
+        self.codes_f64 = None
+
+
+def _empty_estimate() -> tuple[np.ndarray, DistanceEstimate]:
+    empty = np.empty(0, dtype=np.float64)
+    return np.empty(0, dtype=np.int64), DistanceEstimate(
+        distances=empty,
+        lower_bounds=empty.copy(),
+        upper_bounds=empty.copy(),
+        inner_products=empty.copy(),
+    )
+
+
 class IVFQuantizedSearcher:
     """ANN search pipeline combining IVF, a quantizer and a re-ranker.
 
     Parameters
     ----------
     quantizer_kind:
-        ``"rabitq"`` for per-cluster RaBitQ (the paper's method) or
-        ``"external"`` when an already-constructed baseline quantizer (PQ,
-        OPQ, ...) trained on the full dataset is supplied via
-        ``external_quantizer``.
+        ``"rabitq"`` for per-cluster-encoded RaBitQ codes in a contiguous
+        arena (the paper's method) or ``"external"`` when an
+        already-constructed baseline quantizer (PQ, OPQ, ...) trained on the
+        full dataset is supplied via ``external_quantizer``.
     n_clusters:
         Number of IVF clusters (``None`` = size-scaled default).
     rabitq_config:
-        Configuration of the per-cluster RaBitQ quantizers.
+        Configuration of the per-cluster RaBitQ encoding.
     external_quantizer:
         A fitted-on-demand baseline quantizer exposing ``fit`` /
         ``estimate_distances`` (only used when ``quantizer_kind="external"``).
@@ -184,6 +253,12 @@ class IVFQuantizedSearcher:
         Tombstone fraction at which :meth:`delete` triggers an automatic
         :meth:`compact` (``None`` disables auto-compaction; explicit
         ``compact()`` calls still work).
+    query_cache_size:
+        Capacity (in entries) of the FIFO prepared-query cache keyed by
+        ``(query bytes, cluster id)``; ``0`` (the default) disables caching.
+        With the cache enabled, repeated identical queries skip preparation
+        and draw no randomness — see the module docstring for the exact
+        replay semantics.
     """
 
     def __init__(
@@ -196,6 +271,7 @@ class IVFQuantizedSearcher:
         reranker: Optional[Reranker] = None,
         rng: RngLike = None,
         compact_threshold: float | None = 0.25,
+        query_cache_size: int = 0,
     ) -> None:
         if quantizer_kind not in ("rabitq", "external"):
             raise InvalidParameterError(
@@ -209,6 +285,8 @@ class IVFQuantizedSearcher:
             raise InvalidParameterError(
                 "compact_threshold must lie in (0, 1] or be None"
             )
+        if query_cache_size < 0:
+            raise InvalidParameterError("query_cache_size must be >= 0")
         self.quantizer_kind = quantizer_kind
         self.n_clusters = n_clusters
         self.rabitq_config = (
@@ -219,11 +297,14 @@ class IVFQuantizedSearcher:
             reranker if reranker is not None else ErrorBoundReranker()
         )
         self.compact_threshold = compact_threshold
+        self.query_cache_size = int(query_cache_size)
         self._rng = ensure_rng(rng)
         self._ivf: IVFIndex | None = None
         self._flat: FlatIndex | None = None
-        self._cluster_quantizers: list[RaBitQ] | None = None
+        self._arena: CodeArena | None = None
+        self._query_rngs: list[np.random.Generator | None] | None = None
         self._shared_rotation = None
+        self._rotation_matrix: np.ndarray | None = None
         # Lifecycle state: slot -> external id, external id -> slot, and the
         # per-slot tombstone mask (True = live).
         self._ids: np.ndarray | None = None
@@ -231,6 +312,13 @@ class IVFQuantizedSearcher:
         self._live: np.ndarray | None = None
         self._n_dead = 0
         self._next_id = 0
+        # Query-time work areas: the scratch-buffer pool (grown on demand,
+        # reused across queries) and the optional prepared-query cache.
+        self._scratch: dict[str, np.ndarray] = {}
+        self._pad_buf: np.ndarray | None = None
+        self._prepared_cache: "OrderedDict[tuple[bytes, int], _PreparedClusterQuery]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------ #
     # Index phase
@@ -255,6 +343,27 @@ class IVFQuantizedSearcher:
             raise NotFittedError("IVFQuantizedSearcher must be fitted before use")
         return self._flat
 
+    @property
+    def arena(self) -> CodeArena:
+        """The contiguous code arena (RaBitQ searchers only)."""
+        if self._arena is None:
+            raise NotFittedError(
+                "IVFQuantizedSearcher must be fitted before use (and the "
+                "code arena exists only for quantizer_kind='rabitq')"
+            )
+        return self._arena
+
+    def _fresh_query_rng(self) -> np.random.Generator:
+        """A cluster rounding stream in its initial state.
+
+        Matches the stream a freshly constructed per-cluster ``RaBitQ``
+        would have owned (the second of the two generators spawned from the
+        config seed), so lifecycle behaviour — including the stream reset
+        when an emptied cluster is later repopulated — is unchanged from
+        the pre-arena implementation.
+        """
+        return spawn_rngs(self.rabitq_config.seed, 2)[1]
+
     def fit(self, data: np.ndarray) -> "IVFQuantizedSearcher":
         """Build the IVF index and train the quantizer(s) on ``data``.
 
@@ -274,19 +383,34 @@ class IVFQuantizedSearcher:
                 self.rabitq_config.rotation, code_length, self._rng
             )
             self._shared_rotation = shared_rotation
-            quantizers: list[RaBitQ] = []
+            n_clusters = len(self._ivf.buckets)
+            self._query_rngs = [None] * n_clusters
+            blocks: dict[int, tuple] = {}
+            epsilon0 = self.rabitq_config.epsilon0
             for bucket in self._ivf.buckets:
                 if len(bucket) == 0:
-                    quantizers.append(None)  # type: ignore[arg-type]
                     continue
-                quantizer = RaBitQ(self.rabitq_config)
-                quantizer.fit(
+                cid = bucket.centroid_id
+                packed, bits, popcounts, alignments, norms = encode_rows(
                     mat[bucket.vector_ids],
-                    centroid=self._ivf.centroids[bucket.centroid_id],
-                    rotation=shared_rotation,
+                    self._ivf.centroids[cid],
+                    shared_rotation,
+                    code_length,
                 )
-                quantizers.append(quantizer)
-            self._cluster_quantizers = quantizers
+                consts = build_code_consts(
+                    alignments, norms, popcounts, code_length, epsilon0
+                )
+                blocks[cid] = (packed, bits, consts, bucket.vector_ids)
+                self._query_rngs[cid] = self._fresh_query_rng()
+            self._arena = CodeArena.from_blocks(
+                n_clusters, code_length, (code_length + 63) // 64, blocks
+            )
+            self._pad_buf = np.zeros((1, code_length), dtype=np.float64)
+            self._rotation_matrix = (
+                shared_rotation.as_matrix()
+                if isinstance(shared_rotation, QRRotation)
+                else None
+            )
         else:
             self.external_quantizer.fit(mat)
         n = mat.shape[0]
@@ -295,6 +419,8 @@ class IVFQuantizedSearcher:
         self._live = np.ones(n, dtype=bool)
         self._n_dead = 0
         self._next_id = n
+        self._scratch = {}
+        self._prepared_cache.clear()
         return self
 
     # ------------------------------------------------------------------ #
@@ -335,7 +461,8 @@ class IVFQuantizedSearcher:
         Each vector is assigned to the nearest existing IVF centroid and
         RaBitQ-encoded against the fitted rotation and that cluster's
         centroid — no re-clustering and no re-encoding of existing vectors.
-        Estimates for previously stored vectors are bit-identical before and
+        The new codes are appended to their cluster's arena region;
+        estimates for previously stored vectors are bit-identical before and
         after the insert.
 
         Parameters
@@ -380,24 +507,28 @@ class IVFQuantizedSearcher:
         cluster_ids = self._ivf.assign(mat)
         slots = self._flat.add(mat)
         self._ivf.append(slots, cluster_ids)
-        assert self._cluster_quantizers is not None
+        arena = self._arena
+        assert arena is not None and self._query_rngs is not None
+        code_length = arena.code_length
+        epsilon0 = self.rabitq_config.epsilon0
         for cid in np.unique(cluster_ids):
+            cid = int(cid)
             rows = np.flatnonzero(cluster_ids == cid)
-            block = mat[rows]
-            quantizer = self._cluster_quantizers[int(cid)]
-            if quantizer is None:
-                # The bucket was empty at fit time (or emptied by a compact):
-                # build its quantizer now, sharing the fitted rotation and
-                # using the cluster centroid, exactly as fit() would have.
-                quantizer = RaBitQ(self.rabitq_config)
-                quantizer.fit(
-                    block,
-                    centroid=self._ivf.centroids[int(cid)],
-                    rotation=self._shared_rotation,
-                )
-                self._cluster_quantizers[int(cid)] = quantizer
-            else:
-                quantizer.add(block)
+            packed, bits, popcounts, alignments, norms = encode_rows(
+                mat[rows],
+                self._ivf.centroids[cid],
+                self._shared_rotation,
+                code_length,
+            )
+            consts = build_code_consts(
+                alignments, norms, popcounts, code_length, epsilon0
+            )
+            if self._query_rngs[cid] is None:
+                # The cluster was empty at fit time (or emptied by a
+                # compact): its rounding stream starts fresh now, exactly as
+                # a newly built per-cluster quantizer's would have.
+                self._query_rngs[cid] = self._fresh_query_rng()
+            arena.append(cid, packed, bits, consts, slots[rows])
 
         assert self._ids is not None and self._live is not None
         self._ids = np.concatenate([self._ids, new_ids])
@@ -450,11 +581,10 @@ class IVFQuantizedSearcher:
         """Physically drop tombstoned vectors; return the number reclaimed.
 
         Dead rows are removed from the flat index, the inverted lists and
-        the per-cluster code matrices, and the surviving slots are renumbered
-        contiguously.  External ids are untouched, and because every removed
-        row is row-local in the quantized datasets, search results (ids,
-        distances *and* cost counters) are identical before and after a
-        compaction.
+        the code arena, and the surviving slots are renumbered contiguously.
+        External ids are untouched, and because every removed row is
+        row-local, search results (ids, distances *and* cost counters) are
+        identical before and after a compaction.
         """
         if self._ivf is None or self._flat is None or self._live is None:
             raise NotFittedError("IVFQuantizedSearcher must be fitted before use")
@@ -465,18 +595,15 @@ class IVFQuantizedSearcher:
         if self._n_dead == 0:
             return 0
         keep = self._live.copy()
-        assert self._cluster_quantizers is not None and self._ids is not None
-        for cid, bucket in enumerate(self._ivf.buckets):
-            quantizer = self._cluster_quantizers[cid]
-            if quantizer is None or len(bucket) == 0:
-                continue
-            mask = keep[bucket.vector_ids]
-            if mask.all():
-                continue
-            if not mask.any():
-                self._cluster_quantizers[cid] = None
-                continue
-            quantizer.keep_rows(mask)
+        arena = self._arena
+        assert arena is not None and self._query_rngs is not None
+        assert self._ids is not None
+        arena.compact(keep)
+        for cid in range(arena.n_clusters):
+            if arena.sizes[cid] == 0:
+                # An emptied cluster drops its rounding stream; a later
+                # insert starts a fresh one (pre-arena lifecycle semantics).
+                self._query_rngs[cid] = None
         self._ivf.keep_rows(keep)
         self._flat.keep_rows(keep)
         self._ids = self._ids[keep]
@@ -492,61 +619,227 @@ class IVFQuantizedSearcher:
     # Query phase
     # ------------------------------------------------------------------ #
 
+    def _scratch_get(self, name: str, size: int, dtype) -> np.ndarray:
+        """A flat scratch buffer of at least ``size`` elements (reused)."""
+        buf = self._scratch.get(name)
+        if buf is None or buf.size < size:
+            capacity = max(size, 2 * buf.size if buf is not None else 0)
+            buf = np.empty(capacity, dtype=dtype)
+            self._scratch[name] = buf
+        return buf
+
+    def _rotate_row(self, unit: np.ndarray) -> np.ndarray:
+        """``P^-1`` applied to one zero-padded unit row (the shared pad buffer).
+
+        Dense rotations go straight through the cached matrix — the very
+        same ``(1, L) @ (L, L)`` BLAS call ``Rotation.apply_inverse`` makes,
+        minus its per-call validation; structured (Hadamard) rotations fall
+        back to ``apply_inverse``.
+        """
+        pad = self._pad_buf
+        assert pad is not None
+        pad[0, : unit.shape[0]] = unit
+        matrix = self._rotation_matrix
+        if matrix is not None:
+            return (pad @ matrix)[0]
+        return self._shared_rotation.apply_inverse(pad)[0]
+
+    def _prepare_cluster_query(
+        self,
+        vec: np.ndarray,
+        cid: int,
+        entry: _PreparedClusterQuery,
+        residual: np.ndarray | None = None,
+    ) -> _PreparedClusterQuery:
+        """Prepare ``vec`` against cluster ``cid``, filling ``entry``.
+
+        The arithmetic is exactly the pre-arena per-cluster preparation
+        (normalize to the cluster centroid, pad, rotate the single row,
+        randomized-rounding quantization from the cluster's stream), minus
+        the look-up-table construction and bit-plane packing the fused GEMV
+        kernel never touches — skipping those consumes no randomness.
+        ``residual`` optionally passes the precomputed ``vec - centroid``
+        row (the caller batches that subtraction across probed clusters;
+        elementwise, so the values are unchanged).
+        """
+        assert self._ivf is not None and self._query_rngs is not None
+        config = self.rabitq_config
+        if residual is None:
+            residual = vec - self._ivf.centroids[cid]
+        # Inline normalize_query on the precomputed residual; the 1-D norm
+        # is sqrt(dot) — exactly what np.linalg.norm computes on a vector.
+        norm = float(np.sqrt(np.dot(residual, residual)))
+        if norm == 0.0:
+            unit, query_norm = np.zeros_like(residual), 0.0
+        else:
+            unit, query_norm = residual / norm, norm
+        rotated = self._rotate_row(unit)
+        quantized = quantize_query_vector(
+            rotated,
+            config.query_bits,
+            randomized=config.randomized_rounding,
+            rng=self._query_rngs[cid],
+            with_bitplanes=False,
+        )
+        entry.codes_f64 = quantized.codes.astype(np.float64)
+        entry.delta = quantized.delta
+        entry.lower = quantized.lower
+        entry.sum_codes_f = float(quantized.sum_codes)
+        entry.query_norm = query_norm
+        return entry
+
+    def _prepare_cluster_queries(
+        self, sub_mat: np.ndarray, cid: int
+    ) -> tuple:
+        """Vectorized cluster preparation of several queries at once.
+
+        Bit-identical to calling :meth:`_prepare_cluster_query` row by row
+        from the same stream state: normalization and rotation are applied
+        per row, the scalar quantization consumes the rounding stream in
+        ascending row order (degenerate rows draw nothing, as the scalar
+        path skips its draw).
+        """
+        assert self._ivf is not None and self._query_rngs is not None
+        config = self.rabitq_config
+        assert self._arena is not None
+        n_rows = sub_mat.shape[0]
+        residuals = sub_mat - self._ivf.centroids[cid][None, :]
+        units = np.empty_like(residuals)
+        query_norms = np.empty(n_rows, dtype=np.float64)
+        rotated = np.empty((n_rows, self._arena.code_length), dtype=np.float64)
+        for i in range(n_rows):
+            # Per-row normalization (1-D sqrt(dot)) and rotation, exactly as
+            # the sequential path — axis reductions would round differently.
+            norm = float(np.sqrt(np.dot(residuals[i], residuals[i])))
+            if norm == 0.0:
+                units[i] = 0.0
+                query_norms[i] = 0.0
+            else:
+                np.divide(residuals[i], norm, out=units[i])
+                query_norms[i] = norm
+            rotated[i] = self._rotate_row(units[i])
+        quantized = quantize_query_matrix(
+            rotated,
+            config.query_bits,
+            randomized=config.randomized_rounding,
+            rng=self._query_rngs[cid],
+            with_bitplanes=False,
+        )
+        return quantized, query_norms
+
+    def _prepared_for(
+        self,
+        vec: np.ndarray,
+        key_bytes: bytes | None,
+        cid: int,
+        residual: np.ndarray | None = None,
+    ) -> _PreparedClusterQuery:
+        """Cache-aware prepared query for ``(vec, cid)`` (sequential path)."""
+        if key_bytes is None:
+            return self._prepare_cluster_query(
+                vec, cid, _PreparedClusterQuery(), residual
+            )
+        cache = self._prepared_cache
+        key = (key_bytes, cid)
+        entry = cache.get(key)
+        if entry is not None and entry.codes_f64 is not None:
+            return entry
+        if entry is None:
+            entry = _PreparedClusterQuery()
+            cache[key] = entry
+            while len(cache) > self.query_cache_size:
+                cache.popitem(last=False)
+        return self._prepare_cluster_query(vec, cid, entry, residual)
+
     def _estimate_rabitq(
         self, query: np.ndarray, cluster_ids: np.ndarray
     ) -> tuple[np.ndarray, DistanceEstimate]:
-        """Estimate distances for all live vectors in the probed clusters.
+        """Fused estimation for all live vectors in the probed clusters.
 
+        One integer GEMV per probed cluster on its contiguous arena slice,
+        coefficients and constants gathered into the scratch pool, then a
+        single fused affine/estimator pass over the whole candidate set.
         Tombstoned rows are masked out *after* the full per-cluster estimate
         (never skipped before it): this keeps the per-cluster randomized
         query-rounding streams — and with them the batch ≡ sequential
         guarantee — independent of the deletion pattern.
         """
-        assert self._cluster_quantizers is not None and self._ivf is not None
-        assert self._live is not None
-        live = self._live
-        id_blocks: list[np.ndarray] = []
-        dist_blocks: list[np.ndarray] = []
-        lower_blocks: list[np.ndarray] = []
-        upper_blocks: list[np.ndarray] = []
-        ip_blocks: list[np.ndarray] = []
-        for cid in cluster_ids:
-            bucket = self._ivf.buckets[int(cid)]
-            quantizer = self._cluster_quantizers[int(cid)]
-            if quantizer is None or len(bucket) == 0:
+        arena = self._arena
+        assert arena is not None and self._live is not None
+        sizes = arena.sizes
+        total = int(sizes[cluster_ids].sum())
+        if total == 0:
+            return _empty_estimate()
+        code_length = arena.code_length
+        sqrt_d = np.sqrt(float(code_length))
+        max_size = int(sizes[cluster_ids].max())
+
+        qdot = self._scratch_get("qdot", total, np.float64)[:total]
+        qn = self._scratch_get("qn", total, np.float64)[:total]
+        cand = self._scratch_get("cand", total, np.int64)[:total]
+        consts_buf = self._scratch_get(
+            "consts", N_CONSTS * total, np.float64
+        )[: N_CONSTS * total].reshape(N_CONSTS, total)
+        bits_f = self._scratch_get(
+            "bits_f", max_size * code_length, np.float64
+        )[: max_size * code_length].reshape(max_size, code_length)
+        dot = self._scratch_get("dot", max_size, np.float64)
+        tmp = self._scratch_get("tmp", max_size, np.float64)
+
+        key_bytes = query.tobytes() if self.query_cache_size > 0 else None
+        # One batched subtraction for all probed centroids (elementwise, so
+        # each row equals the per-cluster ``vec - centroid``).
+        residuals = query[None, :] - self._ivf.centroids[cluster_ids]
+        offset = 0
+        for j, cid in enumerate(cluster_ids):
+            cid = int(cid)
+            size = int(sizes[cid])
+            if size == 0:
                 continue
-            estimate = quantizer.estimate_distances(query)
-            mask = live[bucket.vector_ids]
-            if mask.all():
-                id_blocks.append(bucket.vector_ids)
-                dist_blocks.append(estimate.distances)
-                lower_blocks.append(estimate.lower_bounds)
-                upper_blocks.append(estimate.upper_bounds)
-                ip_blocks.append(estimate.inner_products)
-                continue
-            if not mask.any():
-                continue
-            id_blocks.append(bucket.vector_ids[mask])
-            dist_blocks.append(estimate.distances[mask])
-            lower_blocks.append(estimate.lower_bounds[mask])
-            upper_blocks.append(estimate.upper_bounds[mask])
-            ip_blocks.append(estimate.inner_products[mask])
-        if not id_blocks:
-            empty = np.empty(0, dtype=np.float64)
-            return np.empty(0, dtype=np.int64), DistanceEstimate(
-                distances=empty,
-                lower_bounds=empty.copy(),
-                upper_bounds=empty.copy(),
-                inner_products=empty.copy(),
+            prepared = self._prepared_for(query, key_bytes, cid, residuals[j])
+            start = int(arena.starts[cid])
+            end = start + size
+            # Integer inner products <x_b, q_u>: float64 GEMV on the
+            # unpacked codes — exact (all partial sums are integers far
+            # below 2^53), hence identical to the popcount kernel.
+            np.copyto(bits_f[:size], arena.bits[start:end], casting="unsafe")
+            np.matmul(bits_f[:size], prepared.codes_f64, out=dot[:size])
+            # Affine undo of the query quantization (Eq. 19-20) — the
+            # out=-buffer form of estimator.undo_query_quantization, written
+            # straight into this cluster's slice of the flat buffer with
+            # the sequential path's exact scalar-coefficient arithmetic.
+            sl = slice(offset, offset + size)
+            delta = prepared.delta
+            lower = prepared.lower
+            out = qdot[sl]
+            np.multiply(dot[:size], 2.0 * delta / sqrt_d, out=out)
+            np.multiply(
+                arena.consts[CONST_POPCOUNT, start:end],
+                2.0 * lower / sqrt_d,
+                out=tmp[:size],
             )
-        candidate_ids = np.concatenate(id_blocks)
-        estimate = DistanceEstimate(
-            distances=np.concatenate(dist_blocks),
-            lower_bounds=np.concatenate(lower_blocks),
-            upper_bounds=np.concatenate(upper_blocks),
-            inner_products=np.concatenate(ip_blocks),
+            out += tmp[:size]
+            out -= delta / sqrt_d * prepared.sum_codes_f
+            out -= sqrt_d * lower
+            consts_buf[:, sl] = arena.consts[:, start:end]
+            qn[sl] = prepared.query_norm
+            cand[sl] = arena.slots[start:end]
+            offset += size
+
+        estimate = fused_estimate(qdot, consts_buf, qn)
+        if self._n_dead == 0:
+            return cand, estimate
+        mask = self._live[cand]
+        if mask.all():
+            return cand, estimate
+        if not mask.any():
+            return _empty_estimate()
+        return cand[mask], DistanceEstimate(
+            distances=estimate.distances[mask],
+            lower_bounds=estimate.lower_bounds[mask],
+            upper_bounds=estimate.upper_bounds[mask],
+            inner_products=estimate.inner_products[mask],
         )
-        return candidate_ids, estimate
 
     def _estimate_external(
         self, query: np.ndarray, cluster_ids: np.ndarray
@@ -564,13 +857,7 @@ class IVFQuantizedSearcher:
                 continue
             blocks.append(ids if mask.all() else ids[mask])
         if not blocks:
-            empty = np.empty(0, dtype=np.float64)
-            return np.empty(0, dtype=np.int64), DistanceEstimate(
-                distances=empty,
-                lower_bounds=empty.copy(),
-                upper_bounds=empty.copy(),
-                inner_products=empty.copy(),
-            )
+            return _empty_estimate()
         candidate_ids = np.concatenate(blocks)
         codes = self.external_quantizer.codes[candidate_ids]
         distances = self.external_quantizer.estimate_distances(query, codes=codes)
@@ -624,106 +911,221 @@ class IVFQuantizedSearcher:
     def _estimate_rabitq_batch(
         self, query_mat: np.ndarray, probes: np.ndarray
     ) -> list[tuple[np.ndarray, DistanceEstimate]]:
-        """Grouped-by-cluster batch estimation for all queries at once.
+        """Grouped-by-cluster fused batch estimation for all queries at once.
 
-        Each probed cluster's packed code matrix is scanned once for the
-        whole group of queries probing it (one multi-query popcount kernel
-        call per cluster), then per-query candidate lists are reassembled in
-        the query's probed-cluster order — exactly the concatenation order of
-        the sequential path.  Per-cluster query groups are built in ascending
-        query order so each cluster quantizer's randomized-rounding stream is
-        consumed in the same order as sequential calls, keeping batch output
+        Each probed cluster's contiguous code block is scanned once for the
+        whole group of queries probing it (one integer GEMM + one fused
+        estimator transform per cluster), and the per-cluster result rows
+        are scattered directly into flat per-query candidate buffers at
+        precomputed offsets — the query's probed-cluster order, exactly the
+        concatenation order of the sequential path, with no intermediate
+        stacking or per-query concatenation.  Per-cluster query groups are
+        processed in ascending query order so each cluster's
+        randomized-rounding stream is consumed in the same order as
+        sequential calls (with the prepared-query cache enabled, the
+        sequential cache bookkeeping — hits, misses and FIFO evictions — is
+        simulated in that same global order), keeping batch output
         bit-identical.
         """
-        assert self._cluster_quantizers is not None and self._ivf is not None
-        assert self._live is not None
-        live = self._live
+        arena = self._arena
+        assert arena is not None and self._live is not None
         n_queries = query_mat.shape[0]
-        probe_lists = probes.tolist()
-        groups: dict[int, list[int]] = {}
-        for qi in range(n_queries):
-            for cid in probe_lists[qi]:
-                groups.setdefault(cid, []).append(qi)
+        sizes = arena.sizes
+        code_length = arena.code_length
+        sqrt_d = np.sqrt(float(code_length))
 
-        # cluster id -> (row position per query id, bucket ids, stacked
-        # (4, n_group_queries, n_cluster_codes) estimate fields: distances,
-        # lower bounds, upper bounds, inner products).  Stacking lets the
-        # per-query assembly below slice one tensor and concatenate once
-        # instead of handling the four fields separately.
-        buckets = self._ivf.buckets
-        quantizers = self._cluster_quantizers
-        cluster_blocks: dict[int, tuple[dict[int, int], np.ndarray, np.ndarray]] = {}
-        for cid, query_ids in groups.items():
-            bucket = buckets[cid]
-            quantizer = quantizers[cid]
-            if quantizer is None or len(bucket) == 0:
-                continue
-            prepared = quantizer.prepare_queries(query_mat[np.asarray(query_ids)])
-            estimate = quantizer.estimate_distances_batch(prepared)
-            stacked = np.stack(
-                (
-                    estimate.distances,
-                    estimate.lower_bounds,
-                    estimate.upper_bounds,
-                    estimate.inner_products,
+        size_mat = sizes[probes]
+        query_totals = size_mat.sum(axis=1)
+        qoff = np.zeros(n_queries + 1, dtype=np.int64)
+        np.cumsum(query_totals, out=qoff[1:])
+        within = np.zeros_like(size_mat)
+        if size_mat.shape[1] > 1:
+            np.cumsum(size_mat[:, :-1], axis=1, out=within[:, 1:])
+        total = int(qoff[-1])
+
+        dist_flat = np.empty(total, dtype=np.float64)
+        lb_flat = np.empty(total, dtype=np.float64)
+        ub_flat = np.empty(total, dtype=np.float64)
+        ip_flat = np.empty(total, dtype=np.float64)
+        cand_flat = np.empty(total, dtype=np.int64)
+
+        # Group (query, probe position) pairs by cluster.  With the
+        # prepared-query cache enabled this is one global pass over the
+        # sequential visiting order which also performs the cache
+        # bookkeeping (placeholders for misses, FIFO eviction) exactly as a
+        # sequential loop would; without the cache, grouping is a single
+        # stable argsort of the flattened probe matrix (stable => ascending
+        # query order inside every cluster group, preserving per-cluster
+        # stream consumption order).
+        cache_on = self.query_cache_size > 0
+        cache = self._prepared_cache
+        # cluster id -> (query indices, probe positions, entries or None)
+        groups: list[tuple[int, np.ndarray, np.ndarray, list | None]] = []
+        if cache_on:
+            probe_lists = probes.tolist()
+            grouped: dict[int, list[tuple[int, int, _PreparedClusterQuery]]] = {}
+            misses: dict[int, list[tuple[int, _PreparedClusterQuery]]] = {}
+            pending: set[int] = set()  # placeholders scheduled in this call
+            key_bytes = [query_mat[qi].tobytes() for qi in range(n_queries)]
+            for qi in range(n_queries):
+                for j, cid in enumerate(probe_lists[qi]):
+                    if sizes[cid] == 0:
+                        continue
+                    key = (key_bytes[qi], cid)
+                    entry = cache.get(key)
+                    unfilled = entry is not None and entry.codes_f64 is None
+                    if entry is None or (unfilled and id(entry) not in pending):
+                        if entry is None:
+                            entry = _PreparedClusterQuery()
+                            cache[key] = entry
+                            while len(cache) > self.query_cache_size:
+                                cache.popitem(last=False)
+                        pending.add(id(entry))
+                        misses.setdefault(cid, []).append((qi, entry))
+                    grouped.setdefault(cid, []).append((qi, j, entry))
+            # Vectorized preparation of the cache misses, one call per
+            # cluster in ascending query order.
+            for cid, missing in misses.items():
+                rows = np.asarray([qi for qi, _ in missing], dtype=np.intp)
+                quantized, query_norms = self._prepare_cluster_queries(
+                    query_mat[rows], cid
                 )
+                codes_f = quantized.codes.astype(np.float64)
+                for row, (_, entry) in enumerate(missing):
+                    entry.codes_f64 = codes_f[row].copy()
+                    entry.delta = float(quantized.delta[row])
+                    entry.lower = float(quantized.lower[row])
+                    entry.sum_codes_f = float(quantized.sum_codes[row])
+                    entry.query_norm = float(query_norms[row])
+            for cid, pairs in grouped.items():
+                groups.append(
+                    (
+                        cid,
+                        np.asarray([qi for qi, _, _ in pairs], dtype=np.intp),
+                        np.asarray([j for _, j, _ in pairs], dtype=np.intp),
+                        [entry for _, _, entry in pairs],
+                    )
+                )
+        else:
+            width = probes.shape[1]
+            flat_cids = probes.ravel()
+            order = np.argsort(flat_cids, kind="stable")
+            sorted_cids = flat_cids[order]
+            starts = np.flatnonzero(
+                np.diff(sorted_cids, prepend=sorted_cids[:1] - 1)
             )
-            # Tombstone filtering mirrors the sequential path exactly: the
-            # full-cluster estimate above has already consumed the cluster's
-            # query-rounding stream, and dead columns are masked out of the
-            # same computed tensor the sequential path masks row-wise.
-            mask = live[bucket.vector_ids]
-            if mask.all():
-                vector_ids = bucket.vector_ids
-            elif not mask.any():
-                continue
-            else:
-                vector_ids = bucket.vector_ids[mask]
-                stacked = stacked[:, :, mask]
-            rows = {qi: row for row, qi in enumerate(query_ids)}
-            cluster_blocks[cid] = (rows, vector_ids, stacked)
+            ends = np.append(starts[1:], sorted_cids.shape[0])
+            for seg_start, seg_end in zip(starts.tolist(), ends.tolist()):
+                cid = int(sorted_cids[seg_start])
+                if sizes[cid] == 0:
+                    continue
+                pair_idx = order[seg_start:seg_end]
+                groups.append(
+                    (cid, pair_idx // width, pair_idx % width, None)
+                )
 
+        max_size = int(size_mat.max()) if size_mat.size else 0
+        bits_f = (
+            self._scratch_get("bits_f", max_size * code_length, np.float64)[
+                : max_size * code_length
+            ].reshape(max_size, code_length)
+            if max_size
+            else np.empty((0, code_length), dtype=np.float64)
+        )
+
+        for cid, qis, js, entries in groups:
+            start, end = arena.cluster_range(cid)
+            size = end - start
+            n_group = qis.shape[0]
+            if entries is not None:
+                codes_mat = np.empty((n_group, code_length), dtype=np.float64)
+                delta = np.empty(n_group, dtype=np.float64)
+                lower = np.empty(n_group, dtype=np.float64)
+                sums = np.empty(n_group, dtype=np.float64)
+                query_norms = np.empty(n_group, dtype=np.float64)
+                for row, entry in enumerate(entries):
+                    codes_mat[row] = entry.codes_f64
+                    delta[row] = entry.delta
+                    lower[row] = entry.lower
+                    sums[row] = entry.sum_codes_f
+                    query_norms[row] = entry.query_norm
+            else:
+                quantized, query_norms = self._prepare_cluster_queries(
+                    query_mat[qis], cid
+                )
+                codes_mat = quantized.codes.astype(np.float64)
+                delta = quantized.delta
+                lower = quantized.lower
+                sums = quantized.sum_codes.astype(np.float64)
+
+            # Integer inner-product matrix via one exact float64 GEMM on the
+            # cluster's contiguous unpacked-code slice.
+            np.copyto(bits_f[:size], arena.bits[start:end], casting="unsafe")
+            integer_dot = codes_mat @ bits_f[:size].T
+
+            # Per-query affine undo of the scalar quantization (Eq. 19-20);
+            # identical elementwise arithmetic to the single-query path.
+            pop = arena.consts[CONST_POPCOUNT, start:end]
+            quantized_dot = undo_query_quantization(
+                integer_dot,
+                pop[None, :],
+                delta[:, None],
+                lower[:, None],
+                sums[:, None],
+                code_length,
+            )
+            estimate = fused_estimate(
+                quantized_dot, arena.cluster_consts(cid), query_norms[:, None]
+            )
+
+            # Scatter each group row into its query's flat candidate range
+            # (probe order == the sequential concatenation order).
+            dest = (qoff[qis] + within[qis, js])[:, None] + np.arange(size)
+            dist_flat[dest] = estimate.distances
+            lb_flat[dest] = estimate.lower_bounds
+            ub_flat[dest] = estimate.upper_bounds
+            ip_flat[dest] = estimate.inner_products
+            cand_flat[dest] = arena.slots[start:end][None, :]
+
+        # Per-query assembly: zero-copy views into the flat buffers, with
+        # tombstones masked out of the already-computed estimates exactly as
+        # on the sequential path (skipped wholesale when nothing is dead).
+        live = self._live
+        any_dead = self._n_dead > 0
         per_query: list[tuple[np.ndarray, DistanceEstimate]] = []
         for qi in range(n_queries):
-            id_blocks: list[np.ndarray] = []
-            est_blocks: list[np.ndarray] = []
-            for cid in probe_lists[qi]:
-                block = cluster_blocks.get(cid)
-                if block is None:
-                    continue
-                rows, vector_ids, stacked = block
-                id_blocks.append(vector_ids)
-                est_blocks.append(stacked[:, rows[qi], :])
-            if not id_blocks:
-                empty = np.empty(0, dtype=np.float64)
+            lo, hi = int(qoff[qi]), int(qoff[qi + 1])
+            if lo == hi:
+                per_query.append(_empty_estimate())
+                continue
+            cand = cand_flat[lo:hi]
+            mask = live[cand] if any_dead else None
+            if mask is None or mask.all():
                 per_query.append(
                     (
-                        np.empty(0, dtype=np.int64),
+                        cand,
                         DistanceEstimate(
-                            distances=empty,
-                            lower_bounds=empty.copy(),
-                            upper_bounds=empty.copy(),
-                            inner_products=empty.copy(),
+                            distances=dist_flat[lo:hi],
+                            lower_bounds=lb_flat[lo:hi],
+                            upper_bounds=ub_flat[lo:hi],
+                            inner_products=ip_flat[lo:hi],
                         ),
                     )
                 )
-                continue
-            fields = (
-                est_blocks[0]
-                if len(est_blocks) == 1
-                else np.concatenate(est_blocks, axis=1)
-            )
-            per_query.append(
-                (
-                    np.concatenate(id_blocks),
-                    DistanceEstimate(
-                        distances=fields[0],
-                        lower_bounds=fields[1],
-                        upper_bounds=fields[2],
-                        inner_products=fields[3],
-                    ),
+            elif not mask.any():
+                per_query.append(_empty_estimate())
+            else:
+                per_query.append(
+                    (
+                        cand[mask],
+                        DistanceEstimate(
+                            distances=dist_flat[lo:hi][mask],
+                            lower_bounds=lb_flat[lo:hi][mask],
+                            upper_bounds=ub_flat[lo:hi][mask],
+                            inner_products=ip_flat[lo:hi][mask],
+                        ),
+                    )
                 )
-            )
         return per_query
 
     def search_batch(
@@ -732,8 +1134,8 @@ class IVFQuantizedSearcher:
         """Answer a batch of ANN queries with the vectorized engine.
 
         Probing, query preparation and distance estimation are batched
-        (queries are grouped by probed cluster so each cluster's packed code
-        matrix is scanned once per query group); re-ranking runs per query.
+        (queries are grouped by probed cluster so each cluster's code block
+        is scanned once per query group); re-ranking runs per query.
         The results — ids *and* distances — are element-wise identical to
         ``[self.search(q, k, nprobe=nprobe) for q in queries]``; prefer this
         entry point whenever more than a handful of queries are available at

@@ -32,7 +32,9 @@ from typing import Union
 
 import numpy as np
 
+from repro.core.bitops import unpack_bits
 from repro.core.config import RaBitQConfig
+from repro.core.estimator import N_CONSTS, build_code_consts
 from repro.core.quantizer import QuantizedDataset, RaBitQ
 from repro.core.rotation import FastHadamardRotation, QRRotation, Rotation
 from repro.exceptions import (
@@ -41,6 +43,7 @@ from repro.exceptions import (
     NotFittedError,
     PersistenceError,
 )
+from repro.index.arena import CodeArena
 from repro.index.flat import FlatIndex
 from repro.index.ivf import IVFIndex
 from repro.index.rerank import (
@@ -61,8 +64,18 @@ MAGIC_SEARCHER = "rabitq/searcher"
 #: added the magic header and the query-RNG state.
 FORMAT_VERSION = 2
 
-#: Searcher-archive format, bumped on incompatible changes.
-SEARCHER_FORMAT_VERSION = 1
+#: Searcher-archive format, bumped on incompatible changes.  Version 3 is
+#: the arena-aware layout: per-slot packed codes plus the fused
+#: ``(N_CONSTS, n_slots)`` estimator-constants matrix the code arena is
+#: rebuilt from.  (The version jumps from 1 to 3 so that "format v3" is
+#: unambiguous repo-wide: quantizer archives are v2.)  Version-1 archives —
+#: written before the arena existed — are still loaded via
+#: ``_SEARCHER_LEGACY_VERSIONS``; their per-slot metadata carries the same
+#: information, so a reloaded v1 searcher answers bit-identically.
+SEARCHER_FORMAT_VERSION = 3
+
+#: Older searcher-archive formats this build can still read.
+_SEARCHER_LEGACY_VERSIONS = (1,)
 
 #: Errors that ``np.load`` / zip decompression raise on unreadable input.
 _READ_ERRORS = (OSError, ValueError, zipfile.BadZipFile, EOFError, KeyError)
@@ -96,8 +109,14 @@ def _resolve_path(path: PathLike) -> Path:
     return candidate
 
 
-def _open_archive(path: PathLike, *, magic: str, version: int, kind: str):
-    """Open an ``.npz`` archive and validate its magic header and version."""
+def _open_archive(
+    path: PathLike, *, magic: str, versions: tuple[int, ...], kind: str
+):
+    """Open an ``.npz`` archive and validate its magic header and version.
+
+    ``versions`` lists every format version this build can read for the
+    given archive flavour (the current one plus any legacy ones).
+    """
     candidate = _resolve_path(path)
     try:
         archive = np.load(candidate)
@@ -112,12 +131,12 @@ def _open_archive(path: PathLike, *, magic: str, version: int, kind: str):
             # format_version entry: report those as outdated, not foreign.
             if (
                 "format_version" in archive.files
-                and int(archive["format_version"]) != version
+                and int(archive["format_version"]) not in versions
             ):
                 raise PersistenceError(
                     f"unsupported {kind} format version "
                     f"{int(archive['format_version'])}; this build reads "
-                    f"version {version}"
+                    f"version(s) {', '.join(map(str, versions))}"
                 )
             raise PersistenceError(
                 f"{candidate!s} is not a {kind} archive (missing magic header)"
@@ -133,10 +152,10 @@ def _open_archive(path: PathLike, *, magic: str, version: int, kind: str):
                 f"{candidate!s} is not a {kind} archive "
                 f"(magic {found_magic!r}, expected {magic!r})"
             )
-        if found_version != version:
+        if found_version not in versions:
             raise PersistenceError(
                 f"unsupported {kind} format version {found_version}; "
-                f"this build reads version {version}"
+                f"this build reads version(s) {', '.join(map(str, versions))}"
             )
     except Exception:
         archive.close()
@@ -238,7 +257,7 @@ def load_rabitq(path: PathLike) -> RaBitQ:
         quantizer archive, or uses an unsupported format version.
     """
     with _open_archive(
-        path, magic=MAGIC_RABITQ, version=FORMAT_VERSION, kind="RaBitQ index"
+        path, magic=MAGIC_RABITQ, versions=(FORMAT_VERSION,), kind="RaBitQ index"
     ) as archive:
         try:
             seed = int(archive["seed"])
@@ -311,11 +330,12 @@ def _load_reranker(kind: str, param: int) -> Reranker:
 def save_searcher(searcher: IVFQuantizedSearcher, path: PathLike) -> None:
     """Serialize a fitted :class:`IVFQuantizedSearcher` to ``path``.
 
-    The archive captures the complete query-time and lifecycle state —
-    quantized codes, IVF centroids/assignments, raw vectors, tombstones,
-    external-id mapping and RNG streams — so that :func:`load_searcher`
-    reproduces search results bit-identically and supports further
-    mutation.
+    The archive (arena-aware format v3) captures the complete query-time
+    and lifecycle state — per-slot packed codes, the fused
+    estimator-constants matrix, IVF centroids/assignments, raw vectors,
+    tombstones, external-id mapping and RNG streams — so that
+    :func:`load_searcher` reproduces search results bit-identically and
+    supports further mutation.
 
     Raises
     ------
@@ -336,35 +356,33 @@ def save_searcher(searcher: IVFQuantizedSearcher, path: PathLike) -> None:
     ivf = searcher.ivf
     flat = searcher.flat
     config = searcher.rabitq_config
-    quantizers = searcher._cluster_quantizers
-    assert quantizers is not None
+    arena = searcher._arena
+    query_rngs = searcher._query_rngs
+    assert arena is not None and query_rngs is not None
     assert searcher._ids is not None and searcher._live is not None
 
-    dim = flat.dim
-    code_length = config.resolve_code_length(dim)
-    n_words = (code_length + 63) // 64
+    code_length = arena.code_length
+    n_words = arena.n_words
     n_slots = len(flat)
 
-    # Per-slot quantized metadata, scattered from the per-cluster datasets.
-    # Every slot lives in exactly one bucket, and bucket row order matches
-    # quantizer row order, so this is a pure re-indexing.
+    # Per-slot quantized metadata, scattered from the cluster-grouped arena
+    # regions.  Every slot lives in exactly one region, so this is a pure
+    # re-indexing; the loader rebuilds the regions from the bucket id lists
+    # (always sorted ascending), which reproduces the arena row order.
     packed_codes = np.zeros((n_slots, n_words), dtype=np.uint64)
-    code_popcounts = np.zeros(n_slots, dtype=np.int64)
-    alignments = np.zeros(n_slots, dtype=np.float64)
-    norms = np.zeros(n_slots, dtype=np.float64)
+    code_consts = np.zeros((N_CONSTS, n_slots), dtype=np.float64)
     rng_states: list[dict | None] = []
-    for cid, bucket in enumerate(ivf.buckets):
-        quantizer = quantizers[cid]
-        if quantizer is None or len(bucket) == 0:
+    for cid in range(arena.n_clusters):
+        start, end = arena.cluster_range(cid)
+        rng = query_rngs[cid]
+        if start == end:
             rng_states.append(None)
             continue
-        dataset = quantizer.dataset
-        slots = bucket.vector_ids
-        packed_codes[slots] = dataset.packed_codes
-        code_popcounts[slots] = dataset.code_popcounts
-        alignments[slots] = dataset.alignments
-        norms[slots] = dataset.norms
-        rng_states.append(quantizer._query_rng.bit_generator.state)
+        assert rng is not None
+        slots = arena.slots[start:end]
+        packed_codes[slots] = arena.codes[start:end]
+        code_consts[:, slots] = arena.consts[:, start:end]
+        rng_states.append(rng.bit_generator.state)
 
     assert searcher._shared_rotation is not None
     rotation_entries = _save_rotation(searcher._shared_rotation)
@@ -399,11 +417,10 @@ def save_searcher(searcher: IVFQuantizedSearcher, path: PathLike) -> None:
         centroids=ivf.centroids,
         assignments=ivf.assignments,
         data=flat.data,
-        # Quantized per-slot metadata
+        # Quantized per-slot metadata (arena layout)
         packed_codes=packed_codes,
-        code_popcounts=code_popcounts,
-        alignments=alignments,
-        norms=norms,
+        n_consts=np.int64(N_CONSTS),
+        code_consts=code_consts,
         # Lifecycle state
         ids=searcher._ids,
         live=searcher._live,
@@ -434,10 +451,11 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
     with _open_archive(
         path,
         magic=MAGIC_SEARCHER,
-        version=SEARCHER_FORMAT_VERSION,
+        versions=(SEARCHER_FORMAT_VERSION,) + _SEARCHER_LEGACY_VERSIONS,
         kind="searcher index",
     ) as archive:
         try:
+            format_version = int(archive["format_version"])
             seed = int(archive["seed"])
             config_code_length = int(archive["config_code_length"])
             config = RaBitQConfig(
@@ -466,7 +484,6 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
             )
 
             data = np.asarray(archive["data"], dtype=np.float64)
-            dim = int(data.shape[1])
             code_length = int(archive["code_length"])
             rotation = _load_rotation(archive, code_length)
             searcher._shared_rotation = rotation
@@ -479,9 +496,6 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
             )
 
             packed_codes = archive["packed_codes"]
-            code_popcounts = archive["code_popcounts"]
-            alignments = archive["alignments"]
-            norms = archive["norms"]
             n_slots = data.shape[0]
             n_words = (code_length + 63) // 64
             if packed_codes.ndim != 2 or packed_codes.shape[1] != n_words:
@@ -490,12 +504,37 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
                     f"shape {packed_codes.shape} does not match code length "
                     f"{code_length} ({n_words} words)"
                 )
-            for name, array in (
+            if format_version >= 3:
+                # Arena-aware layout: the fused constants matrix is stored
+                # directly.
+                if int(archive["n_consts"]) != N_CONSTS:
+                    raise PersistenceError(
+                        f"archive stores {int(archive['n_consts'])} fused "
+                        f"constants per code; this build expects {N_CONSTS}"
+                    )
+                code_consts = np.asarray(
+                    archive["code_consts"], dtype=np.float64
+                )
+                if code_consts.shape != (N_CONSTS, n_slots):
+                    raise PersistenceError(
+                        f"archive has inconsistent per-slot arrays: "
+                        f"code_consts has shape {code_consts.shape}, "
+                        f"expected {(N_CONSTS, n_slots)}"
+                    )
+                per_slot_checks = ()
+            else:
+                # Legacy v1 layout: rebuild the fused constants from the
+                # stored per-slot metadata (same elementwise arithmetic the
+                # saving build would have used, so estimates stay
+                # bit-identical).
+                per_slot_checks = (
+                    ("code_popcounts", archive["code_popcounts"]),
+                    ("alignments", archive["alignments"]),
+                    ("norms", archive["norms"]),
+                )
+            for name, array in per_slot_checks + (
                 ("assignments", searcher._ivf.assignments),
                 ("packed_codes", packed_codes),
-                ("code_popcounts", code_popcounts),
-                ("alignments", alignments),
-                ("norms", norms),
                 ("ids", archive["ids"]),
                 ("live", archive["live"]),
             ):
@@ -504,6 +543,14 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
                         f"archive has inconsistent per-slot arrays: "
                         f"{name} has {array.shape[0]} rows, data has {n_slots}"
                     )
+            if format_version < 3:
+                code_consts = build_code_consts(
+                    archive["alignments"],
+                    archive["norms"],
+                    archive["code_popcounts"],
+                    code_length,
+                    config.epsilon0,
+                )
             rng_states = json.loads(str(archive["quantizer_rng_states"]))
             if len(rng_states) != len(searcher._ivf.buckets):
                 raise PersistenceError(
@@ -511,10 +558,12 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
                     f"{len(rng_states)} RNG states for "
                     f"{len(searcher._ivf.buckets)} clusters"
                 )
-            quantizers: list[RaBitQ] = []
+            n_clusters = len(searcher._ivf.buckets)
+            query_rngs: list[np.random.Generator | None] = []
+            blocks: dict[int, tuple] = {}
             for cid, bucket in enumerate(searcher._ivf.buckets):
                 if len(bucket) == 0:
-                    quantizers.append(None)  # type: ignore[arg-type]
+                    query_rngs.append(None)
                     continue
                 state = rng_states[cid]
                 if state is None:
@@ -522,20 +571,24 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
                         f"archive has no RNG state for non-empty cluster {cid}"
                     )
                 slots = bucket.vector_ids
-                quantizer = RaBitQ(config)
-                quantizer._rotation = rotation
-                quantizer._dataset = QuantizedDataset(
-                    packed_codes=packed_codes[slots],
-                    code_popcounts=code_popcounts[slots],
-                    alignments=alignments[slots],
-                    norms=norms[slots],
-                    centroid=searcher._ivf.centroids[cid],
-                    code_length=code_length,
-                    dim=dim,
+                cluster_codes = packed_codes[slots]
+                blocks[cid] = (
+                    cluster_codes,
+                    unpack_bits(cluster_codes, code_length),
+                    code_consts[:, slots],
+                    slots,
                 )
-                quantizer._query_rng = _rng_from_state(state)
-                quantizers.append(quantizer)
-            searcher._cluster_quantizers = quantizers
+                query_rngs.append(_rng_from_state(state))
+            searcher._query_rngs = query_rngs
+            searcher._arena = CodeArena.from_blocks(
+                n_clusters, code_length, n_words, blocks
+            )
+            searcher._pad_buf = np.zeros((1, code_length), dtype=np.float64)
+            searcher._rotation_matrix = (
+                rotation.as_matrix()
+                if isinstance(rotation, QRRotation)
+                else None
+            )
 
             searcher._ids = np.asarray(archive["ids"], dtype=np.int64)
             searcher._live = np.asarray(archive["live"], dtype=bool)

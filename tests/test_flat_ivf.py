@@ -333,3 +333,21 @@ class TestIVFIndexMutation:
         index = IVFIndex(4, rng=0).fit(data)
         with pytest.raises(InvalidParameterError):
             IVFIndex.from_state(index.centroids, np.array([0, 99]))
+
+
+class TestProbeCacheInvalidation:
+    def test_refit_invalidates_cached_centroid_norms(self):
+        # The GEMV probe kernel caches |c|^2 per centroid; re-fitting the
+        # index must invalidate that cache or probes silently use stale
+        # norms (regression test).
+        rng = np.random.default_rng(5)
+        first = rng.standard_normal((120, 6))
+        second = rng.standard_normal((120, 6)) + 3.0
+        query = rng.standard_normal(6)
+        index = IVFIndex(8, rng=0).fit(first)
+        index.probe(query, 3)  # populates the cache
+        index.fit(second)
+        probed = index.probe(query, 3)
+        dists = ((index.centroids - query) ** 2).sum(axis=1)
+        expected = np.argsort(dists)[:3]
+        np.testing.assert_array_equal(np.sort(probed), np.sort(expected))

@@ -1,0 +1,185 @@
+"""Unit tests for the fused estimation kernels (code-arena hot path).
+
+The fused kernels trade recomputation for pre-computed per-code constants;
+the contract is *bit-identity* with the reference block functions
+(:func:`repro.core.estimator.estimate_distances` and its batch variant) and
+with the affine undo arithmetic of the single-query quantizer path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import bitops
+from repro.core.config import RaBitQConfig
+from repro.core.estimator import (
+    CONST_ALIGN,
+    CONST_HALFWIDTH,
+    CONST_NORM,
+    CONST_POPCOUNT,
+    N_CONSTS,
+    build_code_consts,
+    confidence_interval_halfwidth,
+    estimate_distances,
+    estimate_distances_batch,
+    fused_estimate,
+    undo_query_quantization,
+)
+from repro.core.quantizer import RaBitQ, encode_rows
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture()
+def random_codes():
+    rng = np.random.default_rng(11)
+    n, code_length = 200, 64
+    alignments = rng.uniform(-1.0, 1.0, n)
+    alignments[::17] = 0.0  # degenerate rows must survive the fused path
+    norms = rng.uniform(0.0, 3.0, n)
+    popcounts = rng.integers(0, code_length + 1, n).astype(np.int64)
+    return alignments, norms, popcounts, code_length
+
+
+class TestBuildCodeConsts:
+    def test_shape_and_rows(self, random_codes):
+        alignments, norms, popcounts, code_length = random_codes
+        consts = build_code_consts(alignments, norms, popcounts, code_length, 1.9)
+        assert consts.shape == (N_CONSTS, alignments.shape[0])
+        np.testing.assert_array_equal(consts[CONST_NORM], norms)
+        np.testing.assert_array_equal(consts[CONST_ALIGN], alignments)
+        np.testing.assert_array_equal(
+            consts[CONST_POPCOUNT], popcounts.astype(np.float64)
+        )
+        np.testing.assert_array_equal(
+            consts[CONST_HALFWIDTH],
+            confidence_interval_halfwidth(alignments, code_length, 1.9),
+        )
+
+    def test_length_mismatch_rejected(self, random_codes):
+        alignments, norms, popcounts, code_length = random_codes
+        with pytest.raises(InvalidParameterError):
+            build_code_consts(alignments[:-1], norms, popcounts, code_length, 1.9)
+
+
+class TestFusedEstimate:
+    def test_matches_reference_scalar_query_norm(self, random_codes):
+        alignments, norms, popcounts, code_length = random_codes
+        rng = np.random.default_rng(5)
+        dots = rng.normal(size=alignments.shape[0])
+        consts = build_code_consts(alignments, norms, popcounts, code_length, 1.9)
+        got = fused_estimate(dots, consts, 1.37)
+        want = estimate_distances(dots, alignments, norms, 1.37, code_length, 1.9)
+        np.testing.assert_array_equal(got.distances, want.distances)
+        np.testing.assert_array_equal(got.lower_bounds, want.lower_bounds)
+        np.testing.assert_array_equal(got.upper_bounds, want.upper_bounds)
+        np.testing.assert_array_equal(got.inner_products, want.inner_products)
+
+    def test_matches_reference_per_candidate_query_norms(self, random_codes):
+        # The flat multi-cluster layout uses one query norm per candidate;
+        # slicing any constant-norm segment must equal the reference block.
+        alignments, norms, popcounts, code_length = random_codes
+        rng = np.random.default_rng(6)
+        n = alignments.shape[0]
+        dots = rng.normal(size=n)
+        consts = build_code_consts(alignments, norms, popcounts, code_length, 1.9)
+        qn = np.repeat(rng.uniform(0.5, 2.0, 4), n // 4)
+        got = fused_estimate(dots, consts, qn)
+        for seg in range(4):
+            sl = slice(seg * (n // 4), (seg + 1) * (n // 4))
+            want = estimate_distances(
+                dots[sl],
+                alignments[sl],
+                norms[sl],
+                float(qn[sl][0]),
+                code_length,
+                1.9,
+            )
+            np.testing.assert_array_equal(got.distances[sl], want.distances)
+            np.testing.assert_array_equal(got.lower_bounds[sl], want.lower_bounds)
+
+    def test_matches_reference_batch(self, random_codes):
+        alignments, norms, popcounts, code_length = random_codes
+        rng = np.random.default_rng(7)
+        n_queries = 6
+        dots = rng.normal(size=(n_queries, alignments.shape[0]))
+        query_norms = rng.uniform(0.1, 2.0, n_queries)
+        consts = build_code_consts(alignments, norms, popcounts, code_length, 1.9)
+        got = fused_estimate(dots, consts, query_norms[:, None])
+        want = estimate_distances_batch(
+            dots, alignments, norms, query_norms, code_length, 1.9
+        )
+        np.testing.assert_array_equal(got.distances, want.distances)
+        np.testing.assert_array_equal(got.lower_bounds, want.lower_bounds)
+        np.testing.assert_array_equal(got.upper_bounds, want.upper_bounds)
+        np.testing.assert_array_equal(got.inner_products, want.inner_products)
+
+    def test_shape_validation(self, random_codes):
+        alignments, norms, popcounts, code_length = random_codes
+        consts = build_code_consts(alignments, norms, popcounts, code_length, 1.9)
+        with pytest.raises(InvalidParameterError):
+            fused_estimate(np.zeros(3), consts, 1.0)
+        with pytest.raises(InvalidParameterError):
+            fused_estimate(np.zeros(alignments.shape[0]), consts[:2], 1.0)
+
+
+class TestUndoQueryQuantization:
+    def test_matches_quantizer_affine_path(self):
+        # End to end against RaBitQ's own bitwise path: undoing the affine
+        # on the raw popcount integers must reproduce the quantizer's
+        # <x_bar, q_bar> used inside estimate_distances.
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((80, 32))
+        quantizer = RaBitQ(RaBitQConfig(seed=0)).fit(data)
+        prepared = quantizer.prepare_query(rng.standard_normal(32))
+        dataset = quantizer.dataset
+        integer_dot = bitops.binary_dot_uint(
+            dataset.packed_codes, prepared.quantized.bitplanes
+        )
+        got = undo_query_quantization(
+            integer_dot,
+            dataset.code_popcounts.astype(np.float64),
+            prepared.quantized.delta,
+            prepared.quantized.lower,
+            float(prepared.quantized.sum_codes),
+            dataset.code_length,
+        )
+        want, _, _ = quantizer._quantized_inner_products(
+            prepared, None, "bitwise"
+        )
+        np.testing.assert_array_equal(got, want)
+
+
+class TestGemvDotExactness:
+    def test_unpacked_gemv_equals_popcount_kernel(self):
+        # The arena kernel computes <x_b, q_u> as a float64 GEMV on the
+        # unpacked 0/1 codes; it must reproduce the packed popcount kernel's
+        # integers exactly (everything is integer-valued below 2^53).
+        rng = np.random.default_rng(9)
+        n, code_length, bq = 300, 128, 4
+        bits = rng.integers(0, 2, size=(n, code_length)).astype(np.uint8)
+        packed = bitops.pack_bits(bits)
+        qvals = rng.integers(0, 1 << bq, size=code_length).astype(np.uint64)
+        planes = bitops.bitplanes_from_uint(qvals, bq)
+        want = bitops.binary_dot_uint(packed, planes)
+        got = np.rint(bits.astype(np.float64) @ qvals.astype(np.float64))
+        np.testing.assert_array_equal(got.astype(np.int64), want)
+
+
+class TestEncodeRows:
+    def test_matches_rabitq_fit(self):
+        rng = np.random.default_rng(21)
+        data = rng.standard_normal((60, 24))
+        centroid = data.mean(axis=0)
+        quantizer = RaBitQ(RaBitQConfig(seed=4)).fit(data, centroid=centroid)
+        dataset = quantizer.dataset
+        packed, bits, popcounts, alignments, norms = encode_rows(
+            data, centroid, quantizer.rotation, dataset.code_length
+        )
+        np.testing.assert_array_equal(packed, dataset.packed_codes)
+        np.testing.assert_array_equal(popcounts, dataset.code_popcounts)
+        np.testing.assert_array_equal(alignments, dataset.alignments)
+        np.testing.assert_array_equal(norms, dataset.norms)
+        np.testing.assert_array_equal(
+            bits, bitops.unpack_bits(packed, dataset.code_length)
+        )

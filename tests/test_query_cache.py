@@ -1,0 +1,161 @@
+"""Tests for the prepared-query cache (``query_cache_size``).
+
+The cache memoizes per-``(query bytes, cluster)`` preparations with FIFO
+eviction.  Its contract:
+
+* repeated identical queries return *identical* results (the first
+  preparation is replayed; no randomness is consumed on hits);
+* the first occurrence of any query is prepared exactly as without the
+  cache, so cached and uncached searchers agree until a repeat occurs;
+* ``search_batch`` simulates the sequential cache bookkeeping — hits,
+  misses, FIFO evictions — so batch ≡ sequential holds exactly with the
+  cache enabled, duplicates and all;
+* the cache never exceeds its eviction cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import RaBitQConfig
+from repro.exceptions import InvalidParameterError
+from repro.index.searcher import IVFQuantizedSearcher
+
+
+def _build(data, cache_size, *, seed=0):
+    return IVFQuantizedSearcher(
+        "rabitq",
+        n_clusters=8,
+        rabitq_config=RaBitQConfig(seed=seed),
+        rng=seed,
+        query_cache_size=cache_size,
+    ).fit(data)
+
+
+@pytest.fixture(scope="module")
+def cache_data():
+    rng = np.random.default_rng(77)
+    return rng.standard_normal((200, 10)), rng.standard_normal((12, 10))
+
+
+def _assert_results_equal(got, want):
+    np.testing.assert_array_equal(got.ids, want.ids)
+    np.testing.assert_array_equal(got.distances, want.distances)
+    assert got.n_candidates == want.n_candidates
+    assert got.n_exact == want.n_exact
+
+
+class TestSequentialCache:
+    def test_negative_cache_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IVFQuantizedSearcher("rabitq", query_cache_size=-1)
+
+    def test_repeated_query_is_replayed_identically(self, cache_data):
+        data, queries = cache_data
+        searcher = _build(data, cache_size=64)
+        first = searcher.search(queries[0], 5, nprobe=4)
+        again = searcher.search(queries[0], 5, nprobe=4)
+        _assert_results_equal(again, first)
+        # An uncached searcher redraws the rounding offsets on the repeat,
+        # so replay identity is a property the cache adds.
+        assert len(searcher._prepared_cache) > 0
+
+    def test_repeated_query_consumes_no_randomness(self, cache_data):
+        data, queries = cache_data
+        searcher = _build(data, cache_size=64)
+        searcher.search(queries[0], 5, nprobe=4)
+        states = [
+            None if rng is None else rng.bit_generator.state["state"]
+            for rng in searcher._query_rngs
+        ]
+        searcher.search(queries[0], 5, nprobe=4)  # pure cache hits
+        for rng, before in zip(searcher._query_rngs, states):
+            if rng is not None:
+                assert rng.bit_generator.state["state"] == before
+
+    def test_first_occurrences_match_uncached_searcher(self, cache_data):
+        data, queries = cache_data
+        cached = _build(data, cache_size=64)
+        uncached = _build(data, cache_size=0)
+        for query in queries:  # all distinct -> no hits, identical streams
+            _assert_results_equal(
+                cached.search(query, 5, nprobe=4),
+                uncached.search(query, 5, nprobe=4),
+            )
+
+    def test_eviction_cap_is_respected(self, cache_data):
+        data, queries = cache_data
+        searcher = _build(data, cache_size=5)
+        for query in queries:
+            searcher.search(query, 5, nprobe=4)
+            assert len(searcher._prepared_cache) <= 5
+
+    def test_cache_survives_lifecycle_mutations(self, cache_data):
+        data, queries = cache_data
+        rng = np.random.default_rng(3)
+        searcher = _build(data, cache_size=64)
+        first = searcher.search(queries[0], 5, nprobe=4)
+        searcher.insert(rng.standard_normal((10, 10)))
+        # Preparation depends only on centroids/rotation/stream, none of
+        # which mutate, so the cached entry stays valid; results may add the
+        # new vectors but preparation is replayed (no randomness consumed).
+        states = [
+            None if g is None else g.bit_generator.state["state"]
+            for g in searcher._query_rngs
+        ]
+        searcher.search(queries[0], 5, nprobe=4)
+        for g, before in zip(searcher._query_rngs, states):
+            if g is not None:
+                assert g.bit_generator.state["state"] == before
+        assert first.ids.shape[0] == 5
+
+
+class TestBatchCacheEquivalence:
+    def test_batch_with_duplicates_equals_sequential(self, cache_data):
+        data, queries = cache_data
+        batch_queries = np.concatenate(
+            [queries[:4], queries[1:3], queries[:2]]
+        )  # heavy duplication
+        seq = _build(data, cache_size=16)
+        bat = _build(data, cache_size=16)
+        expected = [seq.search(q, 5, nprobe=4) for q in batch_queries]
+        got = bat.search_batch(batch_queries, 5, nprobe=4)
+        for a, b in zip(got, expected):
+            _assert_results_equal(a, b)
+
+    def test_batch_after_warm_cache_equals_sequential(self, cache_data):
+        data, queries = cache_data
+        seq = _build(data, cache_size=16)
+        bat = _build(data, cache_size=16)
+        for q in queries[:3]:  # warm both caches identically
+            seq.search(q, 5, nprobe=4)
+            bat.search(q, 5, nprobe=4)
+        mixed = np.concatenate([queries[2:6], queries[:2]])
+        expected = [seq.search(q, 5, nprobe=4) for q in mixed]
+        got = bat.search_batch(mixed, 5, nprobe=4)
+        for a, b in zip(got, expected):
+            _assert_results_equal(a, b)
+
+    @given(
+        seed=st.integers(0, 2**16),
+        cap=st.sampled_from([1, 2, 3, 8, 64]),
+        picks=st.lists(st.integers(0, 5), min_size=1, max_size=12),
+    )
+    @settings(deadline=None, max_examples=25)
+    def test_fifo_simulation_matches_sequential(self, seed, cap, picks):
+        # Random duplication patterns and tiny eviction caps: the batch
+        # path's global FIFO simulation must reproduce the sequential
+        # hit/miss/eviction sequence exactly.
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((120, 8))
+        pool = rng.standard_normal((6, 8))
+        batch_queries = pool[np.asarray(picks)]
+        seq = _build(data, cache_size=cap, seed=seed % 5)
+        bat = _build(data, cache_size=cap, seed=seed % 5)
+        expected = [seq.search(q, 4, nprobe=3) for q in batch_queries]
+        got = bat.search_batch(batch_queries, 4, nprobe=3)
+        for a, b in zip(got, expected):
+            _assert_results_equal(a, b)
