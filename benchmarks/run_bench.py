@@ -35,12 +35,23 @@ Measured quantities per run:
 * ``phases`` — coarse per-phase breakdown of the sequential path (probe /
   rerank / estimation+preparation) from an instrumented second pass.
 * ``kernels`` — micro-benchmarks of the packed-bit kernels at fixed sizes.
+* ``sharded`` — the ``shards×threads`` sweep of the
+  :class:`repro.index.sharded.ShardedSearcher` serving engine at a *fixed
+  global probe budget* (per-shard ``nprobe = nprobe_total / shards``): batch
+  QPS per configuration, recall, and a hard parallel ≡ serial equivalence
+  gate (the parallel engine's results are compared bit-for-bit against a
+  serial run restored from the same archived stream state; any mismatch
+  fails the run).  The ``--check`` regression gate additionally compares
+  the single-shard (shards=1, threads=1) batch QPS against the committed
+  baseline, so wrapping a searcher in the serving layer can never silently
+  regress.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -89,20 +100,23 @@ class _TimingReranker:
         return out
 
 
-def bench_ann(args) -> dict:
-    """Fig. 4-style ANN benchmark at fixed sizes; returns the results dict."""
+def _load_bench_dataset(args):
     print(
         f"[run_bench] dataset: sift-analogue n={args.n} dim=128 "
         f"n_queries={args.n_queries} (seed {args.seed})",
         flush=True,
     )
-    dataset = load_dataset(
+    return load_dataset(
         "sift",
         n_data=args.n,
         n_queries=args.n_queries,
         ground_truth_k=args.k,
         rng=args.seed,
     )
+
+
+def bench_ann(args, dataset) -> dict:
+    """Fig. 4-style ANN benchmark at fixed sizes; returns the results dict."""
     data, queries = dataset.data, dataset.queries
 
     start = time.perf_counter()
@@ -186,6 +200,122 @@ def bench_ann(args) -> dict:
         flush=True,
     )
     return results
+
+
+def bench_sharded(args, dataset) -> dict:
+    """``shards×threads`` sweep of the sharded serving engine.
+
+    The sweep partitions the *same index geometry* across shards
+    (equal-geometry sharding: per-shard clusters = the single searcher's
+    cluster count / shards, per-shard ``nprobe = nprobe_total / shards``),
+    so the total cell count, probed-cell sizes and global probe budget all
+    match the 1-shard baseline and the configurations differ only in the
+    serving topology.  This isolates the serving-layer effects: KMeans
+    construction cost drops superlinearly with per-shard cluster count
+    (``sharded_fit_speedup``), and shard fan-out scales with cores
+    (``threads`` dimension; flat on a single-CPU host).  For every shard
+    count the fitted engine is archived once; a serial (``n_threads=0``)
+    and a parallel reload then answer the full query batch from the
+    *identical* stream state, and their results are compared bit for bit —
+    the ``equivalent_to_serial`` gate.
+    """
+    import shutil
+    import tempfile
+
+    from repro.index.ivf import default_n_clusters
+    from repro.index.sharded import ShardedSearcher
+    from repro.io.persistence import (
+        load_sharded_searcher,
+        save_sharded_searcher,
+    )
+
+    data, queries = dataset.data, dataset.queries
+    k = args.k
+    n_queries = queries.shape[0]
+    sweep = []
+    shard_counts = [s for s in (1, 2, 4) if s <= args.n]
+    total_clusters = default_n_clusters(args.n)
+    for shards in shard_counts:
+        nprobe_shard = max(1, args.nprobe // shards)
+        clusters_shard = max(1, total_clusters // shards)
+        start = time.perf_counter()
+        sharded = ShardedSearcher(
+            shards,
+            n_threads=1,
+            n_clusters=clusters_shard,
+            rabitq_config=RaBitQConfig(seed=0),
+            rng=args.seed,
+        ).fit(data)
+        fit_seconds = time.perf_counter() - start
+        tmp = Path(tempfile.mkdtemp(prefix="run_bench_sharded_"))
+        try:
+            archive = tmp / "sharded_idx"
+            save_sharded_searcher(sharded, archive)
+            del sharded
+            serial = load_sharded_searcher(archive, n_threads=0)
+            parallel = load_sharded_searcher(archive, n_threads=shards)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        # Both engines resume from the archived stream state: their first
+        # batch answers must be bit-identical.
+        serial_results = serial.search_batch(queries, k, nprobe=nprobe_shard)
+        parallel_results = parallel.search_batch(queries, k, nprobe=nprobe_shard)
+        equivalent = all(
+            np.array_equal(a.ids, b.ids)
+            and np.array_equal(a.distances, b.distances)
+            for a, b in zip(serial_results, parallel_results)
+        )
+        recall = recall_at_k(
+            [r.ids for r in parallel_results], dataset.ground_truth, k
+        )
+        shared = {
+            "shards": shards,
+            "nprobe_per_shard": nprobe_shard,
+            "clusters_per_shard": clusters_shard,
+            "fit_seconds": round(fit_seconds, 3),
+            "recall_at_10": round(float(recall), 4),
+            "avg_candidates_per_query": round(
+                parallel_results.total_candidates / n_queries, 1
+            ),
+            "equivalent_to_serial": bool(equivalent),
+        }
+        thread_counts = [1] if shards == 1 else [1, shards]
+        for threads, engine in zip(thread_counts, (serial, parallel)):
+            seconds = _timeit(
+                lambda e=engine: e.search_batch(queries, k, nprobe=nprobe_shard),
+                repeat=3,
+            )
+            entry = dict(shared, threads=threads, batch_qps=round(n_queries / seconds, 1))
+            sweep.append(entry)
+            print(
+                f"[run_bench] sharded: {shards} shard(s) x {threads} "
+                f"thread(s), nprobe/shard {nprobe_shard}: "
+                f"{entry['batch_qps']} QPS, recall@{k} {recall:.4f}, "
+                f"equivalent={equivalent}",
+                flush=True,
+            )
+        serial.close()
+        parallel.close()
+    out = {"nprobe_total": args.nprobe, "sweep": sweep}
+    base = next(
+        (e for e in sweep if e["shards"] == 1 and e["threads"] == 1), None
+    )
+    four = [e for e in sweep if e["shards"] == 4]
+    if base and four:
+        out["speedup_4shard_batch"] = round(
+            max(e["batch_qps"] for e in four) / base["batch_qps"], 2
+        )
+        out["sharded_fit_speedup"] = round(
+            base["fit_seconds"] / min(e["fit_seconds"] for e in four), 2
+        )
+        print(
+            f"[run_bench] sharded: 4-shard batch speedup "
+            f"{out['speedup_4shard_batch']}x, fit speedup "
+            f"{out['sharded_fit_speedup']}x (host has {os.cpu_count()} "
+            f"CPU(s); thread fan-out is flat on 1)",
+            flush=True,
+        )
+    return out
 
 
 def bench_kernels(args) -> dict:
@@ -275,6 +405,11 @@ def main(argv=None) -> int:
         help="maximum tolerated fractional single-query QPS drop",
     )
     parser.add_argument("--skip-kernels", action="store_true")
+    parser.add_argument(
+        "--skip-sharded",
+        action="store_true",
+        help="skip the shards x threads sweep of the sharded serving engine",
+    )
     args = parser.parse_args(argv)
 
     if args.small:
@@ -297,10 +432,14 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
         },
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "results": bench_ann(args),
     }
+    dataset = _load_bench_dataset(args)
+    run["results"] = bench_ann(args, dataset)
+    if not args.skip_sharded:
+        run["results"]["sharded"] = bench_sharded(args, dataset)
     if not args.skip_kernels:
         run["kernels"] = bench_kernels(args)
 
@@ -331,6 +470,20 @@ def main(argv=None) -> int:
     out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"[run_bench] wrote {out_path}")
 
+    sharded = run["results"].get("sharded")
+    if sharded is not None:
+        broken = [
+            entry for entry in sharded["sweep"]
+            if not entry["equivalent_to_serial"]
+        ]
+        if broken:
+            print(
+                "[run_bench] FAIL: sharded parallel results diverged from "
+                f"serial at shard counts "
+                f"{sorted({e['shards'] for e in broken})}"
+            )
+            return 1
+
     if args.check:
         baseline_doc = json.loads(Path(args.check).read_text())
         baseline = baseline_doc["runs"][args.check_label]
@@ -353,6 +506,35 @@ def main(argv=None) -> int:
             print("[run_bench] FAIL: single-query QPS regressed > "
                   f"{args.max_regression:.0%}")
             return 1
+
+        def _one_shard_qps(results):
+            section = results.get("sharded")
+            if section is None:
+                return None
+            return next(
+                (
+                    entry["batch_qps"]
+                    for entry in section["sweep"]
+                    if entry["shards"] == 1 and entry["threads"] == 1
+                ),
+                None,
+            )
+
+        base_shard = _one_shard_qps(baseline["results"])
+        got_shard = _one_shard_qps(run["results"])
+        if base_shard is not None and got_shard is not None:
+            floor = (1.0 - args.max_regression) * base_shard
+            print(
+                f"[run_bench] sharded regression gate (1 shard, batch): "
+                f"{got_shard} QPS vs baseline {base_shard} QPS "
+                f"(floor {floor:.1f})"
+            )
+            if got_shard < floor:
+                print(
+                    "[run_bench] FAIL: single-shard batch QPS regressed > "
+                    f"{args.max_regression:.0%}"
+                )
+                return 1
     return 0
 
 

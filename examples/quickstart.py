@@ -32,6 +32,16 @@ queries are available together (offline evaluation, multi-user serving),
 scans each code matrix once per batch, typically several times faster while
 returning element-wise identical estimates.
 
+When to shard: past a single searcher, ``repro.index.sharded.
+ShardedSearcher`` partitions the dataset across independent shards with
+stable global ids, fans queries out on a thread pool (bit-identical to the
+serial merge) and runs the same insert/delete/compact lifecycle and
+persistence (``save_sharded_searcher``/``load_sharded_searcher``) — see
+``examples/sharded_serving.py`` and the "Sharded serving" section of
+``benchmarks/README.md``.  Every mutation also invalidates the optional
+prepared-query cache, so cached query state never crosses a change of the
+indexed set.
+
 Run with:  python examples/quickstart.py
 """
 

@@ -1,0 +1,95 @@
+"""Sharded serving: partition an index across shards and query in parallel.
+
+This example walks the serving topology added on top of the single
+``IVFQuantizedSearcher``:
+
+1. fit a ``ShardedSearcher`` — the dataset is dealt round-robin across N
+   fully independent shards (own KMeans codebook, rotation, code arena,
+   rounding streams), with *global* external ids ``0 .. n-1``;
+2. answer queries: every shard is probed (serially or on a thread pool —
+   the merged result is bit-identical either way) and the per-shard top-k
+   are merged with the stable top-k rule;
+3. run the mutable lifecycle through the same global-id map: ``insert``
+   routes new vectors to shards, ``delete`` tombstones by global id,
+   ``compact`` reclaims storage — ids never change;
+4. persist the whole topology with ``save_sharded_searcher`` (a directory:
+   manifest + one standard searcher archive per shard + the id map) and
+   restore it bit-identically with ``load_sharded_searcher``.
+
+Shard-count guidance: hold the *global* probe budget fixed by giving each
+shard ``n_clusters = total_clusters / shards`` and probing
+``nprobe_total / shards`` clusters per shard (equal geometry — same cells,
+same recall profile, construction ~shards× cheaper); size the thread pool
+to physical cores.  See ``benchmarks/README.md`` ("Sharded serving") for
+the measured ``shards×threads`` sweep.
+
+Run with:  python examples/sharded_serving.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import RaBitQConfig, load_sharded_searcher, save_sharded_searcher
+from repro.index.sharded import ShardedSearcher
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    data = rng.standard_normal((4000, 64))
+    queries = rng.standard_normal((5, 64))
+
+    # -- 1. fit: 4 shards, equal geometry (64 clusters total) ----------- #
+    sharded = ShardedSearcher(
+        4,
+        n_clusters=16,  # per shard -> 64 cells combined
+        rabitq_config=RaBitQConfig(seed=0),
+        rng=0,
+    ).fit(data)
+    print(f"fitted {sharded.n_shards} shards, {sharded.n_live} vectors")
+    for s, shard in enumerate(sharded.shards):
+        print(f"  shard {s}: {shard.n_live} vectors, "
+              f"{len(shard.ivf.buckets)} clusters")
+
+    # -- 2. query: fan out + stable top-k merge, global ids ------------- #
+    result = sharded.search(queries[0], 5, nprobe=4)  # 4 probes per shard
+    print("\ntop-5 global ids:", result.ids)
+    print("distances:       ", np.round(result.distances, 3))
+    print(f"cost: {result.n_candidates} estimated, {result.n_exact} exact")
+
+    batch = sharded.search_batch(queries, 5, nprobe=4)
+    print(f"batch of {len(batch)}: {batch.total_candidates} candidates total")
+
+    # -- 3. lifecycle through the global id map ------------------------- #
+    new_ids = sharded.insert(rng.standard_normal((50, 64)))
+    print(f"\ninserted global ids {new_ids[0]} .. {new_ids[-1]}")
+    hit = sharded.search(data[123], 1, nprobe=4)
+    assert hit.ids[0] == 123  # global ids are stable
+    sharded.delete([123, int(new_ids[0])])
+    assert 123 not in sharded.search(data[123], 10, nprobe=4).ids
+    reclaimed = sharded.compact()
+    print(f"deleted 2, compact reclaimed {reclaimed} slots; "
+          f"{sharded.n_live} live")
+
+    # -- 4. persistence: manifest + per-shard archives ------------------ #
+    with tempfile.TemporaryDirectory() as tmp:
+        archive = Path(tmp) / "sharded_index"
+        save_sharded_searcher(sharded, archive)
+        print("\narchive contents:",
+              sorted(p.name for p in archive.iterdir()))
+        restored = load_sharded_searcher(archive)  # or n_threads=0: serial
+        a = restored.search_batch(queries, 5, nprobe=4)
+        b = sharded.search_batch(queries, 5, nprobe=4)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.ids, y.ids)
+            np.testing.assert_array_equal(x.distances, y.distances)
+        print("restored topology answers bit-identically")
+        restored.close()
+    sharded.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -38,7 +38,14 @@ from repro.exceptions import (
     PersistenceError,
     ReproError,
 )
-from repro.io import load_rabitq, load_searcher, save_rabitq, save_searcher
+from repro.io import (
+    load_rabitq,
+    load_searcher,
+    load_sharded_searcher,
+    save_rabitq,
+    save_searcher,
+    save_sharded_searcher,
+)
 
 __version__ = "1.0.0"
 
@@ -55,6 +62,8 @@ __all__ = [
     "load_rabitq",
     "save_searcher",
     "load_searcher",
+    "save_sharded_searcher",
+    "load_sharded_searcher",
     "ReproError",
     "NotFittedError",
     "DimensionMismatchError",

@@ -121,6 +121,20 @@ class IVFIndex:
             raise NotFittedError("IVFIndex must be fitted before use")
         return self._assignments
 
+    def _install_centroids(self, centroids: np.ndarray) -> None:
+        """Set the centroid matrix and its squared-norm cache atomically.
+
+        Every path that installs centroids (``fit``, ``from_state``) must go
+        through this helper: the probe kernel's ``|c|^2`` cache is derived
+        state, and computing it here — eagerly, in the same step — makes a
+        stale cache unrepresentable (previously the cache was lazily filled
+        by the first probe and only *reset* on re-fit, so any future path
+        installing centroids without a reset would have served stale norms).
+        Eager computation also keeps concurrent probing read-only.
+        """
+        self._centroids = centroids
+        self._centroid_sq = np.einsum("ij,ij->i", centroids, centroids)
+
     def fit(self, data: np.ndarray) -> "IVFIndex":
         """Cluster ``data`` and build the inverted lists."""
         mat = as_float_matrix(data, "data")
@@ -136,8 +150,7 @@ class IVFIndex:
         result = kmeans_fit(
             mat, n_clusters, max_iter=self.kmeans_iters, rng=self._rng
         )
-        self._centroids = result.centroids
-        self._centroid_sq = None  # re-fit invalidates the probe-kernel cache
+        self._install_centroids(result.centroids)
         self._assignments = np.asarray(result.assignments, dtype=np.int64)
         self._buckets = self._buckets_from_assignments(
             self._assignments, n_clusters
@@ -191,7 +204,7 @@ class IVFIndex:
                 "assignments reference clusters outside the centroid matrix"
             )
         index = cls(centre.shape[0], kmeans_iters=kmeans_iters, rng=rng)
-        index._centroids = centre
+        index._install_centroids(centre)
         index._assignments = assigned
         index._dim = int(centre.shape[1])
         index._buckets = cls._buckets_from_assignments(assigned, centre.shape[0])
@@ -291,13 +304,18 @@ class IVFIndex:
         """Squared centroid distances via the norm-expansion GEMV kernel.
 
         ``|c - q|^2 = |c|^2 - 2 <c, q> + |q|^2`` with the centroid squared
-        norms cached once (centroids never change after fitting).  Roughly
-        7x faster than the broadcasted-difference reduction on the probing
-        hot path; :meth:`probe` and :meth:`probe_batch` both run exactly
-        this kernel per query, so the two paths stay bit-identical.
+        norms computed once when the centroids are installed (see
+        :meth:`_install_centroids`; centroids never change after fitting, and
+        eager computation keeps probing a pure read — safe to run from
+        several threads at once).  Roughly 7x faster than the
+        broadcasted-difference reduction on the probing hot path;
+        :meth:`probe` and :meth:`probe_batch` both run exactly this kernel
+        per query, so the two paths stay bit-identical.
         """
         centroids = self.centroids
         if self._centroid_sq is None:
+            # Defensive only: unreachable via fit/from_state, which install
+            # the cache eagerly alongside the centroids.
             self._centroid_sq = np.einsum("ij,ij->i", centroids, centroids)
         return self._centroid_sq - 2.0 * (centroids @ vec) + vec @ vec
 

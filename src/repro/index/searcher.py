@@ -57,6 +57,37 @@ up compared to an uncached searcher (results remain valid estimates, and
 batch ≡ sequential still holds exactly: the batch path simulates the
 sequential cache bookkeeping, including FIFO evictions).
 
+**Cache invalidation guarantee.**  Every mutation — :meth:`fit`,
+:meth:`insert`, :meth:`delete`, :meth:`compact` (including automatic
+compactions triggered by ``compact_threshold``) — clears the prepared-query
+cache.  Cached per-cluster query state therefore never crosses a change of
+the indexed set: at every mutation boundary a cached searcher re-prepares
+its next queries exactly as an uncached searcher with the same stream
+history would, so the two stay bit-identical as long as no query repeats
+*between* mutations.  (Previously only ``fit`` cleared the cache, so
+entries keyed by cluster id survived ``insert``/``delete``/``compact`` and
+replayed stale pre-mutation preparation state — the regression is pinned in
+``tests/test_query_cache.py``.)  A searcher reloaded via
+:func:`repro.io.persistence.load_searcher` likewise starts with a cold
+cache.
+
+**Thread safety.**  ``search`` and ``search_batch`` may be called
+concurrently from several threads on one fitted searcher: scratch buffers
+and the rotation pad are thread-local, probing reads an eagerly computed
+centroid-norm cache, and mutation methods are the only writers of index
+state (mutations must not run concurrently with queries or each other).
+Concurrent queries are additionally *bit-identical to any serial execution
+order* when query preparation is deterministic — ``randomized_rounding=
+False`` and ``query_cache_size=0`` — because preparation then neither
+consumes per-cluster rounding streams nor mutates the cache, making every
+query a pure read.  With randomized rounding (the paper's default) or the
+cache enabled, concurrent calls remain memory-safe (NumPy generators
+serialize their draws internally) but the per-cluster stream consumption
+order depends on scheduling, so results are valid estimates yet not
+reproducible run-to-run; wrap queries in an external lock — or use one
+:class:`repro.index.sharded.ShardedSearcher` worker thread per shard —
+when determinism matters.
+
 The index is *mutable* after :meth:`IVFQuantizedSearcher.fit` (the index
 lifecycle required by a serving deployment):
 
@@ -88,6 +119,7 @@ per-cluster query-rounding streams — can be serialized with
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Optional
@@ -209,6 +241,15 @@ class _PreparedClusterQuery:
     affine undo coefficients, and the query-to-centroid norm.  An instance
     with ``codes_f64 is None`` is an unfilled placeholder (the batch path's
     cache bookkeeping creates those before the vectorized preparation).
+
+    ``codes_f64`` doubles as the *publication sentinel* for concurrent
+    readers: every fill path assigns the other four fields first and
+    ``codes_f64`` last, and no fill path ever writes into an entry created
+    by a different call (unfilled foreign placeholders are replaced with a
+    fresh entry instead).  A reader that observes ``codes_f64 is not
+    None`` therefore always sees a complete, internally consistent
+    preparation, even when cache-enabled searchers are queried from
+    several threads.
     """
 
     __slots__ = ("codes_f64", "delta", "lower", "sum_codes_f", "query_norm")
@@ -313,9 +354,11 @@ class IVFQuantizedSearcher:
         self._n_dead = 0
         self._next_id = 0
         # Query-time work areas: the scratch-buffer pool (grown on demand,
-        # reused across queries) and the optional prepared-query cache.
-        self._scratch: dict[str, np.ndarray] = {}
-        self._pad_buf: np.ndarray | None = None
+        # reused across queries; one pool *per thread*, so concurrent
+        # searches never share a buffer) and the optional prepared-query
+        # cache.
+        self._tls = threading.local()
+        self._pad_len: int | None = None
         self._prepared_cache: "OrderedDict[tuple[bytes, int], _PreparedClusterQuery]" = (
             OrderedDict()
         )
@@ -405,7 +448,7 @@ class IVFQuantizedSearcher:
             self._arena = CodeArena.from_blocks(
                 n_clusters, code_length, (code_length + 63) // 64, blocks
             )
-            self._pad_buf = np.zeros((1, code_length), dtype=np.float64)
+            self._pad_len = code_length
             self._rotation_matrix = (
                 shared_rotation.as_matrix()
                 if isinstance(shared_rotation, QRRotation)
@@ -419,7 +462,7 @@ class IVFQuantizedSearcher:
         self._live = np.ones(n, dtype=bool)
         self._n_dead = 0
         self._next_id = n
-        self._scratch = {}
+        self._tls = threading.local()
         self._prepared_cache.clear()
         return self
 
@@ -536,6 +579,11 @@ class IVFQuantizedSearcher:
         for slot, ext in zip(slots.tolist(), new_ids.tolist()):
             self._id_to_slot[ext] = slot
         self._next_id = max(self._next_id, int(new_ids.max()) + 1)
+        # Mutations invalidate the prepared-query cache: a cached entry must
+        # never survive across a change of the indexed set, so that a cached
+        # searcher re-prepares exactly like an uncached one at every
+        # mutation boundary (see the module docstring).
+        self._prepared_cache.clear()
         return new_ids
 
     def delete(self, ids: np.ndarray | int) -> int:
@@ -569,6 +617,7 @@ class IVFQuantizedSearcher:
             del self._id_to_slot[ext]
             self._live[slot] = False
         self._n_dead += len(slots)
+        self._prepared_cache.clear()  # mutations invalidate cached queries
         if (
             self.compact_threshold is not None
             and self.quantizer_kind == "rabitq"
@@ -613,6 +662,7 @@ class IVFQuantizedSearcher:
         }
         reclaimed = self._n_dead
         self._n_dead = 0
+        self._prepared_cache.clear()  # mutations invalidate cached queries
         return reclaimed
 
     # ------------------------------------------------------------------ #
@@ -620,24 +670,37 @@ class IVFQuantizedSearcher:
     # ------------------------------------------------------------------ #
 
     def _scratch_get(self, name: str, size: int, dtype) -> np.ndarray:
-        """A flat scratch buffer of at least ``size`` elements (reused)."""
-        buf = self._scratch.get(name)
+        """A flat scratch buffer of at least ``size`` elements (reused).
+
+        Buffers live in thread-local storage: each thread querying the
+        searcher gets (and reuses) its own pool, so concurrent ``search`` /
+        ``search_batch`` calls never write into a shared work area.
+        """
+        store = getattr(self._tls, "scratch", None)
+        if store is None:
+            store = {}
+            self._tls.scratch = store
+        buf = store.get(name)
         if buf is None or buf.size < size:
             capacity = max(size, 2 * buf.size if buf is not None else 0)
             buf = np.empty(capacity, dtype=dtype)
-            self._scratch[name] = buf
+            store[name] = buf
         return buf
 
     def _rotate_row(self, unit: np.ndarray) -> np.ndarray:
-        """``P^-1`` applied to one zero-padded unit row (the shared pad buffer).
+        """``P^-1`` applied to one zero-padded unit row (thread-local pad).
 
         Dense rotations go straight through the cached matrix — the very
         same ``(1, L) @ (L, L)`` BLAS call ``Rotation.apply_inverse`` makes,
         minus its per-call validation; structured (Hadamard) rotations fall
-        back to ``apply_inverse``.
+        back to ``apply_inverse``.  The pad buffer is per-thread, like the
+        scratch pool.
         """
-        pad = self._pad_buf
-        assert pad is not None
+        assert self._pad_len is not None
+        pad = getattr(self._tls, "pad", None)
+        if pad is None or pad.shape[1] != self._pad_len:
+            pad = np.zeros((1, self._pad_len), dtype=np.float64)
+            self._tls.pad = pad
         pad[0, : unit.shape[0]] = unit
         matrix = self._rotation_matrix
         if matrix is not None:
@@ -681,11 +744,11 @@ class IVFQuantizedSearcher:
             rng=self._query_rngs[cid],
             with_bitplanes=False,
         )
-        entry.codes_f64 = quantized.codes.astype(np.float64)
         entry.delta = quantized.delta
         entry.lower = quantized.lower
         entry.sum_codes_f = float(quantized.sum_codes)
         entry.query_norm = query_norm
+        entry.codes_f64 = quantized.codes.astype(np.float64)  # sentinel last
         return entry
 
     def _prepare_cluster_queries(
@@ -734,7 +797,14 @@ class IVFQuantizedSearcher:
         cid: int,
         residual: np.ndarray | None = None,
     ) -> _PreparedClusterQuery:
-        """Cache-aware prepared query for ``(vec, cid)`` (sequential path)."""
+        """Cache-aware prepared query for ``(vec, cid)`` (sequential path).
+
+        Misses prepare into a *fresh* entry and publish it to the cache
+        only once complete (an existing unfilled placeholder — possible
+        only after a failed or concurrent batch call — is replaced, never
+        written into), so concurrent readers can never observe a torn
+        entry.
+        """
         if key_bytes is None:
             return self._prepare_cluster_query(
                 vec, cid, _PreparedClusterQuery(), residual
@@ -744,12 +814,13 @@ class IVFQuantizedSearcher:
         entry = cache.get(key)
         if entry is not None and entry.codes_f64 is not None:
             return entry
-        if entry is None:
-            entry = _PreparedClusterQuery()
-            cache[key] = entry
-            while len(cache) > self.query_cache_size:
-                cache.popitem(last=False)
-        return self._prepare_cluster_query(vec, cid, entry, residual)
+        fresh = self._prepare_cluster_query(
+            vec, cid, _PreparedClusterQuery(), residual
+        )
+        cache[key] = fresh
+        while len(cache) > self.query_cache_size:
+            cache.popitem(last=False)
+        return fresh
 
     def _estimate_rabitq(
         self, query: np.ndarray, cluster_ids: np.ndarray
@@ -975,11 +1046,15 @@ class IVFQuantizedSearcher:
                     entry = cache.get(key)
                     unfilled = entry is not None and entry.codes_f64 is None
                     if entry is None or (unfilled and id(entry) not in pending):
-                        if entry is None:
-                            entry = _PreparedClusterQuery()
-                            cache[key] = entry
-                            while len(cache) > self.query_cache_size:
-                                cache.popitem(last=False)
+                        # A miss, or an unfilled placeholder left by a
+                        # *different* call: schedule a fresh entry of our
+                        # own (replacing a foreign placeholder in place
+                        # keeps its FIFO position) — fill paths never
+                        # write into another call's entry objects.
+                        entry = _PreparedClusterQuery()
+                        cache[key] = entry
+                        while len(cache) > self.query_cache_size:
+                            cache.popitem(last=False)
                         pending.add(id(entry))
                         misses.setdefault(cid, []).append((qi, entry))
                     grouped.setdefault(cid, []).append((qi, j, entry))
@@ -992,11 +1067,11 @@ class IVFQuantizedSearcher:
                 )
                 codes_f = quantized.codes.astype(np.float64)
                 for row, (_, entry) in enumerate(missing):
-                    entry.codes_f64 = codes_f[row].copy()
                     entry.delta = float(quantized.delta[row])
                     entry.lower = float(quantized.lower[row])
                     entry.sum_codes_f = float(quantized.sum_codes[row])
                     entry.query_norm = float(query_norms[row])
+                    entry.codes_f64 = codes_f[row].copy()  # sentinel last
             for cid, pairs in grouped.items():
                 groups.append(
                     (

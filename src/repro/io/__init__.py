@@ -1,15 +1,20 @@
 """Index persistence: save and load fitted quantizers and searchers.
 
-Two on-disk formats, both single ``.npz`` archives with a versioned magic
-header:
+Three on-disk formats:
 
 * a bare RaBitQ quantizer (:func:`save_rabitq` / :func:`load_rabitq`) —
-  packed codes, per-vector metadata, rotation and configuration; everything
-  Algorithm 2 needs at query time, without the raw vectors;
+  a single ``.npz`` archive with packed codes, per-vector metadata,
+  rotation and configuration; everything Algorithm 2 needs at query time,
+  without the raw vectors;
 * a full IVF searcher (:func:`save_searcher` / :func:`load_searcher`) —
   additionally the IVF centroids/assignments, the raw vectors for exact
   re-ranking, the tombstone/external-id lifecycle state and the query-time
-  RNG streams, so a restarted server resumes with bit-identical results.
+  RNG streams, so a restarted server resumes with bit-identical results;
+* a sharded searcher (:func:`save_sharded_searcher` /
+  :func:`load_sharded_searcher`) — a *directory* holding a JSON manifest,
+  one standard searcher archive per shard, and the global id map, so a
+  whole serving topology restarts bit-identically (the per-shard files are
+  plain searcher archives and remain individually loadable).
 
 Unreadable archives (missing, truncated, corrupt, wrong magic or version)
 raise :class:`repro.exceptions.PersistenceError`.
@@ -18,8 +23,17 @@ raise :class:`repro.exceptions.PersistenceError`.
 from repro.io.persistence import (
     load_rabitq,
     load_searcher,
+    load_sharded_searcher,
     save_rabitq,
     save_searcher,
+    save_sharded_searcher,
 )
 
-__all__ = ["save_rabitq", "load_rabitq", "save_searcher", "load_searcher"]
+__all__ = [
+    "save_rabitq",
+    "load_rabitq",
+    "save_searcher",
+    "load_searcher",
+    "save_sharded_searcher",
+    "load_sharded_searcher",
+]

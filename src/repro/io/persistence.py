@@ -1,7 +1,8 @@
 """Save/load support for fitted RaBitQ quantizers and full IVF searchers.
 
-Two archive formats are provided, both NumPy ``.npz`` files with a versioned
-magic header:
+Three archive formats are provided.  The first two are NumPy ``.npz`` files
+with a versioned magic header; the third is a directory combining them with
+a JSON manifest:
 
 * :func:`save_rabitq` / :func:`load_rabitq` — a single fitted
   :class:`repro.core.quantizer.RaBitQ`: configuration, rotation matrix,
@@ -16,6 +17,15 @@ magic header:
   query time.  A reloaded searcher answers ``search`` / ``search_batch``
   *bit-identically* (ids, distances and cost counters) to the saved one,
   and supports further ``insert`` / ``delete`` / ``compact`` calls.
+* :func:`save_sharded_searcher` / :func:`load_sharded_searcher` — a
+  complete :class:`repro.index.sharded.ShardedSearcher` as a *directory*:
+  a ``manifest.json`` (magic, format version, shard count, assignment
+  policy, id counters), one standard searcher archive per shard
+  (``shard_NNNN.npz``, plain format-v3 files that
+  :func:`load_searcher` can also open individually — the "flattened view"
+  used by the equivalence tests), and an ``idmap.npz`` holding the
+  per-shard local→global id arrays.  A reloaded sharded searcher answers
+  queries bit-identically and supports the full mutation lifecycle.
 
 Every load error caused by the file itself — missing, truncated, corrupt,
 wrong magic, unsupported version — raises
@@ -53,12 +63,14 @@ from repro.index.rerank import (
     TopCandidateReranker,
 )
 from repro.index.searcher import IVFQuantizedSearcher
+from repro.index.sharded import ShardedSearcher
 
 PathLike = Union[str, os.PathLike]
 
-#: Magic identifiers distinguishing the two archive flavours.
+#: Magic identifiers distinguishing the archive flavours.
 MAGIC_RABITQ = "rabitq/quantizer"
 MAGIC_SEARCHER = "rabitq/searcher"
+MAGIC_SHARDED = "rabitq/sharded"
 
 #: Quantizer-archive format, bumped on incompatible changes.  Version 2
 #: added the magic header and the query-RNG state.
@@ -76,6 +88,13 @@ SEARCHER_FORMAT_VERSION = 3
 
 #: Older searcher-archive formats this build can still read.
 _SEARCHER_LEGACY_VERSIONS = (1,)
+
+#: Sharded-archive (directory) format, bumped on incompatible changes.
+SHARDED_FORMAT_VERSION = 1
+
+#: File names inside a sharded archive directory.
+_SHARDED_MANIFEST = "manifest.json"
+_SHARDED_IDMAP = "idmap.npz"
 
 #: Errors that ``np.load`` / zip decompression raise on unreadable input.
 _READ_ERRORS = (OSError, ValueError, zipfile.BadZipFile, EOFError, KeyError)
@@ -583,7 +602,7 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
             searcher._arena = CodeArena.from_blocks(
                 n_clusters, code_length, n_words, blocks
             )
-            searcher._pad_buf = np.zeros((1, code_length), dtype=np.float64)
+            searcher._pad_len = code_length
             searcher._rotation_matrix = (
                 rotation.as_matrix()
                 if isinstance(rotation, QRRotation)
@@ -609,13 +628,166 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
     return searcher
 
 
+# --------------------------------------------------------------------- #
+# Sharded searcher archives (directory: manifest + per-shard v3 files)
+# --------------------------------------------------------------------- #
+
+
+def _shard_file_name(shard: int) -> str:
+    return f"shard_{shard:04d}.npz"
+
+
+def save_sharded_searcher(sharded: ShardedSearcher, path: PathLike) -> None:
+    """Serialize a fitted :class:`ShardedSearcher` into directory ``path``.
+
+    The directory (created if needed) receives a ``manifest.json``, one
+    standard searcher archive per shard — plain format-v3 ``.npz`` files
+    that :func:`load_searcher` can open individually — and an
+    ``idmap.npz`` with the per-shard local→global id arrays.  Existing
+    files of the same names are overwritten.
+
+    Raises
+    ------
+    NotFittedError
+        If the sharded searcher has not been fitted.
+    InvalidParameterError
+        If any shard cannot be serialized (custom re-ranker, ...).
+    """
+    if not sharded.is_fitted:
+        raise NotFittedError("cannot save an unfitted ShardedSearcher")
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    shard_files = []
+    for s, shard in enumerate(sharded.shards):
+        name = _shard_file_name(s)
+        save_searcher(shard, directory / name)
+        shard_files.append(name)
+    # Re-saving into an existing archive directory must not leave shard
+    # files of a previous (larger) topology behind: the manifest-driven
+    # loader would ignore them, but the per-shard files are documented as
+    # individually loadable, so stale ones would silently serve the old
+    # index to anyone addressing shards by file name.
+    for leftover in directory.glob("shard_*.npz"):
+        if leftover.name not in shard_files:
+            leftover.unlink()
+    np.savez_compressed(
+        directory / _SHARDED_IDMAP,
+        **{f"l2g_{s}": arr for s, arr in enumerate(sharded._l2g)},
+    )
+    manifest = {
+        "magic": MAGIC_SHARDED,
+        "format_version": SHARDED_FORMAT_VERSION,
+        "n_shards": sharded.n_shards,
+        "assignment": sharded.assignment,
+        "next_gid": sharded._next_gid,
+        "rr_next": sharded._rr_next,
+        "shard_files": shard_files,
+        "idmap_file": _SHARDED_IDMAP,
+    }
+    (directory / _SHARDED_MANIFEST).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_sharded_searcher(
+    path: PathLike, *, n_threads: int | None = None
+) -> ShardedSearcher:
+    """Load a sharded searcher stored with :func:`save_sharded_searcher`.
+
+    The returned searcher is fully fitted and mutable; its ``search`` /
+    ``search_batch`` answers are element-wise identical to what the saved
+    searcher would have returned from the moment it was saved (the
+    per-shard archives restore every rounding stream bit-identically).
+    ``n_threads`` sets the fan-out pool of the loaded instance — pass ``0``
+    for the serial "flattened" execution used in equivalence testing.
+
+    Raises
+    ------
+    PersistenceError
+        If the directory, manifest, id map or any shard archive is
+        missing, corrupt, of the wrong kind, or of an unsupported version.
+    """
+    directory = Path(path)
+    manifest_path = directory / _SHARDED_MANIFEST
+    if not manifest_path.is_file():
+        raise PersistenceError(
+            f"{directory!s} is not a sharded searcher archive "
+            f"(missing {_SHARDED_MANIFEST})"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except _READ_ERRORS as exc:
+        raise PersistenceError(
+            f"cannot read sharded manifest {manifest_path!s}: corrupt or "
+            f"truncated file ({exc})"
+        ) from exc
+    if not isinstance(manifest, dict) or manifest.get("magic") != MAGIC_SHARDED:
+        raise PersistenceError(
+            f"{manifest_path!s} is not a sharded searcher manifest "
+            f"(magic {manifest.get('magic') if isinstance(manifest, dict) else None!r}, "
+            f"expected {MAGIC_SHARDED!r})"
+        )
+    if manifest.get("format_version") != SHARDED_FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported sharded archive format version "
+            f"{manifest.get('format_version')}; this build reads version "
+            f"{SHARDED_FORMAT_VERSION}"
+        )
+    try:
+        n_shards = int(manifest["n_shards"])
+        shard_files = list(manifest["shard_files"])
+        assignment = str(manifest["assignment"])
+        next_gid = int(manifest["next_gid"])
+        rr_next = int(manifest["rr_next"])
+        idmap_file = str(manifest["idmap_file"])
+        if n_shards <= 0 or len(shard_files) != n_shards:
+            raise PersistenceError(
+                f"sharded manifest lists {len(shard_files)} shard files "
+                f"for n_shards={n_shards}"
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(
+            f"sharded manifest {manifest_path!s} is malformed ({exc})"
+        ) from exc
+    shards = [load_searcher(directory / name) for name in shard_files]
+    try:
+        with np.load(directory / idmap_file) as idmap:
+            l2g = [
+                np.asarray(idmap[f"l2g_{s}"], dtype=np.int64)
+                for s in range(n_shards)
+            ]
+    except _READ_ERRORS as exc:
+        raise PersistenceError(
+            f"cannot read sharded id map {directory / idmap_file!s}: "
+            f"corrupt or truncated archive ({exc})"
+        ) from exc
+    try:
+        return ShardedSearcher._from_state(
+            shards,
+            l2g,
+            assignment=assignment,
+            next_gid=next_gid,
+            rr_next=rr_next,
+            n_threads=n_threads,
+        )
+    except InvalidParameterError as exc:
+        raise PersistenceError(
+            f"sharded archive {directory!s} is internally inconsistent "
+            f"({exc})"
+        ) from exc
+
+
 __all__ = [
     "save_rabitq",
     "load_rabitq",
     "save_searcher",
     "load_searcher",
+    "save_sharded_searcher",
+    "load_sharded_searcher",
     "FORMAT_VERSION",
     "SEARCHER_FORMAT_VERSION",
+    "SHARDED_FORMAT_VERSION",
     "MAGIC_RABITQ",
     "MAGIC_SEARCHER",
+    "MAGIC_SHARDED",
 ]

@@ -1,0 +1,186 @@
+"""Concurrency suite: concurrent queries are race-free and reproducible.
+
+Contract under test (documented in ``repro/index/searcher.py``):
+
+* ``search`` / ``search_batch`` may be called concurrently from several
+  threads on one fitted searcher — scratch buffers and the rotation pad
+  are thread-local, and probing reads an eagerly computed centroid-norm
+  cache, so concurrent queries never share a mutable work area;
+* with *deterministic query preparation* (``randomized_rounding=False``
+  and ``query_cache_size=0``) every query is a pure read, so concurrent
+  results are additionally bit-identical to serial execution in any
+  interleaving;
+* with randomized rounding (the default), one top-level
+  ``ShardedSearcher`` call is still deterministic — each shard's stream is
+  consumed by exactly one task, in batch order — which
+  ``tests/test_sharded.py`` pins; concurrent *top-level* calls then
+  interleave stream consumption and are intentionally not reproducible,
+  so this suite pins only their memory-safety (no exceptions, well-formed
+  results).
+
+Mutations (``insert`` / ``delete`` / ``compact``) are *not* read-safe and
+must be externally synchronized with queries; that is out of scope here.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.config import RaBitQConfig
+from repro.index.searcher import IVFQuantizedSearcher
+from repro.index.sharded import ShardedSearcher
+
+N_THREADS = 8
+N_ROUNDS = 6
+
+
+@pytest.fixture(scope="module")
+def concurrency_setup():
+    rng = np.random.default_rng(9)
+    data = rng.standard_normal((500, 16))
+    queries = rng.standard_normal((24, 16))
+    return data, queries
+
+
+def _deterministic_config():
+    # Deterministic rounding: query preparation consumes no randomness, so
+    # searches are pure reads and any execution order gives identical bits.
+    return RaBitQConfig(seed=0, randomized_rounding=False)
+
+
+def _run_threads(n_threads, fn, args_list):
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        futures = [pool.submit(fn, *args) for args in args_list]
+        return [future.result() for future in futures]
+
+
+def _assert_result_equal(got, want):
+    np.testing.assert_array_equal(got.ids, want.ids)
+    np.testing.assert_array_equal(got.distances, want.distances)
+    assert got.n_candidates == want.n_candidates
+    assert got.n_exact == want.n_exact
+
+
+class TestSingleSearcherConcurrency:
+    def test_concurrent_search_bit_identical_to_serial(self, concurrency_setup):
+        data, queries = concurrency_setup
+        searcher = IVFQuantizedSearcher(
+            "rabitq", n_clusters=8, rabitq_config=_deterministic_config(), rng=0
+        ).fit(data)
+        serial = [searcher.search(q, 7, nprobe=4) for q in queries]
+        # Every thread answers every query, several rounds, in shuffled
+        # per-thread orders — all results must equal the serial pass.
+        orders = [
+            np.random.default_rng(t).permutation(len(queries))
+            for t in range(N_THREADS)
+        ]
+
+        def worker(order):
+            out = {}
+            for _ in range(N_ROUNDS):
+                for qi in order:
+                    out[qi] = searcher.search(queries[qi], 7, nprobe=4)
+            return out
+
+        for result_map in _run_threads(N_THREADS, worker, [(o,) for o in orders]):
+            for qi, result in result_map.items():
+                _assert_result_equal(result, serial[qi])
+
+    def test_concurrent_mixed_search_and_batch(self, concurrency_setup):
+        data, queries = concurrency_setup
+        searcher = IVFQuantizedSearcher(
+            "rabitq", n_clusters=8, rabitq_config=_deterministic_config(), rng=0
+        ).fit(data)
+        serial = searcher.search_batch(queries, 5, nprobe=4)
+
+        def batch_worker():
+            return [searcher.search_batch(queries, 5, nprobe=4) for _ in range(N_ROUNDS)]
+
+        def single_worker():
+            return [
+                [searcher.search(q, 5, nprobe=4) for q in queries]
+                for _ in range(N_ROUNDS)
+            ]
+
+        workers = [(batch_worker,), (single_worker,)] * (N_THREADS // 2)
+        outputs = _run_threads(N_THREADS, lambda fn: fn(), workers)
+        for rounds in outputs:
+            for round_result in rounds:
+                for got, want in zip(round_result, serial):
+                    _assert_result_equal(got, want)
+
+    def test_concurrent_randomized_searcher_is_memory_safe(self, concurrency_setup):
+        # Default config: results are valid but order-dependent; the pinned
+        # property is the absence of crashes/races and well-formed output.
+        data, queries = concurrency_setup
+        searcher = IVFQuantizedSearcher(
+            "rabitq", n_clusters=8, rabitq_config=RaBitQConfig(seed=0), rng=0
+        ).fit(data)
+
+        def worker(offset):
+            out = []
+            for round_idx in range(N_ROUNDS):
+                qi = (offset + round_idx) % len(queries)
+                out.append(searcher.search(queries[qi], 5, nprobe=4))
+            return out
+
+        outputs = _run_threads(N_THREADS, worker, [(t,) for t in range(N_THREADS)])
+        live = set(searcher.live_ids.tolist())
+        for rounds in outputs:
+            for result in rounds:
+                assert result.ids.shape == (5,)
+                assert np.all(np.diff(result.distances) >= 0)
+                assert set(result.ids.tolist()) <= live
+
+
+class TestShardedConcurrency:
+    def test_concurrent_callers_bit_identical_to_serial(self, concurrency_setup):
+        data, queries = concurrency_setup
+        sharded = ShardedSearcher(
+            4,
+            n_threads=4,
+            n_clusters=5,
+            rabitq_config=_deterministic_config(),
+            rng=3,
+        ).fit(data)
+        serial = [sharded.search(q, 6, nprobe=3) for q in queries]
+        serial_batch = sharded.search_batch(queries, 6, nprobe=3)
+        for got, want in zip(serial_batch, serial):
+            _assert_result_equal(got, want)
+
+        def worker(order):
+            out = {}
+            for qi in order:
+                out[qi] = sharded.search(queries[qi], 6, nprobe=3)
+            return out
+
+        orders = [
+            np.random.default_rng(t).permutation(len(queries))
+            for t in range(N_THREADS)
+        ]
+        for result_map in _run_threads(N_THREADS, worker, [(o,) for o in orders]):
+            for qi, result in result_map.items():
+                _assert_result_equal(result, serial[qi])
+        sharded.close()
+
+    def test_concurrent_batch_callers_bit_identical(self, concurrency_setup):
+        data, queries = concurrency_setup
+        sharded = ShardedSearcher(
+            3,
+            n_threads=3,
+            n_clusters=5,
+            rabitq_config=_deterministic_config(),
+            rng=3,
+        ).fit(data)
+        want = sharded.search_batch(queries, 5, nprobe=3)
+
+        def worker():
+            return sharded.search_batch(queries, 5, nprobe=3)
+
+        for got in _run_threads(4, worker, [()] * 8):
+            for a, b in zip(got, want):
+                _assert_result_equal(a, b)
+        sharded.close()

@@ -351,3 +351,37 @@ class TestProbeCacheInvalidation:
         dists = ((index.centroids - query) ** 2).sum(axis=1)
         expected = np.argsort(dists)[:3]
         np.testing.assert_array_equal(np.sort(probed), np.sort(expected))
+
+    def test_norm_cache_installed_eagerly_with_centroids(self, flat_data):
+        # Every path that installs centroids computes the |c|^2 cache in
+        # the same step (fit and from_state), so a stale cache is
+        # unrepresentable and concurrent probing is a pure read.
+        data, _ = flat_data
+        fitted = IVFIndex(4, rng=0).fit(data)
+        np.testing.assert_array_equal(
+            fitted._centroid_sq,
+            np.einsum("ij,ij->i", fitted.centroids, fitted.centroids),
+        )
+        restored = IVFIndex.from_state(fitted.centroids, fitted.assignments)
+        np.testing.assert_array_equal(
+            restored._centroid_sq,
+            np.einsum("ij,ij->i", restored.centroids, restored.centroids),
+        )
+
+    def test_from_state_probes_match_fitted_index(self, flat_data):
+        # A from_state reconstruction must probe exactly like the index it
+        # was saved from: same centroid distances, same cluster ranking
+        # (would fail if reconstruction could pair new centroids with a
+        # surviving stale norm cache).
+        data, _ = flat_data
+        queries = np.random.default_rng(12).standard_normal((6, 16))
+        fitted = IVFIndex(6, rng=1).fit(data)
+        fitted.probe(queries[0], 2)  # populate the fitted index's cache
+        restored = IVFIndex.from_state(fitted.centroids, fitted.assignments)
+        for query in queries:
+            np.testing.assert_array_equal(
+                restored.probe(query, 4), fitted.probe(query, 4)
+            )
+        np.testing.assert_array_equal(
+            restored.probe_batch(queries, 4), fitted.probe_batch(queries, 4)
+        )

@@ -10,7 +10,13 @@ eviction.  Its contract:
 * ``search_batch`` simulates the sequential cache bookkeeping — hits,
   misses, FIFO evictions — so batch ≡ sequential holds exactly with the
   cache enabled, duplicates and all;
-* the cache never exceeds its eviction cap.
+* the cache never exceeds its eviction cap;
+* every mutation (``insert`` / ``delete`` / ``compact``) invalidates the
+  cache, so cached per-cluster query state never crosses a change of the
+  indexed set (the staleness regression of
+  ``TestMutationInvalidation``: before the fix, only ``fit`` cleared the
+  cache and entries survived slot renumbering and cluster-content
+  mutation).
 """
 
 from __future__ import annotations
@@ -93,24 +99,101 @@ class TestSequentialCache:
             searcher.search(query, 5, nprobe=4)
             assert len(searcher._prepared_cache) <= 5
 
-    def test_cache_survives_lifecycle_mutations(self, cache_data):
+    def test_repeat_between_mutations_still_replayed(self, cache_data):
+        # Invalidation happens *at* mutations, not between them: repeats
+        # with no intervening mutation keep the replay guarantee.
         data, queries = cache_data
-        rng = np.random.default_rng(3)
         searcher = _build(data, cache_size=64)
         first = searcher.search(queries[0], 5, nprobe=4)
-        searcher.insert(rng.standard_normal((10, 10)))
-        # Preparation depends only on centroids/rotation/stream, none of
-        # which mutate, so the cached entry stays valid; results may add the
-        # new vectors but preparation is replayed (no randomness consumed).
-        states = [
-            None if g is None else g.bit_generator.state["state"]
-            for g in searcher._query_rngs
-        ]
-        searcher.search(queries[0], 5, nprobe=4)
-        for g, before in zip(searcher._query_rngs, states):
-            if g is not None:
-                assert g.bit_generator.state["state"] == before
-        assert first.ids.shape[0] == 5
+        again = searcher.search(queries[0], 5, nprobe=4)
+        _assert_results_equal(again, first)
+
+
+class TestMutationInvalidation:
+    """Regression: mutations must invalidate the prepared-query cache.
+
+    Before the fix the cache was cleared only by ``fit``
+    (``IVFQuantizedSearcher._prepared_cache`` survived ``insert`` /
+    ``delete`` / ``compact``), so a repeated query served stale
+    pre-mutation preparation state: no randomness was consumed and the
+    cached searcher diverged from an uncached searcher with the identical
+    history.  Each test here fails on the pre-fix code — the cached
+    searcher's per-cluster rounding streams would *not* advance on the
+    post-mutation repeat — and passes after.
+    """
+
+    def _twins(self, data):
+        return _build(data, cache_size=64), _build(data, cache_size=0)
+
+    def _assert_equal_after(self, cached, uncached, query, mutate):
+        # Warm the cache; the uncached twin consumes the same stream draws.
+        _assert_results_equal(
+            cached.search(query, 5, nprobe=4),
+            uncached.search(query, 5, nprobe=4),
+        )
+        mutate(cached)
+        mutate(uncached)
+        assert len(cached._prepared_cache) == 0, (
+            "mutation must clear the prepared-query cache"
+        )
+        # The repeat must be re-prepared: results *and* the per-cluster
+        # stream states must match the uncached searcher exactly.
+        _assert_results_equal(
+            cached.search(query, 5, nprobe=4),
+            uncached.search(query, 5, nprobe=4),
+        )
+        for a, b in zip(cached._query_rngs, uncached._query_rngs):
+            if a is None or b is None:
+                assert a is None and b is None
+            else:
+                assert (
+                    a.bit_generator.state["state"]
+                    == b.bit_generator.state["state"]
+                )
+
+    def test_insert_invalidates_cache(self, cache_data):
+        data, queries = cache_data
+        cached, uncached = self._twins(data)
+        new = np.random.default_rng(3).standard_normal((10, 10))
+        self._assert_equal_after(
+            cached, uncached, queries[0], lambda s: s.insert(new.copy())
+        )
+
+    def test_delete_invalidates_cache(self, cache_data):
+        data, queries = cache_data
+        cached, uncached = self._twins(data)
+        self._assert_equal_after(
+            cached, uncached, queries[0], lambda s: s.delete(s.live_ids[:7])
+        )
+
+    def test_compact_invalidates_cache(self, cache_data):
+        data, queries = cache_data
+        cached, uncached = self._twins(data)
+
+        def mutate(searcher):
+            searcher.delete(searcher.live_ids[:11])
+            searcher.compact()
+
+        self._assert_equal_after(cached, uncached, queries[0], mutate)
+
+    def test_batch_equals_sequential_across_mutations(self, cache_data):
+        # The invalidation must act identically on both engines so that
+        # batch ≡ sequential keeps holding across mutation boundaries.
+        data, queries = cache_data
+        seq = _build(data, cache_size=16)
+        bat = _build(data, cache_size=16)
+        dup = np.concatenate([queries[:3], queries[:2]])
+        for s in (seq, bat):
+            s.search_batch(dup, 5, nprobe=4) if s is bat else [
+                s.search(q, 5, nprobe=4) for q in dup
+            ]
+        new = np.random.default_rng(5).standard_normal((6, 10))
+        seq.insert(new.copy())
+        bat.insert(new.copy())
+        expected = [seq.search(q, 5, nprobe=4) for q in dup]
+        got = bat.search_batch(dup, 5, nprobe=4)
+        for a, b in zip(got, expected):
+            _assert_results_equal(a, b)
 
 
 class TestBatchCacheEquivalence:

@@ -195,3 +195,134 @@ class TestExternalQuantizerSearcher:
         ).fit(data)
         result = searcher.search(queries[0], 10, nprobe=24)
         assert result.n_exact <= 50
+
+
+class TestDegenerateQueryShapes:
+    """Degenerate shapes return correctly shaped/ordered results, and the
+    batch engine stays element-wise identical to the sequential loop in
+    every case (k > n_live, fully tombstoned probed clusters, nprobe
+    beyond the cluster count, an emptied index)."""
+
+    def _twins(self, data, **kwargs):
+        build = lambda: IVFQuantizedSearcher(
+            "rabitq",
+            n_clusters=6,
+            rabitq_config=RaBitQConfig(seed=0),
+            rng=0,
+            **kwargs,
+        ).fit(data)
+        return build(), build()
+
+    def _assert_batch_equals_sequential(self, seq, bat, queries, k, nprobe):
+        expected = [seq.search(q, k, nprobe=nprobe) for q in queries]
+        got = bat.search_batch(queries, k, nprobe=nprobe)
+        assert len(got) == len(expected)
+        for a, b in zip(got, expected):
+            np.testing.assert_array_equal(a.ids, b.ids)
+            np.testing.assert_array_equal(a.distances, b.distances)
+            assert a.n_candidates == b.n_candidates
+            assert a.n_exact == b.n_exact
+        return got
+
+    def test_k_exceeds_n_live(self):
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((80, 10))
+        queries = rng.standard_normal((5, 10))
+        seq, bat = self._twins(data)
+        results = self._assert_batch_equals_sequential(
+            seq, bat, queries, k=10_000, nprobe=3
+        )
+        for result in results:
+            # Truncated to the live candidates of the probed clusters,
+            # ascending distance, no padding/sentinel entries.
+            assert 0 < result.ids.shape[0] <= 80
+            assert result.ids.shape == result.distances.shape
+            assert np.all(np.diff(result.distances) >= 0)
+
+    def test_k_exceeds_n_live_with_tombstones(self):
+        rng = np.random.default_rng(6)
+        data = rng.standard_normal((80, 10))
+        queries = rng.standard_normal((4, 10))
+        seq, bat = self._twins(data, compact_threshold=None)
+        seq.delete(seq.live_ids[::2])
+        bat.delete(bat.live_ids[::2])
+        results = self._assert_batch_equals_sequential(
+            seq, bat, queries, k=10_000, nprobe=6
+        )
+        for result in results:
+            assert result.ids.shape[0] <= seq.n_live
+
+    def test_fully_tombstoned_probed_cluster(self):
+        rng = np.random.default_rng(7)
+        data = rng.standard_normal((90, 10))
+        seq, bat = self._twins(data, compact_threshold=None)
+        # Kill every member of the cluster nearest to its own centroid,
+        # then aim queries straight at it so it is always probed.
+        cid = int(seq.ivf.assignments[0])
+        victims = seq._ids[np.flatnonzero(seq.ivf.assignments == cid)]
+        seq.delete(victims)
+        bat.delete(victims)
+        centroid = seq.ivf.centroids[cid]
+        queries = np.vstack([centroid, centroid + 0.01, rng.standard_normal(10)])
+        results = self._assert_batch_equals_sequential(
+            seq, bat, queries, k=5, nprobe=2
+        )
+        dead = set(victims.tolist())
+        for result in results:
+            assert not dead & set(result.ids.tolist())
+
+    def test_nprobe_exceeds_cluster_count(self):
+        rng = np.random.default_rng(8)
+        data = rng.standard_normal((70, 10))
+        queries = rng.standard_normal((4, 10))
+        seq, bat = self._twins(data)
+        self._assert_batch_equals_sequential(seq, bat, queries, k=5, nprobe=1000)
+
+    def test_everything_deleted_returns_empty(self):
+        rng = np.random.default_rng(9)
+        data = rng.standard_normal((60, 10))
+        queries = rng.standard_normal((3, 10))
+        seq, bat = self._twins(data, compact_threshold=None)
+        seq.delete(seq.live_ids)
+        bat.delete(bat.live_ids)
+        results = self._assert_batch_equals_sequential(
+            seq, bat, queries, k=5, nprobe=6
+        )
+        for result in results:
+            assert result.ids.shape == (0,)
+            assert result.distances.shape == (0,)
+            assert result.n_exact == 0
+
+    def test_everything_compacted_then_reinserted(self):
+        rng = np.random.default_rng(10)
+        data = rng.standard_normal((60, 10))
+        queries = rng.standard_normal((3, 10))
+        seq, bat = self._twins(data, compact_threshold=None)
+        for s in (seq, bat):
+            s.delete(s.live_ids)
+            s.compact()
+        empty = self._assert_batch_equals_sequential(
+            seq, bat, queries, k=4, nprobe=3
+        )
+        assert all(r.ids.shape == (0,) for r in empty)
+        fresh = rng.standard_normal((15, 10))
+        seq.insert(fresh.copy())
+        bat.insert(fresh.copy())
+        refilled = self._assert_batch_equals_sequential(
+            seq, bat, queries, k=4, nprobe=6
+        )
+        assert all(r.ids.shape == (4,) for r in refilled)
+
+    def test_degenerate_shapes_with_query_cache(self):
+        # The same degenerate shapes must hold with the prepared-query
+        # cache enabled (batch simulates the sequential bookkeeping).
+        rng = np.random.default_rng(11)
+        data = rng.standard_normal((80, 10))
+        base = rng.standard_normal((3, 10))
+        queries = np.vstack([base, base[:2]])  # repeats -> cache hits
+        seq, bat = self._twins(data, query_cache_size=8, compact_threshold=None)
+        seq.delete(seq.live_ids[::3])
+        bat.delete(bat.live_ids[::3])
+        self._assert_batch_equals_sequential(
+            seq, bat, queries, k=10_000, nprobe=1000
+        )
