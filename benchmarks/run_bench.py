@@ -32,6 +32,13 @@ Measured quantities per run:
 * ``recall_at_10`` — recall of the batch results against brute force (batch
   and sequential results are guaranteed element-wise identical, so one recall
   covers both).
+* ``mips`` / ``cosine`` — the similarity-metric workloads: the same data
+  served through ``metric="ip"`` / ``metric="cosine"`` searchers
+  (metric-aware probing, similarity bounds, descending-score re-ranking),
+  with recall measured against metric-specific brute-force ground truth and
+  batch/single-query QPS tracked alongside the L2 numbers.  Every record
+  carries a ``metric`` field; the ``--check`` gate also covers the MIPS
+  batch QPS.
 * ``phases`` — coarse per-phase breakdown of the sequential path (probe /
   rerank / estimation+preparation) from an instrumented second pass.
 * ``kernels`` — micro-benchmarks of the packed-bit kernels at fixed sizes.
@@ -166,6 +173,7 @@ def bench_ann(args, dataset) -> dict:
     rerank_seconds = proxy.seconds
 
     results = {
+        "metric": "l2",
         "fit_seconds": round(fit_seconds, 3),
         "n_clusters": n_clusters,
         "single_query": {
@@ -296,7 +304,7 @@ def bench_sharded(args, dataset) -> dict:
             )
         serial.close()
         parallel.close()
-    out = {"nprobe_total": args.nprobe, "sweep": sweep}
+    out = {"metric": "l2", "nprobe_total": args.nprobe, "sweep": sweep}
     base = next(
         (e for e in sweep if e["shards"] == 1 and e["threads"] == 1), None
     )
@@ -316,6 +324,72 @@ def bench_sharded(args, dataset) -> dict:
             flush=True,
         )
     return out
+
+
+def bench_similarity(args, dataset, metric: str) -> dict:
+    """MIPS / cosine workload: metric-generic searcher vs. metric ground truth.
+
+    The same vectors and queries as the L2 benchmark, served through a
+    ``metric="ip"`` / ``metric="cosine"`` searcher; recall is measured
+    against brute-force ground truth computed under the *same* metric
+    (descending-score convention, see ``repro.datasets.ground_truth``).
+    """
+    from repro.datasets.ground_truth import brute_force_ground_truth
+
+    data, queries = dataset.data, dataset.queries
+    k, nprobe = args.k, args.nprobe
+
+    gt_start = time.perf_counter()
+    ground_truth = brute_force_ground_truth(data, queries, k, metric=metric)
+    gt_seconds = time.perf_counter() - gt_start
+
+    start = time.perf_counter()
+    searcher = IVFQuantizedSearcher(
+        "rabitq", rabitq_config=RaBitQConfig(seed=0), rng=0, metric=metric
+    ).fit(data)
+    fit_seconds = time.perf_counter() - start
+
+    searcher.search_batch(queries[: min(16, len(queries))], k, nprobe=nprobe)
+    for query in queries[: min(16, len(queries))]:
+        searcher.search(query, k, nprobe=nprobe)
+
+    n_single = min(args.n_queries, args.n_single)
+    start = time.perf_counter()
+    for query in queries[:n_single]:
+        searcher.search(query, k, nprobe=nprobe)
+    single_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = searcher.search_batch(queries, k, nprobe=nprobe)
+    batch_seconds = time.perf_counter() - start
+
+    recall = recall_at_k([r.ids for r in batch], ground_truth, k)
+    results = {
+        "metric": metric,
+        "fit_seconds": round(fit_seconds, 3),
+        "ground_truth_seconds": round(gt_seconds, 3),
+        "single_query": {
+            "n_queries": n_single,
+            "seconds": round(single_seconds, 4),
+            "qps": round(n_single / single_seconds, 1),
+        },
+        "batch": {
+            "n_queries": args.n_queries,
+            "seconds": round(batch_seconds, 4),
+            "qps": round(args.n_queries / batch_seconds, 1),
+        },
+        f"recall_at_{k}": round(float(recall), 4),
+        "avg_candidates_per_query": round(
+            batch.total_candidates / len(batch), 1
+        ),
+        "avg_exact_per_query": round(batch.total_exact / len(batch), 1),
+    }
+    print(
+        f"[run_bench] {metric}: single {results['single_query']['qps']} QPS "
+        f"| batch {results['batch']['qps']} QPS | recall@{k} {recall:.4f}",
+        flush=True,
+    )
+    return results
 
 
 def bench_kernels(args) -> dict:
@@ -410,6 +484,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the shards x threads sweep of the sharded serving engine",
     )
+    parser.add_argument(
+        "--skip-similarity",
+        action="store_true",
+        help="skip the MIPS (metric='ip') and cosine workloads",
+    )
     args = parser.parse_args(argv)
 
     if args.small:
@@ -427,6 +506,7 @@ def main(argv=None) -> int:
             "nprobe": args.nprobe,
             "seed": args.seed,
             "small": bool(args.small),
+            "metric": "l2",
         },
         "env": {
             "python": platform.python_version(),
@@ -440,6 +520,9 @@ def main(argv=None) -> int:
     run["results"] = bench_ann(args, dataset)
     if not args.skip_sharded:
         run["results"]["sharded"] = bench_sharded(args, dataset)
+    if not args.skip_similarity:
+        run["results"]["mips"] = bench_similarity(args, dataset, "ip")
+        run["results"]["cosine"] = bench_similarity(args, dataset, "cosine")
     if not args.skip_kernels:
         run["kernels"] = bench_kernels(args)
 
@@ -532,6 +615,25 @@ def main(argv=None) -> int:
             if got_shard < floor:
                 print(
                     "[run_bench] FAIL: single-shard batch QPS regressed > "
+                    f"{args.max_regression:.0%}"
+                )
+                return 1
+
+        # MIPS workload gate: the metric-generic path must not silently
+        # regress either (present only when both runs measured it).
+        base_mips = baseline["results"].get("mips")
+        got_mips = run["results"].get("mips")
+        if base_mips is not None and got_mips is not None:
+            base_qps = base_mips["batch"]["qps"]
+            got_qps = got_mips["batch"]["qps"]
+            floor = (1.0 - args.max_regression) * base_qps
+            print(
+                f"[run_bench] MIPS regression gate (batch): {got_qps} QPS "
+                f"vs baseline {base_qps} QPS (floor {floor:.1f})"
+            )
+            if got_qps < floor:
+                print(
+                    "[run_bench] FAIL: MIPS batch QPS regressed > "
                     f"{args.max_regression:.0%}"
                 )
                 return 1

@@ -1,0 +1,20 @@
+"""Shared size-scaling knob for the runnable examples (not an example).
+
+Every ``examples/*.py`` script honours ``REPRO_EXAMPLES_SCALE`` so the CI
+smoke step (and anyone on a slow machine) can run the full flows at a
+fraction of the demo sizes — e.g. ``REPRO_EXAMPLES_SCALE=0.1``.  Defaults
+are unchanged at 1.  Scripts import this module from their own directory
+(``python examples/foo.py`` puts ``examples/`` on ``sys.path``); the CI
+loop skips underscore-prefixed files.
+"""
+
+from __future__ import annotations
+
+import os
+
+_SCALE = float(os.environ.get("REPRO_EXAMPLES_SCALE", "1"))
+
+
+def scaled(n: int, floor: int = 400) -> int:
+    """``n`` scaled by ``REPRO_EXAMPLES_SCALE``, never below ``floor``."""
+    return max(floor, int(n * _SCALE))

@@ -28,6 +28,7 @@ from repro.baselines import (
 from repro.datasets import available_datasets, load_dataset
 from repro.metrics import average_relative_error, max_relative_error
 from repro.substrates.linalg import pairwise_squared_distances
+from _example_scale import scaled as _scaled
 
 
 def main() -> None:
@@ -36,7 +37,7 @@ def main() -> None:
         raise SystemExit(f"unknown dataset {name!r}; choose from {available_datasets()}")
 
     print(f"Loading dataset {name!r} ...")
-    dataset = load_dataset(name, n_data=4000, n_queries=10, rng=0)
+    dataset = load_dataset(name, n_data=_scaled(4000), n_queries=10, rng=0)
     dim = dataset.dim
     queries = dataset.queries
     true = pairwise_squared_distances(queries, dataset.data)

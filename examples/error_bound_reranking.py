@@ -23,12 +23,13 @@ from repro import RaBitQ, RaBitQConfig
 from repro.datasets import brute_force_ground_truth, load_dataset
 from repro.index import ErrorBoundReranker, FlatIndex, TopCandidateReranker
 from repro.metrics import recall_at_k
+from _example_scale import scaled as _scaled
 
 
 def main() -> None:
     k = 10
     print("Loading an isotropic Gaussian dataset (tightly packed distances) ...")
-    dataset = load_dataset("gaussian", n_data=6000, n_queries=30, rng=0)
+    dataset = load_dataset("gaussian", n_data=_scaled(6000), n_queries=30, rng=0)
     ground_truth = brute_force_ground_truth(dataset.data, dataset.queries, k)
 
     quantizer = RaBitQ(RaBitQConfig(seed=0)).fit(dataset.data)

@@ -30,6 +30,7 @@ from repro.baselines import OptimizedProductQuantizer
 from repro.datasets import load_dataset
 from repro.index import IVFQuantizedSearcher, TopCandidateReranker
 from repro.metrics import average_distance_ratio, recall_at_k
+from _example_scale import scaled as _scaled
 
 
 def evaluate(name, searcher, dataset, k, nprobe):
@@ -51,7 +52,9 @@ def evaluate(name, searcher, dataset, k, nprobe):
 def main() -> None:
     k = 10
     print("Loading the SIFT-analogue dataset (synthetic, D=128) ...")
-    dataset = load_dataset("sift", n_data=8000, n_queries=50, ground_truth_k=k, rng=0)
+    dataset = load_dataset(
+        "sift", n_data=_scaled(8000), n_queries=50, ground_truth_k=k, rng=0
+    )
 
     print("\nBuilding IVF-RaBitQ (error-bound re-ranking, no tuning) ...")
     rabitq_searcher = IVFQuantizedSearcher(

@@ -18,11 +18,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro import RaBitQ, RaBitQConfig, SimilarityEstimator
+from _example_scale import scaled as _scaled
 
 
 def main() -> None:
     rng = np.random.default_rng(0)
-    n_vectors, dim = 8000, 256
+    n_vectors, dim = _scaled(8000), 256
     k = 10
 
     print(f"Generating {n_vectors} embedding-like vectors of dimension {dim} ...")

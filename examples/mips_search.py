@@ -1,0 +1,98 @@
+"""Metric-generic ANN serving: MIPS and cosine through the full stack.
+
+Where ``examples/mips_cosine_search.py`` demonstrates the *flat* similarity
+estimators of :mod:`repro.core.similarity`, this example serves the same
+workloads through the production stack: an :class:`IVFQuantizedSearcher`
+constructed with ``metric="ip"`` (maximum-inner-product search) or
+``metric="cosine"`` runs metric-aware IVF probing, fused similarity
+estimation with confidence bounds, and descending-score error-bound
+re-ranking — plus the full index lifecycle (insert / delete) and
+persistence (archive format v4 records the metric).
+
+Run with:  python examples/mips_search.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import RaBitQConfig, load_searcher, save_searcher
+from repro.datasets.ground_truth import brute_force_ground_truth
+from repro.index.searcher import IVFQuantizedSearcher
+from _example_scale import scaled as _scaled
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n_vectors, dim, k = _scaled(8000), 128, 10
+
+    print(f"Generating {n_vectors} embedding-like vectors of dimension {dim} ...")
+    # Latent factors plus a shared offset: inner products carry real signal
+    # (the recommendation/retrieval setting where MIPS matters).
+    latent = rng.standard_normal((n_vectors, 24))
+    mixing = rng.standard_normal((24, dim)) / np.sqrt(24)
+    data = latent @ mixing + 0.1 * rng.standard_normal((n_vectors, dim)) + 0.2
+    queries = (
+        rng.standard_normal((20, 24)) @ mixing
+        + 0.1 * rng.standard_normal((20, dim))
+        + 0.2
+    )
+
+    for metric in ("ip", "cosine"):
+        label = "inner product (MIPS)" if metric == "ip" else "cosine"
+        print(f"\n=== metric='{metric}' — {label} ===")
+        searcher = IVFQuantizedSearcher(
+            "rabitq",
+            n_clusters=32,
+            rabitq_config=RaBitQConfig(seed=0),
+            rng=0,
+            metric=metric,
+        ).fit(data)
+
+        # Ground truth under the *same* metric (descending-score convention).
+        ground_truth = brute_force_ground_truth(data, queries, k, metric=metric)
+        hits = 0
+        for i, query in enumerate(queries):
+            result = searcher.search(query, k, nprobe=8)
+            hits += len(set(result.ids.tolist()) & set(ground_truth[i].tolist()))
+        print(f"  recall@{k} (nprobe=8):  {hits / (len(queries) * k):.3f}")
+
+        batch = searcher.search_batch(queries, k, nprobe=8)
+        top = batch[0]
+        print(
+            f"  best match of query 0: id {top.ids[0]}, score "
+            f"{top.distances[0]:.4f} (scores are descending: "
+            f"{np.all(np.diff(top.distances) <= 0)})"
+        )
+        print(
+            f"  work per query: ~{batch.total_candidates // len(batch)} "
+            f"estimated, ~{batch.total_exact // len(batch)} exact"
+        )
+
+        # The mutable lifecycle and persistence work unchanged: the archive
+        # (format v4) records the metric, so a reloaded searcher keeps
+        # serving the same workload.
+        fresh_ids = searcher.insert(
+            rng.standard_normal((5, 24)) @ mixing + 0.2
+        )
+        searcher.delete(fresh_ids[:2])
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / f"{metric}_index.npz"
+            save_searcher(searcher, path)
+            reloaded = load_searcher(path)
+        print(
+            f"  save/load round-trip: metric={reloaded.metric!r}, "
+            f"{reloaded.n_live} live vectors"
+        )
+
+    print(
+        "\nTip: MIPS probing concentrates on large-norm regions, so IVF "
+        "needs a larger nprobe than L2/cosine for the same recall — sweep "
+        "nprobe against your recall target."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,7 @@ from repro.metrics import (
     recall_at_k,
 )
 from repro.substrates.linalg import pairwise_squared_distances
+from _example_scale import scaled as _scaled
 
 
 def estimation_errors(dataset, n_queries=10):
@@ -63,7 +64,9 @@ def estimation_errors(dataset, n_queries=10):
 def main() -> None:
     k = 10
     print("Loading the MSong-analogue dataset (heavy-tailed, variance-skewed, D=420) ...")
-    dataset = load_dataset("msong", n_data=4000, n_queries=30, ground_truth_k=k, rng=0)
+    dataset = load_dataset(
+        "msong", n_data=_scaled(4000), n_queries=30, ground_truth_k=k, rng=0
+    )
 
     print("\nDistance-estimation error (all methods use ~D-bit codes):")
     print(f"{'method':<10} {'avg rel err':>12} {'max rel err':>12}")

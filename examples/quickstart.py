@@ -42,6 +42,15 @@ persistence (``save_sharded_searcher``/``load_sharded_searcher``) — see
 prepared-query cache, so cached query state never crosses a change of the
 indexed set.
 
+Which metric: everything below serves squared-L2 (the paper's setting),
+but the same stack serves maximum-inner-product (MIPS) and cosine traffic
+— pass ``metric="ip"`` or ``metric="cosine"`` to ``IVFQuantizedSearcher``
+/ ``ShardedSearcher`` and probing, estimation bounds, re-ranking and the
+sharded merge all follow the metric (results then report similarity
+scores, descending).  See ``examples/mips_search.py`` and the "Metric
+selection" section of ``benchmarks/README.md``; archives record the
+metric (format v4), and pre-metric archives load as ``l2``.
+
 Run with:  python examples/quickstart.py
 """
 
@@ -54,11 +63,12 @@ import numpy as np
 
 from repro import RaBitQ, RaBitQConfig, load_searcher, save_searcher
 from repro.index.searcher import IVFQuantizedSearcher
+from _example_scale import scaled as _scaled
 
 
 def main() -> None:
     rng = np.random.default_rng(0)
-    n_vectors, dim = 5000, 128
+    n_vectors, dim = _scaled(5000), 128
 
     print(f"Generating {n_vectors} random vectors of dimension {dim} ...")
     data = rng.standard_normal((n_vectors, dim))

@@ -35,11 +35,12 @@ import numpy as np
 
 from repro import RaBitQConfig, load_sharded_searcher, save_sharded_searcher
 from repro.index.sharded import ShardedSearcher
+from _example_scale import scaled as _scaled
 
 
 def main() -> None:
     rng = np.random.default_rng(7)
-    data = rng.standard_normal((4000, 64))
+    data = rng.standard_normal((_scaled(4000), 64))
     queries = rng.standard_normal((5, 64))
 
     # -- 1. fit: 4 shards, equal geometry (64 clusters total) ----------- #

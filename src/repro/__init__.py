@@ -23,6 +23,7 @@ Quickstart
 
 from repro.core.config import RaBitQConfig
 from repro.core.estimator import DistanceEstimate
+from repro.core.metric import COSINE, IP, L2, METRICS, Metric, resolve_metric
 from repro.core.quantizer import (
     QuantizedDataset,
     QuantizedQuery,
@@ -58,6 +59,12 @@ __all__ = [
     "QuantizedQueryBatch",
     "SimilarityEstimator",
     "SimilarityEstimate",
+    "Metric",
+    "resolve_metric",
+    "METRICS",
+    "L2",
+    "IP",
+    "COSINE",
     "save_rabitq",
     "load_rabitq",
     "save_searcher",

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.metric import resolve_metric
 from repro.core.theory import error_bound_epsilon
 from repro.exceptions import InvalidParameterError
 
@@ -44,6 +45,16 @@ class DistanceEstimate:
     lower_bounds: np.ndarray
     upper_bounds: np.ndarray
     inner_products: np.ndarray
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Alias of :attr:`distances` for similarity metrics.
+
+        Under ``metric="ip"`` / ``metric="cosine"`` the ``distances`` field
+        carries similarity scores (larger is better) and the bounds bracket
+        those scores; this alias keeps metric-generic call sites readable.
+        """
+        return self.distances
 
     def __len__(self) -> int:
         return int(self.distances.shape[0])
@@ -264,6 +275,17 @@ CONST_HALFWIDTH = 5  #: confidence-interval half-width for the config epsilon0
 CONST_POPCOUNT = 6  #: ``popcount(x_b)`` as float64 (Eq. 20 affine term)
 N_CONSTS = 7
 
+#: Similarity metrics (``ip`` / ``cosine``) extend the matrix with the
+#: centroid-decomposition terms of :mod:`repro.core.metric`.
+CONST_DOT_C = 7  #: ``<o_r, c>`` — raw data vector dot normalization centroid
+CONST_RAW_NORM = 8  #: ``||o_r||`` — raw data-vector norm (cosine denominator)
+N_CONSTS_SIM = 9
+
+
+def n_consts_for(metric) -> int:
+    """Fused-constants rows required by ``metric`` (name or instance)."""
+    return resolve_metric(metric).n_consts
+
 
 def build_code_consts(
     alignments: np.ndarray,
@@ -271,14 +293,25 @@ def build_code_consts(
     code_popcounts: np.ndarray,
     code_length: int,
     epsilon0: float,
+    *,
+    metric="l2",
+    dot_centroid: np.ndarray | None = None,
+    raw_norms: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Fused per-code estimator constants, shape ``(N_CONSTS, n_codes)``.
+    """Fused per-code estimator constants, shape ``(n_consts, n_codes)``.
 
     Every row is computed with the exact operation the reference estimator
     applies at query time (e.g. ``norm * norm``, not ``norm ** 2``), so
     consuming these constants in :func:`fused_estimate` reproduces
     :func:`estimate_distances` bit for bit.
+
+    For ``metric="l2"`` (the default) the matrix has the historical
+    ``N_CONSTS`` rows and is bit-identical to the metric-oblivious layout.
+    Similarity metrics append the centroid-decomposition rows
+    (``CONST_DOT_C`` = ``<o_r, c>``, ``CONST_RAW_NORM`` = ``||o_r||``),
+    which must then be supplied via ``dot_centroid`` / ``raw_norms``.
     """
+    resolved = resolve_metric(metric)
     align = np.asarray(alignments, dtype=np.float64).reshape(-1)
     data_norms = np.asarray(norms, dtype=np.float64).reshape(-1)
     pops = np.asarray(code_popcounts).reshape(-1)
@@ -286,7 +319,7 @@ def build_code_consts(
         raise InvalidParameterError(
             "alignments, norms and code_popcounts must have the same length"
         )
-    consts = np.empty((N_CONSTS, align.shape[0]), dtype=np.float64)
+    consts = np.empty((resolved.n_consts, align.shape[0]), dtype=np.float64)
     consts[CONST_NORM] = data_norms
     consts[CONST_NORM_SQ] = data_norms * data_norms
     consts[CONST_TWO_NORM] = 2.0 * data_norms
@@ -296,6 +329,20 @@ def build_code_consts(
         align, code_length, epsilon0
     )
     consts[CONST_POPCOUNT] = pops.astype(np.float64)
+    if resolved.n_consts > N_CONSTS:
+        if dot_centroid is None or raw_norms is None:
+            raise InvalidParameterError(
+                f"metric {resolved.name!r} requires dot_centroid and "
+                f"raw_norms per code"
+            )
+        dot_c = np.asarray(dot_centroid, dtype=np.float64).reshape(-1)
+        raw = np.asarray(raw_norms, dtype=np.float64).reshape(-1)
+        if dot_c.shape != align.shape or raw.shape != align.shape:
+            raise InvalidParameterError(
+                "dot_centroid and raw_norms must have one entry per code"
+            )
+        consts[CONST_DOT_C] = dot_c
+        consts[CONST_RAW_NORM] = raw
     return consts
 
 
@@ -330,8 +377,12 @@ def fused_estimate(
     quantized_dot: np.ndarray,
     consts: np.ndarray,
     query_norms,
+    *,
+    metric="l2",
+    query_offset=None,
+    query_raw_norm=None,
 ) -> DistanceEstimate:
-    """Distance estimates + bounds from fused per-code constants.
+    """Metric estimates + bounds from fused per-code constants.
 
     Parameters
     ----------
@@ -340,24 +391,43 @@ def fused_estimate(
         multi-cluster candidate set) or ``(n_queries, n)`` for a batch.
     consts:
         Output of :func:`build_code_consts` for exactly those ``n`` codes
-        (columns aligned with ``quantized_dot``'s last axis).
+        (columns aligned with ``quantized_dot``'s last axis), built for the
+        same ``metric``.
     query_norms:
         ``||q_r - c||`` — a scalar, an ``(n,)`` per-candidate array (flat
         layout spanning clusters with different centroids), or an
         ``(n_queries, 1)`` column for the batch form.
+    metric:
+        ``"l2"`` (default, the historical bit-identical path), ``"ip"`` or
+        ``"cosine"``.
+    query_offset:
+        Similarity metrics only: ``<q_r, c> - ||c||^2`` per probed cluster
+        — a scalar, an ``(n,)`` per-candidate array or an
+        ``(n_queries, 1)`` column, broadcast like ``query_norms``.
+    query_raw_norm:
+        Cosine only: the raw query norm ``||q_r||`` (scalar or
+        ``(n_queries, 1)`` column).
 
     Returns
     -------
     DistanceEstimate
-        Bit-identical to :func:`estimate_distances` (respectively
-        :func:`estimate_distances_batch`) on the same inputs: every step is
-        the same elementwise arithmetic, with the query-independent factors
-        read from ``consts`` instead of recomputed.
+        For L2: bit-identical to :func:`estimate_distances` (respectively
+        :func:`estimate_distances_batch`) on the same inputs — every step
+        is the same elementwise arithmetic, with the query-independent
+        factors read from ``consts`` instead of recomputed.  For ``ip`` /
+        ``cosine`` the ``distances`` field carries similarity *scores*
+        (larger is better) derived through the centroid decomposition of
+        :mod:`repro.core.metric`, with ``lower_bounds`` / ``upper_bounds``
+        bracketing them; cosine scores and bounds are clipped to
+        ``[-1, 1]`` and degenerate (zero-norm) pairs score 0, matching
+        :class:`repro.core.similarity.SimilarityEstimator`.
     """
+    resolved = resolve_metric(metric)
     dots = np.asarray(quantized_dot, dtype=np.float64)
-    if consts.ndim != 2 or consts.shape[0] != N_CONSTS:
+    if consts.ndim != 2 or consts.shape[0] != resolved.n_consts:
         raise InvalidParameterError(
-            f"consts must have shape ({N_CONSTS}, n_codes)"
+            f"consts must have shape ({resolved.n_consts}, n_codes) for "
+            f"metric {resolved.name!r}"
         )
     if dots.shape[-1] != consts.shape[1]:
         raise InvalidParameterError(
@@ -366,20 +436,55 @@ def fused_estimate(
     align = consts[CONST_ALIGN]
     ips = np.where(align != 0.0, dots / consts[CONST_SAFE_ALIGN], 0.0)
     halfwidth = consts[CONST_HALFWIDTH]
-    dn_sq = consts[CONST_NORM_SQ]
-    two_dn = consts[CONST_TWO_NORM]
     qn = query_norms
-    qn_sq = qn * qn
-    distances = dn_sq + qn_sq - two_dn * qn * ips
     ip_upper = np.minimum(ips + halfwidth, np.maximum(1.0, ips))
     ip_lower = np.maximum(ips - halfwidth, np.minimum(-1.0, ips))
-    lower_bounds = dn_sq + qn_sq - two_dn * qn * ip_upper
-    upper_bounds = dn_sq + qn_sq - two_dn * qn * ip_lower
-    np.maximum(distances, 0.0, out=distances)
-    np.maximum(lower_bounds, 0.0, out=lower_bounds)
-    np.maximum(upper_bounds, 0.0, out=upper_bounds)
+
+    if resolved.name == "l2":
+        dn_sq = consts[CONST_NORM_SQ]
+        two_dn = consts[CONST_TWO_NORM]
+        qn_sq = qn * qn
+        distances = dn_sq + qn_sq - two_dn * qn * ips
+        lower_bounds = dn_sq + qn_sq - two_dn * qn * ip_upper
+        upper_bounds = dn_sq + qn_sq - two_dn * qn * ip_lower
+        np.maximum(distances, 0.0, out=distances)
+        np.maximum(lower_bounds, 0.0, out=lower_bounds)
+        np.maximum(upper_bounds, 0.0, out=upper_bounds)
+        return DistanceEstimate(
+            distances=distances,
+            lower_bounds=lower_bounds,
+            upper_bounds=upper_bounds,
+            inner_products=ips,
+        )
+
+    if query_offset is None:
+        raise InvalidParameterError(
+            f"metric {resolved.name!r} requires query_offset "
+            f"(<q_r, c> - ||c||^2 per probed cluster)"
+        )
+    # Raw inner product via the centroid decomposition: the larger unit
+    # inner product gives the larger raw inner product (scale >= 0).
+    scale = consts[CONST_NORM] * qn
+    offset = consts[CONST_DOT_C] + query_offset
+    values = scale * ips + offset
+    lower_bounds = scale * ip_lower + offset
+    upper_bounds = scale * ip_upper + offset
+    if resolved.name == "cosine":
+        if query_raw_norm is None:
+            raise InvalidParameterError(
+                "metric 'cosine' requires query_raw_norm (the raw ||q_r||)"
+            )
+        denom = consts[CONST_RAW_NORM] * query_raw_norm
+        positive = denom > 0.0
+        safe = np.where(positive, denom, 1.0)
+        values = np.where(positive, values / safe, 0.0)
+        lower_bounds = np.where(positive, lower_bounds / safe, 0.0)
+        upper_bounds = np.where(positive, upper_bounds / safe, 0.0)
+        np.clip(values, -1.0, 1.0, out=values)
+        np.clip(lower_bounds, -1.0, 1.0, out=lower_bounds)
+        np.clip(upper_bounds, -1.0, 1.0, out=upper_bounds)
     return DistanceEstimate(
-        distances=distances,
+        distances=values,
         lower_bounds=lower_bounds,
         upper_bounds=upper_bounds,
         inner_products=ips,
@@ -422,6 +527,10 @@ __all__ = [
     "CONST_HALFWIDTH",
     "CONST_POPCOUNT",
     "N_CONSTS",
+    "CONST_DOT_C",
+    "CONST_RAW_NORM",
+    "N_CONSTS_SIM",
+    "n_consts_for",
     "build_code_consts",
     "undo_query_quantization",
     "fused_estimate",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.estimator import confidence_interval_halfwidth
+from repro.core.metric import raw_inner_product_from_unit
 from repro.core.quantizer import QuantizedQuery, RaBitQ
 from repro.exceptions import InvalidParameterError, NotFittedError
 
@@ -157,10 +158,17 @@ class SimilarityEstimator:
                 "prepared QuantizedQuery (the centroid term depends on it)"
             )
         query_dot_centroid = float(query_vec @ self._centroid)
-        scale = dataset.norms * prepared.query_norm
-        offset = data_dot_centroid + query_dot_centroid - self._centroid_sq_norm
-        values = scale * ips + offset
-        spread = scale * halfwidth
+        # The same centroid decomposition the metric-generic serving stack
+        # uses (see repro.core.metric / repro.core.estimator.fused_estimate).
+        values = raw_inner_product_from_unit(
+            ips,
+            dataset.norms,
+            prepared.query_norm,
+            data_dot_centroid,
+            query_dot_centroid,
+            self._centroid_sq_norm,
+        )
+        spread = dataset.norms * prepared.query_norm * halfwidth
         return SimilarityEstimate(
             values=values,
             lower_bounds=values - spread,

@@ -1,17 +1,31 @@
-"""Exact nearest-neighbour ground truth by brute force.
+"""Exact nearest-neighbour ground truth by brute force, for every metric.
 
 The recall and average-distance-ratio metrics of the paper's ANN experiments
 are computed against exact ``K``-nearest-neighbour results.  This module
 computes those by (blocked) brute force so that memory stays bounded even for
 larger synthetic datasets.
+
+**Ground-truth conventions per metric** (see :mod:`repro.core.metric`): for
+``metric="l2"`` the ``k`` ids with the *smallest* squared Euclidean
+distance are returned in ascending-distance order; for ``metric="ip"`` /
+``metric="cosine"`` the ``k`` ids with the *largest* inner product /
+cosine similarity are returned in descending-score order (zero-norm pairs
+score a cosine of 0).  Ties always break toward the lower id.  The optional
+second return value carries the matching metric values — squared distances
+or similarity scores.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.metric import resolve_metric
 from repro.exceptions import InvalidParameterError
-from repro.substrates.linalg import as_float_matrix, pairwise_squared_distances
+from repro.substrates.linalg import (
+    as_float_matrix,
+    pairwise_squared_distances,
+    stable_topk_indices,
+)
 
 
 def brute_force_ground_truth(
@@ -19,10 +33,11 @@ def brute_force_ground_truth(
     queries: np.ndarray,
     k: int,
     *,
+    metric="l2",
     block_size: int = 256,
     return_distances: bool = False,
 ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
-    """Exact ``k`` nearest neighbours of each query, by brute force.
+    """Exact ``k`` best neighbours of each query under ``metric``.
 
     Parameters
     ----------
@@ -32,17 +47,22 @@ def brute_force_ground_truth(
         Query vectors, shape ``(n_queries, dim)``.
     k:
         Number of neighbours to return (clipped to ``n_data``).
+    metric:
+        ``"l2"`` (default), ``"ip"`` or ``"cosine"`` — see the module
+        docstring for the per-metric ordering conventions.
     block_size:
-        Number of queries processed per distance-matrix block.
+        Number of queries processed per score-matrix block.
     return_distances:
-        Also return the squared distances of the reported neighbours.
+        Also return the metric values (squared distances or similarity
+        scores) of the reported neighbours.
 
     Returns
     -------
     numpy.ndarray or (numpy.ndarray, numpy.ndarray)
-        Neighbour ids of shape ``(n_queries, k)`` sorted by ascending
-        distance, optionally followed by the matching squared distances.
+        Neighbour ids of shape ``(n_queries, k)`` best-first, optionally
+        followed by the matching metric values.
     """
+    resolved = resolve_metric(metric)
     data_mat = as_float_matrix(data, "data")
     query_mat = as_float_matrix(queries, "queries")
     if k <= 0:
@@ -53,20 +73,37 @@ def brute_force_ground_truth(
 
     n_queries = query_mat.shape[0]
     neighbour_ids = np.empty((n_queries, k), dtype=np.int64)
-    neighbour_dists = np.empty((n_queries, k), dtype=np.float64)
+    neighbour_vals = np.empty((n_queries, k), dtype=np.float64)
+
+    if resolved.name == "cosine":
+        data_norms = np.sqrt(np.einsum("ij,ij->i", data_mat, data_mat))
 
     for start in range(0, n_queries, block_size):
         stop = min(start + block_size, n_queries)
-        dists = pairwise_squared_distances(query_mat[start:stop], data_mat)
-        # argpartition then sort gives the k smallest in ascending order.
-        part = np.argpartition(dists, kth=k - 1, axis=1)[:, :k]
-        part_dists = np.take_along_axis(dists, part, axis=1)
-        order = np.argsort(part_dists, axis=1, kind="stable")
-        neighbour_ids[start:stop] = np.take_along_axis(part, order, axis=1)
-        neighbour_dists[start:stop] = np.take_along_axis(part_dists, order, axis=1)
+        if resolved.name == "l2":
+            vals = pairwise_squared_distances(query_mat[start:stop], data_mat)
+            keys = vals
+        else:
+            block = query_mat[start:stop]
+            vals = block @ data_mat.T
+            if resolved.name == "cosine":
+                query_norms = np.sqrt(np.einsum("ij,ij->i", block, block))
+                denom = query_norms[:, None] * data_norms[None, :]
+                positive = denom > 0.0
+                vals = np.where(positive, vals / np.where(positive, denom, 1.0), 0.0)
+            keys = -vals
+        # Per-row stable top-k: exactly np.argsort(keys, kind="stable")[:k],
+        # so boundary ties genuinely resolve toward the lower id (a plain
+        # argpartition would leak its arbitrary tie order into the result
+        # on data with duplicate vectors).  Negated keys preserve the rule
+        # for descending scores.
+        for row in range(stop - start):
+            ids = stable_topk_indices(keys[row], k)
+            neighbour_ids[start + row] = ids
+            neighbour_vals[start + row] = vals[row][ids]
 
     if return_distances:
-        return neighbour_ids, neighbour_dists
+        return neighbour_ids, neighbour_vals
     return neighbour_ids
 
 

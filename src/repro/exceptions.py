@@ -20,8 +20,13 @@ class DimensionMismatchError(ReproError):
     """Raised when an input array has an unexpected dimensionality."""
 
 
-class InvalidParameterError(ReproError):
-    """Raised when a constructor or method receives an invalid parameter."""
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when a constructor or method receives an invalid parameter.
+
+    Also derives from :class:`ValueError` so callers that predate the
+    library-wide error surface (``except ValueError``) keep working; new
+    code should catch :class:`ReproError` or this class directly.
+    """
 
 
 class EmptyDatasetError(ReproError):

@@ -53,6 +53,12 @@ class CodeArena:
         Code length in bits (the ``bits`` matrix has this many columns).
     n_words:
         Words per packed code (``ceil(code_length / 64)``).
+    n_consts:
+        Rows of the fused estimator-constants matrix — ``N_CONSTS`` for
+        squared-L2 serving (the default) or
+        :data:`repro.core.estimator.N_CONSTS_SIM` when the searcher serves
+        a similarity metric (the extra rows carry the
+        centroid-decomposition terms).
     """
 
     __slots__ = (
@@ -65,16 +71,28 @@ class CodeArena:
         "caps",
         "code_length",
         "n_words",
+        "n_consts",
     )
 
-    def __init__(self, n_clusters: int, code_length: int, n_words: int) -> None:
+    def __init__(
+        self,
+        n_clusters: int,
+        code_length: int,
+        n_words: int,
+        n_consts: int = N_CONSTS,
+    ) -> None:
         if n_clusters <= 0:
             raise InvalidParameterError("n_clusters must be positive")
+        if n_consts < N_CONSTS:
+            raise InvalidParameterError(
+                f"n_consts must be at least {N_CONSTS}"
+            )
         self.code_length = int(code_length)
         self.n_words = int(n_words)
+        self.n_consts = int(n_consts)
         self.codes = np.empty((0, self.n_words), dtype=np.uint64)
         self.bits = np.empty((0, self.code_length), dtype=np.uint8)
-        self.consts = np.empty((N_CONSTS, 0), dtype=np.float64)
+        self.consts = np.empty((self.n_consts, 0), dtype=np.float64)
         self.slots = np.empty(0, dtype=np.int64)
         self.starts = np.zeros(n_clusters, dtype=np.int64)
         self.sizes = np.zeros(n_clusters, dtype=np.int64)
@@ -139,13 +157,14 @@ class CodeArena:
         code_length: int,
         n_words: int,
         blocks: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+        n_consts: int = N_CONSTS,
     ) -> "CodeArena":
         """Build an arena from per-cluster ``(codes, bits, consts, slots)``.
 
         Used at fit and load time; regions are laid out tightly (no slack —
         slack appears on the first overflowing append).
         """
-        arena = cls(n_clusters, code_length, n_words)
+        arena = cls(n_clusters, code_length, n_words, n_consts)
         sizes = np.zeros(n_clusters, dtype=np.int64)
         for cid, (codes, _, _, _) in blocks.items():
             sizes[cid] = codes.shape[0]
@@ -160,7 +179,7 @@ class CodeArena:
         total = int(caps.sum())
         self.codes = np.zeros((total, self.n_words), dtype=np.uint64)
         self.bits = np.zeros((total, self.code_length), dtype=np.uint8)
-        self.consts = np.zeros((N_CONSTS, total), dtype=np.float64)
+        self.consts = np.zeros((self.n_consts, total), dtype=np.float64)
         self.slots = np.full(total, -1, dtype=np.int64)
         self.caps = caps.astype(np.int64, copy=True)
         self.starts = np.concatenate(

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.metric import L2, resolve_metric
 from repro.exceptions import (
     DimensionMismatchError,
     EmptyDatasetError,
@@ -120,6 +121,13 @@ class IVFIndex:
         if self._assignments is None:
             raise NotFittedError("IVFIndex must be fitted before use")
         return self._assignments
+
+    @property
+    def centroid_sq_norms(self) -> np.ndarray:
+        """``||c||^2`` per centroid (eagerly cached, see ``_install_centroids``)."""
+        if self._centroid_sq is None:
+            raise NotFittedError("IVFIndex must be fitted before use")
+        return self._centroid_sq
 
     def _install_centroids(self, centroids: np.ndarray) -> None:
         """Set the centroid matrix and its squared-norm cache atomically.
@@ -319,25 +327,48 @@ class IVFIndex:
             self._centroid_sq = np.einsum("ij,ij->i", centroids, centroids)
         return self._centroid_sq - 2.0 * (centroids @ vec) + vec @ vec
 
-    def probe(self, query: np.ndarray, nprobe: int) -> np.ndarray:
-        """Ids of the ``nprobe`` clusters whose centroids are closest to ``query``."""
-        if nprobe <= 0:
-            raise InvalidParameterError("nprobe must be positive")
-        vec = self._check_query(query)
-        dists = self._probe_distances(vec)
-        nprobe = min(nprobe, dists.shape[0])
-        return topk_indices(dists, nprobe).astype(np.int64)
+    def _probe_keys(self, vec: np.ndarray, metric) -> np.ndarray:
+        """Per-centroid minimization key ranking clusters for probing.
 
-    def probe_batch(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
-        """Probed cluster ids for every row of ``queries`` at once.
+        For ``metric="l2"`` this is exactly :meth:`_probe_distances` (the
+        historical norm-expansion GEMV kernel); similarity metrics rank by
+        the metric itself — negated centroid inner products (MIPS) or
+        negated centroid cosines — so probing follows the served metric
+        instead of only expanded L2 norms.
+        """
+        if metric is L2 or metric.name == "l2":
+            return self._probe_distances(vec)
+        return metric.probe_key(self.centroids, self.centroid_sq_norms, vec)
 
-        Returns an ``(n_queries, min(nprobe, n_clusters))`` matrix whose row
-        ``i`` equals ``probe(queries[i], nprobe)`` exactly: every row runs
-        the identical GEMV distance kernel and the identical
-        argpartition/argsort selection as the per-query path.
+    def probe(self, query: np.ndarray, nprobe: int, *, metric="l2") -> np.ndarray:
+        """Ids of the ``nprobe`` clusters ranked best by ``metric``.
+
+        The default ``metric="l2"`` probes the centroids closest to the
+        query (the historical behaviour, bit-identical); ``"ip"`` /
+        ``"cosine"`` probe the centroids with the largest inner product /
+        cosine similarity.
         """
         if nprobe <= 0:
             raise InvalidParameterError("nprobe must be positive")
+        resolved = resolve_metric(metric)
+        vec = self._check_query(query)
+        keys = self._probe_keys(vec, resolved)
+        nprobe = min(nprobe, keys.shape[0])
+        return topk_indices(keys, nprobe).astype(np.int64)
+
+    def probe_batch(
+        self, queries: np.ndarray, nprobe: int, *, metric="l2"
+    ) -> np.ndarray:
+        """Probed cluster ids for every row of ``queries`` at once.
+
+        Returns an ``(n_queries, min(nprobe, n_clusters))`` matrix whose row
+        ``i`` equals ``probe(queries[i], nprobe, metric=metric)`` exactly:
+        every row runs the identical per-query ranking kernel and the
+        identical argpartition/argsort selection as the per-query path.
+        """
+        if nprobe <= 0:
+            raise InvalidParameterError("nprobe must be positive")
+        resolved = resolve_metric(metric)
         mat = as_float_matrix(queries, "queries")
         if self._dim is None:
             raise NotFittedError("IVFIndex must be fitted before use")
@@ -349,7 +380,7 @@ class IVFIndex:
         nprobe = min(nprobe, centroids.shape[0])
         out = np.empty((mat.shape[0], nprobe), dtype=np.int64)
         for i in range(mat.shape[0]):
-            out[i] = topk_indices(self._probe_distances(mat[i]), nprobe)
+            out[i] = topk_indices(self._probe_keys(mat[i], resolved), nprobe)
         return out
 
     def candidates(self, query: np.ndarray, nprobe: int) -> np.ndarray:

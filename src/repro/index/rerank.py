@@ -1,19 +1,32 @@
-"""Re-ranking strategies (Section 4 of the paper).
+"""Re-ranking strategies (Section 4 of the paper), metric-generic.
 
-After estimated distances have been computed for the candidates of the
-probed IVF clusters, a re-ranking step decides which candidates get their
-*exact* distance computed.  The paper contrasts two strategies:
+After estimated distances (or similarity scores) have been computed for the
+candidates of the probed IVF clusters, a re-ranking step decides which
+candidates get their *exact* metric value computed.  The paper contrasts
+two strategies:
 
 * :class:`TopCandidateReranker` — the conventional PQ-style rule: re-rank a
-  fixed number of candidates with the smallest estimated distances.  The
-  count is a dataset-dependent hyper-parameter that is hard to tune.
-* :class:`ErrorBoundReranker` — RaBitQ's rule: maintain the exact distance of
-  the best candidate found so far and compute the exact distance of a new
-  candidate only if the *lower bound* of its estimated distance does not
-  already exceed that threshold.  No tuning is required because the bound
-  holds with (very) high probability by Theorem 3.2.
+  fixed number of candidates with the best estimates.  The count is a
+  dataset-dependent hyper-parameter that is hard to tune.
+* :class:`ErrorBoundReranker` — RaBitQ's rule: maintain the exact value of
+  the best candidate found so far and compute the exact value of a new
+  candidate only if the *optimistic* end of its confidence interval (lower
+  bound for distances, upper bound for similarities) does not already lose
+  to that threshold.  No tuning is required because the bound holds with
+  (very) high probability by Theorem 3.2.
 * :class:`NoReranker` — returns the candidates ranked purely by estimated
-  distance (the "w/o re-ranking" ablation of Appendix F.3).
+  value (the "w/o re-ranking" ablation of Appendix F.3).
+
+Every strategy accepts a ``metric`` (see :mod:`repro.core.metric`):
+``"l2"`` (the default) minimizes squared distances through the exact
+historical code path — bit-identical to the metric-oblivious
+implementation — while ``"ip"`` / ``"cosine"`` maximize similarity scores.
+Direction-generic selection reuses the minimization machinery on negated
+keys (IEEE negation is exact and double negation restores the original bit
+pattern), so the suffix-minimum early exit becomes a suffix-*extremum*:
+the scan stops as soon as no unvisited candidate's optimistic bound can
+beat the current ``k``-th best exact value, whichever direction "beat"
+points.
 
 Candidate selection avoids full ``O(n log n)`` stable sorts on the hot path:
 :func:`repro.substrates.linalg.stable_topk_indices` narrows the selection
@@ -28,10 +41,12 @@ looping :meth:`Reranker.rerank`).
 from __future__ import annotations
 
 import abc
+from typing import Callable
 
 import numpy as np
 
 from repro.core.estimator import DistanceEstimate
+from repro.core.metric import Metric, resolve_metric
 from repro.exceptions import InvalidParameterError
 from repro.index.flat import FlatIndex
 from repro.substrates.linalg import stable_topk_indices
@@ -48,13 +63,17 @@ class Reranker(abc.ABC):
         estimate: DistanceEstimate,
         flat_index: FlatIndex,
         k: int,
+        *,
+        metric: str | Metric = "l2",
     ) -> tuple[np.ndarray, np.ndarray, int]:
-        """Return ``(ids, distances, n_exact_computations)`` of the final top-k.
+        """Return ``(ids, values, n_exact_computations)`` of the final top-k.
 
-        ``distances`` are exact squared distances for strategies that compute
-        them and estimated distances for :class:`NoReranker`.
-        ``n_exact_computations`` counts raw-vector distance evaluations and is
-        the cost measure the paper's QPS differences ultimately track.
+        ``values`` are exact metric values (squared distances ascending for
+        ``metric="l2"``, similarity scores descending for ``"ip"`` /
+        ``"cosine"``) for strategies that compute them and estimated values
+        for :class:`NoReranker`.  ``n_exact_computations`` counts raw-vector
+        metric evaluations and is the cost measure the paper's QPS
+        differences ultimately track.
         """
 
     def rerank_batch(
@@ -64,6 +83,8 @@ class Reranker(abc.ABC):
         estimates: list[DistanceEstimate] | tuple[DistanceEstimate, ...],
         flat_index: FlatIndex,
         k: int,
+        *,
+        metric: str | Metric = "l2",
     ) -> list[tuple[np.ndarray, np.ndarray, int]]:
         """Re-rank one candidate list + estimate per query row.
 
@@ -80,13 +101,20 @@ class Reranker(abc.ABC):
                 "need exactly one DistanceEstimate per candidate list"
             )
         return [
-            self.rerank(queries_mat[i], candidate_ids[i], estimates[i], flat_index, k)
+            self.rerank(
+                queries_mat[i],
+                candidate_ids[i],
+                estimates[i],
+                flat_index,
+                k,
+                metric=metric,
+            )
             for i in range(queries_mat.shape[0])
         ]
 
 
 class NoReranker(Reranker):
-    """Rank candidates purely by their estimated distances (no exact step)."""
+    """Rank candidates purely by their estimated values (no exact step)."""
 
     def rerank(
         self,
@@ -95,15 +123,18 @@ class NoReranker(Reranker):
         estimate: DistanceEstimate,
         flat_index: FlatIndex,
         k: int,
+        *,
+        metric: str | Metric = "l2",
     ) -> tuple[np.ndarray, np.ndarray, int]:
         if k <= 0:
             raise InvalidParameterError("k must be positive")
+        resolved = resolve_metric(metric)
         ids = np.asarray(candidate_ids, dtype=np.int64)
         est = estimate.distances
         k = min(k, ids.shape[0])
         if k == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), 0
-        order = stable_topk_indices(est, k)
+        order = stable_topk_indices(resolved.sort_key(est), k)
         return ids[order], est[order], 0
 
 
@@ -113,7 +144,7 @@ class TopCandidateReranker(Reranker):
     Parameters
     ----------
     n_candidates:
-        How many candidates (per query) get exact distance computations;
+        How many candidates (per query) get exact metric computations;
         the paper sweeps 500 / 1000 / 2500 for IVF-OPQ.
     """
 
@@ -129,37 +160,53 @@ class TopCandidateReranker(Reranker):
         estimate: DistanceEstimate,
         flat_index: FlatIndex,
         k: int,
+        *,
+        metric: str | Metric = "l2",
     ) -> tuple[np.ndarray, np.ndarray, int]:
         if k <= 0:
             raise InvalidParameterError("k must be positive")
+        resolved = resolve_metric(metric)
         ids = np.asarray(candidate_ids, dtype=np.int64)
         if ids.shape[0] == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), 0
         keep = min(self.n_candidates, ids.shape[0])
-        order = stable_topk_indices(estimate.distances, keep)
+        order = stable_topk_indices(resolved.sort_key(estimate.distances), keep)
         shortlist = ids[order]
-        final_ids, final_dists = flat_index.rerank(query, shortlist, k)
-        return final_ids, final_dists, int(shortlist.shape[0])
+        if not resolved.higher_is_better:
+            final_ids, final_dists = flat_index.rerank(query, shortlist, k)
+            return final_ids, final_dists, int(shortlist.shape[0])
+        vec = np.asarray(query, dtype=np.float64).reshape(-1)
+        scores = resolved.exact_scores(
+            flat_index.data[np.asarray(shortlist, dtype=np.intp)], vec
+        )
+        sel = stable_topk_indices(-scores, min(k, shortlist.shape[0]))
+        return shortlist[sel], scores[sel], int(shortlist.shape[0])
 
 
 class ErrorBoundReranker(Reranker):
     """RaBitQ's tuning-free re-ranking rule based on the error bound.
 
-    Candidates are visited in order of increasing estimated distance.  A
-    max-heap of the ``k`` best exact distances found so far is maintained;
-    a candidate's exact distance is computed only when the lower bound of its
-    estimated distance is below the current ``k``-th best exact distance.
-    Because candidates are visited in estimated order and the bound holds with
-    high probability, the true nearest neighbours are sent to re-ranking with
-    high probability while far-away candidates are skipped cheaply.
+    Candidates are visited in order of best estimated value.  The ``k``
+    best exact values found so far are maintained; a candidate's exact
+    value is computed only when the optimistic end of its confidence
+    interval could still beat the current ``k``-th best.  Because
+    candidates are visited in estimated order and the bound holds with
+    high probability, the true best neighbours are sent to re-ranking with
+    high probability while hopeless candidates are skipped cheaply.
 
-    The estimated-distance ordering is materialized lazily: only a doubling
+    The estimated-value ordering is materialized lazily: only a doubling
     prefix of the stable order is computed (via argpartition-based partial
-    selection), and the scan stops early once no unvisited candidate's lower
-    bound can beat the current ``k``-th best exact distance — the threshold
-    only ever decreases, so none of the remaining candidates could ever be
-    selected.  Both changes are output-preserving: ids, distances and the
-    exact-computation count match the eager full-sort implementation.
+    selection), and the scan stops early once no unvisited candidate's
+    optimistic bound can beat the current ``k``-th best exact value — the
+    threshold only ever tightens, so none of the remaining candidates could
+    ever be selected.  For moderate candidate sets a pre-computed
+    suffix-extremum of the bounds along the stable order (suffix *minimum*
+    of lower bounds for distances, suffix *maximum* of upper bounds for
+    similarities — evaluated on the negated keys, so one code path serves
+    both directions) makes that stop check O(1) per chunk.  All of this is
+    output-preserving: ids, values and the exact-computation count match
+    the eager full-sort implementation, and the ``metric="l2"`` path is
+    bit-identical to the historical distance-only code.
     """
 
     def rerank(
@@ -169,50 +216,101 @@ class ErrorBoundReranker(Reranker):
         estimate: DistanceEstimate,
         flat_index: FlatIndex,
         k: int,
+        *,
+        metric: str | Metric = "l2",
     ) -> tuple[np.ndarray, np.ndarray, int]:
         if k <= 0:
             raise InvalidParameterError("k must be positive")
+        resolved = resolve_metric(metric)
         ids = np.asarray(candidate_ids, dtype=np.int64)
-        n_candidates = ids.shape[0]
-        if n_candidates == 0:
+        if ids.shape[0] == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), 0
 
-        est = estimate.distances
-        lower = estimate.lower_bounds
-        # Exact distances are computed inline (gather + difference + einsum
-        # — the same operations as FlatIndex.distances, without the per-call
-        # validation); ``data`` is a view of the flat index's raw vectors.
+        # Exact values are computed inline (gather + the metric's exact
+        # kernel — for L2 the same difference + einsum as
+        # FlatIndex.distances, without the per-call validation); ``data``
+        # is a view of the flat index's raw vectors.
         vec = np.asarray(query, dtype=np.float64).reshape(-1)
         data = flat_index.data
 
-        # Batch the exact-distance computations: exact distances are computed
-        # for the visited prefix lazily, but NumPy-vectorized per chunk to
-        # keep the Python overhead bounded.  The evolving k-th-best threshold
-        # is maintained with a small pooled array per chunk instead of a
+        if not resolved.higher_is_better:
+            # The historical minimization path: keys are the values
+            # themselves, the optimistic bound is the lower bound.
+            est = estimate.distances
+            opt = estimate.lower_bounds
+
+            def exact_key(selected_ids: np.ndarray) -> np.ndarray:
+                diff = data[selected_ids] - vec[None, :]
+                return np.einsum("ij,ij->i", diff, diff)
+
+            final_ids, final_vals, n_exact = self._rerank_by_min_key(
+                ids, est, opt, exact_key, k
+            )
+            return final_ids, final_vals, n_exact
+
+        # Similarity metrics run the same minimization machinery on negated
+        # keys: the optimistic bound is the upper bound, "k-th best" is the
+        # k-th largest exact score, and the suffix minimum of the negated
+        # upper bounds is the suffix maximum of the real ones.  Negation is
+        # exact, so un-negating the pooled values restores the scores bit
+        # for bit.
+        est = -estimate.scores
+        opt = -estimate.upper_bounds
+
+        def exact_key(selected_ids: np.ndarray) -> np.ndarray:
+            return -resolved.exact_scores(data[selected_ids], vec)
+
+        final_ids, final_vals, n_exact = self._rerank_by_min_key(
+            ids, est, opt, exact_key, k
+        )
+        return final_ids, -final_vals, n_exact
+
+    @staticmethod
+    def _rerank_by_min_key(
+        ids: np.ndarray,
+        est: np.ndarray,
+        opt: np.ndarray,
+        exact_key: Callable[[np.ndarray], np.ndarray],
+        k: int,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Error-bound re-ranking over minimization keys.
+
+        ``est`` orders the visit (ascending), ``opt`` is the smallest key a
+        candidate could truly have, and ``exact_key(selected_ids)`` returns
+        the exact keys of the selected rows.  This is the historical L2
+        implementation verbatim; direction-generic callers feed negated
+        arrays.
+        """
+        n_candidates = ids.shape[0]
+
+        # Batch the exact computations: exact keys are computed for the
+        # visited prefix lazily, but NumPy-vectorized per chunk to keep the
+        # Python overhead bounded.  The evolving k-th-best threshold is
+        # maintained with a small pooled array per chunk instead of a
         # per-element Python heap; the pool holds every computed
-        # (id, distance) pair in visit order, so the final stable selection
+        # (id, value) pair in visit order, so the final stable selection
         # reproduces the heap implementation's output — including tie
         # handling and the exact-computation count — exactly.
         pool_ids: list[np.ndarray] = []
-        pool_dists: list[np.ndarray] = []
-        kbest = np.empty(0, dtype=np.float64)  # k smallest exact dists so far
+        pool_vals: list[np.ndarray] = []
+        kbest = np.empty(0, dtype=np.float64)  # k smallest exact keys so far
         n_pooled = 0
         n_exact = 0
         chunk = max(64, k)
 
         # For moderate candidate sets, materialize the full stable order once
-        # and pre-compute the suffix minimum of the lower bounds along it:
-        # "can any unvisited candidate still beat the threshold?" then costs
-        # O(1) per chunk instead of an O(n) scan per doubling round.  The
-        # stop condition is unchanged — the scan ends exactly when every
+        # and pre-compute the suffix minimum of the optimistic bounds along
+        # it: "can any unvisited candidate still beat the threshold?" then
+        # costs O(1) per chunk instead of an O(n) scan per doubling round.
+        # The stop condition is unchanged — the scan ends exactly when every
         # remaining chunk would select nothing (the threshold only ever
-        # decreases), so ids, distances and the exact-computation count all
+        # decreases), so ids, values and the exact-computation count all
         # match the lazily-doubling implementation.
         suffix_min: np.ndarray | None = None
         if n_candidates <= 8192:
             m = n_candidates
             order = stable_topk_indices(est, n_candidates)
-            suffix_min = np.minimum.accumulate(lower[order][::-1])[::-1]
+            suffix_min = np.minimum.accumulate(opt[order][::-1])[::-1]
         else:
             m = 0  # length of the materialized stable-order prefix
             order = np.empty(0, dtype=np.intp)
@@ -226,23 +324,22 @@ class ErrorBoundReranker(Reranker):
                     threshold = kbest.max()
                     unvisited = np.ones(n_candidates, dtype=bool)
                     unvisited[order[:idx]] = False
-                    if not (lower[unvisited] <= threshold).any():
+                    if not (opt[unvisited] <= threshold).any():
                         break
                 m = min(n_candidates, max(chunk, 2 * m))
                 order = stable_topk_indices(est, m)
             stop = min(idx + chunk, m)
             block = order[idx:stop]
             threshold = kbest.max() if n_pooled >= k else np.inf
-            # Candidates whose lower bound already exceeds the k-th best exact
-            # distance can be dropped without computing their exact distance.
-            selected = block[lower[block] <= threshold]
+            # Candidates whose optimistic bound already loses to the k-th
+            # best exact key can be dropped without an exact computation.
+            selected = block[opt[block] <= threshold]
             if selected.shape[0] > 0:
                 selected_ids = ids[selected]
-                diff = data[selected_ids] - vec[None, :]
-                exact = np.einsum("ij,ij->i", diff, diff)
+                exact = exact_key(selected_ids)
                 n_exact += int(selected.shape[0])
                 pool_ids.append(selected_ids)
-                pool_dists.append(exact)
+                pool_vals.append(exact)
                 n_pooled += int(selected.shape[0])
                 # Update the k smallest multiset (only its max — the
                 # threshold — is ever read, so boundary ties are immaterial).
@@ -261,13 +358,13 @@ class ErrorBoundReranker(Reranker):
             full_order = stable_topk_indices(est, fallback)
             return ids[full_order], est[full_order], n_exact
         all_ids = pool_ids[0] if len(pool_ids) == 1 else np.concatenate(pool_ids)
-        all_dists = (
-            pool_dists[0] if len(pool_dists) == 1 else np.concatenate(pool_dists)
+        all_vals = (
+            pool_vals[0] if len(pool_vals) == 1 else np.concatenate(pool_vals)
         )
         # Stable top-k over the pool in visit order == the heap version's
-        # "sorted by distance, ties by first computation" output.
-        final = stable_topk_indices(all_dists, min(k, n_pooled))
-        return all_ids[final], all_dists[final], n_exact
+        # "sorted by value, ties by first computation" output.
+        final = stable_topk_indices(all_vals, min(k, n_pooled))
+        return all_ids[final], all_vals[final], n_exact
 
 
 __all__ = [

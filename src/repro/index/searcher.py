@@ -11,6 +11,18 @@ and a re-ranking strategy:
   are re-ranked with a fixed candidate count (the paper sweeps 500 / 1000 /
   2500).
 
+**Metric-generic serving.**  The searcher serves squared-L2 (default),
+inner-product (MIPS) or cosine traffic via the ``metric=`` constructor
+argument (:mod:`repro.core.metric`).  The metric threads through the whole
+stack: IVF probing ranks centroids by the metric, the fused estimator
+derives metric values and confidence bounds from the same per-code factors
+(plus, for similarities, centroid-decomposition constants stored alongside
+them in the arena), re-ranking flips to maximization with the suffix
+extremum of the optimistic bounds, and results are ordered best-first
+(ascending distance / descending score).  The ``metric="l2"`` path is
+bit-identical to the historical metric-oblivious implementation
+(``tests/test_l2_stream_gate.py`` pins archived result streams).
+
 Two query entry points are provided:
 
 * :meth:`IVFQuantizedSearcher.search` — one query at a time, returning a
@@ -135,6 +147,7 @@ from repro.core.estimator import (
     fused_estimate,
     undo_query_quantization,
 )
+from repro.core.metric import Metric, resolve_metric
 from repro.core.quantizer import encode_rows
 from repro.core.query import quantize_query_matrix, quantize_query_vector
 from repro.core.rotation import QRRotation, make_rotation
@@ -164,10 +177,13 @@ class SearchResult:
     Attributes
     ----------
     ids:
-        Retrieved vector ids (ascending reported distance).
+        Retrieved vector ids, best first (ascending reported distance for
+        ``metric="l2"``, descending similarity score for ``"ip"`` /
+        ``"cosine"``).
     distances:
-        Squared distances of the retrieved vectors (exact when re-ranking
-        computed them, estimated otherwise).
+        Metric values of the retrieved vectors — squared distances under
+        ``metric="l2"``, similarity scores under ``"ip"`` / ``"cosine"``
+        (exact when re-ranking computed them, estimated otherwise).
     n_candidates:
         Number of candidates whose distance was *estimated* (i.e. the total
         size of the probed clusters).
@@ -300,6 +316,16 @@ class IVFQuantizedSearcher:
         With the cache enabled, repeated identical queries skip preparation
         and draw no randomness — see the module docstring for the exact
         replay semantics.
+    metric:
+        The served metric: ``"l2"`` (squared Euclidean distance, the
+        default and the paper's setting), ``"ip"`` (maximum-inner-product
+        search) or ``"cosine"`` (cosine similarity) — see
+        :mod:`repro.core.metric`.  The metric threads through every layer:
+        probing ranks centroids by it, the fused estimator emits
+        metric-appropriate values and bounds, re-ranking flips to
+        maximization for similarities, and results report metric values
+        best-first.  Similarity metrics require
+        ``quantizer_kind="rabitq"``.
     """
 
     def __init__(
@@ -313,6 +339,7 @@ class IVFQuantizedSearcher:
         rng: RngLike = None,
         compact_threshold: float | None = 0.25,
         query_cache_size: int = 0,
+        metric: str | Metric = "l2",
     ) -> None:
         if quantizer_kind not in ("rabitq", "external"):
             raise InvalidParameterError(
@@ -328,6 +355,12 @@ class IVFQuantizedSearcher:
             )
         if query_cache_size < 0:
             raise InvalidParameterError("query_cache_size must be >= 0")
+        self._metric = resolve_metric(metric)
+        if quantizer_kind != "rabitq" and self._metric.name != "l2":
+            raise InvalidParameterError(
+                "similarity metrics require quantizer_kind='rabitq' "
+                "(external baseline quantizers estimate squared L2 only)"
+            )
         self.quantizer_kind = quantizer_kind
         self.n_clusters = n_clusters
         self.rabitq_config = (
@@ -368,6 +401,11 @@ class IVFQuantizedSearcher:
     # ------------------------------------------------------------------ #
 
     @property
+    def metric(self) -> str:
+        """Name of the served metric (``"l2"``, ``"ip"`` or ``"cosine"``)."""
+        return self._metric.name
+
+    @property
     def is_fitted(self) -> bool:
         """Whether :meth:`fit` has been called."""
         return self._ivf is not None
@@ -395,6 +433,38 @@ class IVFQuantizedSearcher:
                 "code arena exists only for quantizer_kind='rabitq')"
             )
         return self._arena
+
+    def _build_cluster_consts(
+        self,
+        rows: np.ndarray,
+        cid: int,
+        popcounts: np.ndarray,
+        alignments: np.ndarray,
+        norms: np.ndarray,
+        code_length: int,
+    ) -> np.ndarray:
+        """Fused estimator constants for ``rows`` encoded against ``cid``.
+
+        For ``metric="l2"`` this is the historical 7-row matrix; similarity
+        metrics append the centroid-decomposition rows (``<o_r, c>`` against
+        the cluster centroid and the raw norms ``||o_r||``) that
+        :func:`repro.core.estimator.fused_estimate` consumes at query time.
+        """
+        epsilon0 = self.rabitq_config.epsilon0
+        if self._metric.n_consts == N_CONSTS:
+            return build_code_consts(
+                alignments, norms, popcounts, code_length, epsilon0
+            )
+        return build_code_consts(
+            alignments,
+            norms,
+            popcounts,
+            code_length,
+            epsilon0,
+            metric=self._metric,
+            dot_centroid=rows @ self._ivf.centroids[cid],
+            raw_norms=np.sqrt(np.einsum("ij,ij->i", rows, rows)),
+        )
 
     def _fresh_query_rng(self) -> np.random.Generator:
         """A cluster rounding stream in its initial state.
@@ -429,24 +499,28 @@ class IVFQuantizedSearcher:
             n_clusters = len(self._ivf.buckets)
             self._query_rngs = [None] * n_clusters
             blocks: dict[int, tuple] = {}
-            epsilon0 = self.rabitq_config.epsilon0
             for bucket in self._ivf.buckets:
                 if len(bucket) == 0:
                     continue
                 cid = bucket.centroid_id
+                rows = mat[bucket.vector_ids]
                 packed, bits, popcounts, alignments, norms = encode_rows(
-                    mat[bucket.vector_ids],
+                    rows,
                     self._ivf.centroids[cid],
                     shared_rotation,
                     code_length,
                 )
-                consts = build_code_consts(
-                    alignments, norms, popcounts, code_length, epsilon0
+                consts = self._build_cluster_consts(
+                    rows, cid, popcounts, alignments, norms, code_length
                 )
                 blocks[cid] = (packed, bits, consts, bucket.vector_ids)
                 self._query_rngs[cid] = self._fresh_query_rng()
             self._arena = CodeArena.from_blocks(
-                n_clusters, code_length, (code_length + 63) // 64, blocks
+                n_clusters,
+                code_length,
+                (code_length + 63) // 64,
+                blocks,
+                self._metric.n_consts,
             )
             self._pad_len = code_length
             self._rotation_matrix = (
@@ -553,18 +627,18 @@ class IVFQuantizedSearcher:
         arena = self._arena
         assert arena is not None and self._query_rngs is not None
         code_length = arena.code_length
-        epsilon0 = self.rabitq_config.epsilon0
         for cid in np.unique(cluster_ids):
             cid = int(cid)
             rows = np.flatnonzero(cluster_ids == cid)
+            row_mat = mat[rows]
             packed, bits, popcounts, alignments, norms = encode_rows(
-                mat[rows],
+                row_mat,
                 self._ivf.centroids[cid],
                 self._shared_rotation,
                 code_length,
             )
-            consts = build_code_consts(
-                alignments, norms, popcounts, code_length, epsilon0
+            consts = self._build_cluster_consts(
+                row_mat, cid, popcounts, alignments, norms, code_length
             )
             if self._query_rngs[cid] is None:
                 # The cluster was empty at fit time (or emptied by a
@@ -844,18 +918,36 @@ class IVFQuantizedSearcher:
         code_length = arena.code_length
         sqrt_d = np.sqrt(float(code_length))
         max_size = int(sizes[cluster_ids].max())
+        n_consts = arena.n_consts
 
         qdot = self._scratch_get("qdot", total, np.float64)[:total]
         qn = self._scratch_get("qn", total, np.float64)[:total]
         cand = self._scratch_get("cand", total, np.int64)[:total]
         consts_buf = self._scratch_get(
-            "consts", N_CONSTS * total, np.float64
-        )[: N_CONSTS * total].reshape(N_CONSTS, total)
+            "consts", n_consts * total, np.float64
+        )[: n_consts * total].reshape(n_consts, total)
         bits_f = self._scratch_get(
             "bits_f", max_size * code_length, np.float64
         )[: max_size * code_length].reshape(max_size, code_length)
         dot = self._scratch_get("dot", max_size, np.float64)
         tmp = self._scratch_get("tmp", max_size, np.float64)
+
+        # Similarity metrics need the per-cluster centroid-decomposition
+        # offset ``<q_r, c> - ||c||^2`` (and, for cosine, the raw query
+        # norm).  Each scalar is computed with the exact operations the
+        # batch path applies per (query, cluster) pair, keeping batch ≡
+        # sequential bit-identical for every metric.
+        similarity = self._metric.higher_is_better
+        qoff = (
+            self._scratch_get("qoff", total, np.float64)[:total]
+            if similarity
+            else None
+        )
+        query_raw_norm = (
+            float(np.sqrt(np.dot(query, query)))
+            if self._metric.name == "cosine"
+            else None
+        )
 
         key_bytes = query.tobytes() if self.query_cache_size > 0 else None
         # One batched subtraction for all probed centroids (elementwise, so
@@ -895,9 +987,23 @@ class IVFQuantizedSearcher:
             consts_buf[:, sl] = arena.consts[:, start:end]
             qn[sl] = prepared.query_norm
             cand[sl] = arena.slots[start:end]
+            if qoff is not None:
+                qoff[sl] = float(
+                    np.dot(query, self._ivf.centroids[cid])
+                ) - float(self._ivf.centroid_sq_norms[cid])
             offset += size
 
-        estimate = fused_estimate(qdot, consts_buf, qn)
+        if not similarity:
+            estimate = fused_estimate(qdot, consts_buf, qn)
+        else:
+            estimate = fused_estimate(
+                qdot,
+                consts_buf,
+                qn,
+                metric=self._metric,
+                query_offset=qoff,
+                query_raw_norm=query_raw_norm,
+            )
         if self._n_dead == 0:
             return cand, estimate
         mask = self._live[cand]
@@ -959,13 +1065,13 @@ class IVFQuantizedSearcher:
         if k <= 0:
             raise InvalidParameterError("k must be positive")
         vec = np.asarray(query, dtype=np.float64).reshape(-1)
-        cluster_ids = self._ivf.probe(vec, nprobe)
+        cluster_ids = self._ivf.probe(vec, nprobe, metric=self._metric)
         if self.quantizer_kind == "rabitq":
             candidate_ids, estimate = self._estimate_rabitq(vec, cluster_ids)
         else:
             candidate_ids, estimate = self._estimate_external(vec, cluster_ids)
         ids, dists, n_exact = self.reranker.rerank(
-            vec, candidate_ids, estimate, self._flat, k
+            vec, candidate_ids, estimate, self._flat, k, metric=self._metric
         )
         return SearchResult(
             ids=self._to_external_ids(ids),
@@ -1108,6 +1214,18 @@ class IVFQuantizedSearcher:
             else np.empty((0, code_length), dtype=np.float64)
         )
 
+        # Similarity metrics: per-query raw norms (cosine) and, inside the
+        # group loop, per-(query, cluster) centroid offsets — each scalar
+        # computed with the very operations of the sequential path, so
+        # batch ≡ sequential holds bit for bit under every metric.
+        similarity = self._metric.higher_is_better
+        qraw_all: np.ndarray | None = None
+        if self._metric.name == "cosine":
+            qraw_all = np.empty(n_queries, dtype=np.float64)
+            for qi in range(n_queries):
+                row = query_mat[qi]
+                qraw_all[qi] = float(np.sqrt(np.dot(row, row)))
+
         for cid, qis, js, entries in groups:
             start, end = arena.cluster_range(cid)
             size = end - start
@@ -1149,9 +1267,26 @@ class IVFQuantizedSearcher:
                 sums[:, None],
                 code_length,
             )
-            estimate = fused_estimate(
-                quantized_dot, arena.cluster_consts(cid), query_norms[:, None]
-            )
+            if not similarity:
+                estimate = fused_estimate(
+                    quantized_dot, arena.cluster_consts(cid), query_norms[:, None]
+                )
+            else:
+                centroid = self._ivf.centroids[cid]
+                csq = float(self._ivf.centroid_sq_norms[cid])
+                offs = np.empty((n_group, 1), dtype=np.float64)
+                for row, qi in enumerate(qis.tolist()):
+                    offs[row, 0] = float(np.dot(query_mat[qi], centroid)) - csq
+                estimate = fused_estimate(
+                    quantized_dot,
+                    arena.cluster_consts(cid),
+                    query_norms[:, None],
+                    metric=self._metric,
+                    query_offset=offs,
+                    query_raw_norm=(
+                        qraw_all[qis][:, None] if qraw_all is not None else None
+                    ),
+                )
 
             # Scatter each group row into its query's flat candidate range
             # (probe order == the sequential concatenation order).
@@ -1239,7 +1374,7 @@ class IVFQuantizedSearcher:
                 n_exact=np.empty(0, dtype=np.int64),
             )
 
-        probes = self._ivf.probe_batch(query_mat, nprobe)
+        probes = self._ivf.probe_batch(query_mat, nprobe, metric=self._metric)
 
         # Bound the live (query, candidate) estimate tensors by processing
         # very large batches in query chunks, sized from the *actual* probed
@@ -1276,6 +1411,7 @@ class IVFQuantizedSearcher:
                 [estimate for _, estimate in per_query],
                 self._flat,
                 k,
+                metric=self._metric,
             )
             ids_out.extend(self._to_external_ids(ids) for ids, _, _ in reranked)
             dists_out.extend(dists for _, dists, _ in reranked)

@@ -67,6 +67,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.core.config import RaBitQConfig
+from repro.core.metric import Metric, resolve_metric
 from repro.exceptions import (
     DimensionMismatchError,
     InvalidParameterError,
@@ -124,6 +125,11 @@ class ShardedSearcher:
         from it, so a given seed reproduces the exact shard states.
     compact_threshold / query_cache_size:
         Forwarded to every shard (see :class:`IVFQuantizedSearcher`).
+    metric:
+        The served metric (``"l2"``, ``"ip"`` or ``"cosine"``), forwarded
+        to every shard; the cross-shard merge is metric-aware (stable
+        top-k on ascending distances or descending similarity scores, ties
+        toward the lower shard).  See :mod:`repro.core.metric`.
     """
 
     def __init__(
@@ -138,6 +144,7 @@ class ShardedSearcher:
         rng: RngLike = None,
         compact_threshold: float | None = 0.25,
         query_cache_size: int = 0,
+        metric: str | Metric = "l2",
     ) -> None:
         if n_shards <= 0:
             raise InvalidParameterError("n_shards must be positive")
@@ -154,6 +161,7 @@ class ShardedSearcher:
         self.reranker = reranker
         self.compact_threshold = compact_threshold
         self.query_cache_size = int(query_cache_size)
+        self._metric = resolve_metric(metric)
         self._rng = ensure_rng(rng)
         self._n_threads = self.n_shards if n_threads is None else int(n_threads)
         self._pool: ThreadPoolExecutor | None = None
@@ -226,6 +234,11 @@ class ShardedSearcher:
     # ------------------------------------------------------------------ #
     # Index phase
     # ------------------------------------------------------------------ #
+
+    @property
+    def metric(self) -> str:
+        """Name of the served metric (``"l2"``, ``"ip"`` or ``"cosine"``)."""
+        return self._metric.name
 
     @property
     def is_fitted(self) -> bool:
@@ -310,6 +323,7 @@ class ShardedSearcher:
                 rng=shard_rngs[s],
                 compact_threshold=self.compact_threshold,
                 query_cache_size=self.query_cache_size,
+                metric=self._metric,
             )
             for s in range(self.n_shards)
         ]
@@ -458,12 +472,14 @@ class ShardedSearcher:
         shard_ids: list[np.ndarray],
         shard_dists: list[np.ndarray],
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Stable top-k merge of per-shard results (global ids, distances).
+        """Stable top-k merge of per-shard results (global ids, values).
 
-        Candidates are concatenated in shard order, so distance ties break
+        Candidates are concatenated in shard order, so value ties break
         toward the lower shard index and then toward the shard's own
-        (already ascending-distance, stable) ordering — a fixed,
-        scheduling-independent rule.
+        (already best-first, stable) ordering — a fixed,
+        scheduling-independent rule.  Selection is metric-aware: ascending
+        squared distances for ``metric="l2"`` (the historical bit-identical
+        path), descending similarity scores otherwise.
         """
         gids = [
             self._l2g[s][ids] if ids.shape[0] else ids
@@ -478,7 +494,7 @@ class ShardedSearcher:
         keep = min(k, all_gids.shape[0])
         if keep == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
-        order = stable_topk_indices(all_dists, keep)
+        order = stable_topk_indices(self._metric.sort_key(all_dists), keep)
         return all_gids[order], all_dists[order]
 
     def search(
@@ -592,6 +608,10 @@ class ShardedSearcher:
                 "need one local-to-global id array per shard"
             )
         first = shards[0]
+        if any(shard.metric != first.metric for shard in shards):
+            raise InvalidParameterError(
+                "all shards must serve the same metric"
+            )
         sharded = cls(
             len(shards),
             n_threads=n_threads,
@@ -601,6 +621,7 @@ class ShardedSearcher:
             reranker=first.reranker,
             compact_threshold=first.compact_threshold,
             query_cache_size=first.query_cache_size,
+            metric=first.metric,
         )
         g2s: dict[int, tuple[int, int]] = {}
         for s, (shard, mapping) in enumerate(zip(shards, l2g)):

@@ -45,6 +45,7 @@ import numpy as np
 from repro.core.bitops import unpack_bits
 from repro.core.config import RaBitQConfig
 from repro.core.estimator import N_CONSTS, build_code_consts
+from repro.core.metric import resolve_metric
 from repro.core.quantizer import QuantizedDataset, RaBitQ
 from repro.core.rotation import FastHadamardRotation, QRRotation, Rotation
 from repro.exceptions import (
@@ -76,18 +77,22 @@ MAGIC_SHARDED = "rabitq/sharded"
 #: added the magic header and the query-RNG state.
 FORMAT_VERSION = 2
 
-#: Searcher-archive format, bumped on incompatible changes.  Version 3 is
-#: the arena-aware layout: per-slot packed codes plus the fused
-#: ``(N_CONSTS, n_slots)`` estimator-constants matrix the code arena is
-#: rebuilt from.  (The version jumps from 1 to 3 so that "format v3" is
+#: Searcher-archive format, bumped on incompatible changes.  Version 4
+#: records the served ``metric`` (``l2`` / ``ip`` / ``cosine``) and allows
+#: the fused estimator-constants matrix to carry the metric's row count
+#: (similarity metrics store two extra centroid-decomposition rows).
+#: Version 3 was the arena-aware layout: per-slot packed codes plus the
+#: fused ``(N_CONSTS, n_slots)`` constants matrix the code arena is rebuilt
+#: from.  (The version numbering jumped from 1 to 3 so that "format v3" is
 #: unambiguous repo-wide: quantizer archives are v2.)  Version-1 archives —
-#: written before the arena existed — are still loaded via
-#: ``_SEARCHER_LEGACY_VERSIONS``; their per-slot metadata carries the same
-#: information, so a reloaded v1 searcher answers bit-identically.
-SEARCHER_FORMAT_VERSION = 3
+#: written before the arena existed — and version-3 archives are still
+#: loaded via ``_SEARCHER_LEGACY_VERSIONS``; both predate the metric layer
+#: and therefore always load as ``metric="l2"``, answering bit-identically
+#: to the build that wrote them.
+SEARCHER_FORMAT_VERSION = 4
 
 #: Older searcher-archive formats this build can still read.
-_SEARCHER_LEGACY_VERSIONS = (1,)
+_SEARCHER_LEGACY_VERSIONS = (1, 3)
 
 #: Sharded-archive (directory) format, bumped on incompatible changes.
 SHARDED_FORMAT_VERSION = 1
@@ -382,6 +387,7 @@ def save_searcher(searcher: IVFQuantizedSearcher, path: PathLike) -> None:
 
     code_length = arena.code_length
     n_words = arena.n_words
+    n_consts = arena.n_consts
     n_slots = len(flat)
 
     # Per-slot quantized metadata, scattered from the cluster-grouped arena
@@ -389,7 +395,7 @@ def save_searcher(searcher: IVFQuantizedSearcher, path: PathLike) -> None:
     # re-indexing; the loader rebuilds the regions from the bucket id lists
     # (always sorted ascending), which reproduces the arena row order.
     packed_codes = np.zeros((n_slots, n_words), dtype=np.uint64)
-    code_consts = np.zeros((N_CONSTS, n_slots), dtype=np.float64)
+    code_consts = np.zeros((n_consts, n_slots), dtype=np.float64)
     rng_states: list[dict | None] = []
     for cid in range(arena.n_clusters):
         start, end = arena.cluster_range(cid)
@@ -432,13 +438,15 @@ def save_searcher(searcher: IVFQuantizedSearcher, path: PathLike) -> None:
         ),
         reranker_kind=np.str_(reranker_kind),
         reranker_param=np.int64(reranker_param),
+        # Served metric (format v4)
+        metric=np.str_(searcher.metric),
         # IVF + flat index state
         centroids=ivf.centroids,
         assignments=ivf.assignments,
         data=flat.data,
         # Quantized per-slot metadata (arena layout)
         packed_codes=packed_codes,
-        n_consts=np.int64(N_CONSTS),
+        n_consts=np.int64(n_consts),
         code_consts=code_consts,
         # Lifecycle state
         ids=searcher._ids,
@@ -489,6 +497,12 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
             )
             n_clusters_param = int(archive["n_clusters_param"])
             threshold = float(archive["compact_threshold"])
+            # Pre-v4 archives predate the metric layer: they were always
+            # written by (and load as) squared-L2 searchers.
+            metric_name = (
+                str(archive["metric"]) if format_version >= 4 else "l2"
+            )
+            metric = resolve_metric(metric_name)
             searcher = IVFQuantizedSearcher(
                 "rabitq",
                 n_clusters=None if n_clusters_param < 0 else n_clusters_param,
@@ -500,6 +514,7 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
                     json.loads(str(archive["searcher_rng_state"]))
                 ),
                 compact_threshold=None if np.isnan(threshold) else threshold,
+                metric=metric,
             )
 
             data = np.asarray(archive["data"], dtype=np.float64)
@@ -525,20 +540,23 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
                 )
             if format_version >= 3:
                 # Arena-aware layout: the fused constants matrix is stored
-                # directly.
-                if int(archive["n_consts"]) != N_CONSTS:
+                # directly, with the metric's row count (v3 archives are
+                # always l2, so both checks reduce to N_CONSTS there).
+                expected_consts = metric.n_consts
+                if int(archive["n_consts"]) != expected_consts:
                     raise PersistenceError(
                         f"archive stores {int(archive['n_consts'])} fused "
-                        f"constants per code; this build expects {N_CONSTS}"
+                        f"constants per code; metric {metric.name!r} "
+                        f"expects {expected_consts}"
                     )
                 code_consts = np.asarray(
                     archive["code_consts"], dtype=np.float64
                 )
-                if code_consts.shape != (N_CONSTS, n_slots):
+                if code_consts.shape != (expected_consts, n_slots):
                     raise PersistenceError(
                         f"archive has inconsistent per-slot arrays: "
                         f"code_consts has shape {code_consts.shape}, "
-                        f"expected {(N_CONSTS, n_slots)}"
+                        f"expected {(expected_consts, n_slots)}"
                     )
                 per_slot_checks = ()
             else:
@@ -600,7 +618,7 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
                 query_rngs.append(_rng_from_state(state))
             searcher._query_rngs = query_rngs
             searcher._arena = CodeArena.from_blocks(
-                n_clusters, code_length, n_words, blocks
+                n_clusters, code_length, n_words, blocks, metric.n_consts
             )
             searcher._pad_len = code_length
             searcher._rotation_matrix = (
@@ -678,6 +696,7 @@ def save_sharded_searcher(sharded: ShardedSearcher, path: PathLike) -> None:
         "magic": MAGIC_SHARDED,
         "format_version": SHARDED_FORMAT_VERSION,
         "n_shards": sharded.n_shards,
+        "metric": sharded.metric,
         "assignment": sharded.assignment,
         "next_gid": sharded._next_gid,
         "rr_next": sharded._rr_next,
@@ -750,6 +769,16 @@ def load_sharded_searcher(
             f"sharded manifest {manifest_path!s} is malformed ({exc})"
         ) from exc
     shards = [load_searcher(directory / name) for name in shard_files]
+    # Manifests written before the metric layer carry no "metric" key; the
+    # per-shard archives then load as l2, which is what those builds served.
+    manifest_metric = manifest.get("metric")
+    if manifest_metric is not None and any(
+        shard.metric != manifest_metric for shard in shards
+    ):
+        raise PersistenceError(
+            f"sharded manifest declares metric {manifest_metric!r} but the "
+            f"shard archives serve {sorted({s.metric for s in shards})}"
+        )
     try:
         with np.load(directory / idmap_file) as idmap:
             l2g = [

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import DimensionMismatchError
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
 
 
 def as_float_matrix(data: np.ndarray, name: str = "data") -> np.ndarray:
@@ -184,7 +184,7 @@ def gram_schmidt(matrix: np.ndarray) -> np.ndarray:
             mat[i] -= np.dot(mat[i], mat[j]) * mat[j]
         norm = np.linalg.norm(mat[i])
         if norm <= 1e-15:
-            raise ValueError("matrix rows are linearly dependent; cannot orthonormalize")
+            raise InvalidParameterError("matrix rows are linearly dependent; cannot orthonormalize")
         mat[i] /= norm
     return mat
 

@@ -12,6 +12,8 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.exceptions import InvalidParameterError
+
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
 
@@ -47,7 +49,7 @@ def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
     keeping a single user-facing seed.
     """
     if count < 0:
-        raise ValueError("count must be non-negative")
+        raise InvalidParameterError("count must be non-negative")
     root = ensure_rng(seed)
     seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
@@ -62,14 +64,14 @@ def check_probability(value: float, name: str = "probability") -> float:
     """Validate that ``value`` lies in ``[0, 1]`` and return it as ``float``."""
     value = float(value)
     if not 0.0 <= value <= 1.0:
-        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+        raise InvalidParameterError(f"{name} must lie in [0, 1], got {value}")
     return value
 
 
 def sample_unit_vector(dim: int, rng: RngLike = None) -> np.ndarray:
     """Sample a vector uniformly from the unit sphere in ``dim`` dimensions."""
     if dim <= 0:
-        raise ValueError("dim must be positive")
+        raise InvalidParameterError("dim must be positive")
     generator = ensure_rng(rng)
     vec = generator.standard_normal(dim)
     norm = np.linalg.norm(vec)
@@ -82,7 +84,7 @@ def sample_unit_vector(dim: int, rng: RngLike = None) -> np.ndarray:
 def sample_unit_vectors(count: int, dim: int, rng: RngLike = None) -> np.ndarray:
     """Sample ``count`` vectors independently and uniformly from the unit sphere."""
     if count < 0:
-        raise ValueError("count must be non-negative")
+        raise InvalidParameterError("count must be non-negative")
     generator = ensure_rng(rng)
     mat = generator.standard_normal((count, dim))
     norms = np.linalg.norm(mat, axis=1, keepdims=True)

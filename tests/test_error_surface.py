@@ -1,0 +1,162 @@
+"""The library-wide error surface: every intentional error is a ReproError.
+
+``src/repro/index/`` and ``src/repro/io/`` already raised only
+``repro.exceptions`` types; this suite pins that contract (so a refactor
+cannot silently regress it) and extends it to the substrates layer, whose
+parameter-validation errors — previously raw ``ValueError`` — now raise
+:class:`InvalidParameterError`.  For backward compatibility
+``InvalidParameterError`` also derives from ``ValueError``, so pre-existing
+``except ValueError`` call sites keep working.
+
+Two intentional non-ReproError raises remain and are pinned here:
+``ensure_rng`` raises ``TypeError`` for non-seed *types* (a genuine type
+error, covered by ``tests/test_rng.py``), and the persistence layer's JSON
+``default=`` hook raises ``TypeError`` as the ``json`` protocol requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyDatasetError,
+    InvalidParameterError,
+    NotFittedError,
+    PersistenceError,
+    ReproError,
+)
+from repro.index.arena import CodeArena
+from repro.index.flat import FlatIndex
+from repro.index.ivf import IVFIndex
+from repro.index.rerank import ErrorBoundReranker, TopCandidateReranker
+from repro.index.searcher import IVFQuantizedSearcher
+from repro.index.sharded import ShardedSearcher
+from repro.io.persistence import load_searcher, load_sharded_searcher
+from repro.substrates import linalg, rng as rng_utils
+
+
+class TestExceptionHierarchy:
+    def test_all_types_are_repro_errors(self):
+        for exc in (
+            NotFittedError,
+            DimensionMismatchError,
+            InvalidParameterError,
+            EmptyDatasetError,
+            PersistenceError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_invalid_parameter_is_also_value_error(self):
+        # Backward compatibility: callers that predate the error surface
+        # caught ValueError for bad parameters.
+        assert issubclass(InvalidParameterError, ValueError)
+
+
+# (callable, expected exception) pairs spanning the index/io/substrates
+# public surface; each must raise the pinned repro.exceptions type.
+_CASES = [
+    # index/
+    ("flat empty", lambda: FlatIndex(np.empty((0, 4))), EmptyDatasetError),
+    (
+        "flat bad k",
+        lambda: FlatIndex(np.ones((3, 2))).search(np.ones(2), 0),
+        InvalidParameterError,
+    ),
+    (
+        "flat dim mismatch",
+        lambda: FlatIndex(np.ones((3, 2))).search(np.ones(5), 1),
+        DimensionMismatchError,
+    ),
+    ("ivf unfitted", lambda: IVFIndex().probe(np.ones(3), 1), NotFittedError),
+    (
+        "ivf bad nprobe",
+        lambda: IVFIndex(2, rng=0).fit(np.eye(4)).probe(np.ones(4), 0),
+        InvalidParameterError,
+    ),
+    (
+        "ivf bad metric",
+        lambda: IVFIndex(2, rng=0).fit(np.eye(4)).probe(
+            np.ones(4), 1, metric="manhattan"
+        ),
+        InvalidParameterError,
+    ),
+    ("arena bad clusters", lambda: CodeArena(0, 64, 1), InvalidParameterError),
+    ("arena bad consts", lambda: CodeArena(1, 64, 1, 2), InvalidParameterError),
+    (
+        "reranker bad k",
+        lambda: ErrorBoundReranker().rerank(
+            np.ones(2), np.empty(0, np.int64), None, None, 0
+        ),
+        InvalidParameterError,
+    ),
+    (
+        "top candidate bad count",
+        lambda: TopCandidateReranker(0),
+        InvalidParameterError,
+    ),
+    (
+        "searcher bad kind",
+        lambda: IVFQuantizedSearcher("pq"),
+        InvalidParameterError,
+    ),
+    (
+        "searcher bad metric",
+        lambda: IVFQuantizedSearcher("rabitq", metric="hamming"),
+        InvalidParameterError,
+    ),
+    (
+        "searcher unfitted",
+        lambda: IVFQuantizedSearcher("rabitq").search(np.ones(4), 1),
+        NotFittedError,
+    ),
+    ("sharded bad shards", lambda: ShardedSearcher(0), InvalidParameterError),
+    (
+        "sharded unfitted",
+        lambda: ShardedSearcher(2).search(np.ones(4), 1),
+        NotFittedError,
+    ),
+    # io/
+    ("load missing", lambda: load_searcher("/nonexistent/x.npz"), PersistenceError),
+    (
+        "load sharded missing",
+        lambda: load_sharded_searcher("/nonexistent/dir"),
+        PersistenceError,
+    ),
+    # substrates/ (previously raw ValueError)
+    ("spawn negative", lambda: rng_utils.spawn_rngs(0, -1), InvalidParameterError),
+    (
+        "probability range",
+        lambda: rng_utils.check_probability(1.5),
+        InvalidParameterError,
+    ),
+    (
+        "unit vector dim",
+        lambda: rng_utils.sample_unit_vector(0),
+        InvalidParameterError,
+    ),
+    (
+        "unit vectors count",
+        lambda: rng_utils.sample_unit_vectors(-1, 4),
+        InvalidParameterError,
+    ),
+    (
+        "gram schmidt dependent",
+        lambda: linalg.gram_schmidt(np.array([[1.0, 0.0], [2.0, 0.0]])),
+        InvalidParameterError,
+    ),
+]
+
+
+@pytest.mark.parametrize("name, call, expected", _CASES, ids=[c[0] for c in _CASES])
+def test_public_surface_raises_repro_errors(name, call, expected):
+    with pytest.raises(expected) as excinfo:
+        call()
+    assert isinstance(excinfo.value, ReproError)
+
+
+def test_ensure_rng_type_error_is_intentional():
+    # Non-seed *types* are a TypeError by design (see module docstring).
+    with pytest.raises(TypeError):
+        rng_utils.ensure_rng("not-a-seed")

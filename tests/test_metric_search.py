@@ -1,0 +1,347 @@
+"""End-to-end tests of the metric-generic serving stack.
+
+Pins the acceptance contract of the metric refactor: ``metric="ip"`` and
+``metric="cosine"`` searches agree with brute-force ground truth on
+rerank-exact results, batch ≡ sequential ≡ sharded equivalence holds for
+every metric across the index lifecycle, archives record the metric
+(format v4) while v1/v3 archives still load as ``l2``, and degenerate
+shapes behave.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import RaBitQConfig
+from repro.core.metric import resolve_metric
+from repro.datasets.ground_truth import brute_force_ground_truth
+from repro.exceptions import InvalidParameterError, PersistenceError
+from repro.index.rerank import TopCandidateReranker
+from repro.index.searcher import IVFQuantizedSearcher
+from repro.index.sharded import ShardedSearcher
+from repro.io.persistence import (
+    SEARCHER_FORMAT_VERSION,
+    load_searcher,
+    load_sharded_searcher,
+    save_searcher,
+    save_sharded_searcher,
+)
+
+SIM_METRICS = ("ip", "cosine")
+N, DIM, N_CLUSTERS = 600, 40, 8
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(77)
+    # A shared offset gives inner products real signal (the MIPS setting).
+    data = rng.standard_normal((N, DIM)) + 0.25
+    extra = rng.standard_normal((35, DIM)) + 0.25
+    queries = rng.standard_normal((10, DIM)) + 0.25
+    return data, extra, queries
+
+
+def _build(metric, data, *, reranker=None, **kwargs):
+    searcher = IVFQuantizedSearcher(
+        "rabitq",
+        n_clusters=N_CLUSTERS,
+        rabitq_config=RaBitQConfig(seed=5),
+        rng=9,
+        metric=metric,
+        reranker=reranker,
+        compact_threshold=None,
+        **kwargs,
+    )
+    return searcher.fit(data)
+
+
+def _assert_result_equal(a, b):
+    np.testing.assert_array_equal(a.ids, b.ids)
+    np.testing.assert_array_equal(a.distances, b.distances)
+    assert a.n_candidates == b.n_candidates
+    assert a.n_exact == b.n_exact
+
+
+class TestGroundTruthAgreement:
+    @pytest.mark.parametrize("metric", SIM_METRICS)
+    def test_exhaustive_rerank_equals_brute_force(self, corpus, metric):
+        # Full probing + an exhaustive TopCandidate re-ranker computes the
+        # exact metric for every candidate: the answer must *equal* the
+        # brute-force ground truth, not merely approximate it.
+        data, _, queries = corpus
+        searcher = _build(metric, data, reranker=TopCandidateReranker(N))
+        gt, gt_vals = brute_force_ground_truth(
+            data, queries, 10, metric=metric, return_distances=True
+        )
+        for i, query in enumerate(queries):
+            result = searcher.search(query, 10, nprobe=N_CLUSTERS)
+            np.testing.assert_array_equal(result.ids, gt[i])
+            np.testing.assert_allclose(result.distances, gt_vals[i], rtol=1e-9)
+            assert np.all(np.diff(result.distances) <= 0.0)  # descending
+
+    @pytest.mark.parametrize("metric", SIM_METRICS)
+    def test_error_bound_rerank_high_recall(self, corpus, metric):
+        data, _, queries = corpus
+        searcher = _build(metric, data)
+        gt = brute_force_ground_truth(data, queries, 10, metric=metric)
+        hits = 0
+        for i, query in enumerate(queries):
+            result = searcher.search(query, 10, nprobe=N_CLUSTERS)
+            hits += len(set(result.ids.tolist()) & set(gt[i].tolist()))
+        assert hits / (queries.shape[0] * 10) >= 0.9
+
+    @pytest.mark.parametrize("metric", SIM_METRICS)
+    def test_sharded_exhaustive_equals_brute_force(self, corpus, metric):
+        data, _, queries = corpus
+        sharded = ShardedSearcher(
+            3,
+            n_threads=0,
+            n_clusters=4,
+            rabitq_config=RaBitQConfig(seed=5),
+            reranker=TopCandidateReranker(N),
+            rng=13,
+            metric=metric,
+        ).fit(data)
+        gt = brute_force_ground_truth(data, queries, 10, metric=metric)
+        batch = sharded.search_batch(queries, 10, nprobe=4)
+        for i in range(queries.shape[0]):
+            np.testing.assert_array_equal(batch.ids[i], gt[i])
+            assert np.all(np.diff(batch.distances[i]) <= 0.0)
+
+
+class TestGroundTruthTieBreaking:
+    @pytest.mark.parametrize("metric", ("l2",) + SIM_METRICS)
+    def test_ties_resolve_toward_lower_id(self, metric):
+        # Duplicate vectors force exact score ties; the documented contract
+        # is the stable-argsort prefix (ties toward the lower id).
+        rng = np.random.default_rng(0)
+        base = rng.standard_normal((5, 8))
+        data = base[rng.integers(0, 5, 40)]
+        queries = rng.standard_normal((3, 8))
+        got = brute_force_ground_truth(data, queries, 7, metric=metric)
+        resolved = resolve_metric(metric)
+        for i in range(queries.shape[0]):
+            key = resolved.sort_key(resolved.exact_scores(data, queries[i]))
+            want = np.argsort(key, kind="stable")[:7]
+            np.testing.assert_array_equal(got[i], want)
+
+
+class TestBatchSequentialShardedEquivalence:
+    @pytest.mark.parametrize("metric", SIM_METRICS)
+    def test_batch_equals_sequential_across_lifecycle(self, corpus, metric):
+        data, extra, queries = corpus
+
+        def run(entry):
+            searcher = _build(metric, data)
+            outputs = [entry(searcher, queries)]
+            searcher.insert(extra)
+            searcher.delete(np.arange(0, 90, 9))
+            outputs.append(entry(searcher, queries))
+            searcher.compact()
+            outputs.append(entry(searcher, queries))
+            return outputs
+
+        sequential = run(
+            lambda s, qs: [s.search(q, 7, nprobe=3) for q in qs]
+        )
+        batched = run(lambda s, qs: list(s.search_batch(qs, 7, nprobe=3)))
+        for seq_stage, batch_stage in zip(sequential, batched):
+            for a, b in zip(seq_stage, batch_stage):
+                _assert_result_equal(a, b)
+
+    @pytest.mark.parametrize("metric", SIM_METRICS)
+    def test_sharded_matches_hand_merged_standalone(self, corpus, metric):
+        # The sharded engine must equal standalone searchers queried one by
+        # one and merged by the stable metric-aware top-k rule.
+        data, _, queries = corpus
+        resolved = resolve_metric(metric)
+        sharded = ShardedSearcher(
+            2,
+            n_threads=0,
+            n_clusters=4,
+            rabitq_config=RaBitQConfig(seed=5),
+            rng=13,
+            metric=metric,
+        ).fit(data)
+        # Standalone twins with identical states (same spawned rngs).
+        from repro.substrates.rng import spawn_rngs
+
+        shard_rngs = spawn_rngs(13, 2)
+        rows = [np.arange(0, N, 2), np.arange(1, N, 2)]  # round-robin
+        twins = [
+            IVFQuantizedSearcher(
+                "rabitq",
+                n_clusters=4,
+                rabitq_config=RaBitQConfig(seed=5),
+                rng=shard_rngs[s],
+                metric=metric,
+            ).fit(data[rows[s]])
+            for s in range(2)
+        ]
+        for query in queries:
+            got = sharded.search(query, 9, nprobe=3)
+            per_shard = [t.search(query, 9, nprobe=3) for t in twins]
+            gids = np.concatenate(
+                [rows[s][r.ids] for s, r in enumerate(per_shard)]
+            )
+            vals = np.concatenate([r.distances for r in per_shard])
+            keep = min(9, gids.shape[0])
+            order = np.argsort(resolved.sort_key(vals), kind="stable")[:keep]
+            np.testing.assert_array_equal(got.ids, gids[order])
+            np.testing.assert_array_equal(got.distances, vals[order])
+
+    @pytest.mark.parametrize("metric", SIM_METRICS)
+    def test_sharded_parallel_equals_serial(self, corpus, metric, tmp_path):
+        data, _, queries = corpus
+        sharded = ShardedSearcher(
+            3,
+            n_threads=1,
+            n_clusters=4,
+            rabitq_config=RaBitQConfig(seed=5),
+            rng=13,
+            metric=metric,
+        ).fit(data)
+        archive = tmp_path / f"sharded_{metric}"
+        save_sharded_searcher(sharded, archive)
+        serial = load_sharded_searcher(archive, n_threads=0)
+        parallel = load_sharded_searcher(archive, n_threads=3)
+        a = serial.search_batch(queries, 8, nprobe=3)
+        b = parallel.search_batch(queries, 8, nprobe=3)
+        for i in range(queries.shape[0]):
+            _assert_result_equal(a[i], b[i])
+        serial.close()
+        parallel.close()
+
+
+class TestMetricPersistence:
+    @pytest.mark.parametrize("metric", SIM_METRICS)
+    def test_round_trip_bit_identical(self, corpus, metric, tmp_path):
+        data, extra, queries = corpus
+        searcher = _build(metric, data)
+        searcher.insert(extra)
+        searcher.delete([3, 8, 100])
+        path = tmp_path / f"{metric}.npz"
+        save_searcher(searcher, path)
+        twin = _build(metric, data)
+        twin.insert(extra)
+        twin.delete([3, 8, 100])
+        loaded = load_searcher(path)
+        assert loaded.metric == metric
+        for query in queries:
+            _assert_result_equal(
+                loaded.search(query, 6, nprobe=4), twin.search(query, 6, nprobe=4)
+            )
+        # ... and the reloaded searcher supports the further lifecycle.
+        loaded.insert(np.random.default_rng(1).standard_normal((4, DIM)))
+        loaded.compact()
+
+    def test_v3_archive_loads_as_l2(self, corpus, tmp_path):
+        # A v4 l2 archive minus the "metric" key *is* a v3 archive; loading
+        # it through the legacy path must produce the same searcher.
+        data, _, queries = corpus
+        searcher = _build("l2", data)
+        v4_path = tmp_path / "v4.npz"
+        save_searcher(searcher, v4_path)
+        with np.load(v4_path) as archive:
+            contents = {key: archive[key] for key in archive.files}
+        assert int(contents["format_version"]) == SEARCHER_FORMAT_VERSION == 4
+        contents.pop("metric")
+        contents["format_version"] = np.int64(3)
+        v3_path = tmp_path / "v3.npz"
+        np.savez_compressed(v3_path, **contents)
+        from_v3 = load_searcher(v3_path)
+        from_v4 = load_searcher(v4_path)
+        assert from_v3.metric == from_v4.metric == "l2"
+        for query in queries[:4]:
+            _assert_result_equal(
+                from_v3.search(query, 5, nprobe=4),
+                from_v4.search(query, 5, nprobe=4),
+            )
+
+    def test_similarity_archive_under_v3_version_rejected(
+        self, corpus, tmp_path
+    ):
+        # A 9-row constants matrix can only be a v4 similarity archive;
+        # mislabelling it as v3 (implicitly l2) must fail loudly.
+        data, _, _ = corpus
+        searcher = _build("ip", data)
+        path = tmp_path / "ip.npz"
+        save_searcher(searcher, path)
+        with np.load(path) as archive:
+            contents = {key: archive[key] for key in archive.files}
+        contents.pop("metric")
+        contents["format_version"] = np.int64(3)
+        bad = tmp_path / "mislabelled.npz"
+        np.savez_compressed(bad, **contents)
+        with pytest.raises(PersistenceError, match="fused"):
+            load_searcher(bad)
+
+    def test_sharded_manifest_records_metric(self, corpus, tmp_path):
+        data, _, _ = corpus
+        sharded = ShardedSearcher(
+            2,
+            n_threads=0,
+            n_clusters=4,
+            rabitq_config=RaBitQConfig(seed=5),
+            rng=13,
+            metric="cosine",
+        ).fit(data)
+        archive = tmp_path / "sharded_cosine"
+        save_sharded_searcher(sharded, archive)
+        import json
+
+        manifest = json.loads((archive / "manifest.json").read_text())
+        assert manifest["metric"] == "cosine"
+        loaded = load_sharded_searcher(archive, n_threads=0)
+        assert loaded.metric == "cosine"
+        assert all(shard.metric == "cosine" for shard in loaded.shards)
+        # A manifest that disagrees with its shard archives is rejected.
+        manifest["metric"] = "l2"
+        (archive / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="metric"):
+            load_sharded_searcher(archive, n_threads=0)
+
+
+class TestMetricValidationAndDegenerate:
+    def test_external_quantizer_requires_l2(self):
+        from repro.baselines.pq import ProductQuantizer
+
+        with pytest.raises(InvalidParameterError, match="metric"):
+            IVFQuantizedSearcher(
+                "external",
+                external_quantizer=ProductQuantizer(4, 3, rng=0),
+                metric="ip",
+            )
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IVFQuantizedSearcher("rabitq", metric="dot")
+        with pytest.raises(InvalidParameterError):
+            ShardedSearcher(2, metric="dot")
+
+    @pytest.mark.parametrize("metric", SIM_METRICS)
+    def test_k_larger_than_live_set(self, corpus, metric):
+        data, _, queries = corpus
+        searcher = _build(metric, data[:30])
+        result = searcher.search(queries[0], 50, nprobe=N_CLUSTERS)
+        assert result.ids.shape[0] == 30
+        assert np.all(np.diff(result.distances) <= 0.0)
+
+    def test_cosine_zero_query(self, corpus):
+        data, _, _ = corpus
+        searcher = _build("cosine", data)
+        result = searcher.search(np.zeros(DIM), 5, nprobe=3)
+        assert result.ids.shape[0] == 5
+        assert np.all(result.distances == 0.0)
+
+    @pytest.mark.parametrize("metric", SIM_METRICS)
+    def test_deleted_ids_never_returned(self, corpus, metric):
+        data, _, queries = corpus
+        searcher = _build(metric, data)
+        gone = np.arange(0, N, 3)
+        searcher.delete(gone)
+        gone_set = set(gone.tolist())
+        for query in queries[:4]:
+            result = searcher.search(query, 12, nprobe=N_CLUSTERS)
+            assert not (set(result.ids.tolist()) & gone_set)
