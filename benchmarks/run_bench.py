@@ -39,6 +39,12 @@ Measured quantities per run:
   batch/single-query QPS tracked alongside the L2 numbers.  Every record
   carries a ``metric`` field; the ``--check`` gate also covers the MIPS
   batch QPS.
+* ``estimation_modes`` — per-kernel QPS of the three ``<x_b, q̄_u>``
+  estimation modes (``gemm`` / ``lut`` / ``lut8``), each answering the same
+  workload from a fresh reload of one shared archive, plus a hard
+  ``lut_matches_gemm`` bit-identity gate (any divergence fails the run) and
+  the end-to-end recall of the reduced-precision ``lut8`` path.  The
+  ``--check`` gate covers the ``lut`` and ``lut8`` batch QPS rows.
 * ``phases`` — coarse per-phase breakdown of the sequential path (probe /
   rerank / estimation+preparation) from an instrumented second pass.
 * ``kernels`` — micro-benchmarks of the packed-bit kernels at fixed sizes.
@@ -326,6 +332,93 @@ def bench_sharded(args, dataset) -> dict:
     return out
 
 
+def bench_estimation_modes(args, dataset) -> dict:
+    """Per-kernel QPS of the three ``<x_b, q̄_u>`` estimation modes.
+
+    One index is fitted and archived once; each mode then answers the same
+    query workload from a *fresh reload* of that archive, so every engine
+    starts from the identical rounding-stream state and the comparison
+    isolates the estimation kernel (GEMM on unpacked bits vs. fast-scan
+    4-bit LUT accumulation vs. uint8-quantized LUTs).  The ``lut`` row
+    doubles as a hard equivalence gate: its batch ids and distances must
+    match ``gemm`` bit for bit or the whole run fails.
+    """
+    import shutil
+    import tempfile
+
+    from repro.io.persistence import load_searcher, save_searcher
+
+    data, queries = dataset.data, dataset.queries
+    k, nprobe = args.k, args.nprobe
+    n_single = min(args.n_queries, args.n_single)
+
+    searcher = IVFQuantizedSearcher(
+        "rabitq", rabitq_config=RaBitQConfig(seed=0), rng=args.seed
+    ).fit(data)
+    tmp = Path(tempfile.mkdtemp(prefix="run_bench_modes_"))
+    modes: dict[str, dict] = {}
+    reference = None
+    lut_matches = True
+    try:
+        archive = tmp / "idx.npz"
+        save_searcher(searcher, archive)
+        del searcher
+        for mode in ("gemm", "lut", "lut8"):
+            engine = load_searcher(archive)
+            engine.estimation_mode = mode
+            # Warm-up consumes the same randomness in every engine (stream
+            # consumption is mode-independent), keeping the timed batches
+            # comparable bit for bit.
+            engine.search_batch(queries[: min(16, len(queries))], k, nprobe=nprobe)
+            for query in queries[: min(16, len(queries))]:
+                engine.search(query, k, nprobe=nprobe)
+
+            start = time.perf_counter()
+            batch = engine.search_batch(queries, k, nprobe=nprobe)
+            batch_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            for query in queries[:n_single]:
+                engine.search(query, k, nprobe=nprobe)
+            single_seconds = time.perf_counter() - start
+
+            recall = recall_at_k([r.ids for r in batch], dataset.ground_truth, k)
+            if mode == "gemm":
+                reference = batch
+            elif mode == "lut":
+                lut_matches = all(
+                    np.array_equal(a.ids, b.ids)
+                    and np.array_equal(a.distances, b.distances)
+                    for a, b in zip(reference, batch)
+                )
+            modes[mode] = {
+                "single_query": {
+                    "n_queries": n_single,
+                    "qps": round(n_single / single_seconds, 1),
+                },
+                "batch": {
+                    "n_queries": len(queries),
+                    "qps": round(len(queries) / batch_seconds, 1),
+                },
+                f"recall_at_{k}": round(float(recall), 4),
+            }
+            print(
+                f"[run_bench] mode {mode}: single "
+                f"{modes[mode]['single_query']['qps']} QPS | batch "
+                f"{modes[mode]['batch']['qps']} QPS | recall@{k} "
+                f"{recall:.4f}",
+                flush=True,
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    print(f"[run_bench] lut matches gemm bit-for-bit: {lut_matches}", flush=True)
+    return {
+        "metric": "l2",
+        "modes": modes,
+        "lut_matches_gemm": bool(lut_matches),
+    }
+
+
 def bench_similarity(args, dataset, metric: str) -> dict:
     """MIPS / cosine workload: metric-generic searcher vs. metric ground truth.
 
@@ -416,6 +509,26 @@ def bench_kernels(args) -> dict:
         ),
     }
 
+    from repro.core import lut as lutmod
+
+    segments = lutmod.split_into_segments(bits)
+    luts = lutmod.build_query_luts(plane_values.astype(np.float64))
+    q8_tables, q8_scale, q8_offset = lutmod.quantize_luts_to_uint8(luts)
+    out["split_into_segments_seconds"] = _timeit(
+        lambda: lutmod.split_into_segments(bits)
+    )
+    out["build_query_luts_seconds"] = _timeit(
+        lambda: lutmod.build_query_luts(plane_values.astype(np.float64))
+    )
+    out["lut_accumulate_seconds"] = _timeit(
+        lambda: lutmod.lut_accumulate(segments, luts)
+    )
+    out["lut_accumulate_uint8_seconds"] = _timeit(
+        lambda: lutmod.lut_accumulate_uint8(
+            segments, q8_tables, q8_scale, q8_offset
+        )
+    )
+
     quantized_dot = rng.normal(size=n_codes)
     alignments = rng.uniform(0.5, 1.0, size=n_codes)
     norms = rng.uniform(0.5, 2.0, size=n_codes)
@@ -489,6 +602,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the MIPS (metric='ip') and cosine workloads",
     )
+    parser.add_argument(
+        "--skip-estimation-modes",
+        action="store_true",
+        help="skip the gemm/lut/lut8 estimation-kernel comparison",
+    )
     args = parser.parse_args(argv)
 
     if args.small:
@@ -523,6 +641,10 @@ def main(argv=None) -> int:
     if not args.skip_similarity:
         run["results"]["mips"] = bench_similarity(args, dataset, "ip")
         run["results"]["cosine"] = bench_similarity(args, dataset, "cosine")
+    if not args.skip_estimation_modes:
+        run["results"]["estimation_modes"] = bench_estimation_modes(
+            args, dataset
+        )
     if not args.skip_kernels:
         run["kernels"] = bench_kernels(args)
 
@@ -566,6 +688,14 @@ def main(argv=None) -> int:
                 f"{sorted({e['shards'] for e in broken})}"
             )
             return 1
+
+    est_modes = run["results"].get("estimation_modes")
+    if est_modes is not None and not est_modes["lut_matches_gemm"]:
+        print(
+            "[run_bench] FAIL: estimation_mode='lut' batch results diverged "
+            "from 'gemm' (the LUT path must be bit-identical)"
+        )
+        return 1
 
     if args.check:
         baseline_doc = json.loads(Path(args.check).read_text())
@@ -618,6 +748,30 @@ def main(argv=None) -> int:
                     f"{args.max_regression:.0%}"
                 )
                 return 1
+
+        # Estimation-kernel gates: the LUT paths must not silently regress
+        # (present only when both runs measured them).
+        base_modes = baseline["results"].get("estimation_modes")
+        got_modes = run["results"].get("estimation_modes")
+        if base_modes is not None and got_modes is not None:
+            for mode in ("lut", "lut8"):
+                base_row = base_modes["modes"].get(mode)
+                got_row = got_modes["modes"].get(mode)
+                if base_row is None or got_row is None:
+                    continue
+                base_qps = base_row["batch"]["qps"]
+                got_qps = got_row["batch"]["qps"]
+                floor = (1.0 - args.max_regression) * base_qps
+                print(
+                    f"[run_bench] {mode} regression gate (batch): {got_qps} "
+                    f"QPS vs baseline {base_qps} QPS (floor {floor:.1f})"
+                )
+                if got_qps < floor:
+                    print(
+                        f"[run_bench] FAIL: {mode} batch QPS regressed > "
+                        f"{args.max_regression:.0%}"
+                    )
+                    return 1
 
         # MIPS workload gate: the metric-generic path must not silently
         # regress either (present only when both runs measured it).

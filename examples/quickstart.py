@@ -21,7 +21,7 @@ The searcher stores its codes in a contiguous *code arena* — one
 cluster-grouped packed code matrix plus one fused matrix of per-code
 estimator constants — so probing clusters yields contiguous array slices
 and estimation runs as one integer inner-product pass plus one fused
-affine transform (see ``benchmarks/README.md`` for the layout, the v3
+affine transform (see ``benchmarks/README.md`` for the layout, the v5
 archive format, and ``benchmarks/run_bench.py`` for the tracked
 single-query/batch QPS trajectory in ``BENCH_ann.json``).
 
@@ -50,6 +50,16 @@ sharded merge all follow the metric (results then report similarity
 scores, descending).  See ``examples/mips_search.py`` and the "Metric
 selection" section of ``benchmarks/README.md``; archives record the
 metric (format v4), and pre-metric archives load as ``l2``.
+
+Which estimation kernel: ``estimation_mode="gemm"`` (default) computes the
+coarse integer dots as one float64 GEMM per probed cluster;
+``estimation_mode="lut"`` runs the paper's fast-scan 4-bit look-up-table
+accumulation (Sec. 3.3.2) with *bit-identical* answers, and ``"lut8"``
+additionally quantizes each query's tables to uint8 as the SIMD layout
+does (bounded extra estimation error, corrected by the exact re-rank).
+The mode is a constructor argument and a settable property on a fitted
+searcher; archives record it (format v5).  See the "Estimation modes"
+section of ``benchmarks/README.md``.
 
 Run with:  python examples/quickstart.py
 """
@@ -163,6 +173,16 @@ def main() -> None:
         print(f"Reloaded searcher top-5 ids: {again.ids.tolist()} "
               f"(identical: "
               f"{np.array_equal(result.ids, again.ids) and np.array_equal(result.distances, again.distances)})")
+
+        # Estimation kernels: the fast-scan LUT mode answers bit-identically
+        # to the default GEMM mode (switching consumes no randomness, so the
+        # two searchers stay stream-for-stream comparable).
+        restored.estimation_mode = "lut"
+        via_lut = restored.search(query, 5, nprobe=16)
+        via_gemm = searcher.search(query, 5, nprobe=16)
+        print(f"estimation_mode='lut' top-5 ids: {via_lut.ids.tolist()} "
+              f"(identical to gemm: "
+              f"{np.array_equal(via_lut.ids, via_gemm.ids) and np.array_equal(via_lut.distances, via_gemm.distances)})")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,15 @@ lookups.  On real hardware the tables live in SIMD registers and the lookups
 use shuffle instructions (the PQ fast-scan layout); here the same structure is
 emulated with vectorized NumPy gathers, which preserves the algorithm and the
 operation counts while running at NumPy speed.
+
+Exactness contract: the query codes are small unsigned integers, so every LUT
+entry (a sum of at most 4 of them) and every accumulated total (a sum of at
+most ``code_length/4`` entries) is an integer far below 2**53.  Float64
+accumulation is therefore *exact*, and the ``lut_accumulate`` path produces
+bit-identical integer dots to the packed popcount / GEMM kernels.  The
+``uint8`` variants trade that exactness for the reduced-precision table
+layout real fast-scan uses; their error is bounded by
+``n_segments * scale / 2``.
 """
 
 from __future__ import annotations
@@ -28,6 +37,33 @@ _PATTERN_BITS = np.array(
      for pattern in range(SEGMENT_PATTERNS)],
     dtype=np.float64,
 )
+
+#: Cap on the (n_queries, n_codes, n_segments) gather tensor of the batched
+#: accumulators, in elements (8 bytes each => ~32 MiB peak).  Chunking runs
+#: over the query axis only, so results are unchanged.
+_BATCH_GATHER_ELEMENTS = 4_000_000
+
+
+def _as_segment_matrix(segment_ids: np.ndarray, n_segments: int) -> np.ndarray:
+    """Normalize segment ids to a 2-D ``(n_codes, n_segments)`` batch.
+
+    A 1-D input of size 0 is an *empty batch* (0 codes), not a single code
+    of zero segments; without this rule ``np.atleast_2d`` would promote it
+    to shape ``(1, 0)`` and fabricate a spurious result row.
+    """
+    ids = np.asarray(segment_ids)
+    if ids.ndim == 1:
+        ids = ids[None, :] if ids.size else ids.reshape(0, n_segments)
+    elif ids.ndim != 2:
+        raise InvalidParameterError(
+            f"segment ids must be 1-D or 2-D, got ndim={ids.ndim}"
+        )
+    if ids.shape[1] != n_segments:
+        raise DimensionMismatchError(
+            f"segment count mismatch: codes have {ids.shape[1]}, "
+            f"LUTs have {n_segments}"
+        )
+    return ids
 
 
 def split_into_segments(bits: np.ndarray) -> np.ndarray:
@@ -64,7 +100,8 @@ def build_query_luts(query_codes: np.ndarray) -> np.ndarray:
     ----------
     query_codes:
         Unsigned-integer query coordinates ``q̄_u``, shape ``(code_length,)``
-        with ``code_length`` a multiple of 4.
+        with ``code_length`` a multiple of 4.  An empty query yields the
+        well-shaped empty table ``(0, 16)``.
 
     Returns
     -------
@@ -84,6 +121,35 @@ def build_query_luts(query_codes: np.ndarray) -> np.ndarray:
     return segments @ _PATTERN_BITS.T
 
 
+def build_query_luts_batch(query_codes: np.ndarray) -> np.ndarray:
+    """Pre-compute LUTs for a batch of quantized queries at once.
+
+    Parameters
+    ----------
+    query_codes:
+        Unsigned-integer query coordinates, shape ``(n_queries, code_length)``
+        with ``code_length`` a multiple of 4.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float array of shape ``(n_queries, code_length / 4, 16)``; slice
+        ``[i]`` equals ``build_query_luts(query_codes[i])``.
+    """
+    queries = np.asarray(query_codes, dtype=np.float64)
+    if queries.ndim != 2:
+        raise InvalidParameterError(
+            f"query batch must be 2-D, got ndim={queries.ndim}"
+        )
+    if queries.shape[1] % SEGMENT_BITS != 0:
+        raise InvalidParameterError(
+            f"query length {queries.shape[1]} is not a multiple of {SEGMENT_BITS}"
+        )
+    n_segments = queries.shape[1] // SEGMENT_BITS
+    segments = queries.reshape(queries.shape[0], n_segments, SEGMENT_BITS)
+    return segments @ _PATTERN_BITS.T
+
+
 def lut_accumulate(segment_ids: np.ndarray, luts: np.ndarray) -> np.ndarray:
     """Accumulate look-up-table values for a batch of codes.
 
@@ -91,6 +157,7 @@ def lut_accumulate(segment_ids: np.ndarray, luts: np.ndarray) -> np.ndarray:
     ----------
     segment_ids:
         Output of :func:`split_into_segments`, shape ``(n_codes, n_segments)``.
+        An empty batch (0 codes) yields the well-shaped empty result ``(0,)``.
     luts:
         Output of :func:`build_query_luts`, shape ``(n_segments, 16)``.
 
@@ -100,20 +167,54 @@ def lut_accumulate(segment_ids: np.ndarray, luts: np.ndarray) -> np.ndarray:
         ``<x_b, q̄_u>`` per code as ``float64`` (exact integers when the query
         codes are integers).
     """
-    ids = np.atleast_2d(np.asarray(segment_ids))
     tables = np.asarray(luts, dtype=np.float64)
-    if ids.shape[1] != tables.shape[0]:
-        raise DimensionMismatchError(
-            f"segment count mismatch: codes have {ids.shape[1]}, "
-            f"LUTs have {tables.shape[0]}"
-        )
-    if tables.shape[1] != SEGMENT_PATTERNS:
+    if tables.ndim != 2 or tables.shape[1] != SEGMENT_PATTERNS:
         raise DimensionMismatchError(
             f"LUTs must have {SEGMENT_PATTERNS} entries per segment"
         )
+    ids = _as_segment_matrix(segment_ids, tables.shape[0])
     segment_index = np.arange(ids.shape[1])[None, :]
     values = tables[segment_index, ids.astype(np.intp)]
     return values.sum(axis=1)
+
+
+def lut_accumulate_batch(segment_ids: np.ndarray, luts: np.ndarray) -> np.ndarray:
+    """Accumulate LUT values for a batch of codes against a batch of queries.
+
+    Parameters
+    ----------
+    segment_ids:
+        Output of :func:`split_into_segments`, shape ``(n_codes, n_segments)``.
+    luts:
+        Output of :func:`build_query_luts_batch`, shape
+        ``(n_queries, n_segments, 16)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float64 matrix of shape ``(n_queries, n_codes)``; row ``i`` equals
+        ``lut_accumulate(segment_ids, luts[i])`` bit-for-bit (the
+        accumulated values are exact integers).
+    """
+    tables = np.asarray(luts, dtype=np.float64)
+    if tables.ndim != 3 or tables.shape[2] != SEGMENT_PATTERNS:
+        raise DimensionMismatchError(
+            f"batched LUTs must have shape (n_queries, n_segments, "
+            f"{SEGMENT_PATTERNS})"
+        )
+    ids = _as_segment_matrix(segment_ids, tables.shape[1])
+    segment_index = np.arange(ids.shape[1])[None, :]
+    idx = ids.astype(np.intp)
+    # (n_queries, n_codes, n_segments) gather, reduced over segments;
+    # chunked over queries to bound the transient tensor.
+    n_queries = tables.shape[0]
+    per_query = max(1, ids.shape[0] * ids.shape[1])
+    step = max(1, _BATCH_GATHER_ELEMENTS // per_query)
+    out = np.empty((n_queries, ids.shape[0]), dtype=np.float64)
+    for lo in range(0, n_queries, step):
+        hi = min(lo + step, n_queries)
+        out[lo:hi] = tables[lo:hi, segment_index, idx].sum(axis=2)
+    return out
 
 
 def quantize_luts_to_uint8(
@@ -131,13 +232,24 @@ def quantize_luts_to_uint8(
     (quantized, scale, offset):
         ``quantized`` has dtype ``uint8`` and the same shape as ``luts``;
         a LUT value ``v`` is recovered approximately as
-        ``offset + scale * quantized``.
+        ``offset + scale * quantized``.  A constant table quantizes to
+        all-zero codes with ``scale == 0.0``, making the recovery exact.
+
+    Raises
+    ------
+    InvalidParameterError
+        If any LUT entry is NaN or infinite: a non-finite value would
+        poison the min/max range and silently produce garbage codes.
     """
     tables = np.asarray(luts, dtype=np.float64)
+    if not np.isfinite(tables).all():
+        raise InvalidParameterError("LUT entries must be finite")
+    if tables.size == 0:
+        return np.zeros_like(tables, dtype=np.uint8), 0.0, 0.0
     low = float(tables.min())
     high = float(tables.max())
     if high <= low:
-        return np.zeros_like(tables, dtype=np.uint8), 1.0, low
+        return np.zeros_like(tables, dtype=np.uint8), 0.0, low
     scale = (high - low) / 255.0
     quantized = np.round((tables - low) / scale).astype(np.uint8)
     return quantized, scale, low
@@ -154,19 +266,70 @@ def lut_accumulate_uint8(
     Mirrors the reduced-precision accumulation of the SIMD fast-scan: the
     result is ``offset * n_segments + scale * sum(lookups)`` and therefore
     carries the (small) extra error the paper's batch implementation incurs.
+    An empty code batch yields the well-shaped empty result ``(0,)``.
     """
-    ids = np.atleast_2d(np.asarray(segment_ids))
     tables = np.asarray(quantized_luts)
     if tables.dtype != np.uint8:
         raise InvalidParameterError("quantized_luts must have dtype uint8")
-    if ids.shape[1] != tables.shape[0]:
-        raise DimensionMismatchError(
-            f"segment count mismatch: codes have {ids.shape[1]}, "
-            f"LUTs have {tables.shape[0]}"
-        )
+    ids = _as_segment_matrix(segment_ids, tables.shape[0])
     segment_index = np.arange(ids.shape[1])[None, :]
     values = tables[segment_index, ids].astype(np.int64)
     return offset * ids.shape[1] + scale * values.sum(axis=1)
+
+
+def lut_accumulate_uint8_batch(
+    segment_ids: np.ndarray,
+    quantized_luts: np.ndarray,
+    scales: np.ndarray,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """Batched variant of :func:`lut_accumulate_uint8`.
+
+    Parameters
+    ----------
+    segment_ids:
+        Output of :func:`split_into_segments`, shape ``(n_codes, n_segments)``.
+    quantized_luts:
+        Stacked per-query ``uint8`` tables, shape
+        ``(n_queries, n_segments, 16)``.
+    scales, offsets:
+        Per-query dequantization factors, shape ``(n_queries,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float64 matrix of shape ``(n_queries, n_codes)``; row ``i`` equals
+        ``lut_accumulate_uint8(segment_ids, quantized_luts[i], scales[i],
+        offsets[i])`` bit-for-bit (identical elementwise scalar op order:
+        ``offset * n_segments + scale * int_sum``).
+    """
+    tables = np.asarray(quantized_luts)
+    if tables.dtype != np.uint8:
+        raise InvalidParameterError("quantized_luts must have dtype uint8")
+    if tables.ndim != 3 or tables.shape[2] != SEGMENT_PATTERNS:
+        raise DimensionMismatchError(
+            f"batched LUTs must have shape (n_queries, n_segments, "
+            f"{SEGMENT_PATTERNS})"
+        )
+    ids = _as_segment_matrix(segment_ids, tables.shape[1])
+    scale_col = np.asarray(scales, dtype=np.float64).reshape(-1, 1)
+    offset_col = np.asarray(offsets, dtype=np.float64).reshape(-1, 1)
+    if scale_col.shape[0] != tables.shape[0] or offset_col.shape[0] != tables.shape[0]:
+        raise DimensionMismatchError(
+            "scales/offsets must have one entry per query LUT"
+        )
+    segment_index = np.arange(ids.shape[1])[None, :]
+    idx = ids.astype(np.intp)
+    n_queries = tables.shape[0]
+    per_query = max(1, ids.shape[0] * ids.shape[1])
+    step = max(1, _BATCH_GATHER_ELEMENTS // per_query)
+    sums = np.empty((n_queries, ids.shape[0]), dtype=np.int64)
+    for lo in range(0, n_queries, step):
+        hi = min(lo + step, n_queries)
+        sums[lo:hi] = (
+            tables[lo:hi, segment_index, idx].astype(np.int64).sum(axis=2)
+        )
+    return offset_col * ids.shape[1] + scale_col * sums
 
 
 __all__ = [
@@ -174,7 +337,10 @@ __all__ = [
     "SEGMENT_PATTERNS",
     "split_into_segments",
     "build_query_luts",
+    "build_query_luts_batch",
     "lut_accumulate",
+    "lut_accumulate_batch",
     "quantize_luts_to_uint8",
     "lut_accumulate_uint8",
+    "lut_accumulate_uint8_batch",
 ]

@@ -9,6 +9,9 @@ replaces that object soup with one contiguous, cluster-grouped layout:
 * ``codes`` — one ``(capacity, n_words)`` ``uint64`` matrix of packed codes;
 * ``bits`` — the same codes unpacked to 0/1 ``uint8`` (the operand of the
   integer-exact GEMM/GEMV estimation kernel; 1 byte per code bit);
+* ``segs`` — the same codes grouped into 4-bit segment ids
+  (:func:`repro.core.lut.split_into_segments`; the operand of the
+  fast-scan LUT estimation kernel, ``estimation_mode="lut"``/``"lut8"``);
 * ``consts`` — one ``(N_CONSTS, capacity)`` float64 matrix of fused
   estimator constants (see :func:`repro.core.estimator.build_code_consts`),
   stored constants-major so each constant's slice over a cluster is
@@ -36,6 +39,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.estimator import N_CONSTS
+from repro.core.lut import SEGMENT_BITS, split_into_segments
 from repro.exceptions import DimensionMismatchError, InvalidParameterError
 
 #: Extra capacity factor applied to a cluster region when it overflows.
@@ -64,6 +68,7 @@ class CodeArena:
     __slots__ = (
         "codes",
         "bits",
+        "segs",
         "consts",
         "slots",
         "starts",
@@ -92,6 +97,9 @@ class CodeArena:
         self.n_consts = int(n_consts)
         self.codes = np.empty((0, self.n_words), dtype=np.uint64)
         self.bits = np.empty((0, self.code_length), dtype=np.uint8)
+        self.segs = np.empty(
+            (0, self.code_length // SEGMENT_BITS), dtype=np.uint8
+        )
         self.consts = np.empty((self.n_consts, 0), dtype=np.float64)
         self.slots = np.empty(0, dtype=np.int64)
         self.starts = np.zeros(n_clusters, dtype=np.int64)
@@ -117,6 +125,7 @@ class CodeArena:
         return int(
             self.codes.nbytes
             + self.bits.nbytes
+            + self.segs.nbytes
             + self.consts.nbytes
             + self.slots.nbytes
         )
@@ -135,6 +144,11 @@ class CodeArena:
         """Unpacked 0/1 codes of cluster ``cid`` (a contiguous view)."""
         start, end = self.cluster_range(cid)
         return self.bits[start:end]
+
+    def cluster_segments(self, cid: int) -> np.ndarray:
+        """4-bit segment ids of cluster ``cid`` (a contiguous view)."""
+        start, end = self.cluster_range(cid)
+        return self.segs[start:end]
 
     def cluster_consts(self, cid: int) -> np.ndarray:
         """Fused constants of cluster ``cid``, shape ``(N_CONSTS, size)``."""
@@ -179,6 +193,9 @@ class CodeArena:
         total = int(caps.sum())
         self.codes = np.zeros((total, self.n_words), dtype=np.uint64)
         self.bits = np.zeros((total, self.code_length), dtype=np.uint8)
+        self.segs = np.zeros(
+            (total, self.code_length // SEGMENT_BITS), dtype=np.uint8
+        )
         self.consts = np.zeros((self.n_consts, total), dtype=np.float64)
         self.slots = np.full(total, -1, dtype=np.int64)
         self.caps = caps.astype(np.int64, copy=True)
@@ -187,11 +204,14 @@ class CodeArena:
         )
         self.sizes = sizes.astype(np.int64, copy=True)
 
-    def _write_block(self, cid, offset, codes, bits, consts, slots) -> None:
+    def _write_block(self, cid, offset, codes, bits, consts, slots, segs=None) -> None:
         pos = int(self.starts[cid]) + int(offset)
         end = pos + codes.shape[0]
         self.codes[pos:end] = codes
         self.bits[pos:end] = bits
+        # Segment ids are derived from the unpacked bits unless the caller
+        # already holds them (rebuild/compact copy the existing rows).
+        self.segs[pos:end] = split_into_segments(bits) if segs is None else segs
         self.consts[:, pos:end] = consts
         self.slots[pos:end] = slots
 
@@ -230,6 +250,7 @@ class CodeArena:
     def _rebuild(self, new_caps: np.ndarray) -> None:
         """Re-lay-out every region with the given capacities (data preserved)."""
         old_codes, old_bits = self.codes, self.bits
+        old_segs = self.segs
         old_consts, old_slots = self.consts, self.slots
         old_starts, sizes = self.starts.copy(), self.sizes.copy()
         self._allocate(sizes, new_caps)
@@ -245,6 +266,7 @@ class CodeArena:
                 old_bits[src],
                 old_consts[:, src],
                 old_slots[src],
+                segs=old_segs[src],
             )
 
     def compact(self, keep_slot: np.ndarray) -> None:
@@ -259,6 +281,7 @@ class CodeArena:
         mask = np.asarray(keep_slot, dtype=bool).reshape(-1)
         remap = np.cumsum(mask, dtype=np.int64) - 1
         old_codes, old_bits = self.codes, self.bits
+        old_segs = self.segs
         old_consts, old_slots = self.consts, self.slots
         old_starts, old_sizes = self.starts.copy(), self.sizes.copy()
 
@@ -285,6 +308,7 @@ class CodeArena:
                 old_bits[kept],
                 old_consts[:, kept],
                 remap[old_slots[kept]],
+                segs=old_segs[kept],
             )
 
 

@@ -147,6 +147,15 @@ from repro.core.estimator import (
     fused_estimate,
     undo_query_quantization,
 )
+from repro.core.lut import (
+    build_query_luts,
+    build_query_luts_batch,
+    lut_accumulate,
+    lut_accumulate_batch,
+    lut_accumulate_uint8,
+    lut_accumulate_uint8_batch,
+    quantize_luts_to_uint8,
+)
 from repro.core.metric import Metric, resolve_metric
 from repro.core.quantizer import encode_rows
 from repro.core.query import quantize_query_matrix, quantize_query_vector
@@ -168,6 +177,9 @@ from repro.substrates.rng import RngLike, ensure_rng, spawn_rngs
 #: processed query chunk in :meth:`IVFQuantizedSearcher.search_batch`
 #: (4 float64 fields => roughly 256 MiB at this setting).
 _SEARCH_BATCH_MAX_PAIRS = 8_000_000
+
+#: The supported ``<x_b, q̄_u>`` estimation kernels (see the class docstring).
+_ESTIMATION_MODES = ("gemm", "lut", "lut8")
 
 
 @dataclass(frozen=True)
@@ -266,12 +278,32 @@ class _PreparedClusterQuery:
     None`` therefore always sees a complete, internally consistent
     preparation, even when cache-enabled searchers are queried from
     several threads.
+
+    ``luts`` / ``lut8_tables`` hold the fast-scan look-up tables of the
+    LUT estimation modes, derived lazily from ``codes_f64`` on first use
+    (building them consumes no randomness, so the per-cluster rounding
+    streams — and therefore the ``lut`` ≡ ``gemm`` bit-identity — are
+    independent of the estimation mode).  ``lut8_tables`` is assigned
+    last of the three uint8 fields, making it the publication sentinel of
+    the quantized tables under the same torn-read rules as ``codes_f64``.
     """
 
-    __slots__ = ("codes_f64", "delta", "lower", "sum_codes_f", "query_norm")
+    __slots__ = (
+        "codes_f64",
+        "delta",
+        "lower",
+        "sum_codes_f",
+        "query_norm",
+        "luts",
+        "lut8_tables",
+        "lut8_scale",
+        "lut8_offset",
+    )
 
     def __init__(self) -> None:
         self.codes_f64 = None
+        self.luts = None
+        self.lut8_tables = None
 
 
 def _empty_estimate() -> tuple[np.ndarray, DistanceEstimate]:
@@ -326,6 +358,22 @@ class IVFQuantizedSearcher:
         maximization for similarities, and results report metric values
         best-first.  Similarity metrics require
         ``quantizer_kind="rabitq"``.
+    estimation_mode:
+        The ``<x_b, q̄_u>`` estimation kernel (RaBitQ searchers only):
+        ``"gemm"`` (the default) runs the integer-exact float64 GEMM/GEMV
+        on the unpacked codes; ``"lut"`` runs the paper's fast-scan 4-bit
+        look-up-table accumulation (Sec. 3.3.2) over the arena's segment
+        ids — **bit-identical** to ``"gemm"`` (float64 accumulation of
+        integer query codes is exact) across the whole lifecycle,
+        sequential, batch and sharded; ``"lut8"`` additionally quantizes
+        each query's tables to ``uint8`` as the SIMD fast-scan layout
+        does, trading exactness for the reduced-precision table format
+        (absolute estimation error on the integer dot is bounded by
+        ``n_segments * scale / 2``).  The mode is a property and may be
+        switched on a fitted searcher at any mutation-free point; LUTs
+        are derived lazily per prepared query and consume no randomness,
+        so switching modes never perturbs the rounding streams, and the
+        concurrency / cache contract above is mode-independent.
     """
 
     def __init__(
@@ -340,6 +388,7 @@ class IVFQuantizedSearcher:
         compact_threshold: float | None = 0.25,
         query_cache_size: int = 0,
         metric: str | Metric = "l2",
+        estimation_mode: str = "gemm",
     ) -> None:
         if quantizer_kind not in ("rabitq", "external"):
             raise InvalidParameterError(
@@ -361,6 +410,15 @@ class IVFQuantizedSearcher:
                 "similarity metrics require quantizer_kind='rabitq' "
                 "(external baseline quantizers estimate squared L2 only)"
             )
+        if estimation_mode not in _ESTIMATION_MODES:
+            raise InvalidParameterError(
+                f"estimation_mode must be one of {_ESTIMATION_MODES}"
+            )
+        if estimation_mode != "gemm" and quantizer_kind != "rabitq":
+            raise InvalidParameterError(
+                "LUT estimation modes require quantizer_kind='rabitq'"
+            )
+        self._estimation_mode = estimation_mode
         self.quantizer_kind = quantizer_kind
         self.n_clusters = n_clusters
         self.rabitq_config = (
@@ -404,6 +462,29 @@ class IVFQuantizedSearcher:
     def metric(self) -> str:
         """Name of the served metric (``"l2"``, ``"ip"`` or ``"cosine"``)."""
         return self._metric.name
+
+    @property
+    def estimation_mode(self) -> str:
+        """The ``<x_b, q̄_u>`` kernel: ``"gemm"``, ``"lut"`` or ``"lut8"``.
+
+        Settable on a fitted searcher (outside of concurrent queries):
+        switching kernels changes how the integer dot is computed, never
+        what randomness is consumed, so ``"lut"`` answers stay
+        bit-identical to ``"gemm"`` from any shared stream state.
+        """
+        return self._estimation_mode
+
+    @estimation_mode.setter
+    def estimation_mode(self, mode: str) -> None:
+        if mode not in _ESTIMATION_MODES:
+            raise InvalidParameterError(
+                f"estimation_mode must be one of {_ESTIMATION_MODES}"
+            )
+        if mode != "gemm" and self.quantizer_kind != "rabitq":
+            raise InvalidParameterError(
+                "LUT estimation modes require quantizer_kind='rabitq'"
+            )
+        self._estimation_mode = mode
 
     @property
     def is_fitted(self) -> bool:
@@ -896,14 +977,49 @@ class IVFQuantizedSearcher:
             cache.popitem(last=False)
         return fresh
 
+    @staticmethod
+    def _query_luts(prepared: _PreparedClusterQuery) -> np.ndarray:
+        """The prepared query's fast-scan LUTs, built lazily on first use.
+
+        Derivation is a pure function of the already-quantized codes —
+        no randomness is consumed, so the per-cluster rounding streams
+        (and with them the ``lut`` ≡ ``gemm`` bit-identity) are
+        independent of the estimation mode.  The benign write race under
+        concurrent lazy fills is idempotent (both threads derive the same
+        tables from the same published codes).
+        """
+        luts = prepared.luts
+        if luts is None:
+            luts = build_query_luts(prepared.codes_f64)
+            prepared.luts = luts
+        return luts
+
+    @classmethod
+    def _query_luts_uint8(
+        cls, prepared: _PreparedClusterQuery
+    ) -> tuple[np.ndarray, float, float]:
+        """The prepared query's ``uint8``-quantized LUTs (+ scale/offset)."""
+        tables = prepared.lut8_tables
+        if tables is None:
+            tables, scale, offset = quantize_luts_to_uint8(
+                cls._query_luts(prepared)
+            )
+            prepared.lut8_scale = scale
+            prepared.lut8_offset = offset
+            prepared.lut8_tables = tables  # sentinel last
+            return tables, scale, offset
+        return tables, prepared.lut8_scale, prepared.lut8_offset
+
     def _estimate_rabitq(
         self, query: np.ndarray, cluster_ids: np.ndarray
     ) -> tuple[np.ndarray, DistanceEstimate]:
         """Fused estimation for all live vectors in the probed clusters.
 
-        One integer GEMV per probed cluster on its contiguous arena slice,
-        coefficients and constants gathered into the scratch pool, then a
-        single fused affine/estimator pass over the whole candidate set.
+        One integer pass per probed cluster on its contiguous arena slice
+        — a GEMV over the unpacked codes or a fast-scan LUT accumulation
+        over the segment ids, per ``estimation_mode`` — coefficients and
+        constants gathered into the scratch pool, then a single fused
+        affine/estimator pass over the whole candidate set.
         Tombstoned rows are masked out *after* the full per-cluster estimate
         (never skipped before it): this keeps the per-cluster randomized
         query-rounding streams — and with them the batch ≡ sequential
@@ -926,10 +1042,14 @@ class IVFQuantizedSearcher:
         consts_buf = self._scratch_get(
             "consts", n_consts * total, np.float64
         )[: n_consts * total].reshape(n_consts, total)
-        bits_f = self._scratch_get(
-            "bits_f", max_size * code_length, np.float64
-        )[: max_size * code_length].reshape(max_size, code_length)
-        dot = self._scratch_get("dot", max_size, np.float64)
+        mode = self._estimation_mode
+        if mode == "gemm":
+            bits_f = self._scratch_get(
+                "bits_f", max_size * code_length, np.float64
+            )[: max_size * code_length].reshape(max_size, code_length)
+            dot = self._scratch_get("dot", max_size, np.float64)
+        else:
+            bits_f = dot = None  # LUT modes never touch the unpacked codes
         tmp = self._scratch_get("tmp", max_size, np.float64)
 
         # Similarity metrics need the per-cluster centroid-decomposition
@@ -962,11 +1082,27 @@ class IVFQuantizedSearcher:
             prepared = self._prepared_for(query, key_bytes, cid, residuals[j])
             start = int(arena.starts[cid])
             end = start + size
-            # Integer inner products <x_b, q_u>: float64 GEMV on the
-            # unpacked codes — exact (all partial sums are integers far
-            # below 2^53), hence identical to the popcount kernel.
-            np.copyto(bits_f[:size], arena.bits[start:end], casting="unsafe")
-            np.matmul(bits_f[:size], prepared.codes_f64, out=dot[:size])
+            # Integer inner products <x_b, q_u>.  "gemm": float64 GEMV on
+            # the unpacked codes — exact (all partial sums are integers far
+            # below 2^53), hence identical to the popcount kernel.  "lut":
+            # fast-scan LUT accumulation over the 4-bit segment ids — the
+            # same exact integers, hence bit-identical.  "lut8": the
+            # reduced-precision uint8-table accumulation (bounded error).
+            if mode == "gemm":
+                np.copyto(
+                    bits_f[:size], arena.bits[start:end], casting="unsafe"
+                )
+                np.matmul(bits_f[:size], prepared.codes_f64, out=dot[:size])
+                acc = dot[:size]
+            elif mode == "lut":
+                acc = lut_accumulate(
+                    arena.segs[start:end], self._query_luts(prepared)
+                )
+            else:
+                tables, scale, table_offset = self._query_luts_uint8(prepared)
+                acc = lut_accumulate_uint8(
+                    arena.segs[start:end], tables, scale, table_offset
+                )
             # Affine undo of the query quantization (Eq. 19-20) — the
             # out=-buffer form of estimator.undo_query_quantization, written
             # straight into this cluster's slice of the flat buffer with
@@ -975,7 +1111,7 @@ class IVFQuantizedSearcher:
             delta = prepared.delta
             lower = prepared.lower
             out = qdot[sl]
-            np.multiply(dot[:size], 2.0 * delta / sqrt_d, out=out)
+            np.multiply(acc, 2.0 * delta / sqrt_d, out=out)
             np.multiply(
                 arena.consts[CONST_POPCOUNT, start:end],
                 2.0 * lower / sqrt_d,
@@ -1205,12 +1341,13 @@ class IVFQuantizedSearcher:
                     (cid, pair_idx // width, pair_idx % width, None)
                 )
 
+        mode = self._estimation_mode
         max_size = int(size_mat.max()) if size_mat.size else 0
         bits_f = (
             self._scratch_get("bits_f", max_size * code_length, np.float64)[
                 : max_size * code_length
             ].reshape(max_size, code_length)
-            if max_size
+            if max_size and mode == "gemm"
             else np.empty((0, code_length), dtype=np.float64)
         )
 
@@ -1230,31 +1367,88 @@ class IVFQuantizedSearcher:
             start, end = arena.cluster_range(cid)
             size = end - start
             n_group = qis.shape[0]
+            codes_mat = luts_stack = None
+            lut8_tables = lut8_scales = lut8_offsets = None
             if entries is not None:
-                codes_mat = np.empty((n_group, code_length), dtype=np.float64)
                 delta = np.empty(n_group, dtype=np.float64)
                 lower = np.empty(n_group, dtype=np.float64)
                 sums = np.empty(n_group, dtype=np.float64)
                 query_norms = np.empty(n_group, dtype=np.float64)
                 for row, entry in enumerate(entries):
-                    codes_mat[row] = entry.codes_f64
                     delta[row] = entry.delta
                     lower[row] = entry.lower
                     sums[row] = entry.sum_codes_f
                     query_norms[row] = entry.query_norm
+                if mode == "gemm":
+                    codes_mat = np.empty(
+                        (n_group, code_length), dtype=np.float64
+                    )
+                    for row, entry in enumerate(entries):
+                        codes_mat[row] = entry.codes_f64
+                elif mode == "lut":
+                    luts_stack = np.stack(
+                        [self._query_luts(entry) for entry in entries]
+                    )
+                else:
+                    per_entry = [
+                        self._query_luts_uint8(entry) for entry in entries
+                    ]
+                    lut8_tables = np.stack([t for t, _, _ in per_entry])
+                    lut8_scales = np.asarray(
+                        [s for _, s, _ in per_entry], dtype=np.float64
+                    )
+                    lut8_offsets = np.asarray(
+                        [o for _, _, o in per_entry], dtype=np.float64
+                    )
             else:
                 quantized, query_norms = self._prepare_cluster_queries(
                     query_mat[qis], cid
                 )
-                codes_mat = quantized.codes.astype(np.float64)
                 delta = quantized.delta
                 lower = quantized.lower
                 sums = quantized.sum_codes.astype(np.float64)
+                if mode == "gemm":
+                    codes_mat = quantized.codes.astype(np.float64)
+                else:
+                    # Batched LUT construction: exact integers, so each
+                    # slice equals the per-query build bit for bit.
+                    luts_stack = build_query_luts_batch(quantized.codes)
+                    if mode == "lut8":
+                        n_segments = luts_stack.shape[1]
+                        lut8_tables = np.empty(
+                            luts_stack.shape, dtype=np.uint8
+                        )
+                        lut8_scales = np.empty(n_group, dtype=np.float64)
+                        lut8_offsets = np.empty(n_group, dtype=np.float64)
+                        for row in range(n_group):
+                            (
+                                lut8_tables[row],
+                                lut8_scales[row],
+                                lut8_offsets[row],
+                            ) = quantize_luts_to_uint8(luts_stack[row])
 
-            # Integer inner-product matrix via one exact float64 GEMM on the
-            # cluster's contiguous unpacked-code slice.
-            np.copyto(bits_f[:size], arena.bits[start:end], casting="unsafe")
-            integer_dot = codes_mat @ bits_f[:size].T
+            # Integer inner-product matrix for the whole query group on the
+            # cluster's contiguous slice: one exact float64 GEMM on the
+            # unpacked codes, or the fast-scan accumulation over the 4-bit
+            # segment ids ("lut" produces the same exact integers; "lut8"
+            # the reduced-precision approximation) — each row bit-identical
+            # to the corresponding sequential single-query kernel.
+            if mode == "gemm":
+                np.copyto(
+                    bits_f[:size], arena.bits[start:end], casting="unsafe"
+                )
+                integer_dot = codes_mat @ bits_f[:size].T
+            elif mode == "lut":
+                integer_dot = lut_accumulate_batch(
+                    arena.segs[start:end], luts_stack
+                )
+            else:
+                integer_dot = lut_accumulate_uint8_batch(
+                    arena.segs[start:end],
+                    lut8_tables,
+                    lut8_scales,
+                    lut8_offsets,
+                )
 
             # Per-query affine undo of the scalar quantization (Eq. 19-20);
             # identical elementwise arithmetic to the single-query path.

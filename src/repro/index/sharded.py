@@ -75,6 +75,7 @@ from repro.exceptions import (
 )
 from repro.index.rerank import Reranker
 from repro.index.searcher import (
+    _ESTIMATION_MODES,
     BatchSearchResult,
     IVFQuantizedSearcher,
     SearchResult,
@@ -130,6 +131,13 @@ class ShardedSearcher:
         to every shard; the cross-shard merge is metric-aware (stable
         top-k on ascending distances or descending similarity scores, ties
         toward the lower shard).  See :mod:`repro.core.metric`.
+    estimation_mode:
+        The ``<x_b, q̄_u>`` estimation kernel (``"gemm"`` / ``"lut"`` /
+        ``"lut8"``), forwarded to every shard; settable on a fitted
+        instance (outside of concurrent queries), which switches every
+        shard at once.  ``"lut"`` answers are bit-identical to ``"gemm"``
+        shard by shard, hence also after the deterministic merge — see
+        :class:`IVFQuantizedSearcher`.
     """
 
     def __init__(
@@ -145,6 +153,7 @@ class ShardedSearcher:
         compact_threshold: float | None = 0.25,
         query_cache_size: int = 0,
         metric: str | Metric = "l2",
+        estimation_mode: str = "gemm",
     ) -> None:
         if n_shards <= 0:
             raise InvalidParameterError("n_shards must be positive")
@@ -154,6 +163,10 @@ class ShardedSearcher:
             )
         if n_threads is not None and n_threads < 0:
             raise InvalidParameterError("n_threads must be >= 0 when given")
+        if estimation_mode not in _ESTIMATION_MODES:
+            raise InvalidParameterError(
+                f"estimation_mode must be one of {_ESTIMATION_MODES}"
+            )
         self.n_shards = int(n_shards)
         self.assignment = assignment
         self.n_clusters = n_clusters
@@ -162,6 +175,7 @@ class ShardedSearcher:
         self.compact_threshold = compact_threshold
         self.query_cache_size = int(query_cache_size)
         self._metric = resolve_metric(metric)
+        self._estimation_mode = estimation_mode
         self._rng = ensure_rng(rng)
         self._n_threads = self.n_shards if n_threads is None else int(n_threads)
         self._pool: ThreadPoolExecutor | None = None
@@ -239,6 +253,26 @@ class ShardedSearcher:
     def metric(self) -> str:
         """Name of the served metric (``"l2"``, ``"ip"`` or ``"cosine"``)."""
         return self._metric.name
+
+    @property
+    def estimation_mode(self) -> str:
+        """The ``<x_b, q̄_u>`` kernel (``"gemm"`` / ``"lut"`` / ``"lut8"``).
+
+        Assigning a new mode switches every shard at once.  Like the
+        per-shard setter it must not race in-flight queries.
+        """
+        return self._estimation_mode
+
+    @estimation_mode.setter
+    def estimation_mode(self, mode: str) -> None:
+        if mode not in _ESTIMATION_MODES:
+            raise InvalidParameterError(
+                f"estimation_mode must be one of {_ESTIMATION_MODES}"
+            )
+        if self._shards is not None:
+            for shard in self._shards:
+                shard.estimation_mode = mode
+        self._estimation_mode = mode
 
     @property
     def is_fitted(self) -> bool:
@@ -324,6 +358,7 @@ class ShardedSearcher:
                 compact_threshold=self.compact_threshold,
                 query_cache_size=self.query_cache_size,
                 metric=self._metric,
+                estimation_mode=self._estimation_mode,
             )
             for s in range(self.n_shards)
         ]
@@ -612,6 +647,12 @@ class ShardedSearcher:
             raise InvalidParameterError(
                 "all shards must serve the same metric"
             )
+        if any(
+            shard.estimation_mode != first.estimation_mode for shard in shards
+        ):
+            raise InvalidParameterError(
+                "all shards must use the same estimation_mode"
+            )
         sharded = cls(
             len(shards),
             n_threads=n_threads,
@@ -622,6 +663,7 @@ class ShardedSearcher:
             compact_threshold=first.compact_threshold,
             query_cache_size=first.query_cache_size,
             metric=first.metric,
+            estimation_mode=first.estimation_mode,
         )
         g2s: dict[int, tuple[int, int]] = {}
         for s, (shard, mapping) in enumerate(zip(shards, l2g)):

@@ -21,7 +21,7 @@ a JSON manifest:
   complete :class:`repro.index.sharded.ShardedSearcher` as a *directory*:
   a ``manifest.json`` (magic, format version, shard count, assignment
   policy, id counters), one standard searcher archive per shard
-  (``shard_NNNN.npz``, plain format-v3 files that
+  (``shard_NNNN.npz``, plain searcher archives that
   :func:`load_searcher` can also open individually — the "flattened view"
   used by the equivalence tests), and an ``idmap.npz`` holding the
   per-shard local→global id arrays.  A reloaded sharded searcher answers
@@ -77,22 +77,27 @@ MAGIC_SHARDED = "rabitq/sharded"
 #: added the magic header and the query-RNG state.
 FORMAT_VERSION = 2
 
-#: Searcher-archive format, bumped on incompatible changes.  Version 4
-#: records the served ``metric`` (``l2`` / ``ip`` / ``cosine``) and allows
-#: the fused estimator-constants matrix to carry the metric's row count
-#: (similarity metrics store two extra centroid-decomposition rows).
-#: Version 3 was the arena-aware layout: per-slot packed codes plus the
-#: fused ``(N_CONSTS, n_slots)`` constants matrix the code arena is rebuilt
-#: from.  (The version numbering jumped from 1 to 3 so that "format v3" is
-#: unambiguous repo-wide: quantizer archives are v2.)  Version-1 archives —
-#: written before the arena existed — and version-3 archives are still
-#: loaded via ``_SEARCHER_LEGACY_VERSIONS``; both predate the metric layer
-#: and therefore always load as ``metric="l2"``, answering bit-identically
-#: to the build that wrote them.
-SEARCHER_FORMAT_VERSION = 4
+#: Searcher-archive format, bumped on incompatible changes.  Version 5
+#: records the searcher's ``estimation_mode`` (``gemm`` / ``lut`` /
+#: ``lut8``); the arena's 4-bit segment-id matrix is never stored — it is
+#: rebuilt from the packed codes on every load, for current and legacy
+#: archives alike.  Version 4 records the served ``metric`` (``l2`` /
+#: ``ip`` / ``cosine``) and allows the fused estimator-constants matrix to
+#: carry the metric's row count (similarity metrics store two extra
+#: centroid-decomposition rows).  Version 3 was the arena-aware layout:
+#: per-slot packed codes plus the fused ``(N_CONSTS, n_slots)`` constants
+#: matrix the code arena is rebuilt from.  (The version numbering jumped
+#: from 1 to 3 so that "format v3" is unambiguous repo-wide: quantizer
+#: archives are v2.)  Version-1 archives — written before the arena
+#: existed — version-3 and version-4 archives are still loaded via
+#: ``_SEARCHER_LEGACY_VERSIONS``; pre-v4 archives predate the metric layer
+#: and load as ``metric="l2"``, pre-v5 archives predate the LUT kernel and
+#: load as ``estimation_mode="gemm"`` — in every case answering
+#: bit-identically to the build that wrote them.
+SEARCHER_FORMAT_VERSION = 5
 
 #: Older searcher-archive formats this build can still read.
-_SEARCHER_LEGACY_VERSIONS = (1, 3)
+_SEARCHER_LEGACY_VERSIONS = (1, 3, 4)
 
 #: Sharded-archive (directory) format, bumped on incompatible changes.
 SHARDED_FORMAT_VERSION = 1
@@ -440,6 +445,9 @@ def save_searcher(searcher: IVFQuantizedSearcher, path: PathLike) -> None:
         reranker_param=np.int64(reranker_param),
         # Served metric (format v4)
         metric=np.str_(searcher.metric),
+        # Estimation kernel (format v5); the segment-id matrix of the LUT
+        # modes is derived from packed_codes at load time, never stored.
+        estimation_mode=np.str_(searcher.estimation_mode),
         # IVF + flat index state
         centroids=ivf.centroids,
         assignments=ivf.assignments,
@@ -503,6 +511,11 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
                 str(archive["metric"]) if format_version >= 4 else "l2"
             )
             metric = resolve_metric(metric_name)
+            # Pre-v5 archives predate the LUT estimation kernel: they were
+            # always written by (and load as) GEMM-mode searchers.
+            estimation_mode = (
+                str(archive["estimation_mode"]) if format_version >= 5 else "gemm"
+            )
             searcher = IVFQuantizedSearcher(
                 "rabitq",
                 n_clusters=None if n_clusters_param < 0 else n_clusters_param,
@@ -515,6 +528,7 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
                 ),
                 compact_threshold=None if np.isnan(threshold) else threshold,
                 metric=metric,
+                estimation_mode=estimation_mode,
             )
 
             data = np.asarray(archive["data"], dtype=np.float64)
@@ -659,7 +673,7 @@ def save_sharded_searcher(sharded: ShardedSearcher, path: PathLike) -> None:
     """Serialize a fitted :class:`ShardedSearcher` into directory ``path``.
 
     The directory (created if needed) receives a ``manifest.json``, one
-    standard searcher archive per shard — plain format-v3 ``.npz`` files
+    standard searcher archive per shard — plain ``.npz`` searcher files
     that :func:`load_searcher` can open individually — and an
     ``idmap.npz`` with the per-shard local→global id arrays.  Existing
     files of the same names are overwritten.
@@ -697,6 +711,7 @@ def save_sharded_searcher(sharded: ShardedSearcher, path: PathLike) -> None:
         "format_version": SHARDED_FORMAT_VERSION,
         "n_shards": sharded.n_shards,
         "metric": sharded.metric,
+        "estimation_mode": sharded.estimation_mode,
         "assignment": sharded.assignment,
         "next_gid": sharded._next_gid,
         "rr_next": sharded._rr_next,
@@ -778,6 +793,17 @@ def load_sharded_searcher(
         raise PersistenceError(
             f"sharded manifest declares metric {manifest_metric!r} but the "
             f"shard archives serve {sorted({s.metric for s in shards})}"
+        )
+    # Likewise, manifests written before the LUT kernel carry no
+    # "estimation_mode" key; their shard archives load as gemm.
+    manifest_mode = manifest.get("estimation_mode")
+    if manifest_mode is not None and any(
+        shard.estimation_mode != manifest_mode for shard in shards
+    ):
+        raise PersistenceError(
+            f"sharded manifest declares estimation_mode {manifest_mode!r} "
+            f"but the shard archives use "
+            f"{sorted({s.estimation_mode for s in shards})}"
         )
     try:
         with np.load(directory / idmap_file) as idmap:

@@ -1,0 +1,300 @@
+"""End-to-end tests of the LUT estimation kernels in the serving path.
+
+Pins the acceptance contract of the estimation-mode refactor:
+
+* ``estimation_mode="lut"`` is **bit-identical** to ``"gemm"`` — same ids,
+  same distances, same counters — across the full index lifecycle
+  (fit → insert → delete → compact → save → load), for sequential and
+  batch search, for every metric, with the prepared-query cache on, and
+  through the sharded engine.
+* ``"lut8"`` may diverge, but only within the quantization bound, and its
+  end-to-end recall stays above a pinned floor.
+* Archives (format v5) record the mode; v4 and older archives load as
+  ``"gemm"``; the sharded manifest enforces mode consistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import RaBitQConfig
+from repro.datasets.ground_truth import brute_force_ground_truth
+from repro.exceptions import InvalidParameterError, PersistenceError
+from repro.index.searcher import IVFQuantizedSearcher
+from repro.index.sharded import ShardedSearcher
+from repro.io.persistence import (
+    SEARCHER_FORMAT_VERSION,
+    load_searcher,
+    load_sharded_searcher,
+    save_searcher,
+    save_sharded_searcher,
+)
+
+MODES = ("gemm", "lut", "lut8")
+N, DIM, N_CLUSTERS = 600, 40, 8
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(404)
+    data = rng.standard_normal((N, DIM))
+    extra = rng.standard_normal((45, DIM))
+    queries = rng.standard_normal((12, DIM))
+    return data, extra, queries
+
+
+def _build(mode, data, *, metric="l2", **kwargs):
+    kwargs.setdefault("compact_threshold", 0.2)
+    searcher = IVFQuantizedSearcher(
+        "rabitq",
+        n_clusters=N_CLUSTERS,
+        rabitq_config=RaBitQConfig(seed=5),
+        rng=9,
+        metric=metric,
+        estimation_mode=mode,
+        **kwargs,
+    )
+    return searcher.fit(data)
+
+
+def _run_lifecycle(searcher, extra):
+    searcher.insert(extra)
+    searcher.delete(np.arange(0, 150, 3))
+
+
+def _assert_result_equal(a, b):
+    np.testing.assert_array_equal(a.ids, b.ids)
+    np.testing.assert_array_equal(a.distances, b.distances)
+    assert a.n_candidates == b.n_candidates
+    assert a.n_exact == b.n_exact
+
+
+def _assert_batch_equal(a, b):
+    assert len(a.ids) == len(b.ids)
+    for ids_a, ids_b in zip(a.ids, b.ids):
+        np.testing.assert_array_equal(ids_a, ids_b)
+    for d_a, d_b in zip(a.distances, b.distances):
+        np.testing.assert_array_equal(d_a, d_b)
+    np.testing.assert_array_equal(a.n_candidates, b.n_candidates)
+    np.testing.assert_array_equal(a.n_exact, b.n_exact)
+
+
+class TestLutMatchesGemm:
+    """``"lut"`` must be indistinguishable from ``"gemm"`` in every answer."""
+
+    @pytest.mark.parametrize("metric", ("l2", "ip", "cosine"))
+    def test_lifecycle_bit_identical(self, corpus, metric, tmp_path):
+        data, extra, queries = corpus
+        gemm = _build("gemm", data, metric=metric)
+        lut = _build("lut", data, metric=metric)
+        _run_lifecycle(gemm, extra)
+        _run_lifecycle(lut, extra)
+        gemm.compact()
+        lut.compact()
+        for name, searcher in (("gemm", gemm), ("lut", lut)):
+            save_searcher(searcher, tmp_path / f"{metric}_{name}.npz")
+        gemm = load_searcher(tmp_path / f"{metric}_gemm.npz")
+        lut = load_searcher(tmp_path / f"{metric}_lut.npz")
+        assert gemm.estimation_mode == "gemm"
+        assert lut.estimation_mode == "lut"
+        _assert_batch_equal(
+            gemm.search_batch(queries, k=6, nprobe=4),
+            lut.search_batch(queries, k=6, nprobe=4),
+        )
+        for query in queries:
+            _assert_result_equal(
+                gemm.search(query, 6, nprobe=4), lut.search(query, 6, nprobe=4)
+            )
+
+    def test_cached_queries_bit_identical(self, corpus):
+        data, _, queries = corpus
+        gemm = _build("gemm", data, query_cache_size=16)
+        lut = _build("lut", data, query_cache_size=16)
+        for _ in range(2):  # second pass replays from the prepared cache
+            for query in queries[:5]:
+                _assert_result_equal(
+                    gemm.search(query, 5, nprobe=4), lut.search(query, 5, nprobe=4)
+                )
+
+    def test_mode_switch_on_fitted_searcher(self, corpus):
+        # Flipping the property must not perturb the rounding streams:
+        # interleaved per-mode answers match two fixed-mode twins.
+        data, _, queries = corpus
+        flipping = _build("gemm", data)
+        fixed = _build("lut", data)
+        for query in queries[:4]:
+            flipping.estimation_mode = "lut"
+            _assert_result_equal(
+                flipping.search(query, 5, nprobe=4),
+                fixed.search(query, 5, nprobe=4),
+            )
+            flipping.estimation_mode = "gemm"
+
+    def test_sharded_bit_identical(self, corpus, tmp_path):
+        data, extra, queries = corpus
+
+        def build_sharded(mode):
+            sharded = ShardedSearcher(
+                3,
+                n_threads=2,
+                n_clusters=4,
+                rabitq_config=RaBitQConfig(seed=5),
+                rng=13,
+                estimation_mode=mode,
+            ).fit(data)
+            sharded.insert(extra)
+            sharded.delete(np.arange(0, 90, 2))
+            return sharded
+
+        gemm, lut = build_sharded("gemm"), build_sharded("lut")
+        _assert_batch_equal(
+            gemm.search_batch(queries, k=6, nprobe=3),
+            lut.search_batch(queries, k=6, nprobe=3),
+        )
+        save_sharded_searcher(lut, tmp_path / "sharded_lut")
+        reloaded = load_sharded_searcher(tmp_path / "sharded_lut")
+        assert reloaded.estimation_mode == "lut"
+        assert all(s.estimation_mode == "lut" for s in reloaded.shards)
+        _assert_batch_equal(
+            lut.search_batch(queries, k=6, nprobe=3),
+            reloaded.search_batch(queries, k=6, nprobe=3),
+        )
+        for s in (gemm, lut, reloaded):
+            s.close()
+
+
+class TestLut8:
+    """``"lut8"`` trades exactness for the uint8 table layout — bounded."""
+
+    def test_recall_floor(self, corpus):
+        data, _, queries = corpus
+        searcher = _build("lut8", data, compact_threshold=None)
+        gt = brute_force_ground_truth(data, queries, 10)
+        hits = 0
+        for i, query in enumerate(queries):
+            result = searcher.search(query, 10, nprobe=N_CLUSTERS)
+            hits += len(set(result.ids.tolist()) & set(gt[i].tolist()))
+        recall = hits / (10 * len(queries))
+        assert recall >= 0.9
+
+    def test_batch_equals_sequential(self, corpus):
+        # Reduced precision must still honor the batch ≡ sequential
+        # contract: both paths quantize the same tables the same way.
+        data, _, queries = corpus
+        batch = _build("lut8", data)
+        seq = _build("lut8", data)
+        got = batch.search_batch(queries, k=5, nprobe=4)
+        for i, query in enumerate(queries):
+            result = seq.search(query, 5, nprobe=4)
+            np.testing.assert_array_equal(got.ids[i], result.ids)
+            np.testing.assert_array_equal(got.distances[i], result.distances)
+
+    def test_estimates_close_to_gemm(self, corpus):
+        # End-to-end smoke of the error bound: reranked top-1 distances of
+        # lut8 match gemm to rerank exactness (the exact rerank corrects
+        # what the coarse stage perturbs).
+        data, _, queries = corpus
+        gemm = _build("gemm", data)
+        lut8 = _build("lut8", data)
+        for query in queries:
+            a = gemm.search(query, 3, nprobe=N_CLUSTERS)
+            b = lut8.search(query, 3, nprobe=N_CLUSTERS)
+            np.testing.assert_allclose(b.distances, a.distances, rtol=1e-6, atol=1e-9)
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(InvalidParameterError, match="estimation_mode"):
+            IVFQuantizedSearcher(estimation_mode="avx512")
+
+    def test_setter_rejects_unknown_mode(self, corpus):
+        data, _, _ = corpus
+        searcher = _build("gemm", data)
+        with pytest.raises(InvalidParameterError, match="estimation_mode"):
+            searcher.estimation_mode = "fast"
+        assert searcher.estimation_mode == "gemm"
+
+    def test_external_quantizer_rejects_lut(self):
+        class _Stub:
+            def fit(self, *a, **k):  # pragma: no cover - never called
+                raise AssertionError
+
+        with pytest.raises(InvalidParameterError, match="rabitq"):
+            IVFQuantizedSearcher(
+                "external", external_quantizer=_Stub(), estimation_mode="lut"
+            )
+
+    def test_sharded_rejects_unknown_mode(self):
+        with pytest.raises(InvalidParameterError, match="estimation_mode"):
+            ShardedSearcher(2, estimation_mode="simd")
+
+
+class TestPersistence:
+    def test_archive_records_mode(self, corpus, tmp_path):
+        data, _, _ = corpus
+        searcher = _build("lut8", data)
+        path = tmp_path / "lut8.npz"
+        save_searcher(searcher, path)
+        with np.load(path) as archive:
+            assert int(archive["format_version"]) == SEARCHER_FORMAT_VERSION == 5
+            assert str(archive["estimation_mode"]) == "lut8"
+        assert load_searcher(path).estimation_mode == "lut8"
+
+    def test_v4_archive_loads_as_gemm(self, corpus, tmp_path):
+        # A v5 gemm archive minus the "estimation_mode" key *is* a v4
+        # archive; the legacy path must default the kernel to "gemm".
+        data, _, queries = corpus
+        searcher = _build("gemm", data)
+        v5_path = tmp_path / "v5.npz"
+        save_searcher(searcher, v5_path)
+        with np.load(v5_path) as archive:
+            contents = {key: archive[key] for key in archive.files}
+        contents.pop("estimation_mode")
+        contents["format_version"] = np.int64(4)
+        v4_path = tmp_path / "v4.npz"
+        np.savez_compressed(v4_path, **contents)
+        from_v4 = load_searcher(v4_path)
+        assert from_v4.estimation_mode == "gemm"
+        from_v5 = load_searcher(v5_path)
+        for query in queries[:4]:
+            _assert_result_equal(
+                from_v4.search(query, 5, nprobe=4),
+                from_v5.search(query, 5, nprobe=4),
+            )
+
+    def test_corrupt_mode_rejected(self, corpus, tmp_path):
+        data, _, _ = corpus
+        searcher = _build("lut", data)
+        path = tmp_path / "lut.npz"
+        save_searcher(searcher, path)
+        with np.load(path) as archive:
+            contents = {key: archive[key] for key in archive.files}
+        contents["estimation_mode"] = np.str_("turbo")
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, **contents)
+        with pytest.raises(PersistenceError):
+            load_searcher(bad)
+
+    def test_sharded_manifest_mode_mismatch_rejected(self, corpus, tmp_path):
+        import json
+
+        data, _, _ = corpus
+        sharded = ShardedSearcher(
+            2,
+            n_threads=0,
+            n_clusters=4,
+            rabitq_config=RaBitQConfig(seed=5),
+            rng=13,
+            estimation_mode="lut",
+        ).fit(data)
+        target = tmp_path / "sharded"
+        save_sharded_searcher(sharded, target)
+        sharded.close()
+        manifest_path = target / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["estimation_mode"] == "lut"
+        manifest["estimation_mode"] = "gemm"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="estimation_mode"):
+            load_sharded_searcher(target)

@@ -9,8 +9,11 @@ from repro.core.lut import (
     SEGMENT_BITS,
     SEGMENT_PATTERNS,
     build_query_luts,
+    build_query_luts_batch,
     lut_accumulate,
+    lut_accumulate_batch,
     lut_accumulate_uint8,
+    lut_accumulate_uint8_batch,
     quantize_luts_to_uint8,
     split_into_segments,
 )
@@ -53,6 +56,118 @@ class TestBuildQueryLuts:
         with pytest.raises(InvalidParameterError):
             build_query_luts(np.zeros(10))
 
+    def test_empty_query_yields_empty_tables(self):
+        # Regression: an empty query is a degenerate-but-legal input and
+        # must produce the well-shaped empty table, not an error.
+        luts = build_query_luts(np.zeros(0))
+        assert luts.shape == (0, SEGMENT_PATTERNS)
+
+
+class TestBatchHelpers:
+    """The batched LUT helpers must equal their per-row scalar twins."""
+
+    def test_build_batch_equals_per_row(self, rng):
+        queries = rng.integers(0, 16, size=(5, 64)).astype(np.float64)
+        stacked = build_query_luts_batch(queries)
+        assert stacked.shape == (5, 16, SEGMENT_PATTERNS)
+        for i in range(queries.shape[0]):
+            np.testing.assert_array_equal(stacked[i], build_query_luts(queries[i]))
+
+    def test_build_batch_empty(self):
+        assert build_query_luts_batch(np.zeros((0, 64))).shape == (
+            0,
+            16,
+            SEGMENT_PATTERNS,
+        )
+
+    def test_build_batch_requires_2d(self):
+        with pytest.raises(InvalidParameterError):
+            build_query_luts_batch(np.zeros(64))
+
+    def test_accumulate_batch_equals_per_row(self, rng):
+        bits = rng.integers(0, 2, size=(25, 96))
+        queries = rng.integers(0, 16, size=(4, 96)).astype(np.float64)
+        segments = split_into_segments(bits)
+        stacked = build_query_luts_batch(queries)
+        out = lut_accumulate_batch(segments, stacked)
+        assert out.shape == (4, 25)
+        for i in range(queries.shape[0]):
+            np.testing.assert_array_equal(
+                out[i], lut_accumulate(segments, stacked[i])
+            )
+
+    def test_accumulate_uint8_batch_equals_per_row(self, rng):
+        bits = rng.integers(0, 2, size=(25, 96))
+        queries = rng.normal(size=(4, 96))
+        segments = split_into_segments(bits)
+        stacked = build_query_luts_batch(queries)
+        per_query = [quantize_luts_to_uint8(stacked[i]) for i in range(4)]
+        tables = np.stack([q[0] for q in per_query])
+        scales = np.array([q[1] for q in per_query])
+        offsets = np.array([q[2] for q in per_query])
+        out = lut_accumulate_uint8_batch(segments, tables, scales, offsets)
+        assert out.shape == (4, 25)
+        for i, (table, scale, offset) in enumerate(per_query):
+            np.testing.assert_array_equal(
+                out[i], lut_accumulate_uint8(segments, table, scale, offset)
+            )
+
+    def test_accumulate_batch_wrong_rank(self):
+        with pytest.raises(DimensionMismatchError):
+            lut_accumulate_batch(
+                np.zeros((2, 4), dtype=np.uint8), np.zeros((4, SEGMENT_PATTERNS))
+            )
+
+    def test_accumulate_uint8_batch_factor_mismatch(self):
+        tables = np.zeros((3, 4, SEGMENT_PATTERNS), dtype=np.uint8)
+        with pytest.raises(DimensionMismatchError):
+            lut_accumulate_uint8_batch(
+                np.zeros((2, 4), dtype=np.uint8),
+                tables,
+                np.zeros(2),
+                np.zeros(3),
+            )
+
+
+class TestDegenerateShapes:
+    """Empty code batches / queries return well-shaped empty results.
+
+    Regression tests: ``np.atleast_2d`` used to promote a 1-D empty input
+    to shape ``(1, 0)``, fabricating a spurious result row.
+    """
+
+    def test_accumulate_empty_2d(self):
+        luts = np.zeros((4, SEGMENT_PATTERNS))
+        out = lut_accumulate(np.zeros((0, 4), dtype=np.uint8), luts)
+        assert out.shape == (0,)
+
+    def test_accumulate_empty_1d(self):
+        luts = np.zeros((4, SEGMENT_PATTERNS))
+        out = lut_accumulate(np.zeros(0, dtype=np.uint8), luts)
+        assert out.shape == (0,)
+
+    def test_accumulate_rejects_3d(self):
+        luts = np.zeros((4, SEGMENT_PATTERNS))
+        with pytest.raises(InvalidParameterError):
+            lut_accumulate(np.zeros((1, 1, 4), dtype=np.uint8), luts)
+
+    def test_accumulate_uint8_empty(self):
+        tables = np.zeros((4, SEGMENT_PATTERNS), dtype=np.uint8)
+        out = lut_accumulate_uint8(np.zeros((0, 4), dtype=np.uint8), tables, 1.0, 0.0)
+        assert out.shape == (0,)
+
+    def test_accumulate_batch_empty_codes(self):
+        tables = np.zeros((3, 4, SEGMENT_PATTERNS))
+        out = lut_accumulate_batch(np.zeros((0, 4), dtype=np.uint8), tables)
+        assert out.shape == (3, 0)
+
+    def test_accumulate_uint8_batch_empty_codes(self):
+        tables = np.zeros((3, 4, SEGMENT_PATTERNS), dtype=np.uint8)
+        out = lut_accumulate_uint8_batch(
+            np.zeros((0, 4), dtype=np.uint8), tables, np.ones(3), np.zeros(3)
+        )
+        assert out.shape == (3, 0)
+
 
 class TestLutAccumulate:
     def test_matches_naive_inner_product(self, rng):
@@ -86,10 +201,41 @@ class TestUint8Luts:
         assert np.max(np.abs(recovered - luts)) <= scale / 2 + 1e-9
 
     def test_constant_luts(self):
+        # Regression: a constant table must report scale == 0.0 (not a
+        # fabricated 1.0), so ``offset + scale * 0`` recovers it exactly
+        # and the accumulated error bound ``n_segments * scale / 2`` is 0.
         luts = np.full((4, SEGMENT_PATTERNS), 3.0)
         quantized, scale, offset = quantize_luts_to_uint8(luts)
         np.testing.assert_array_equal(quantized, 0)
+        assert scale == 0.0
         assert offset == 3.0
+        recovered = offset + scale * quantized.astype(np.float64)
+        np.testing.assert_array_equal(recovered, luts)
+
+    def test_constant_luts_accumulate_exactly(self):
+        luts = np.full((4, SEGMENT_PATTERNS), -2.5)
+        quantized, scale, offset = quantize_luts_to_uint8(luts)
+        segments = np.array([[0, 7, 15, 3]], dtype=np.uint8)
+        out = lut_accumulate_uint8(segments, quantized, scale, offset)
+        np.testing.assert_array_equal(out, [-10.0])
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_entries_rejected(self, bad):
+        # Regression: a NaN/inf entry used to poison the min/max range and
+        # silently produce garbage codes (scale == nan).
+        luts = np.zeros((4, SEGMENT_PATTERNS))
+        luts[2, 5] = bad
+        with pytest.raises(InvalidParameterError, match="finite"):
+            quantize_luts_to_uint8(luts)
+
+    def test_empty_tables(self):
+        quantized, scale, offset = quantize_luts_to_uint8(
+            np.zeros((0, SEGMENT_PATTERNS))
+        )
+        assert quantized.shape == (0, SEGMENT_PATTERNS)
+        assert quantized.dtype == np.uint8
+        assert scale == 0.0
+        assert offset == 0.0
 
     def test_accumulate_uint8_close_to_exact(self, rng):
         n_codes, length = 30, 128

@@ -237,32 +237,34 @@ class TestMetricPersistence:
         loaded.compact()
 
     def test_v3_archive_loads_as_l2(self, corpus, tmp_path):
-        # A v4 l2 archive minus the "metric" key *is* a v3 archive; loading
-        # it through the legacy path must produce the same searcher.
+        # A current l2/gemm archive minus the "metric" and
+        # "estimation_mode" keys *is* a v3 archive; loading it through the
+        # legacy path must produce the same searcher.
         data, _, queries = corpus
         searcher = _build("l2", data)
-        v4_path = tmp_path / "v4.npz"
-        save_searcher(searcher, v4_path)
-        with np.load(v4_path) as archive:
+        v5_path = tmp_path / "v5.npz"
+        save_searcher(searcher, v5_path)
+        with np.load(v5_path) as archive:
             contents = {key: archive[key] for key in archive.files}
-        assert int(contents["format_version"]) == SEARCHER_FORMAT_VERSION == 4
+        assert int(contents["format_version"]) == SEARCHER_FORMAT_VERSION == 5
         contents.pop("metric")
+        contents.pop("estimation_mode")
         contents["format_version"] = np.int64(3)
         v3_path = tmp_path / "v3.npz"
         np.savez_compressed(v3_path, **contents)
         from_v3 = load_searcher(v3_path)
-        from_v4 = load_searcher(v4_path)
-        assert from_v3.metric == from_v4.metric == "l2"
+        from_v5 = load_searcher(v5_path)
+        assert from_v3.metric == from_v5.metric == "l2"
         for query in queries[:4]:
             _assert_result_equal(
                 from_v3.search(query, 5, nprobe=4),
-                from_v4.search(query, 5, nprobe=4),
+                from_v5.search(query, 5, nprobe=4),
             )
 
     def test_similarity_archive_under_v3_version_rejected(
         self, corpus, tmp_path
     ):
-        # A 9-row constants matrix can only be a v4 similarity archive;
+        # A 9-row constants matrix can only be a v4+ similarity archive;
         # mislabelling it as v3 (implicitly l2) must fail loudly.
         data, _, _ = corpus
         searcher = _build("ip", data)
@@ -271,6 +273,7 @@ class TestMetricPersistence:
         with np.load(path) as archive:
             contents = {key: archive[key] for key in archive.files}
         contents.pop("metric")
+        contents.pop("estimation_mode")
         contents["format_version"] = np.int64(3)
         bad = tmp_path / "mislabelled.npz"
         np.savez_compressed(bad, **contents)

@@ -15,13 +15,23 @@ from hypothesis.extra import numpy as hnp
 
 from repro.core.bitops import (
     binary_dot_uint,
+    binary_dot_uint_batch,
     bitplanes_from_uint,
+    bitplanes_from_uint_batch,
     hamming_distance,
     pack_bits,
     popcount_total,
     unpack_bits,
 )
-from repro.core.lut import build_query_luts, lut_accumulate, split_into_segments
+from repro.core.lut import (
+    build_query_luts,
+    build_query_luts_batch,
+    lut_accumulate,
+    lut_accumulate_batch,
+    lut_accumulate_uint8,
+    quantize_luts_to_uint8,
+    split_into_segments,
+)
 
 # Keep the generated sizes modest so the whole property suite stays fast.
 _SETTINGS = dict(max_examples=60, deadline=None)
@@ -116,10 +126,12 @@ class TestLutProperties:
         data=st.data(),
         n_codes=st.integers(1, 4),
         n_segments=st.integers(1, 20),
-        bits=st.integers(1, 6),
+        bits=st.integers(1, 16),
     )
     @settings(**_SETTINGS)
     def test_lut_and_bitwise_paths_agree(self, data, n_codes, n_segments, bits):
+        # The LUT path must reproduce the packed bit-plane kernel *exactly*
+        # (bit for bit, not approximately) for every supported B_q.
         length = 4 * n_segments
         codes = data.draw(
             hnp.arrays(np.uint8, (n_codes, length), elements=st.integers(0, 1))
@@ -131,4 +143,62 @@ class TestLutProperties:
         lut_result = lut_accumulate(
             split_into_segments(codes), build_query_luts(values.astype(np.float64))
         )
-        np.testing.assert_allclose(lut_result, bitwise.astype(np.float64))
+        np.testing.assert_array_equal(lut_result, bitwise.astype(np.float64))
+
+    @given(
+        data=st.data(),
+        n_codes=st.integers(1, 4),
+        n_queries=st.integers(1, 4),
+        n_segments=st.integers(1, 20),
+        bits=st.integers(1, 16),
+    )
+    @settings(**_SETTINGS)
+    def test_batched_lut_and_bitwise_paths_agree(
+        self, data, n_codes, n_queries, n_segments, bits
+    ):
+        # Batched twin of the above: the stacked-LUT accumulator must equal
+        # binary_dot_uint_batch exactly for every (query, code) pair.
+        length = 4 * n_segments
+        codes = data.draw(
+            hnp.arrays(np.uint8, (n_codes, length), elements=st.integers(0, 1))
+        )
+        values = data.draw(
+            hnp.arrays(
+                np.int64, (n_queries, length), elements=st.integers(0, 2**bits - 1)
+            )
+        ).astype(np.uint64)
+        bitwise = binary_dot_uint_batch(
+            pack_bits(codes),
+            bitplanes_from_uint_batch(values, bits),
+            query_values=values,
+        )
+        lut_result = lut_accumulate_batch(
+            split_into_segments(codes),
+            build_query_luts_batch(values.astype(np.float64)),
+        )
+        np.testing.assert_array_equal(lut_result, bitwise.astype(np.float64))
+
+    @given(
+        data=st.data(),
+        n_codes=st.integers(1, 5),
+        n_segments=st.integers(1, 25),
+        bits=st.integers(1, 16),
+    )
+    @settings(**_SETTINGS)
+    def test_uint8_lut_error_within_bound(self, data, n_codes, n_segments, bits):
+        # The reduced-precision path may diverge, but never by more than
+        # half a quantization step per segment lookup.
+        length = 4 * n_segments
+        codes = data.draw(
+            hnp.arrays(np.uint8, (n_codes, length), elements=st.integers(0, 1))
+        )
+        values = data.draw(
+            hnp.arrays(np.int64, length, elements=st.integers(0, 2**bits - 1))
+        ).astype(np.float64)
+        segments = split_into_segments(codes)
+        luts = build_query_luts(values)
+        exact = lut_accumulate(segments, luts)
+        quantized, scale, offset = quantize_luts_to_uint8(luts)
+        approx = lut_accumulate_uint8(segments, quantized, scale, offset)
+        bound = n_segments * scale / 2
+        assert np.max(np.abs(approx - exact)) <= bound + 1e-9 * max(1.0, bound)
