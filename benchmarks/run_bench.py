@@ -47,6 +47,12 @@ Measured quantities per run:
   ``--check`` gate covers the ``lut`` and ``lut8`` batch QPS rows.
 * ``phases`` — coarse per-phase breakdown of the sequential path (probe /
   rerank / estimation+preparation) from an instrumented second pass.
+* ``durability`` — the crash-safe serving-state costs: cold (materialized)
+  vs. memory-mapped warm-start load time of the format-v6 archive, the
+  journal-replay throughput (mutation records applied per second when a
+  journal-attached archive is reopened), and a hard
+  ``recovery_bit_identical`` gate — the replayed searcher's batch results
+  must match the in-memory mutated searcher bit for bit or the run fails.
 * ``kernels`` — micro-benchmarks of the packed-bit kernels at fixed sizes.
 * ``sharded`` — the ``shards×threads`` sweep of the
   :class:`repro.index.sharded.ShardedSearcher` serving engine at a *fixed
@@ -419,6 +425,106 @@ def bench_estimation_modes(args, dataset) -> dict:
     }
 
 
+def bench_durability(args, dataset) -> dict:
+    """Crash-safe serving-state costs: warm-start loads and journal replay.
+
+    One index is fitted and archived once (format v6).  Loading it back is
+    timed twice — materialized (``cold_load``) and memory-mapped
+    (``mmap_load``), whose ratio is the warm-start speedup the zero-copy
+    layout buys.  A journal-attached copy then absorbs a fixed mutation
+    workload (insert/delete batches); reopening with ``journal=True``
+    replays those records, and the replay throughput is derived from the
+    extra time that reopen costs over a plain load.  The replayed
+    searcher's batch answers must be bit-identical to the in-memory
+    mutated searcher (``recovery_bit_identical``) — the crash-recovery
+    contract, enforced as a hard gate in ``main``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.io.persistence import load_searcher, save_searcher
+
+    data, queries = dataset.data, dataset.queries
+    k, nprobe = args.k, args.nprobe
+    check_queries = queries[: min(50, len(queries))]
+    rng = np.random.default_rng(args.seed + 1)
+    batch_rows = 25 if args.small else 100
+    n_insert_batches, n_delete_batches = 10, 5
+
+    searcher = IVFQuantizedSearcher(
+        "rabitq", rabitq_config=RaBitQConfig(seed=0), rng=args.seed
+    ).fit(data)
+    tmp = Path(tempfile.mkdtemp(prefix="run_bench_durability_"))
+    try:
+        archive = tmp / "idx.rbq"
+        save_searcher(searcher, archive)
+        del searcher
+        archive_mb = archive.stat().st_size / 2**20
+
+        cold_seconds = _timeit(lambda: load_searcher(archive), repeat=3)
+        mmap_seconds = _timeit(
+            lambda: load_searcher(archive, mmap=True), repeat=3
+        )
+
+        # Journal a fixed mutation workload against the archive.
+        live = load_searcher(archive, journal=True)
+        n_records = 0
+        for i in range(n_insert_batches):
+            live.insert(rng.standard_normal((batch_rows, data.shape[1])))
+            n_records += 1
+            if i < n_delete_batches:
+                alive = live.live_ids
+                live.delete(
+                    rng.choice(alive, size=min(50, alive.shape[0] // 4),
+                               replace=False)
+                )
+                n_records += 1
+        live_batch = live.search_batch(check_queries, k, nprobe=nprobe)
+
+        # Replay is idempotent (the journal is never consumed), so the
+        # reopen can be timed best-of-N like every other measurement.
+        replay_total = _timeit(
+            lambda: load_searcher(archive, journal=True), repeat=3
+        )
+        replay_seconds = max(replay_total - cold_seconds, 1e-9)
+
+        recovered = load_searcher(archive, journal=True)
+        recovered_batch = recovered.search_batch(
+            check_queries, k, nprobe=nprobe
+        )
+        identical = all(
+            np.array_equal(a.ids, b.ids)
+            and np.array_equal(a.distances, b.distances)
+            and a.n_exact == b.n_exact
+            for a, b in zip(recovered_batch, live_batch)
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    results = {
+        "archive_mb": round(archive_mb, 2),
+        "cold_load_seconds": round(cold_seconds, 4),
+        "mmap_load_seconds": round(mmap_seconds, 4),
+        "warm_start_speedup": round(cold_seconds / mmap_seconds, 2),
+        "journal": {
+            "n_records": n_records,
+            "rows_per_insert": batch_rows,
+            "replay_seconds": round(replay_seconds, 4),
+            "records_per_second": round(n_records / replay_seconds, 1),
+        },
+        "recovery_bit_identical": bool(identical),
+    }
+    print(
+        f"[run_bench] durability: cold load {cold_seconds * 1e3:.1f}ms | "
+        f"mmap load {mmap_seconds * 1e3:.1f}ms "
+        f"({results['warm_start_speedup']}x warm-start) | replay "
+        f"{results['journal']['records_per_second']} records/s | "
+        f"recovery bit-identical: {identical}",
+        flush=True,
+    )
+    return results
+
+
 def bench_similarity(args, dataset, metric: str) -> dict:
     """MIPS / cosine workload: metric-generic searcher vs. metric ground truth.
 
@@ -607,6 +713,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the gemm/lut/lut8 estimation-kernel comparison",
     )
+    parser.add_argument(
+        "--skip-durability",
+        action="store_true",
+        help="skip the warm-start / journal-replay durability benchmark",
+    )
     args = parser.parse_args(argv)
 
     if args.small:
@@ -645,6 +756,8 @@ def main(argv=None) -> int:
         run["results"]["estimation_modes"] = bench_estimation_modes(
             args, dataset
         )
+    if not args.skip_durability:
+        run["results"]["durability"] = bench_durability(args, dataset)
     if not args.skip_kernels:
         run["kernels"] = bench_kernels(args)
 
@@ -694,6 +807,14 @@ def main(argv=None) -> int:
         print(
             "[run_bench] FAIL: estimation_mode='lut' batch results diverged "
             "from 'gemm' (the LUT path must be bit-identical)"
+        )
+        return 1
+
+    durability = run["results"].get("durability")
+    if durability is not None and not durability["recovery_bit_identical"]:
+        print(
+            "[run_bench] FAIL: journal-replayed searcher diverged from the "
+            "in-memory mutated searcher (recovery must be bit-identical)"
         )
         return 1
 

@@ -39,3 +39,17 @@ class PersistenceError(ReproError):
     Covers missing/corrupt/truncated archives, wrong magic headers and
     unsupported format versions.
     """
+
+
+class JournalError(PersistenceError):
+    """Raised when a mutation journal cannot be used with an archive.
+
+    The canonical case is a journal whose header names a different
+    archive UUID than the archive being opened: replaying it would apply
+    another index's mutations, so the load fails loudly instead.  (A
+    journal matching the archive's *parent* UUID is not an error — it was
+    superseded by the save that wrote the archive and is discarded.)
+
+    Derives from :class:`PersistenceError`, so callers guarding load paths
+    with ``except PersistenceError`` keep working.
+    """

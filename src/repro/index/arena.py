@@ -188,6 +188,96 @@ class CodeArena:
             arena.sizes[cid] = codes.shape[0]
         return arena
 
+    @classmethod
+    def from_sections(
+        cls,
+        code_length: int,
+        n_words: int,
+        n_consts: int,
+        *,
+        codes: np.ndarray,
+        bits: np.ndarray,
+        segs: np.ndarray,
+        consts: np.ndarray,
+        slots: np.ndarray,
+        sizes: np.ndarray,
+    ) -> "CodeArena":
+        """Adopt pre-laid-out tight backing arrays (the format-v6 layout).
+
+        The arrays must already be in cluster-grouped row order with no
+        capacity slack: ``sizes[cid]`` rows per cluster, concatenated in
+        cluster order (exactly what :meth:`dump_tight` produces).  They are
+        adopted *as-is* — read-only ``np.memmap`` views included — which is
+        what makes a memmapped load zero-copy.  The arena never writes into
+        adopted arrays: with ``caps == sizes`` there is no slack, so the
+        first :meth:`append` or :meth:`compact` reallocates fresh in-memory
+        arrays and thereby materializes the mutated arena.
+        """
+        sizes = np.asarray(sizes, dtype=np.int64).reshape(-1)
+        if sizes.shape[0] == 0:
+            raise InvalidParameterError("n_clusters must be positive")
+        if sizes.min(initial=0) < 0:
+            raise InvalidParameterError("cluster sizes must be non-negative")
+        arena = cls(sizes.shape[0], code_length, n_words, n_consts)
+        total = int(sizes.sum())
+        expected = {
+            "codes": (total, arena.n_words),
+            "bits": (total, arena.code_length),
+            "segs": (total, arena.code_length // SEGMENT_BITS),
+            "consts": (arena.n_consts, total),
+            "slots": (total,),
+        }
+        arrays = {
+            "codes": codes,
+            "bits": bits,
+            "segs": segs,
+            "consts": consts,
+            "slots": slots,
+        }
+        for name, array in arrays.items():
+            if tuple(array.shape) != expected[name]:
+                raise DimensionMismatchError(
+                    f"arena section {name!r} has shape {tuple(array.shape)}, "
+                    f"expected {expected[name]}"
+                )
+        arena.codes = codes
+        arena.bits = bits
+        arena.segs = segs
+        arena.consts = consts
+        arena.slots = slots
+        arena.sizes = sizes.copy()
+        arena.caps = sizes.copy()
+        arena.starts = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(sizes)[:-1]]
+        )
+        return arena
+
+    def dump_tight(self) -> dict[str, np.ndarray]:
+        """Slack-free copies of the backing arrays, in cluster-grouped order.
+
+        Returns ``codes`` / ``bits`` / ``segs`` / ``consts`` / ``slots``
+        plus the per-cluster ``sizes`` — exactly the layout
+        :meth:`from_sections` adopts, so a dump → load round trip
+        reproduces the arena's live rows bit-identically (capacity slack is
+        the only thing dropped).
+        """
+        parts = [
+            np.arange(start, start + size, dtype=np.int64)
+            for start, size in zip(self.starts.tolist(), self.sizes.tolist())
+            if size
+        ]
+        rows = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        return {
+            "codes": np.ascontiguousarray(self.codes[rows]),
+            "bits": np.ascontiguousarray(self.bits[rows]),
+            "segs": np.ascontiguousarray(self.segs[rows]),
+            "consts": np.ascontiguousarray(self.consts[:, rows]),
+            "slots": np.ascontiguousarray(self.slots[rows]),
+            "sizes": self.sizes.copy(),
+        }
+
     def _allocate(self, sizes: np.ndarray, caps: np.ndarray) -> None:
         """(Re)allocate the backing arrays for the given region capacities."""
         total = int(caps.sum())

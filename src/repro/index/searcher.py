@@ -131,6 +131,7 @@ per-cluster query-rounding streams — can be serialized with
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -453,6 +454,11 @@ class IVFQuantizedSearcher:
         self._prepared_cache: "OrderedDict[tuple[bytes, int], _PreparedClusterQuery]" = (
             OrderedDict()
         )
+        # Crash-recovery state, populated by the persistence layer: the
+        # UUID of the archive generation this searcher was loaded from (or
+        # last saved as) and the attached mutation journal, if any.
+        self._archive_uuid: str | None = None
+        self._journal = None
 
     # ------------------------------------------------------------------ #
     # Index phase
@@ -651,6 +657,17 @@ class IVFQuantizedSearcher:
             raise NotFittedError("IVFQuantizedSearcher must be fitted before use")
         return self._ids[self._live].copy()
 
+    def _journal_record(self, op: str, **arrays: np.ndarray) -> None:
+        """Append a mutation record when a journal is attached (else no-op)."""
+        if self._journal is not None:
+            self._journal.record(op, **arrays)
+
+    def _journal_suspended(self):
+        """Silence journaling inside the block (nested implied mutations)."""
+        if self._journal is not None:
+            return self._journal.suspend()
+        return contextlib.nullcontext()
+
     def insert(
         self, vectors: np.ndarray, ids: np.ndarray | None = None
     ) -> np.ndarray:
@@ -739,6 +756,9 @@ class IVFQuantizedSearcher:
         # searcher re-prepares exactly like an uncached one at every
         # mutation boundary (see the module docstring).
         self._prepared_cache.clear()
+        # Journal the *resolved* ids: replay must never re-derive id
+        # assignment (the fresh-id counter may have moved since).
+        self._journal_record("insert", vectors=mat, ids=new_ids)
         return new_ids
 
     def delete(self, ids: np.ndarray | int) -> int:
@@ -778,7 +798,11 @@ class IVFQuantizedSearcher:
             and self.quantizer_kind == "rabitq"
             and self._n_dead >= self.compact_threshold * self._live.shape[0]
         ):
-            self.compact()
+            # Replaying the delete record re-triggers this compaction
+            # deterministically, so journaling it too would duplicate it.
+            with self._journal_suspended():
+                self.compact()
+        self._journal_record("delete", ids=requested)
         return len(slots)
 
     def compact(self) -> int:
@@ -818,6 +842,10 @@ class IVFQuantizedSearcher:
         reclaimed = self._n_dead
         self._n_dead = 0
         self._prepared_cache.clear()  # mutations invalidate cached queries
+        # The no-reclaim early return above skips the record: a replayed
+        # no-op compact would be harmless, but not journaling it keeps the
+        # journal a faithful log of state *changes*.
+        self._journal_record("compact")
         return reclaimed
 
     # ------------------------------------------------------------------ #

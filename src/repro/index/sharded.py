@@ -187,6 +187,14 @@ class ShardedSearcher:
         self._g2s: dict[int, tuple[int, int]] = {}
         self._next_gid = 0
         self._rr_next = 0
+        # Crash-recovery state, populated by the persistence layer: the
+        # UUID of the directory-archive generation this searcher was loaded
+        # from (or last saved as) and the attached mutation journal, if
+        # any.  Mutations are journaled at the global level only — the
+        # per-shard searchers keep ``_journal is None`` and replay derives
+        # the shard routing deterministically from the restored counters.
+        self._archive_uuid: str | None = None
+        self._journal = None
 
     # ------------------------------------------------------------------ #
     # Executor lifecycle
@@ -412,6 +420,11 @@ class ShardedSearcher:
             return np.empty(0, dtype=np.int64)
         return np.sort(np.concatenate(parts))
 
+    def _journal_record(self, op: str, **arrays: np.ndarray) -> None:
+        """Append a mutation record when a journal is attached (else no-op)."""
+        if self._journal is not None:
+            self._journal.record(op, **arrays)
+
     def insert(
         self, vectors: np.ndarray, ids: np.ndarray | None = None
     ) -> np.ndarray:
@@ -458,6 +471,10 @@ class ShardedSearcher:
             for local, gid in zip(locals_.tolist(), new_gids[rows].tolist()):
                 self._g2s[gid] = (s, local)
         self._next_gid = max(self._next_gid, int(new_gids.max()) + 1)
+        # Journal the *resolved* global ids: replay re-derives the shard
+        # routing from the restored assignment counters, but must never
+        # re-derive id assignment.
+        self._journal_record("insert", vectors=mat, ids=new_gids)
         return new_gids
 
     def delete(self, ids: np.ndarray | int) -> int:
@@ -487,6 +504,9 @@ class ShardedSearcher:
             shards[s].delete(np.asarray(local_ids, dtype=np.int64))
         for gid in requested.tolist():
             del self._g2s[gid]
+        # Per-shard auto-compactions replay from this record (the shard
+        # searchers carry no journal of their own).
+        self._journal_record("delete", ids=requested)
         return int(requested.shape[0])
 
     def compact(self) -> int:
@@ -495,7 +515,12 @@ class ShardedSearcher:
         Shard-local external ids (and therefore the global id mapping) are
         stable across compaction, so no routing state changes.
         """
-        return sum(shard.compact() for shard in self.shards)
+        reclaimed = sum(shard.compact() for shard in self.shards)
+        if reclaimed:
+            # A no-reclaim compact is not journaled: replaying one would be
+            # harmless, but the journal stays a log of state changes.
+            self._journal_record("compact")
+        return reclaimed
 
     # ------------------------------------------------------------------ #
     # Query phase

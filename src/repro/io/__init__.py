@@ -9,18 +9,37 @@ Three on-disk formats:
 * a full IVF searcher (:func:`save_searcher` / :func:`load_searcher`) —
   additionally the IVF centroids/assignments, the raw vectors for exact
   re-ranking, the tombstone/external-id lifecycle state and the query-time
-  RNG streams, so a restarted server resumes with bit-identical results;
+  RNG streams, so a restarted server resumes with bit-identical results.
+  The default layout (format v6) is a memmap-able binary container:
+  ``load_searcher(path, mmap=True)`` opens in near-constant time with the
+  large sections mapped zero-copy; ``save_searcher(..., layout="npz")``
+  writes the legacy npz layout for older builds;
 * a sharded searcher (:func:`save_sharded_searcher` /
   :func:`load_sharded_searcher`) — a *directory* holding a JSON manifest,
   one standard searcher archive per shard, and the global id map, so a
   whole serving topology restarts bit-identically (the per-shard files are
   plain searcher archives and remain individually loadable).
 
+Every save is crash-safe (temp file + fsync + atomic rename; directory
+archives commit through their manifest), and mutations *between* saves
+can be made durable with the append-only journal in
+:mod:`repro.io.journal`: load with ``journal=True`` to replay and
+re-attach it, and every subsequent ``insert`` / ``delete`` / ``compact``
+is fsynced to the journal before it returns.
+
 Unreadable archives (missing, truncated, corrupt, wrong magic or version)
-raise :class:`repro.exceptions.PersistenceError`.
+raise :class:`repro.exceptions.PersistenceError`; a journal that belongs
+to a different archive generation raises the more specific
+:class:`repro.exceptions.JournalError`.
 """
 
+from repro.io.journal import (
+    MutationJournal,
+    read_journal,
+    replay_records,
+)
 from repro.io.persistence import (
+    default_journal_path,
     load_rabitq,
     load_searcher,
     load_sharded_searcher,
@@ -36,4 +55,8 @@ __all__ = [
     "load_searcher",
     "save_sharded_searcher",
     "load_sharded_searcher",
+    "default_journal_path",
+    "MutationJournal",
+    "read_journal",
+    "replay_records",
 ]

@@ -1,0 +1,62 @@
+"""Syscall seams for the crash-safe write paths.
+
+Every write-path syscall that matters for crash consistency — opening a
+file for writing or appending, writing bytes, fsyncing a file, atomically
+replacing a path, fsyncing a directory entry — goes through the
+module-level functions defined here instead of calling :mod:`os` /
+:func:`open` directly.
+
+Routing them through one seam serves two purposes:
+
+* the durability protocol (write temp → fsync file → ``os.replace`` →
+  fsync directory) is spelled out in exactly one place, and
+* the fault-injection harness (``tests/fault_injection.py``) can
+  monkeypatch these functions to kill the write path at *every*
+  syscall-level crash point and prove that recovery is bit-identical no
+  matter where the crash lands.
+
+Files are opened unbuffered (``buffering=0``) so that each ``write`` call
+maps to one OS-level write: there is no hidden flush-on-close that would
+let data slip past an injected crash.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import BinaryIO, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def open_write(path: PathLike) -> BinaryIO:
+    """Open ``path`` for (over)writing, unbuffered binary."""
+    return open(path, "wb", buffering=0)
+
+
+def open_append(path: PathLike) -> BinaryIO:
+    """Open ``path`` for appending, unbuffered binary."""
+    return open(path, "ab", buffering=0)
+
+
+def fsync_file(f: BinaryIO) -> None:
+    """Force ``f``'s written data to stable storage."""
+    f.flush()
+    os.fsync(f.fileno())
+
+
+def replace(src: PathLike, dst: PathLike) -> None:
+    """Atomically replace ``dst`` with ``src`` (same filesystem)."""
+    os.replace(src, dst)
+
+
+def fsync_dir(path: PathLike) -> None:
+    """Fsync a directory so a preceding rename survives a power loss."""
+    fd = os.open(Path(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+__all__ = ["open_write", "open_append", "fsync_file", "replace", "fsync_dir"]

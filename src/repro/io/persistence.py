@@ -1,14 +1,12 @@
 """Save/load support for fitted RaBitQ quantizers and full IVF searchers.
 
-Three archive formats are provided.  The first two are NumPy ``.npz`` files
-with a versioned magic header; the third is a directory combining them with
-a JSON manifest:
+Four archive flavours are provided:
 
 * :func:`save_rabitq` / :func:`load_rabitq` — a single fitted
   :class:`repro.core.quantizer.RaBitQ`: configuration, rotation matrix,
   packed codes, per-vector metadata, centroid and the query-rounding RNG
   state.  Enough for a query-serving process that does estimation only (no
-  raw vectors, so no exact re-ranking).
+  raw vectors, so no exact re-ranking).  NumPy ``.npz``, format v2.
 * :func:`save_searcher` / :func:`load_searcher` — a complete
   :class:`repro.index.searcher.IVFQuantizedSearcher`: IVF centroids and
   assignments, the per-cluster packed code matrices, the raw vectors of the
@@ -17,25 +15,46 @@ a JSON manifest:
   query time.  A reloaded searcher answers ``search`` / ``search_batch``
   *bit-identically* (ids, distances and cost counters) to the saved one,
   and supports further ``insert`` / ``delete`` / ``compact`` calls.
+
+  The current searcher format (**v6**) is a binary container holding a
+  JSON header plus 64-byte-aligned raw sections for every large array —
+  the arena's packed codes, the uint8 GEMM operand, the 4-bit segment-id
+  matrix, the fused constants, the slot map, and the raw re-rank vectors.
+  Sections can be read zero-copy via ``np.memmap``
+  (``load_searcher(path, mmap=True)``), so a warm restart skips
+  decompression, bit-unpacking and segment derivation entirely and
+  supports datasets larger than RAM.  The npz layouts v1–v5 still load
+  bit-identically, and ``save_searcher(..., layout="npz")`` still writes
+  the v5 npz for interoperability with older builds.
 * :func:`save_sharded_searcher` / :func:`load_sharded_searcher` — a
   complete :class:`repro.index.sharded.ShardedSearcher` as a *directory*:
-  a ``manifest.json`` (magic, format version, shard count, assignment
-  policy, id counters), one standard searcher archive per shard
-  (``shard_NNNN.npz``, plain searcher archives that
-  :func:`load_searcher` can also open individually — the "flattened view"
-  used by the equivalence tests), and an ``idmap.npz`` holding the
-  per-shard local→global id arrays.  A reloaded sharded searcher answers
-  queries bit-identically and supports the full mutation lifecycle.
+  a ``manifest.json`` (magic, format version, archive UUID chain, shard
+  count, assignment policy, id counters), one standard searcher archive
+  per shard (generation-tagged v6 files that :func:`load_searcher` can
+  also open individually — the "flattened view" used by the equivalence
+  tests), and a generation-tagged ``idmap`` holding the per-shard
+  local→global id arrays.  A reloaded sharded searcher answers queries
+  bit-identically and supports the full mutation lifecycle.
+
+Every save is **crash-safe**: archives are written to a temporary file,
+fsynced, and atomically renamed over the destination (directory archives
+commit through their manifest the same way), so a crash mid-save always
+leaves either the complete previous archive or the complete new one —
+never a torn file under the final name.  Mutations *between* saves are
+covered by the append-only journal (:mod:`repro.io.journal`): pass
+``journal=True`` to the loaders to replay and re-attach it.
 
 Every load error caused by the file itself — missing, truncated, corrupt,
-wrong magic, unsupported version — raises
-:class:`repro.exceptions.PersistenceError`.
+wrong magic, unsupported version, misaligned or short v6 sections —
+raises :class:`repro.exceptions.PersistenceError`.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import struct
+import uuid as _uuid
 import zipfile
 from pathlib import Path
 from typing import Union
@@ -51,6 +70,7 @@ from repro.core.rotation import FastHadamardRotation, QRRotation, Rotation
 from repro.exceptions import (
     DimensionMismatchError,
     InvalidParameterError,
+    JournalError,
     NotFittedError,
     PersistenceError,
 )
@@ -65,6 +85,12 @@ from repro.index.rerank import (
 )
 from repro.index.searcher import IVFQuantizedSearcher
 from repro.index.sharded import ShardedSearcher
+from repro.io import _fsio
+from repro.io.journal import (
+    MutationJournal,
+    read_journal,
+    replay_records,
+)
 
 PathLike = Union[str, os.PathLike]
 
@@ -77,34 +103,59 @@ MAGIC_SHARDED = "rabitq/sharded"
 #: added the magic header and the query-RNG state.
 FORMAT_VERSION = 2
 
-#: Searcher-archive format, bumped on incompatible changes.  Version 5
-#: records the searcher's ``estimation_mode`` (``gemm`` / ``lut`` /
-#: ``lut8``); the arena's 4-bit segment-id matrix is never stored — it is
-#: rebuilt from the packed codes on every load, for current and legacy
-#: archives alike.  Version 4 records the served ``metric`` (``l2`` /
-#: ``ip`` / ``cosine``) and allows the fused estimator-constants matrix to
-#: carry the metric's row count (similarity metrics store two extra
-#: centroid-decomposition rows).  Version 3 was the arena-aware layout:
-#: per-slot packed codes plus the fused ``(N_CONSTS, n_slots)`` constants
-#: matrix the code arena is rebuilt from.  (The version numbering jumped
-#: from 1 to 3 so that "format v3" is unambiguous repo-wide: quantizer
-#: archives are v2.)  Version-1 archives — written before the arena
-#: existed — version-3 and version-4 archives are still loaded via
-#: ``_SEARCHER_LEGACY_VERSIONS``; pre-v4 archives predate the metric layer
-#: and load as ``metric="l2"``, pre-v5 archives predate the LUT kernel and
-#: load as ``estimation_mode="gemm"`` — in every case answering
-#: bit-identically to the build that wrote them.
-SEARCHER_FORMAT_VERSION = 5
+#: Searcher-archive format, bumped on incompatible changes.  Version 6 is
+#: the memmap-able binary container described in the module docstring: a
+#: JSON header carrying the small metadata (configuration, RNG states,
+#: lifecycle counters, archive UUID chain) plus 64-byte-aligned raw
+#: sections for the large arrays, laid out exactly as the in-memory
+#: ``CodeArena`` holds them (cluster-grouped, slack-free) so a load — and
+#: in particular a ``mmap=True`` load — adopts them without re-deriving
+#: anything.  Unlike v5, the uint8 GEMM operand and the 4-bit segment-id
+#: matrix are stored, not recomputed.
+SEARCHER_FORMAT_VERSION = 6
 
-#: Older searcher-archive formats this build can still read.
-_SEARCHER_LEGACY_VERSIONS = (1, 3, 4)
+#: The newest npz-layout searcher format (written by ``layout="npz"``).
+#: Version 5 records the searcher's ``estimation_mode``; version 4 the
+#: served ``metric``; version 3 was the arena-aware layout; version 1
+#: predates the arena.  All are still read via the npz loader, answering
+#: bit-identically to the build that wrote them.
+SEARCHER_NPZ_FORMAT_VERSION = 5
+
+#: Older (npz) searcher-archive formats this build can still read.
+_SEARCHER_LEGACY_VERSIONS = (1, 3, 4, 5)
 
 #: Sharded-archive (directory) format, bumped on incompatible changes.
-SHARDED_FORMAT_VERSION = 1
+#: Version 2 added the archive UUID chain, generation-tagged shard/idmap
+#: file names (so a crashed re-save can never corrupt the previous
+#: generation) and atomic manifest replacement; version 1 directories
+#: (fixed file names, npz shards) still load.
+SHARDED_FORMAT_VERSION = 2
+
+#: Older sharded-archive formats this build can still read.
+_SHARDED_LEGACY_VERSIONS = (1,)
 
 #: File names inside a sharded archive directory.
 _SHARDED_MANIFEST = "manifest.json"
-_SHARDED_IDMAP = "idmap.npz"
+_SHARDED_JOURNAL = "mutations.journal"
+
+#: First bytes of a format-v6 searcher archive.
+V6_MAGIC = b"RBQARCH6"
+
+#: v6 file prefix: magic + u64 JSON-header length (little-endian).
+_V6_PREFIX = struct.Struct("<8sQ")
+
+#: Raw sections are aligned to this many bytes (cache-line / SIMD-lane
+#: friendly, and a whole multiple of every stored itemsize).
+_V6_ALIGN = 64
+
+#: Upper bound on a declared v6 header length; anything larger is
+#: corruption, not a plausible archive.
+_V6_MAX_HEADER = 256 * 1024 * 1024
+
+#: Sections that must stay private, writable copies even under
+#: ``mmap=True``: the tombstone mask is flipped in place by ``delete``,
+#: and both arrays are tiny next to the code/vector sections.
+_V6_ALWAYS_MATERIALIZED = frozenset({"ids", "live"})
 
 #: Errors that ``np.load`` / zip decompression raise on unreadable input.
 _READ_ERRORS = (OSError, ValueError, zipfile.BadZipFile, EOFError, KeyError)
@@ -136,6 +187,23 @@ def _resolve_path(path: PathLike) -> Path:
             return with_suffix
         raise PersistenceError(f"no such index file: {path!s}")
     return candidate
+
+
+def default_journal_path(path: PathLike) -> Path:
+    """The journal file that belongs to the archive at ``path``.
+
+    Single-file searcher archives keep their journal right next to them
+    (``<archive>.journal``); sharded directory archives keep one journal
+    for the whole topology inside the directory (``mutations.journal``).
+    """
+    candidate = Path(path)
+    if candidate.is_dir():
+        return candidate / _SHARDED_JOURNAL
+    return candidate.with_name(candidate.name + ".journal")
+
+
+def _new_archive_uuid() -> str:
+    return _uuid.uuid4().hex
 
 
 def _open_archive(
@@ -234,12 +302,282 @@ def _load_rotation(archive, dim: int) -> Rotation:
 
 
 # --------------------------------------------------------------------- #
+# Crash-safe write primitives
+# --------------------------------------------------------------------- #
+
+
+def _write_all(f, data) -> None:
+    """Write the whole buffer (raw unbuffered writes may be partial)."""
+    view = memoryview(data)
+    while view.nbytes:
+        written = f.write(view)
+        if written is None:  # pragma: no cover - buffered fallback
+            return
+        view = view[written:]
+
+
+def _fsync_existing(path: Path) -> None:
+    """Fsync a file written by a third party (``np.savez_compressed``)."""
+    f = _fsio.open_append(path)
+    try:
+        _fsio.fsync_file(f)
+    finally:
+        f.close()
+
+
+def _commit_temp(tmp: Path, final: Path) -> None:
+    """Atomically publish ``tmp`` (already fsynced) as ``final``."""
+    _fsio.replace(tmp, final)
+    _fsio.fsync_dir(final.parent)
+
+
+def _savez_atomic(final: Path, **entries) -> None:
+    """``np.savez_compressed`` with temp-file + fsync + atomic rename."""
+    tmp = final.with_name(final.name + ".tmp.npz")
+    np.savez_compressed(tmp, **entries)
+    _fsync_existing(tmp)
+    _commit_temp(tmp, final)
+
+
+# --------------------------------------------------------------------- #
+# Format v6 container primitives
+# --------------------------------------------------------------------- #
+
+
+def _v6_align(offset: int) -> int:
+    return (offset + _V6_ALIGN - 1) // _V6_ALIGN * _V6_ALIGN
+
+
+def _v6_header_bytes(
+    header: dict, sections: dict[str, np.ndarray]
+) -> tuple[bytes, list[dict]]:
+    """Serialize the v6 header with converged section offsets.
+
+    Offsets depend on the header length, which depends on the offsets'
+    digit counts — iterate to the (monotone, hence guaranteed) fixed
+    point.
+    """
+    arrays = {
+        name: np.ascontiguousarray(array) for name, array in sections.items()
+    }
+    data_start = 0
+    for _ in range(10):
+        table = []
+        cursor = data_start
+        for name, array in arrays.items():
+            offset = _v6_align(cursor)
+            table.append(
+                {
+                    "name": name,
+                    "dtype": array.dtype.str,
+                    "shape": list(array.shape),
+                    "offset": offset,
+                    "nbytes": int(array.nbytes),
+                }
+            )
+            cursor = offset + int(array.nbytes)
+        payload = json.dumps(
+            {**header, "sections": table}, sort_keys=True
+        ).encode("utf-8")
+        needed = _v6_align(_V6_PREFIX.size + len(payload))
+        if needed == data_start:
+            return _V6_PREFIX.pack(V6_MAGIC, len(payload)) + payload, table
+        data_start = needed
+    raise PersistenceError(
+        "v6 header layout did not converge"
+    )  # pragma: no cover - the fixed point is monotone
+
+
+def _write_v6_archive(
+    path: Path, header: dict, sections: dict[str, np.ndarray]
+) -> None:
+    """Write a v6 container crash-safely (temp + fsync + atomic rename)."""
+    header_bytes, table = _v6_header_bytes(header, sections)
+    tmp = path.with_name(path.name + ".tmp")
+    f = _fsio.open_write(tmp)
+    try:
+        _write_all(f, header_bytes)
+        cursor = len(header_bytes)
+        for entry in table:
+            pad = entry["offset"] - cursor
+            if pad:
+                _write_all(f, b"\0" * pad)
+            array = np.ascontiguousarray(sections[entry["name"]])
+            if array.nbytes:
+                _write_all(f, memoryview(array).cast("B"))
+            cursor = entry["offset"] + entry["nbytes"]
+        _fsio.fsync_file(f)
+    finally:
+        f.close()
+    _commit_temp(tmp, path)
+
+
+def _detect_searcher_layout(path: Path) -> str:
+    """``"v6"`` for the binary container, ``"npz"`` for everything else.
+
+    Unreadable and garbage files fall through to the npz loader, whose
+    error reporting distinguishes truncation, foreign files and legacy
+    versions.
+    """
+    try:
+        with open(path, "rb") as f:
+            head = f.read(len(V6_MAGIC))
+    except OSError as exc:
+        raise PersistenceError(
+            f"cannot read searcher index file {path!s}: {exc}"
+        ) from exc
+    return "v6" if head == V6_MAGIC else "npz"
+
+
+def _read_v6_header(path: Path) -> tuple[dict, int]:
+    """Read and validate the JSON header; return it with the file size."""
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as f:
+            prefix = f.read(_V6_PREFIX.size)
+            if len(prefix) < _V6_PREFIX.size:
+                raise PersistenceError(
+                    f"cannot read searcher index file {path!s}: corrupt or "
+                    f"truncated archive (short v6 prefix)"
+                )
+            magic, header_len = _V6_PREFIX.unpack(prefix)
+            if magic != V6_MAGIC:
+                raise PersistenceError(
+                    f"{path!s} is not a v6 searcher archive"
+                )
+            if header_len > _V6_MAX_HEADER:
+                raise PersistenceError(
+                    f"cannot read searcher index file {path!s}: implausible "
+                    f"header length {header_len}"
+                )
+            raw = f.read(header_len)
+            if len(raw) < header_len:
+                raise PersistenceError(
+                    f"cannot read searcher index file {path!s}: corrupt or "
+                    f"truncated archive (short v6 header)"
+                )
+    except OSError as exc:
+        raise PersistenceError(
+            f"cannot read searcher index file {path!s}: {exc}"
+        ) from exc
+    try:
+        header = json.loads(raw)
+    except ValueError as exc:
+        raise PersistenceError(
+            f"cannot read searcher index file {path!s}: corrupt v6 header "
+            f"({exc})"
+        ) from exc
+    if not isinstance(header, dict):
+        raise PersistenceError(
+            f"cannot read searcher index file {path!s}: corrupt v6 header"
+        )
+    if header.get("magic") != MAGIC_SEARCHER:
+        raise PersistenceError(
+            f"{path!s} is not a searcher archive "
+            f"(magic {header.get('magic')!r}, expected {MAGIC_SEARCHER!r})"
+        )
+    if header.get("format_version") != SEARCHER_FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported searcher index format version "
+            f"{header.get('format_version')}; this build reads version(s) "
+            f"{SEARCHER_FORMAT_VERSION}, "
+            f"{', '.join(map(str, _SEARCHER_LEGACY_VERSIONS))}"
+        )
+    return header, size
+
+
+class _V6Sections:
+    """Validated access to a v6 archive's raw sections."""
+
+    def __init__(self, path: Path, header: dict, file_size: int) -> None:
+        self.path = path
+        self._file_size = file_size
+        self._table: dict[str, dict] = {}
+        table = header.get("sections")
+        if not isinstance(table, list):
+            raise PersistenceError(
+                f"cannot read searcher index file {path!s}: v6 header has "
+                f"no section table"
+            )
+        for entry in table:
+            try:
+                name = str(entry["name"])
+                dtype = np.dtype(str(entry["dtype"]))
+                shape = tuple(int(s) for s in entry["shape"])
+                offset = int(entry["offset"])
+                nbytes = int(entry["nbytes"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise PersistenceError(
+                    f"cannot read searcher index file {path!s}: malformed "
+                    f"v6 section table entry ({exc})"
+                ) from exc
+            expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+            if min(shape, default=0) < 0 or nbytes != expected:
+                raise PersistenceError(
+                    f"v6 section {name!r} of {path!s} declares {nbytes} "
+                    f"bytes for shape {shape} ({expected} expected): "
+                    f"inconsistent section table"
+                )
+            if offset < 0 or offset % _V6_ALIGN:
+                raise PersistenceError(
+                    f"v6 section {name!r} of {path!s} is misaligned "
+                    f"(offset {offset} is not a multiple of {_V6_ALIGN})"
+                )
+            if offset + nbytes > file_size:
+                raise PersistenceError(
+                    f"v6 section {name!r} of {path!s} extends past the end "
+                    f"of the file: corrupt or truncated archive"
+                )
+            self._table[name] = {
+                "dtype": dtype,
+                "shape": shape,
+                "offset": offset,
+                "nbytes": nbytes,
+            }
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._table
+
+    def load(self, name: str, *, mmap: bool) -> np.ndarray:
+        """One section, as a read-only memmap or a fresh private array."""
+        entry = self._table.get(name)
+        if entry is None:
+            raise PersistenceError(
+                f"v6 archive {self.path!s} has no section {name!r}"
+            )
+        dtype, shape = entry["dtype"], entry["shape"]
+        count = int(np.prod(shape, dtype=np.int64))
+        if count == 0:
+            return np.zeros(shape, dtype=dtype)
+        if mmap and name not in _V6_ALWAYS_MATERIALIZED:
+            return np.memmap(
+                self.path,
+                mode="r",
+                dtype=dtype,
+                shape=shape,
+                offset=entry["offset"],
+            )
+        with open(self.path, "rb") as f:
+            f.seek(entry["offset"])
+            array = np.fromfile(f, dtype=dtype, count=count)
+        if array.shape[0] < count:
+            raise PersistenceError(
+                f"v6 section {name!r} of {self.path!s} is shorter than its "
+                f"section-table entry: corrupt or truncated archive"
+            )
+        return array.reshape(shape)
+
+
+# --------------------------------------------------------------------- #
 # Bare quantizer archives
 # --------------------------------------------------------------------- #
 
 
 def save_rabitq(quantizer: RaBitQ, path: PathLike) -> None:
     """Serialize a fitted RaBitQ quantizer to ``path`` (NumPy ``.npz``).
+
+    The archive is written to a temporary file and atomically renamed
+    into place, so a crash mid-save never corrupts an existing archive.
 
     Raises
     ------
@@ -250,8 +588,11 @@ def save_rabitq(quantizer: RaBitQ, path: PathLike) -> None:
         raise NotFittedError("cannot save an unfitted RaBitQ quantizer")
     dataset = quantizer.dataset
     config = quantizer.config
-    np.savez_compressed(
-        Path(path),
+    final = Path(path)
+    if not final.name.endswith(".npz"):
+        final = final.with_name(final.name + ".npz")
+    _savez_atomic(
+        final,
         magic=np.str_(MAGIC_RABITQ),
         format_version=np.int64(FORMAT_VERSION),
         packed_codes=dataset.packed_codes,
@@ -356,32 +697,155 @@ def _load_reranker(kind: str, param: int) -> Reranker:
     raise PersistenceError(f"unknown re-ranker kind in archive: {kind!r}")
 
 
-def save_searcher(searcher: IVFQuantizedSearcher, path: PathLike) -> None:
-    """Serialize a fitted :class:`IVFQuantizedSearcher` to ``path``.
-
-    The archive (arena-aware format v3) captures the complete query-time
-    and lifecycle state — per-slot packed codes, the fused
-    estimator-constants matrix, IVF centroids/assignments, raw vectors,
-    tombstones, external-id mapping and RNG streams — so that
-    :func:`load_searcher` reproduces search results bit-identically and
-    supports further mutation.
-
-    Raises
-    ------
-    NotFittedError
-        If the searcher has not been fitted.
-    InvalidParameterError
-        If the searcher uses an external (non-RaBitQ) quantizer or a custom
-        re-ranker that the archive format cannot represent.
-    """
+def _check_saveable(searcher: IVFQuantizedSearcher) -> tuple[str, int]:
     if not searcher.is_fitted:
         raise NotFittedError("cannot save an unfitted IVFQuantizedSearcher")
     if searcher.quantizer_kind != "rabitq":
         raise InvalidParameterError(
             "save_searcher only supports quantizer_kind='rabitq'"
         )
-    reranker_kind, reranker_param = _save_reranker(searcher.reranker)
+    return _save_reranker(searcher.reranker)
 
+
+def _cluster_rng_states(searcher: IVFQuantizedSearcher) -> list[dict | None]:
+    arena = searcher._arena
+    query_rngs = searcher._query_rngs
+    assert arena is not None and query_rngs is not None
+    states: list[dict | None] = []
+    for cid in range(arena.n_clusters):
+        start, end = arena.cluster_range(cid)
+        rng = query_rngs[cid]
+        if start == end:
+            states.append(None)
+            continue
+        assert rng is not None
+        states.append(rng.bit_generator.state)
+    return states
+
+
+def _rotate_attached_journal(obj, archive_path: Path, new_uuid: str) -> None:
+    """After a successful save, restart the attached journal (if any)."""
+    journal = getattr(obj, "_journal", None)
+    if journal is not None:
+        journal.rotate(default_journal_path(archive_path), new_uuid)
+
+
+def save_searcher(
+    searcher: IVFQuantizedSearcher, path: PathLike, *, layout: str = "v6"
+) -> None:
+    """Serialize a fitted :class:`IVFQuantizedSearcher` to ``path``.
+
+    The archive captures the complete query-time and lifecycle state —
+    packed codes, GEMM/LUT operands, the fused estimator-constants matrix,
+    IVF centroids/assignments, raw vectors, tombstones, external-id
+    mapping and RNG streams — so that :func:`load_searcher` reproduces
+    search results bit-identically and supports further mutation.
+
+    ``layout`` selects the on-disk format: ``"v6"`` (default) writes the
+    memmap-able binary container, ``"npz"`` the v5 npz layout readable by
+    older builds.  Both are written crash-safely (temp file + fsync +
+    atomic rename).  A v6 save also records the archive UUID chain and —
+    when the searcher has a mutation journal attached — rotates the
+    journal, since the new archive subsumes every journaled mutation.
+
+    Raises
+    ------
+    NotFittedError
+        If the searcher has not been fitted.
+    InvalidParameterError
+        If the searcher uses an external (non-RaBitQ) quantizer, a custom
+        re-ranker that the archive format cannot represent, or an unknown
+        ``layout``.
+    """
+    if layout == "v6":
+        _save_searcher_v6(searcher, Path(path))
+    elif layout == "npz":
+        _save_searcher_npz(searcher, Path(path))
+    else:
+        raise InvalidParameterError(
+            f"layout must be 'v6' or 'npz', got {layout!r}"
+        )
+
+
+def _save_searcher_v6(searcher: IVFQuantizedSearcher, path: Path) -> str:
+    """Write the format-v6 binary container; returns the new archive UUID."""
+    reranker_kind, reranker_param = _check_saveable(searcher)
+    ivf = searcher.ivf
+    flat = searcher.flat
+    config = searcher.rabitq_config
+    arena = searcher._arena
+    assert arena is not None
+    assert searcher._ids is not None and searcher._live is not None
+    assert searcher._shared_rotation is not None
+
+    dump = arena.dump_tight()
+    rotation = searcher._shared_rotation
+    if isinstance(rotation, FastHadamardRotation):
+        rotation_entry = ("signs", rotation.signs)
+    else:
+        rotation_entry = ("matrix", rotation.as_matrix())
+
+    archive_uuid = _new_archive_uuid()
+    parent_uuid = getattr(searcher, "_archive_uuid", None)
+    meta = {
+        # RaBitQ configuration
+        "epsilon0": float(config.epsilon0),
+        "query_bits": int(config.query_bits),
+        "config_code_length": config.code_length,
+        "code_length": int(arena.code_length),
+        "randomized_rounding": bool(config.randomized_rounding),
+        "rotation_kind": str(config.rotation),
+        "seed": config.seed,
+        # Searcher construction parameters
+        "n_clusters_param": searcher.n_clusters,
+        "kmeans_iters": int(ivf.kmeans_iters),
+        "compact_threshold": searcher.compact_threshold,
+        "reranker_kind": reranker_kind,
+        "reranker_param": reranker_param,
+        "metric": searcher.metric,
+        "estimation_mode": searcher.estimation_mode,
+        # Shapes (cross-checked against the section table on load)
+        "dim": int(flat.dim),
+        "n_slots": int(len(flat)),
+        "n_clusters": int(arena.n_clusters),
+        "n_words": int(arena.n_words),
+        "n_consts": int(arena.n_consts),
+        "arena_sizes": dump["sizes"].tolist(),
+        "rotation": rotation_entry[0],
+        # Lifecycle counters and random streams
+        "next_id": int(searcher._next_id),
+        "quantizer_rng_states": _cluster_rng_states(searcher),
+        "searcher_rng_state": searcher._rng.bit_generator.state,
+    }
+    header = {
+        "magic": MAGIC_SEARCHER,
+        "format_version": SEARCHER_FORMAT_VERSION,
+        "archive_uuid": archive_uuid,
+        "parent_uuid": parent_uuid,
+        "meta": json.loads(json.dumps(meta, default=_json_default)),
+    }
+    sections = {
+        "arena_codes": dump["codes"],
+        "arena_bits": dump["bits"],
+        "arena_segs": dump["segs"],
+        "arena_consts": dump["consts"],
+        "arena_slots": dump["slots"],
+        "data": np.ascontiguousarray(flat.data, dtype=np.float64),
+        "centroids": np.ascontiguousarray(ivf.centroids, dtype=np.float64),
+        "assignments": np.ascontiguousarray(ivf.assignments, dtype=np.int64),
+        "ids": np.ascontiguousarray(searcher._ids, dtype=np.int64),
+        "live": np.ascontiguousarray(searcher._live, dtype=np.bool_),
+        "rotation": np.ascontiguousarray(rotation_entry[1], dtype=np.float64),
+    }
+    _write_v6_archive(path, header, sections)
+    searcher._archive_uuid = archive_uuid
+    _rotate_attached_journal(searcher, path, archive_uuid)
+    return archive_uuid
+
+
+def _save_searcher_npz(searcher: IVFQuantizedSearcher, path: Path) -> None:
+    """Write the legacy v5 npz layout (readable by older builds)."""
+    reranker_kind, reranker_param = _check_saveable(searcher)
     ivf = searcher.ivf
     flat = searcher.flat
     config = searcher.rabitq_config
@@ -401,26 +865,25 @@ def save_searcher(searcher: IVFQuantizedSearcher, path: PathLike) -> None:
     # (always sorted ascending), which reproduces the arena row order.
     packed_codes = np.zeros((n_slots, n_words), dtype=np.uint64)
     code_consts = np.zeros((n_consts, n_slots), dtype=np.float64)
-    rng_states: list[dict | None] = []
+    rng_states = _cluster_rng_states(searcher)
     for cid in range(arena.n_clusters):
         start, end = arena.cluster_range(cid)
-        rng = query_rngs[cid]
         if start == end:
-            rng_states.append(None)
             continue
-        assert rng is not None
         slots = arena.slots[start:end]
         packed_codes[slots] = arena.codes[start:end]
         code_consts[:, slots] = arena.consts[:, start:end]
-        rng_states.append(rng.bit_generator.state)
 
     assert searcher._shared_rotation is not None
     rotation_entries = _save_rotation(searcher._shared_rotation)
 
-    np.savez_compressed(
-        Path(path),
+    final = path
+    if not final.name.endswith(".npz"):
+        final = final.with_name(final.name + ".npz")
+    _savez_atomic(
+        final,
         magic=np.str_(MAGIC_SEARCHER),
-        format_version=np.int64(SEARCHER_FORMAT_VERSION),
+        format_version=np.int64(SEARCHER_NPZ_FORMAT_VERSION),
         # RaBitQ configuration
         epsilon0=np.float64(config.epsilon0),
         query_bits=np.int64(config.query_bits),
@@ -469,7 +932,9 @@ def save_searcher(searcher: IVFQuantizedSearcher, path: PathLike) -> None:
     )
 
 
-def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
+def load_searcher(
+    path: PathLike, *, mmap: bool = False, journal: bool = False
+) -> IVFQuantizedSearcher:
     """Load a searcher previously stored with :func:`save_searcher`.
 
     The returned searcher is fully fitted and mutable, and its
@@ -477,16 +942,281 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
     counters — are element-wise identical to what the saved searcher would
     have returned from the moment it was saved.
 
+    Parameters
+    ----------
+    mmap:
+        Memory-map the archive's large sections (packed codes, GEMM and
+        LUT operands, fused constants, raw vectors) instead of reading
+        them into RAM: the load is near-constant-time and the dataset may
+        exceed physical memory.  Results are bit-identical to a
+        materialized load; the first mutation reallocates the affected
+        arrays in memory (the mapped file is never written).  Requires a
+        format-v6 archive.
+    journal:
+        Replay the mutation journal next to the archive (if one exists
+        for this archive generation) and attach it, so subsequent
+        ``insert`` / ``delete`` / ``compact`` calls are journaled — the
+        crash-recovery contract.  A torn journal tail is truncated, a
+        journal superseded by the save that wrote this archive is
+        discarded, and a journal belonging to any other archive raises
+        :class:`repro.exceptions.JournalError`.  Requires a format-v6
+        archive.
+
     Raises
     ------
     PersistenceError
         If the file is missing, truncated or corrupt, is not a searcher
-        archive, or uses an unsupported format version.
+        archive, uses an unsupported format version, has a misaligned or
+        short v6 section table, or ``mmap`` / ``journal`` is requested
+        for a pre-v6 archive.
     """
+    candidate = _resolve_path(path)
+    if _detect_searcher_layout(candidate) == "v6":
+        header, file_size = _read_v6_header(candidate)
+        searcher = _load_searcher_v6(candidate, header, file_size, mmap=mmap)
+        if journal:
+            _attach_journal(
+                searcher,
+                default_journal_path(candidate),
+                kind="searcher",
+                archive_uuid=str(header.get("archive_uuid")),
+                parent_uuid=header.get("parent_uuid"),
+            )
+        return searcher
+    if mmap:
+        raise PersistenceError(
+            f"memory-mapped loading requires a format v6 archive; "
+            f"{candidate!s} is a legacy npz archive (re-save it with "
+            f"save_searcher to upgrade)"
+        )
+    if journal:
+        raise PersistenceError(
+            f"mutation journaling requires a format v6 archive; "
+            f"{candidate!s} is a legacy npz archive (re-save it with "
+            f"save_searcher to upgrade)"
+        )
+    return _load_searcher_npz(candidate)
+
+
+def _make_searcher_shell(
+    *,
+    config: RaBitQConfig,
+    n_clusters_param: int | None,
+    compact_threshold: float | None,
+    reranker_kind: str,
+    reranker_param: int,
+    metric,
+    estimation_mode: str,
+    searcher_rng_state: dict,
+) -> IVFQuantizedSearcher:
+    return IVFQuantizedSearcher(
+        "rabitq",
+        n_clusters=n_clusters_param,
+        rabitq_config=config,
+        reranker=_load_reranker(reranker_kind, reranker_param),
+        rng=_rng_from_state(searcher_rng_state),
+        compact_threshold=compact_threshold,
+        metric=metric,
+        estimation_mode=estimation_mode,
+    )
+
+
+def _install_lifecycle(
+    searcher: IVFQuantizedSearcher,
+    ids: np.ndarray,
+    live: np.ndarray,
+    next_id: int,
+) -> None:
+    searcher._ids = np.asarray(ids, dtype=np.int64)
+    searcher._live = np.asarray(live, dtype=bool)
+    searcher._n_dead = int((~searcher._live).sum())
+    searcher._next_id = int(next_id)
+    searcher._id_to_slot = {
+        int(ext): slot
+        for slot, (ext, alive) in enumerate(
+            zip(searcher._ids.tolist(), searcher._live.tolist())
+        )
+        if alive
+    }
+
+
+def _load_searcher_v6(
+    path: Path, header: dict, file_size: int, *, mmap: bool
+) -> IVFQuantizedSearcher:
+    sections = _V6Sections(path, header, file_size)
+    try:
+        meta = header["meta"]
+        config = RaBitQConfig(
+            epsilon0=float(meta["epsilon0"]),
+            query_bits=int(meta["query_bits"]),
+            code_length=(
+                None
+                if meta["config_code_length"] is None
+                else int(meta["config_code_length"])
+            ),
+            randomized_rounding=bool(meta["randomized_rounding"]),
+            rotation=str(meta["rotation_kind"]),
+            seed=None if meta["seed"] is None else int(meta["seed"]),
+        )
+        metric = resolve_metric(str(meta["metric"]))
+        threshold = meta["compact_threshold"]
+        searcher = _make_searcher_shell(
+            config=config,
+            n_clusters_param=(
+                None
+                if meta["n_clusters_param"] is None
+                else int(meta["n_clusters_param"])
+            ),
+            compact_threshold=None if threshold is None else float(threshold),
+            reranker_kind=str(meta["reranker_kind"]),
+            reranker_param=int(meta["reranker_param"]),
+            metric=metric,
+            estimation_mode=str(meta["estimation_mode"]),
+            searcher_rng_state=meta["searcher_rng_state"],
+        )
+
+        code_length = int(meta["code_length"])
+        n_words = int(meta["n_words"])
+        n_consts = int(meta["n_consts"])
+        n_slots = int(meta["n_slots"])
+        n_clusters = int(meta["n_clusters"])
+        dim = int(meta["dim"])
+        if n_consts != metric.n_consts:
+            raise PersistenceError(
+                f"archive stores {n_consts} fused constants per code; "
+                f"metric {metric.name!r} expects {metric.n_consts}"
+            )
+        if n_words != (code_length + 63) // 64:
+            raise PersistenceError(
+                f"archive has inconsistent code matrices: {n_words} words "
+                f"do not match code length {code_length}"
+            )
+
+        rotation_sec = sections.load("rotation", mmap=mmap)
+        if meta["rotation"] == "signs":
+            rotation = FastHadamardRotation.from_signs(
+                code_length, rotation_sec
+            )
+        else:
+            rotation = QRRotation.from_matrix(np.asarray(rotation_sec))
+        searcher._shared_rotation = rotation
+
+        data = sections.load("data", mmap=mmap)
+        if tuple(data.shape) != (n_slots, dim):
+            raise PersistenceError(
+                f"archive has inconsistent per-slot arrays: data has shape "
+                f"{tuple(data.shape)}, expected {(n_slots, dim)}"
+            )
+        searcher._flat = FlatIndex(data, allow_empty=True)
+
+        centroids = sections.load("centroids", mmap=mmap)
+        assignments = sections.load("assignments", mmap=mmap)
+        if centroids.shape[0] != n_clusters:
+            raise PersistenceError(
+                f"archive has inconsistent cluster metadata: "
+                f"{centroids.shape[0]} centroids for {n_clusters} clusters"
+            )
+        searcher._ivf = IVFIndex.from_state(
+            centroids,
+            assignments,
+            kmeans_iters=int(meta["kmeans_iters"]),
+            rng=searcher._rng,
+        )
+
+        sizes = np.asarray(meta["arena_sizes"], dtype=np.int64).reshape(-1)
+        if sizes.shape[0] != n_clusters:
+            raise PersistenceError(
+                f"archive has inconsistent cluster metadata: "
+                f"{sizes.shape[0]} arena regions for {n_clusters} clusters"
+            )
+        if int(sizes.sum()) != n_slots:
+            raise PersistenceError(
+                f"archive has inconsistent per-slot arrays: arena regions "
+                f"hold {int(sizes.sum())} rows, data has {n_slots}"
+            )
+        arena = CodeArena.from_sections(
+            code_length,
+            n_words,
+            n_consts,
+            codes=sections.load("arena_codes", mmap=mmap),
+            bits=sections.load("arena_bits", mmap=mmap),
+            segs=sections.load("arena_segs", mmap=mmap),
+            consts=sections.load("arena_consts", mmap=mmap),
+            slots=sections.load("arena_slots", mmap=mmap),
+            sizes=sizes,
+        )
+        # The arena's cluster-grouped row order must equal the bucket id
+        # lists rebuilt from the assignment array — the invariant every
+        # estimate relies on.  One vectorized comparison pins it.
+        bucket_order = [
+            bucket.vector_ids
+            for bucket in searcher._ivf.buckets
+            if len(bucket)
+        ]
+        expected_slots = (
+            np.concatenate(bucket_order)
+            if bucket_order
+            else np.empty(0, dtype=np.int64)
+        )
+        if not np.array_equal(
+            np.asarray(arena.slots), expected_slots
+        ) or not np.array_equal(
+            np.asarray(sizes),
+            np.bincount(
+                np.asarray(assignments, dtype=np.int64), minlength=n_clusters
+            ),
+        ):
+            raise PersistenceError(
+                "archive has inconsistent cluster metadata: the arena's "
+                "slot layout does not match the IVF assignment array"
+            )
+        searcher._arena = arena
+        searcher._pad_len = code_length
+        searcher._rotation_matrix = (
+            rotation.as_matrix() if isinstance(rotation, QRRotation) else None
+        )
+
+        rng_states = meta["quantizer_rng_states"]
+        if len(rng_states) != n_clusters:
+            raise PersistenceError(
+                f"archive has inconsistent cluster metadata: "
+                f"{len(rng_states)} RNG states for {n_clusters} clusters"
+            )
+        query_rngs: list[np.random.Generator | None] = []
+        for cid, state in enumerate(rng_states):
+            if sizes[cid] == 0:
+                query_rngs.append(None)
+                continue
+            if state is None:
+                raise PersistenceError(
+                    f"archive has no RNG state for non-empty cluster {cid}"
+                )
+            query_rngs.append(_rng_from_state(state))
+        searcher._query_rngs = query_rngs
+
+        ids = sections.load("ids", mmap=mmap)
+        live = sections.load("live", mmap=mmap)
+        for name, array in (("ids", ids), ("live", live)):
+            if array.shape[0] != n_slots:
+                raise PersistenceError(
+                    f"archive has inconsistent per-slot arrays: {name} has "
+                    f"{array.shape[0]} rows, data has {n_slots}"
+                )
+        _install_lifecycle(searcher, ids, live, int(meta["next_id"]))
+        searcher._archive_uuid = str(header.get("archive_uuid"))
+    except _PARSE_ERRORS as exc:
+        raise PersistenceError(
+            f"cannot read searcher index file {path!s}: corrupt or "
+            f"truncated archive ({exc})"
+        ) from exc
+    return searcher
+
+
+def _load_searcher_npz(path: Path) -> IVFQuantizedSearcher:
     with _open_archive(
         path,
         magic=MAGIC_SEARCHER,
-        versions=(SEARCHER_FORMAT_VERSION,) + _SEARCHER_LEGACY_VERSIONS,
+        versions=_SEARCHER_LEGACY_VERSIONS,
         kind="searcher index",
     ) as archive:
         try:
@@ -516,19 +1246,19 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
             estimation_mode = (
                 str(archive["estimation_mode"]) if format_version >= 5 else "gemm"
             )
-            searcher = IVFQuantizedSearcher(
-                "rabitq",
-                n_clusters=None if n_clusters_param < 0 else n_clusters_param,
-                rabitq_config=config,
-                reranker=_load_reranker(
-                    str(archive["reranker_kind"]), int(archive["reranker_param"])
-                ),
-                rng=_rng_from_state(
-                    json.loads(str(archive["searcher_rng_state"]))
+            searcher = _make_searcher_shell(
+                config=config,
+                n_clusters_param=(
+                    None if n_clusters_param < 0 else n_clusters_param
                 ),
                 compact_threshold=None if np.isnan(threshold) else threshold,
+                reranker_kind=str(archive["reranker_kind"]),
+                reranker_param=int(archive["reranker_param"]),
                 metric=metric,
                 estimation_mode=estimation_mode,
+                searcher_rng_state=json.loads(
+                    str(archive["searcher_rng_state"])
+                ),
             )
 
             data = np.asarray(archive["data"], dtype=np.float64)
@@ -641,17 +1371,12 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
                 else None
             )
 
-            searcher._ids = np.asarray(archive["ids"], dtype=np.int64)
-            searcher._live = np.asarray(archive["live"], dtype=bool)
-            searcher._n_dead = int((~searcher._live).sum())
-            searcher._next_id = int(archive["next_id"])
-            searcher._id_to_slot = {
-                int(ext): slot
-                for slot, (ext, alive) in enumerate(
-                    zip(searcher._ids.tolist(), searcher._live.tolist())
-                )
-                if alive
-            }
+            _install_lifecycle(
+                searcher,
+                archive["ids"],
+                archive["live"],
+                int(archive["next_id"]),
+            )
         except _PARSE_ERRORS as exc:
             raise PersistenceError(
                 f"cannot read searcher index file {path!s}: corrupt or "
@@ -661,22 +1386,86 @@ def load_searcher(path: PathLike) -> IVFQuantizedSearcher:
 
 
 # --------------------------------------------------------------------- #
-# Sharded searcher archives (directory: manifest + per-shard v3 files)
+# Journal attachment (shared by searcher and sharded loads)
 # --------------------------------------------------------------------- #
 
 
-def _shard_file_name(shard: int) -> str:
-    return f"shard_{shard:04d}.npz"
+def _attach_journal(
+    obj,
+    journal_path: Path,
+    *,
+    kind: str,
+    archive_uuid: str,
+    parent_uuid: str | None,
+) -> None:
+    """Replay + attach the journal for a freshly-loaded searcher.
+
+    Four cases, derived from the journal header's ``archive_uuid``:
+
+    * no journal (or a torn header, i.e. a crash during creation): start
+      a fresh journal for this archive generation;
+    * matches this archive: replay every valid record (the torn tail, if
+      any, is truncated) and continue appending;
+    * matches this archive's *parent*: the save that wrote this archive
+      completed but crashed before rotating the journal — every record is
+      already inside the archive, so the journal is discarded and
+      restarted;
+    * anything else: refuse (:class:`JournalError`) — replaying another
+      index's mutations would corrupt this one.
+    """
+    contents = read_journal(journal_path)
+    if contents is None:
+        obj._journal = MutationJournal.create(journal_path, archive_uuid, kind)
+        return
+    if contents.kind != kind:
+        raise JournalError(
+            f"journal {journal_path!s} records {contents.kind!r} mutations; "
+            f"this archive needs a {kind!r} journal"
+        )
+    if contents.archive_uuid == archive_uuid:
+        try:
+            replay_records(obj, contents.records)
+        except (InvalidParameterError, DimensionMismatchError) as exc:
+            raise PersistenceError(
+                f"journal {journal_path!s} cannot be replayed against "
+                f"archive {archive_uuid}: {exc}"
+            ) from exc
+        obj._journal = MutationJournal.resume(journal_path, contents)
+        return
+    if parent_uuid is not None and contents.archive_uuid == parent_uuid:
+        # Superseded: the archive was saved from a state that already
+        # includes every journaled mutation.
+        obj._journal = MutationJournal.create(journal_path, archive_uuid, kind)
+        return
+    raise JournalError(
+        f"journal {journal_path!s} belongs to archive "
+        f"{contents.archive_uuid}, not to {archive_uuid} (or its parent); "
+        f"refusing to replay another index's mutations"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Sharded searcher archives (directory: manifest + per-shard v6 files)
+# --------------------------------------------------------------------- #
+
+
+def _shard_file_name(shard: int, generation: str) -> str:
+    return f"shard_{shard:04d}-{generation}.rbq"
 
 
 def save_sharded_searcher(sharded: ShardedSearcher, path: PathLike) -> None:
     """Serialize a fitted :class:`ShardedSearcher` into directory ``path``.
 
-    The directory (created if needed) receives a ``manifest.json``, one
-    standard searcher archive per shard — plain ``.npz`` searcher files
-    that :func:`load_searcher` can open individually — and an
-    ``idmap.npz`` with the per-shard local→global id arrays.  Existing
-    files of the same names are overwritten.
+    The directory (created if needed) receives one standard v6 searcher
+    archive per shard and an ``idmap`` npz with the per-shard
+    local→global id arrays — both under *generation-tagged* names derived
+    from the new archive UUID — plus a ``manifest.json`` naming them.
+    The manifest is replaced atomically (temp file + fsync +
+    ``os.replace``) **after** every data file is durable, so a crash at
+    any point leaves either the complete previous archive generation or
+    the complete new one; files of older generations are removed only
+    after the new manifest is committed.  When the sharded searcher has a
+    mutation journal attached, the journal is rotated after the commit.
 
     Raises
     ------
@@ -689,26 +1478,24 @@ def save_sharded_searcher(sharded: ShardedSearcher, path: PathLike) -> None:
         raise NotFittedError("cannot save an unfitted ShardedSearcher")
     directory = Path(path)
     directory.mkdir(parents=True, exist_ok=True)
+    archive_uuid = _new_archive_uuid()
+    parent_uuid = getattr(sharded, "_archive_uuid", None)
+    generation = archive_uuid[:8]
     shard_files = []
     for s, shard in enumerate(sharded.shards):
-        name = _shard_file_name(s)
-        save_searcher(shard, directory / name)
+        name = _shard_file_name(s, generation)
+        _save_searcher_v6(shard, directory / name)
         shard_files.append(name)
-    # Re-saving into an existing archive directory must not leave shard
-    # files of a previous (larger) topology behind: the manifest-driven
-    # loader would ignore them, but the per-shard files are documented as
-    # individually loadable, so stale ones would silently serve the old
-    # index to anyone addressing shards by file name.
-    for leftover in directory.glob("shard_*.npz"):
-        if leftover.name not in shard_files:
-            leftover.unlink()
-    np.savez_compressed(
-        directory / _SHARDED_IDMAP,
+    idmap_file = f"idmap-{generation}.npz"
+    _savez_atomic(
+        directory / idmap_file,
         **{f"l2g_{s}": arr for s, arr in enumerate(sharded._l2g)},
     )
     manifest = {
         "magic": MAGIC_SHARDED,
         "format_version": SHARDED_FORMAT_VERSION,
+        "archive_uuid": archive_uuid,
+        "parent_uuid": parent_uuid,
         "n_shards": sharded.n_shards,
         "metric": sharded.metric,
         "estimation_mode": sharded.estimation_mode,
@@ -716,15 +1503,38 @@ def save_sharded_searcher(sharded: ShardedSearcher, path: PathLike) -> None:
         "next_gid": sharded._next_gid,
         "rr_next": sharded._rr_next,
         "shard_files": shard_files,
-        "idmap_file": _SHARDED_IDMAP,
+        "idmap_file": idmap_file,
+        "journal_file": _SHARDED_JOURNAL,
     }
-    (directory / _SHARDED_MANIFEST).write_text(
+    manifest_bytes = (
         json.dumps(manifest, indent=2, sort_keys=True) + "\n"
-    )
+    ).encode("utf-8")
+    manifest_tmp = directory / (_SHARDED_MANIFEST + ".tmp")
+    f = _fsio.open_write(manifest_tmp)
+    try:
+        _write_all(f, manifest_bytes)
+        _fsio.fsync_file(f)
+    finally:
+        f.close()
+    _commit_temp(manifest_tmp, directory / _SHARDED_MANIFEST)
+    # The manifest rename above is the commit point.  Only now is it safe
+    # to drop files of older generations (and pre-v2 fixed-name files):
+    # before the commit they *were* the archive.
+    keep = set(shard_files) | {idmap_file}
+    for pattern in ("shard_*.rbq", "shard_*.npz", "idmap*.npz", "*.tmp"):
+        for leftover in directory.glob(pattern):
+            if leftover.name not in keep:
+                leftover.unlink(missing_ok=True)
+    sharded._archive_uuid = archive_uuid
+    _rotate_attached_journal(sharded, directory, archive_uuid)
 
 
 def load_sharded_searcher(
-    path: PathLike, *, n_threads: int | None = None
+    path: PathLike,
+    *,
+    n_threads: int | None = None,
+    mmap: bool = False,
+    journal: bool = False,
 ) -> ShardedSearcher:
     """Load a sharded searcher stored with :func:`save_sharded_searcher`.
 
@@ -734,12 +1544,16 @@ def load_sharded_searcher(
     per-shard archives restore every rounding stream bit-identically).
     ``n_threads`` sets the fan-out pool of the loaded instance — pass ``0``
     for the serial "flattened" execution used in equivalence testing.
+    ``mmap`` memory-maps every shard's large sections; ``journal``
+    replays and re-attaches the directory's mutation journal (both
+    require a format-v2 directory archive with v6 shard files).
 
     Raises
     ------
     PersistenceError
         If the directory, manifest, id map or any shard archive is
-        missing, corrupt, of the wrong kind, or of an unsupported version.
+        missing, corrupt, of the wrong kind, or of an unsupported version
+        — or the journal belongs to a different archive generation.
     """
     directory = Path(path)
     manifest_path = directory / _SHARDED_MANIFEST
@@ -761,11 +1575,13 @@ def load_sharded_searcher(
             f"(magic {manifest.get('magic') if isinstance(manifest, dict) else None!r}, "
             f"expected {MAGIC_SHARDED!r})"
         )
-    if manifest.get("format_version") != SHARDED_FORMAT_VERSION:
+    format_version = manifest.get("format_version")
+    if format_version not in (SHARDED_FORMAT_VERSION,) + _SHARDED_LEGACY_VERSIONS:
         raise PersistenceError(
             f"unsupported sharded archive format version "
-            f"{manifest.get('format_version')}; this build reads version "
-            f"{SHARDED_FORMAT_VERSION}"
+            f"{format_version}; this build reads version(s) "
+            f"{SHARDED_FORMAT_VERSION}, "
+            f"{', '.join(map(str, _SHARDED_LEGACY_VERSIONS))}"
         )
     try:
         n_shards = int(manifest["n_shards"])
@@ -783,7 +1599,26 @@ def load_sharded_searcher(
         raise PersistenceError(
             f"sharded manifest {manifest_path!s} is malformed ({exc})"
         ) from exc
-    shards = [load_searcher(directory / name) for name in shard_files]
+    archive_uuid = manifest.get("archive_uuid")
+    if (mmap or journal) and archive_uuid is None:
+        raise PersistenceError(
+            f"{'memory-mapped loading' if mmap else 'mutation journaling'} "
+            f"requires a format v{SHARDED_FORMAT_VERSION} sharded archive; "
+            f"{directory!s} is a legacy v1 directory (re-save it with "
+            f"save_sharded_searcher to upgrade)"
+        )
+    shard_paths = []
+    for name in shard_files:
+        shard_path = directory / name
+        if not shard_path.is_file():
+            raise PersistenceError(
+                f"sharded archive {directory!s} is missing shard file "
+                f"{name!r}"
+            )
+        shard_paths.append(shard_path)
+    shards = [
+        load_searcher(shard_path, mmap=mmap) for shard_path in shard_paths
+    ]
     # Manifests written before the metric layer carry no "metric" key; the
     # per-shard archives then load as l2, which is what those builds served.
     manifest_metric = manifest.get("metric")
@@ -817,7 +1652,7 @@ def load_sharded_searcher(
             f"corrupt or truncated archive ({exc})"
         ) from exc
     try:
-        return ShardedSearcher._from_state(
+        sharded = ShardedSearcher._from_state(
             shards,
             l2g,
             assignment=assignment,
@@ -830,6 +1665,17 @@ def load_sharded_searcher(
             f"sharded archive {directory!s} is internally inconsistent "
             f"({exc})"
         ) from exc
+    if archive_uuid is not None:
+        sharded._archive_uuid = str(archive_uuid)
+    if journal:
+        _attach_journal(
+            sharded,
+            directory / str(manifest.get("journal_file", _SHARDED_JOURNAL)),
+            kind="sharded",
+            archive_uuid=str(archive_uuid),
+            parent_uuid=manifest.get("parent_uuid"),
+        )
+    return sharded
 
 
 __all__ = [
@@ -839,10 +1685,13 @@ __all__ = [
     "load_searcher",
     "save_sharded_searcher",
     "load_sharded_searcher",
+    "default_journal_path",
     "FORMAT_VERSION",
     "SEARCHER_FORMAT_VERSION",
+    "SEARCHER_NPZ_FORMAT_VERSION",
     "SHARDED_FORMAT_VERSION",
     "MAGIC_RABITQ",
     "MAGIC_SEARCHER",
     "MAGIC_SHARDED",
+    "V6_MAGIC",
 ]

@@ -285,7 +285,7 @@ class TestLegacyArchiveLoads:
         searcher.insert(rng.standard_normal((20, 12)))
         searcher.delete([1, 5, 9])
         v3_path = tmp_path / "v3.npz"
-        save_searcher(searcher, v3_path)
+        save_searcher(searcher, v3_path, layout="npz")
         with np.load(v3_path) as archive:
             contents = {key: archive[key] for key in archive.files}
         consts = contents.pop("code_consts")

@@ -23,6 +23,7 @@ from repro.exceptions import (
     DimensionMismatchError,
     EmptyDatasetError,
     InvalidParameterError,
+    JournalError,
     NotFittedError,
     PersistenceError,
     ReproError,
@@ -52,6 +53,12 @@ class TestExceptionHierarchy:
         # Backward compatibility: callers that predate the error surface
         # caught ValueError for bad parameters.
         assert issubclass(InvalidParameterError, ValueError)
+
+    def test_journal_error_is_a_persistence_error(self):
+        # Journal problems are archive problems: callers handling
+        # PersistenceError must also catch a mismatched/foreign journal.
+        assert issubclass(JournalError, PersistenceError)
+        assert issubclass(JournalError, ReproError)
 
 
 # (callable, expected exception) pairs spanning the index/io/substrates
@@ -160,3 +167,76 @@ def test_ensure_rng_type_error_is_intentional():
     # Non-seed *types* are a TypeError by design (see module docstring).
     with pytest.raises(TypeError):
         rng_utils.ensure_rng("not-a-seed")
+
+
+class TestDurableArchiveErrors:
+    """The new directory layout and journal attach fail as ReproErrors."""
+
+    @pytest.fixture()
+    def sharded_archive(self, tmp_path):
+        import json
+
+        from repro.core.config import RaBitQConfig
+        from repro.io import save_sharded_searcher
+
+        data = np.random.default_rng(21).standard_normal((120, 10))
+        sharded = ShardedSearcher(
+            2,
+            n_threads=0,
+            n_clusters=3,
+            rabitq_config=RaBitQConfig(seed=1),
+            rng=5,
+        ).fit(data)
+        directory = tmp_path / "idx"
+        save_sharded_searcher(sharded, directory)
+        sharded.close()
+        manifest = json.loads((directory / "manifest.json").read_text())
+        return directory, manifest
+
+    def test_missing_shard_file_is_persistence_error(self, sharded_archive):
+        directory, manifest = sharded_archive
+        (directory / manifest["shard_files"][0]).unlink()
+        with pytest.raises(PersistenceError) as excinfo:
+            load_sharded_searcher(directory)
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_manifest_shard_count_mismatch_is_persistence_error(
+        self, sharded_archive
+    ):
+        import json
+
+        directory, manifest = sharded_archive
+        manifest["shard_files"] = manifest["shard_files"][:1]
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="shard files"):
+            load_sharded_searcher(directory)
+
+    def test_foreign_journal_uuid_is_journal_error(self, tmp_path):
+        from repro.core.config import RaBitQConfig
+        from repro.io import default_journal_path, load_searcher, save_searcher
+
+        data = np.random.default_rng(22).standard_normal((90, 8))
+        paths = []
+        for name in ("a.rbq", "b.rbq"):
+            searcher = IVFQuantizedSearcher(
+                "rabitq",
+                n_clusters=3,
+                rabitq_config=RaBitQConfig(seed=2),
+                rng=6,
+            ).fit(data)
+            path = tmp_path / name
+            save_searcher(searcher, path)
+            paths.append(path)
+        # Journal some mutations against archive A, then plant A's journal
+        # next to archive B: the uuid chain must reject it loudly instead
+        # of replaying foreign mutations.
+        live = load_searcher(paths[0], journal=True)
+        live.insert(np.random.default_rng(23).standard_normal((4, 8)))
+        journal_a = default_journal_path(paths[0])
+        journal_b = default_journal_path(paths[1])
+        journal_b.write_bytes(journal_a.read_bytes())
+        with pytest.raises(JournalError):
+            load_searcher(paths[1], journal=True)
+        # JournalError *is* a PersistenceError, so generic handlers work.
+        with pytest.raises(PersistenceError):
+            load_searcher(paths[1], journal=True)

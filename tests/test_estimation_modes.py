@@ -24,7 +24,7 @@ from repro.exceptions import InvalidParameterError, PersistenceError
 from repro.index.searcher import IVFQuantizedSearcher
 from repro.index.sharded import ShardedSearcher
 from repro.io.persistence import (
-    SEARCHER_FORMAT_VERSION,
+    SEARCHER_NPZ_FORMAT_VERSION,
     load_searcher,
     load_sharded_searcher,
     save_searcher,
@@ -235,9 +235,11 @@ class TestPersistence:
         data, _, _ = corpus
         searcher = _build("lut8", data)
         path = tmp_path / "lut8.npz"
-        save_searcher(searcher, path)
+        save_searcher(searcher, path, layout="npz")
         with np.load(path) as archive:
-            assert int(archive["format_version"]) == SEARCHER_FORMAT_VERSION == 5
+            assert (
+                int(archive["format_version"]) == SEARCHER_NPZ_FORMAT_VERSION == 5
+            )
             assert str(archive["estimation_mode"]) == "lut8"
         assert load_searcher(path).estimation_mode == "lut8"
 
@@ -247,7 +249,7 @@ class TestPersistence:
         data, _, queries = corpus
         searcher = _build("gemm", data)
         v5_path = tmp_path / "v5.npz"
-        save_searcher(searcher, v5_path)
+        save_searcher(searcher, v5_path, layout="npz")
         with np.load(v5_path) as archive:
             contents = {key: archive[key] for key in archive.files}
         contents.pop("estimation_mode")
@@ -267,7 +269,7 @@ class TestPersistence:
         data, _, _ = corpus
         searcher = _build("lut", data)
         path = tmp_path / "lut.npz"
-        save_searcher(searcher, path)
+        save_searcher(searcher, path, layout="npz")
         with np.load(path) as archive:
             contents = {key: archive[key] for key in archive.files}
         contents["estimation_mode"] = np.str_("turbo")

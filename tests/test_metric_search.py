@@ -21,7 +21,7 @@ from repro.index.rerank import TopCandidateReranker
 from repro.index.searcher import IVFQuantizedSearcher
 from repro.index.sharded import ShardedSearcher
 from repro.io.persistence import (
-    SEARCHER_FORMAT_VERSION,
+    SEARCHER_NPZ_FORMAT_VERSION,
     load_searcher,
     load_sharded_searcher,
     save_searcher,
@@ -243,10 +243,12 @@ class TestMetricPersistence:
         data, _, queries = corpus
         searcher = _build("l2", data)
         v5_path = tmp_path / "v5.npz"
-        save_searcher(searcher, v5_path)
+        save_searcher(searcher, v5_path, layout="npz")
         with np.load(v5_path) as archive:
             contents = {key: archive[key] for key in archive.files}
-        assert int(contents["format_version"]) == SEARCHER_FORMAT_VERSION == 5
+        assert (
+            int(contents["format_version"]) == SEARCHER_NPZ_FORMAT_VERSION == 5
+        )
         contents.pop("metric")
         contents.pop("estimation_mode")
         contents["format_version"] = np.int64(3)
@@ -269,7 +271,7 @@ class TestMetricPersistence:
         data, _, _ = corpus
         searcher = _build("ip", data)
         path = tmp_path / "ip.npz"
-        save_searcher(searcher, path)
+        save_searcher(searcher, path, layout="npz")
         with np.load(path) as archive:
             contents = {key: archive[key] for key in archive.files}
         contents.pop("metric")

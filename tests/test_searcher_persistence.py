@@ -23,7 +23,7 @@ from repro.exceptions import (
 from repro.index.rerank import TopCandidateReranker
 from repro.index.searcher import IVFQuantizedSearcher
 from repro.io import load_searcher, save_searcher
-from repro.io.persistence import SEARCHER_FORMAT_VERSION
+from repro.io.persistence import SEARCHER_NPZ_FORMAT_VERSION
 
 
 def _build(data, *, rotation="qr", reranker=None, compact_threshold=0.25):
@@ -214,10 +214,10 @@ class TestSearcherArchiveErrors:
     def test_version_mismatch_rejected(self, lifecycle_data, tmp_path):
         data, _, _ = lifecycle_data
         path = tmp_path / "versioned.npz"
-        save_searcher(_build(data), path)
+        save_searcher(_build(data), path, layout="npz")
         with np.load(path) as archive:
             contents = {key: archive[key] for key in archive.files}
-        contents["format_version"] = np.int64(SEARCHER_FORMAT_VERSION + 1)
+        contents["format_version"] = np.int64(SEARCHER_NPZ_FORMAT_VERSION + 99)
         bad = tmp_path / "future.npz"
         np.savez_compressed(bad, **contents)
         with pytest.raises(PersistenceError, match="format version"):
@@ -231,7 +231,7 @@ class TestSearcherArchiveErrors:
         # validation errors they trigger.
         data, _, _ = lifecycle_data
         path = tmp_path / "fields.npz"
-        save_searcher(_build(data), path)
+        save_searcher(_build(data), path, layout="npz")
         with np.load(path) as archive:
             contents = {key: archive[key] for key in archive.files}
         for key, value in (
@@ -249,7 +249,7 @@ class TestSearcherArchiveErrors:
         # PersistenceError, not leak a raw IndexError mid-reconstruction.
         data, _, _ = lifecycle_data
         path = tmp_path / "consistent.npz"
-        save_searcher(_build(data), path)
+        save_searcher(_build(data), path, layout="npz")
         with np.load(path) as archive:
             contents = {key: archive[key] for key in archive.files}
         contents["packed_codes"] = contents["packed_codes"][:10]

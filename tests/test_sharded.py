@@ -426,11 +426,17 @@ class TestShardedPersistence:
         np.testing.assert_array_equal(reloaded.live_ids, sharded.live_ids)
 
     def test_shard_files_individually_loadable(self, sharded_data, tmp_path):
+        # Shard file names are generation-tagged (v2 layout); the manifest
+        # is the authoritative list.
+        import json
+
         data, _ = sharded_data
         sharded = _build(data)
         save_sharded_searcher(sharded, tmp_path / "idx")
-        for s in range(N_SHARDS):
-            shard = load_searcher(tmp_path / "idx" / f"shard_{s:04d}.npz")
+        manifest = json.loads((tmp_path / "idx" / "manifest.json").read_text())
+        assert len(manifest["shard_files"]) == N_SHARDS
+        for s, name in enumerate(manifest["shard_files"]):
+            shard = load_searcher(tmp_path / "idx" / name)
             assert shard.n_live == sharded.shards[s].n_live
 
     def test_resave_with_fewer_shards_drops_stale_files(self, sharded_data, tmp_path):
@@ -438,15 +444,20 @@ class TestShardedPersistence:
         # leave the larger topology's shard files behind (they are
         # documented as individually loadable, so stale ones would
         # silently serve the old index).
+        import json
+
         data, queries = sharded_data
         save_sharded_searcher(_build(data, n_shards=4), tmp_path / "idx")
-        assert (tmp_path / "idx" / "shard_0003.npz").exists()
+        assert len(list((tmp_path / "idx").glob("shard_0003-*.rbq"))) == 1
         two = _build(data, n_shards=2)
         save_sharded_searcher(two, tmp_path / "idx")
+        manifest = json.loads((tmp_path / "idx" / "manifest.json").read_text())
         names = sorted(p.name for p in (tmp_path / "idx").iterdir())
-        assert names == [
-            "idmap.npz", "manifest.json", "shard_0000.npz", "shard_0001.npz"
-        ]
+        assert names == sorted(
+            ["manifest.json", manifest["idmap_file"]]
+            + manifest["shard_files"]
+        )
+        assert len(manifest["shard_files"]) == 2
         reloaded = load_sharded_searcher(tmp_path / "idx")
         assert reloaded.n_shards == 2
         _assert_batch_equal(
@@ -479,22 +490,31 @@ class TestShardedPersistence:
         data, _ = sharded_data
         save_sharded_searcher(_build(data), tmp_path / "idx")
         manifest = tmp_path / "idx" / "manifest.json"
-        manifest.write_text(manifest.read_text().replace(
-            '"format_version": 1', '"format_version": 99'
-        ))
+        import json
+
+        contents = json.loads(manifest.read_text())
+        assert contents["format_version"] == 2
+        contents["format_version"] = 99
+        manifest.write_text(json.dumps(contents))
         with pytest.raises(PersistenceError):
             load_sharded_searcher(tmp_path / "idx")
 
     def test_missing_shard_file_raises(self, sharded_data, tmp_path):
         data, _ = sharded_data
+        import json
+
         save_sharded_searcher(_build(data), tmp_path / "idx")
-        (tmp_path / "idx" / "shard_0001.npz").unlink()
+        manifest = json.loads((tmp_path / "idx" / "manifest.json").read_text())
+        (tmp_path / "idx" / manifest["shard_files"][1]).unlink()
         with pytest.raises(PersistenceError):
             load_sharded_searcher(tmp_path / "idx")
 
     def test_missing_idmap_raises(self, sharded_data, tmp_path):
         data, _ = sharded_data
+        import json
+
         save_sharded_searcher(_build(data), tmp_path / "idx")
-        (tmp_path / "idx" / "idmap.npz").unlink()
+        manifest = json.loads((tmp_path / "idx" / "manifest.json").read_text())
+        (tmp_path / "idx" / manifest["idmap_file"]).unlink()
         with pytest.raises(PersistenceError):
             load_sharded_searcher(tmp_path / "idx")
