@@ -18,6 +18,11 @@ Usage::
         --label ci --out BENCH_ann_ci.json \
         --check benchmarks/results/BENCH_ann_small.json --check-label after
 
+    # Million-vector tier: memmapped data, graph vs. exact probe cost
+    # (writes benchmarks/results/BENCH_ann_large.json; the dataset file is
+    # cached under benchmarks/.cache/ and reused across runs).
+    PYTHONPATH=src python benchmarks/run_bench.py --large
+
 The output file accumulates one entry per ``--label`` under ``"runs"`` (so a
 single file can hold the pre-change ``before`` and post-change ``after``
 measurements side by side); when both ``before`` and ``after`` are present a
@@ -53,6 +58,11 @@ Measured quantities per run:
   journal-attached archive is reopened), and a hard
   ``recovery_bit_identical`` gate — the replayed searcher's batch results
   must match the in-memory mutated searcher bit for bit or the run fails.
+* ``probe_equivalence`` — the graph-probing gates: for all three metrics,
+  the HNSW centroid graph at ``ef >= n_clusters`` must reproduce the exact
+  probed sets per query, and at the default ``ef`` its end-to-end recall
+  must stay within ``PROBE_RECALL_TOLERANCE`` of the exact baseline.  Both
+  are hard gates.
 * ``kernels`` — micro-benchmarks of the packed-bit kernels at fixed sizes.
 * ``sharded`` — the ``shards×threads`` sweep of the
   :class:`repro.index.sharded.ShardedSearcher` serving engine at a *fixed
@@ -591,6 +601,283 @@ def bench_similarity(args, dataset, metric: str) -> dict:
     return results
 
 
+#: Pinned recall floor for the graph-probing gates: graph probing at the
+#: default ``ef`` must stay within this recall@k of the exact-scan baseline,
+#: and at ``ef >= n_clusters`` the probed sets must match exactly.
+PROBE_RECALL_TOLERANCE = 0.01
+
+
+def bench_probe_equivalence(args, dataset) -> dict:
+    """Graph-probing ≡ exact-probing gates at default bench scale.
+
+    For every served metric the same index answers the workload twice —
+    once with the exact centroid scan and once routed through the HNSW
+    centroid graph.  Two hard gates (enforced in ``main``):
+
+    * ``sets_equal_at_full_ef`` — with ``ef >= n_clusters`` the graph's
+      beam covers every centroid, so its probed set must equal the exact
+      scan's, per query, for all three metrics.
+    * ``max_recall_delta`` — at the *default* graph ``ef`` the end-to-end
+      recall@k may differ from exact probing by at most
+      ``PROBE_RECALL_TOLERANCE``.
+    """
+    from repro.datasets.ground_truth import brute_force_ground_truth
+
+    data, queries = dataset.data, dataset.queries
+    k, nprobe = args.k, args.nprobe
+    per_metric = {}
+    for metric in ("l2", "ip", "cosine"):
+        ground_truth = (
+            dataset.ground_truth
+            if metric == "l2"
+            else brute_force_ground_truth(data, queries, k, metric=metric)
+        )
+        searcher = IVFQuantizedSearcher(
+            "rabitq",
+            rabitq_config=RaBitQConfig(seed=0),
+            rng=args.seed,
+            metric=metric,
+        ).fit(data)
+        ivf = searcher.ivf
+        n_clusters = ivf.centroids.shape[0]
+
+        sample = queries[: min(32, len(queries))]
+        exact_sets = [
+            np.sort(ivf.probe(q, nprobe, metric=metric)) for q in sample
+        ]
+        ivf.probe_strategy = "graph"
+        graph_sets = [
+            np.sort(ivf.probe(q, nprobe, metric=metric, ef=n_clusters))
+            for q in sample
+        ]
+        sets_equal = all(
+            np.array_equal(a, b) for a, b in zip(exact_sets, graph_sets)
+        )
+
+        ivf.probe_strategy = "exact"
+        exact_batch = searcher.search_batch(queries, k, nprobe=nprobe)
+        recall_exact = float(
+            recall_at_k([r.ids for r in exact_batch], ground_truth, k)
+        )
+        searcher.probe_strategy = "graph"
+        graph_batch = searcher.search_batch(queries, k, nprobe=nprobe)
+        recall_graph = float(
+            recall_at_k([r.ids for r in graph_batch], ground_truth, k)
+        )
+        delta = abs(recall_graph - recall_exact)
+        per_metric[metric] = {
+            "n_set_queries": len(sample),
+            "sets_equal_at_full_ef": bool(sets_equal),
+            "recall_exact": round(recall_exact, 4),
+            "recall_graph": round(recall_graph, 4),
+            "recall_delta": round(delta, 4),
+        }
+        print(
+            f"[run_bench] probe equivalence [{metric}]: sets equal at "
+            f"ef={n_clusters}: {sets_equal} | recall@{k} exact "
+            f"{recall_exact:.4f} vs graph {recall_graph:.4f} "
+            f"(delta {delta:.4f})",
+            flush=True,
+        )
+    return {
+        "nprobe": nprobe,
+        "recall_tolerance": PROBE_RECALL_TOLERANCE,
+        "per_metric": per_metric,
+        "sets_equal_at_full_ef": all(
+            row["sets_equal_at_full_ef"] for row in per_metric.values()
+        ),
+        "max_recall_delta": max(
+            row["recall_delta"] for row in per_metric.values()
+        ),
+    }
+
+
+def bench_large(args) -> dict:
+    """Million-vector tier: memmapped data, graph vs. exact probe cost.
+
+    The dataset is materialized once as a float32 ``.npy`` under
+    ``--large-cache`` (chunk-wise generation — no full-size array is ever
+    resident) and memory-mapped from then on; exact L2 ground truth is
+    computed by streaming the file in row blocks.  KMeans trains on a
+    ``--large-kmeans-sample`` subsample and assignment runs chunked, so
+    the fit stays tractable at a million rows on one CPU.
+
+    Measured per probe strategy: probe wall-clock, probe keys evaluated
+    per query (the honest cost metric on a host where a Python beam loop
+    competes against one vectorized GEMV), end-to-end batch QPS and
+    recall@k.  Hard gates (enforced in ``main``):
+
+    * ``sets_equal_at_full_ef`` — graph probing at ``ef = n_clusters``
+      must reproduce the exact probed sets.
+    * ``recall_floor_ok`` — graph probing at full ``ef`` must match the
+      exact baseline's recall within ``PROBE_RECALL_TOLERANCE``.
+    * ``keys_reduced`` — graph probing must evaluate strictly fewer keys
+      per query than the exact scan.
+    * ``rss_bounded`` — peak RSS must stay under a pinned affine bound of
+      the on-disk dataset size (memmap discipline, not residency).
+    """
+    import resource
+
+    from repro.datasets.memmap import (
+        chunked_ground_truth,
+        generate_memmap_dataset,
+        memmap_queries,
+    )
+    from repro.index.hnsw import STAT_KEY_EVALS
+
+    n, dim = args.large_n, args.large_dim
+    n_queries, k = args.large_queries, args.k
+    nprobe = args.large_nprobe
+    cache = Path(args.large_cache)
+    dataset_path = cache / f"gaussian_{n}x{dim}_seed{args.seed}.npy"
+
+    start = time.perf_counter()
+    data = generate_memmap_dataset(dataset_path, n, dim, seed=args.seed)
+    generate_seconds = time.perf_counter() - start
+    dataset_mb = dataset_path.stat().st_size / 2**20
+    queries = memmap_queries(n_queries, dim, seed=args.seed)
+    print(
+        f"[run_bench] large: dataset {n}x{dim} float32 "
+        f"({dataset_mb:.0f} MiB on disk, generated/validated in "
+        f"{generate_seconds:.1f}s)",
+        flush=True,
+    )
+
+    start = time.perf_counter()
+    ground_truth = chunked_ground_truth(data, queries, k)
+    gt_seconds = time.perf_counter() - start
+    print(f"[run_bench] large: ground truth in {gt_seconds:.1f}s", flush=True)
+
+    start = time.perf_counter()
+    searcher = IVFQuantizedSearcher(
+        "rabitq",
+        n_clusters=args.large_clusters,
+        rabitq_config=RaBitQConfig(seed=0),
+        rng=args.seed,
+    ).fit(data, kmeans_sample_size=args.large_kmeans_sample)
+    fit_seconds = time.perf_counter() - start
+    ivf = searcher.ivf
+    n_clusters = ivf.centroids.shape[0]
+    print(
+        f"[run_bench] large: fit {fit_seconds:.1f}s ({n_clusters} clusters, "
+        f"kmeans on {min(args.large_kmeans_sample, n)} rows)",
+        flush=True,
+    )
+
+    start = time.perf_counter()
+    ivf.centroid_graph()  # build once, outside the timed probe loops
+    graph_build_seconds = time.perf_counter() - start
+
+    probe = {}
+    for strategy in ("exact", "graph"):
+        ivf.probe_strategy = strategy
+        stats: dict = {}
+        start = time.perf_counter()
+        for query in queries:
+            ivf.probe(query, nprobe, stats=stats)
+        seconds = time.perf_counter() - start
+        keys = stats.get(STAT_KEY_EVALS, n_clusters * n_queries)
+        probe[strategy] = {
+            "seconds": round(seconds, 4),
+            "probes_per_second": round(n_queries / seconds, 1),
+            "keys_per_query": round(keys / n_queries, 1),
+            "keys_per_second": round(keys / seconds, 1),
+        }
+        print(
+            f"[run_bench] large: {strategy} probe "
+            f"{probe[strategy]['probes_per_second']} probes/s, "
+            f"{probe[strategy]['keys_per_query']} keys/query",
+            flush=True,
+        )
+
+    end_to_end = {}
+    recalls = {}
+    for strategy in ("exact", "graph"):
+        searcher.probe_strategy = strategy
+        start = time.perf_counter()
+        batch = searcher.search_batch(queries, k, nprobe=nprobe)
+        seconds = time.perf_counter() - start
+        recalls[strategy] = float(
+            recall_at_k([r.ids for r in batch], ground_truth, k)
+        )
+        end_to_end[strategy] = {
+            "batch_qps": round(n_queries / seconds, 1),
+            f"recall_at_{k}": round(recalls[strategy], 4),
+        }
+        print(
+            f"[run_bench] large: {strategy} end-to-end "
+            f"{end_to_end[strategy]['batch_qps']} QPS, recall@{k} "
+            f"{recalls[strategy]:.4f}",
+            flush=True,
+        )
+
+    # Full-ef gates: with the beam as wide as the centroid set, graph
+    # probing must reproduce the exact probed sets (and hence recall).
+    sample = queries[: min(16, n_queries)]
+    searcher.probe_strategy = "exact"
+    exact_sets = [np.sort(ivf.probe(q, nprobe)) for q in sample]
+    ivf.probe_strategy = "graph"
+    graph_sets = [
+        np.sort(ivf.probe(q, nprobe, ef=n_clusters)) for q in sample
+    ]
+    sets_equal = all(
+        np.array_equal(a, b) for a, b in zip(exact_sets, graph_sets)
+    )
+    searcher.probe_strategy = "graph"
+    ivf.probe_ef = n_clusters
+    try:
+        full_ef_batch = searcher.search_batch(queries, k, nprobe=nprobe)
+    finally:
+        ivf.probe_ef = None
+        searcher.probe_strategy = "exact"
+    recall_full_ef = float(
+        recall_at_k([r.ids for r in full_ef_batch], ground_truth, k)
+    )
+    recall_floor_ok = (
+        abs(recall_full_ef - recalls["exact"]) <= PROBE_RECALL_TOLERANCE
+    )
+
+    keys_reduced = (
+        probe["graph"]["keys_per_query"] < probe["exact"]["keys_per_query"]
+    )
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    rss_bound_mb = 2048 + 12 * dataset_mb
+    rss_bounded = peak_rss_mb <= rss_bound_mb
+    print(
+        f"[run_bench] large: sets equal at ef={n_clusters}: {sets_equal} | "
+        f"full-ef recall {recall_full_ef:.4f} vs exact "
+        f"{recalls['exact']:.4f} | keys reduced: {keys_reduced} | peak RSS "
+        f"{peak_rss_mb:.0f} MiB (bound {rss_bound_mb:.0f})",
+        flush=True,
+    )
+    return {
+        "n": n,
+        "dim": dim,
+        "n_queries": n_queries,
+        "k": k,
+        "nprobe": nprobe,
+        "n_clusters": n_clusters,
+        "kmeans_sample_size": args.large_kmeans_sample,
+        "dataset_mb": round(dataset_mb, 1),
+        "generate_seconds": round(generate_seconds, 2),
+        "ground_truth_seconds": round(gt_seconds, 2),
+        "fit_seconds": round(fit_seconds, 2),
+        "graph_build_seconds": round(graph_build_seconds, 2),
+        "probe": probe,
+        "end_to_end": end_to_end,
+        f"recall_at_{k}_full_ef": round(recall_full_ef, 4),
+        "recall_tolerance": PROBE_RECALL_TOLERANCE,
+        "peak_rss_mb": round(peak_rss_mb, 1),
+        "rss_bound_mb": round(rss_bound_mb, 1),
+        "gates": {
+            "sets_equal_at_full_ef": bool(sets_equal),
+            "recall_floor_ok": bool(recall_floor_ok),
+            "keys_reduced": bool(keys_reduced),
+            "rss_bounded": bool(rss_bounded),
+        },
+    }
+
+
 def bench_kernels(args) -> dict:
     """Micro-benchmarks of the packed-bit and estimation kernels."""
     from repro.core import bitops
@@ -718,7 +1005,42 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the warm-start / journal-replay durability benchmark",
     )
+    parser.add_argument(
+        "--skip-probe-equivalence",
+        action="store_true",
+        help="skip the graph-probing vs. exact-probing equivalence gates",
+    )
+    parser.add_argument(
+        "--large",
+        action="store_true",
+        help=(
+            "run ONLY the million-vector tier (memmapped data, graph vs. "
+            "exact probe cost); writes BENCH_ann_large.json by default"
+        ),
+    )
+    parser.add_argument(
+        "--large-n", type=int, default=1_000_000,
+        help="rows in the memmapped large-tier dataset",
+    )
+    parser.add_argument("--large-dim", type=int, default=128)
+    parser.add_argument("--large-queries", type=int, default=64)
+    parser.add_argument(
+        "--large-clusters", type=int, default=4096,
+        help="IVF cluster count for the large tier",
+    )
+    parser.add_argument(
+        "--large-kmeans-sample", type=int, default=131_072,
+        help="rows subsampled for KMeans training in the large tier",
+    )
+    parser.add_argument("--large-nprobe", type=int, default=32)
+    parser.add_argument(
+        "--large-cache", default="benchmarks/.cache",
+        help="directory holding the generated memmapped dataset",
+    )
     args = parser.parse_args(argv)
+
+    if args.large and args.out == parser.get_default("out"):
+        args.out = "benchmarks/results/BENCH_ann_large.json"
 
     if args.small:
         args.n = min(args.n, 10_000)
@@ -745,8 +1067,40 @@ def main(argv=None) -> int:
         },
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
+    if args.large:
+        run["config"].update(
+            n=args.large_n,
+            dim=args.large_dim,
+            n_queries=args.large_queries,
+            nprobe=args.large_nprobe,
+            large=True,
+        )
+        run["results"] = {"large": bench_large(args)}
+        out_path = Path(args.out)
+        doc = {"runs": {}}
+        if out_path.exists():
+            try:
+                doc = json.loads(out_path.read_text())
+            except (OSError, ValueError):
+                print(f"[run_bench] overwriting unreadable {out_path}")
+                doc = {"runs": {}}
+        doc.setdefault("runs", {})[args.label] = run
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"[run_bench] wrote {out_path}")
+        gates = run["results"]["large"]["gates"]
+        failed = sorted(name for name, ok in gates.items() if not ok)
+        if failed:
+            print(f"[run_bench] FAIL: large-tier gate(s) failed: {failed}")
+            return 1
+        return 0
+
     dataset = _load_bench_dataset(args)
     run["results"] = bench_ann(args, dataset)
+    if not args.skip_probe_equivalence:
+        run["results"]["probe_equivalence"] = bench_probe_equivalence(
+            args, dataset
+        )
     if not args.skip_sharded:
         run["results"]["sharded"] = bench_sharded(args, dataset)
     if not args.skip_similarity:
@@ -799,6 +1153,22 @@ def main(argv=None) -> int:
                 "[run_bench] FAIL: sharded parallel results diverged from "
                 f"serial at shard counts "
                 f"{sorted({e['shards'] for e in broken})}"
+            )
+            return 1
+
+    probe_eq = run["results"].get("probe_equivalence")
+    if probe_eq is not None:
+        if not probe_eq["sets_equal_at_full_ef"]:
+            print(
+                "[run_bench] FAIL: graph probing at ef >= n_clusters did not "
+                "reproduce the exact probed sets"
+            )
+            return 1
+        if probe_eq["max_recall_delta"] > PROBE_RECALL_TOLERANCE:
+            print(
+                "[run_bench] FAIL: graph-probing recall deviates from exact "
+                f"by {probe_eq['max_recall_delta']} "
+                f"(tolerance {PROBE_RECALL_TOLERANCE})"
             )
             return 1
 

@@ -184,6 +184,18 @@ def main() -> None:
               f"(identical to gemm: "
               f"{np.array_equal(via_lut.ids, via_gemm.ids) and np.array_equal(via_lut.distances, via_gemm.distances)})")
 
+        # Coarse probing: probe_strategy='graph' routes centroid selection
+        # through an HNSW graph over the centroids; at a full-width beam it
+        # is bit-identical to the exact scan (see "Graph-accelerated
+        # probing" in benchmarks/README.md and the --large bench tier).
+        restored.estimation_mode = "gemm"
+        restored.probe_strategy = "graph"
+        restored.ivf.probe_ef = restored.ivf.centroids.shape[0]
+        via_graph = restored.search(query, 5, nprobe=16)
+        print(f"probe_strategy='graph' top-5 ids: {via_graph.ids.tolist()} "
+              f"(identical to exact probing: "
+              f"{np.array_equal(via_graph.ids, via_gemm.ids) and np.array_equal(via_graph.distances, via_gemm.distances)})")
+
 
 if __name__ == "__main__":
     main()

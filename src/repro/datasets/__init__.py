@@ -10,6 +10,11 @@ readers/writers for the fvecs/ivecs/bvecs formats used by the ANN community.
 """
 
 from repro.datasets.ground_truth import brute_force_ground_truth
+from repro.datasets.memmap import (
+    chunked_ground_truth,
+    generate_memmap_dataset,
+    memmap_queries,
+)
 from repro.datasets.io import (
     read_fvecs,
     read_ivecs,
@@ -39,6 +44,9 @@ __all__ = [
     "make_skewed_variance_dataset",
     "make_correlated_embedding_dataset",
     "brute_force_ground_truth",
+    "chunked_ground_truth",
+    "generate_memmap_dataset",
+    "memmap_queries",
     "read_fvecs",
     "write_fvecs",
     "read_ivecs",

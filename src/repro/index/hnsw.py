@@ -7,17 +7,36 @@ insertion with the heuristic neighbour-selection rule, searched with the
 usual best-first beam search controlled by ``ef_search``.
 
 The implementation is intentionally faithful rather than micro-optimized; it
-serves as a relative reference curve in the QPS/recall trade-off, not as a
-competitor to C++ HNSW libraries.
+serves as a relative reference curve in the QPS/recall trade-off — and, since
+the graph-accelerated probing work, as the navigation structure over IVF
+centroids (see :mod:`repro.index.ivf`).  For that role the index supports:
+
+* **metric-aware search keys** — ``search(..., metric="l2"|"ip"|"cosine")``
+  ranks nodes by exactly the minimization key that
+  :meth:`repro.core.metric.Metric.probe_key` produces (squared L2 via the
+  norm-expansion kernel, negated inner product, negated cosine), so graph
+  probing and exact-scan probing order candidates on identical key values.
+  The graph *structure* is always built under L2 (a navigable small world is
+  a connectivity property, not a metric-specific one); only the search-time
+  keys follow the served metric.
+* **a batch entry point** — :meth:`search_batch` runs the per-query search
+  for every row of a query matrix and returns rectangular id/key matrices.
+* **serialization** — :meth:`to_state` flattens the layered adjacency into a
+  canonical set of integer arrays (sorted node order, neighbour lists
+  preserved verbatim) and :meth:`from_state` rebuilds an identical graph;
+  round-tripping is bit-stable, which is what lets the persistence layer
+  store centroid graphs inside format-v7 archives.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core.metric import Metric, resolve_metric
 from repro.exceptions import (
     DimensionMismatchError,
     EmptyDatasetError,
@@ -27,6 +46,11 @@ from repro.exceptions import (
 from repro.substrates.linalg import as_float_matrix, squared_distances_to_point
 from repro.substrates.rng import RngLike, ensure_rng
 
+#: Stats-dict key counting how many node keys a search evaluated (the
+#: graph-probing analogue of "centroids scanned"; exact probing always
+#: evaluates ``n_clusters`` keys per query).
+STAT_KEY_EVALS = "n_key_evals"
+
 
 class HNSWIndex:
     """Hierarchical navigable small-world graph for ANN search.
@@ -35,7 +59,9 @@ class HNSWIndex:
     ----------
     m:
         Maximum out-degree per node on the upper layers (layer 0 allows
-        ``2 * m`` as in the reference implementation).
+        ``2 * m`` as in the reference implementation).  Must be at least 2:
+        the level multiplier is ``1 / ln(m)``, which is undefined at
+        ``m=1`` (and a 1-regular "graph" cannot navigate anyway).
     ef_construction:
         Beam width used while inserting elements.
     rng:
@@ -49,8 +75,11 @@ class HNSWIndex:
         *,
         rng: RngLike = None,
     ) -> None:
-        if m <= 0:
-            raise InvalidParameterError("m must be positive")
+        if m < 2:
+            raise InvalidParameterError(
+                f"m must be at least 2 (got {m}): the HNSW level multiplier "
+                "is 1/ln(m), which is undefined at m=1"
+            )
         if ef_construction <= 0:
             raise InvalidParameterError("ef_construction must be positive")
         self.m = int(m)
@@ -63,6 +92,8 @@ class HNSWIndex:
         self._layers: list[dict[int, list[int]]] = []
         self._entry_point: int | None = None
         self._max_level: int = -1
+        # Lazily-computed ``||x||^2`` cache backing the metric-aware keys.
+        self._sq_norms: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -93,16 +124,60 @@ class HNSWIndex:
     def _distances(self, query: np.ndarray, nodes: list[int]) -> np.ndarray:
         return squared_distances_to_point(self._data[nodes], query)
 
+    def _node_sq_norms(self) -> np.ndarray:
+        if self._sq_norms is None:
+            self._sq_norms = np.einsum("ij,ij->i", self._data, self._data)
+        return self._sq_norms
+
+    def _make_keys(
+        self,
+        vec: np.ndarray,
+        metric: Optional[Metric],
+        stats: dict | None,
+    ) -> Callable[[list[int]], np.ndarray]:
+        """Per-node minimization keys for one query.
+
+        ``metric=None`` is the legacy squared-L2 path; a resolved metric
+        routes through :meth:`Metric.probe_key` so the key values are
+        numerically the same computation exact-scan probing performs on the
+        full node matrix.  When ``stats`` is given, every evaluated node is
+        counted under :data:`STAT_KEY_EVALS`.
+        """
+        if metric is None:
+            def keys(nodes: list[int]) -> np.ndarray:
+                return squared_distances_to_point(self._data[nodes], vec)
+        else:
+            sq_norms = self._node_sq_norms()
+
+            def keys(nodes: list[int]) -> np.ndarray:
+                return metric.probe_key(self._data[nodes], sq_norms[nodes], vec)
+
+        if stats is None:
+            return keys
+
+        def counted(nodes: list[int]) -> np.ndarray:
+            stats[STAT_KEY_EVALS] = stats.get(STAT_KEY_EVALS, 0) + len(nodes)
+            return keys(nodes)
+
+        return counted
+
     def _search_layer(
-        self, query: np.ndarray, entry_points: list[int], ef: int, layer: int
+        self,
+        query: np.ndarray,
+        entry_points: list[int],
+        ef: int,
+        layer: int,
+        keys: Callable[[list[int]], np.ndarray] | None = None,
     ) -> list[tuple[float, int]]:
-        """Best-first search on one layer; returns (distance, id) pairs."""
+        """Best-first search on one layer; returns (key, id) pairs ascending."""
+        if keys is None:
+            keys = self._make_keys(query, None, None)
         adjacency = self._layers[layer]
         visited = set(entry_points)
         candidates: list[tuple[float, int]] = []
-        results: list[tuple[float, int]] = []  # max-heap via negated distance
-        for point in entry_points:
-            dist = self._distance(query, point)
+        results: list[tuple[float, int]] = []  # max-heap via negated key
+        for point, dist in zip(entry_points, keys(entry_points)):
+            dist = float(dist)
             heapq.heappush(candidates, (dist, point))
             heapq.heappush(results, (-dist, point))
         while candidates:
@@ -113,7 +188,7 @@ class HNSWIndex:
             if not neighbours:
                 continue
             visited.update(neighbours)
-            dists = self._distances(query, neighbours)
+            dists = keys(neighbours)
             for neighbour, neighbour_dist in zip(neighbours, dists):
                 neighbour_dist = float(neighbour_dist)
                 if len(results) < ef or neighbour_dist < -results[0][0]:
@@ -151,9 +226,51 @@ class HNSWIndex:
         self._layers = []
         self._entry_point = None
         self._max_level = -1
+        self._sq_norms = None
         for node in range(mat.shape[0]):
             self._insert(node)
+        self._repair_reachability()
         return self
+
+    def _repair_reachability(self) -> None:
+        """Make every node reachable from the entry point on layer 0.
+
+        Neighbour-list pruning during insertion can leave a node with no
+        in-edges on any search path from the entry point, which would make
+        it invisible to :meth:`search` at *any* beam width.  This pass runs
+        a BFS over layer 0's out-edges and, for each node the BFS cannot
+        reach (ascending id order, so the repair is deterministic), links
+        it bidirectionally to its nearest already-reachable node, then
+        resumes the BFS through the newly attached component.  The added
+        edges may push a node past its degree cap — harmless for search,
+        which never assumes a bound.
+        """
+        adjacency = self._layers[0]
+        reachable = {self._entry_point}
+        frontier = [self._entry_point]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency.get(node, []):
+                if neighbour not in reachable:
+                    reachable.add(neighbour)
+                    frontier.append(neighbour)
+        for node in sorted(adjacency):
+            if node in reachable:
+                continue
+            anchors = np.fromiter(sorted(reachable), dtype=np.int64)
+            dists = self._distances(self._data[node], anchors)
+            anchor = int(anchors[int(np.argmin(dists))])
+            adjacency[anchor].append(node)
+            if anchor not in adjacency[node]:
+                adjacency[node].append(anchor)
+            reachable.add(node)
+            frontier = [node]
+            while frontier:
+                current = frontier.pop()
+                for neighbour in adjacency.get(current, []):
+                    if neighbour not in reachable:
+                        reachable.add(neighbour)
+                        frontier.append(neighbour)
 
     def _insert(self, node: int) -> None:
         level = self._draw_level()
@@ -210,9 +327,24 @@ class HNSWIndex:
     # ------------------------------------------------------------------ #
 
     def search(
-        self, query: np.ndarray, k: int, *, ef_search: int | None = None
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        ef_search: int | None = None,
+        metric: str | Metric | None = None,
+        stats: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(ids, squared_distances)`` of the ``k`` approximate NNs."""
+        """Return ``(ids, keys)`` of the ``k`` approximate best nodes.
+
+        With the default ``metric=None`` the keys are squared L2 distances
+        (the historical contract).  Passing a metric name ranks by the
+        corresponding :meth:`Metric.probe_key` minimization key instead:
+        squared L2 via the norm-expansion kernel, negated inner product for
+        MIPS, negated cosine for cosine similarity.  ``stats``, when given a
+        dict, is updated in place with :data:`STAT_KEY_EVALS` — the number
+        of node keys this search evaluated.
+        """
         if self._data is None or self._entry_point is None:
             raise NotFittedError("HNSWIndex must be fitted before use")
         if k <= 0:
@@ -223,23 +355,77 @@ class HNSWIndex:
                 f"query has dimension {vec.shape[0]}, index expects "
                 f"{self._data.shape[1]}"
             )
+        resolved = None if metric is None else resolve_metric(metric)
+        keys = self._make_keys(vec, resolved, stats)
         ef = max(k, ef_search if ef_search is not None else max(2 * k, 50))
 
         entry = self._entry_point
+        entry_key = float(keys([entry])[0])
         for layer in range(self._max_level, 0, -1):
             improved = True
             while improved:
                 improved = False
-                for neighbour in self._layers[layer].get(entry, []):
-                    if self._distance(vec, neighbour) < self._distance(vec, entry):
-                        entry = neighbour
-                        improved = True
+                neighbours = self._layers[layer].get(entry, [])
+                if not neighbours:
+                    continue
+                neighbour_keys = keys(neighbours)
+                best = int(np.argmin(neighbour_keys))
+                if float(neighbour_keys[best]) < entry_key:
+                    entry = neighbours[best]
+                    entry_key = float(neighbour_keys[best])
+                    improved = True
 
-        found = self._search_layer(vec, [entry], ef, 0)
+        # Seed the beam with the global entry point as well as the greedy
+        # descent's endpoint: reachability is guaranteed from the entry
+        # point (see ``_repair_reachability``), so a full-width beam
+        # (``ef >= len(self)``) provably covers every node.
+        seeds = [entry]
+        if self._entry_point != entry:
+            seeds.append(self._entry_point)
+        found = self._search_layer(vec, seeds, ef, 0, keys=keys)
         top = found[:k]
         ids = np.asarray([node for _, node in top], dtype=np.int64)
-        dists = np.asarray([dist for dist, _ in top], dtype=np.float64)
-        return ids, dists
+        vals = np.asarray([key for key, _ in top], dtype=np.float64)
+        return ids, vals
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        ef_search: int | None = None,
+        metric: str | Metric | None = None,
+        stats: dict | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row :meth:`search` over a query matrix.
+
+        Returns ``(ids, keys)`` of shape ``(n_queries, min(k, len(self)))``;
+        row ``i`` equals ``search(queries[i], k, ...)``.  Should a row's
+        beam reach fewer nodes than the row width (possible only on a
+        disconnected graph), the tail is padded with id ``-1`` and key
+        ``+inf``.
+        """
+        if self._data is None or self._entry_point is None:
+            raise NotFittedError("HNSWIndex must be fitted before use")
+        if k <= 0:
+            raise InvalidParameterError("k must be positive")
+        mat = as_float_matrix(queries, "queries")
+        if mat.shape[0] and mat.shape[1] != self._data.shape[1]:
+            raise DimensionMismatchError(
+                f"queries have dimension {mat.shape[1]}, index expects "
+                f"{self._data.shape[1]}"
+            )
+        width = min(int(k), len(self))
+        ids = np.full((mat.shape[0], width), -1, dtype=np.int64)
+        vals = np.full((mat.shape[0], width), np.inf, dtype=np.float64)
+        for i in range(mat.shape[0]):
+            row_ids, row_vals = self.search(
+                mat[i], k, ef_search=ef_search, metric=metric, stats=stats
+            )
+            found = min(width, row_ids.shape[0])
+            ids[i, :found] = row_ids[:found]
+            vals[i, :found] = row_vals[:found]
+        return ids, vals
 
     def degree_statistics(self) -> dict[str, float]:
         """Mean/max out-degree of layer 0 (diagnostic helper)."""
@@ -252,5 +438,127 @@ class HNSWIndex:
             "n_layers": float(len(self._layers)),
         }
 
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
 
-__all__ = ["HNSWIndex"]
+    def to_state(self) -> dict:
+        """Flatten the graph into a canonical, array-valued state dict.
+
+        Layout: per layer, nodes are listed in ascending id order
+        (``nodes`` / ``degrees`` aligned, ``layer_sizes`` giving the node
+        count per layer) and every node's neighbour list is stored verbatim
+        in ``neighbours`` — list order is search-relevant, so it is
+        preserved exactly.  The canonical node order makes serialization a
+        pure function of the graph: save → load → save reproduces the same
+        bytes.  ``data`` is the raw node matrix; callers that already
+        persist it elsewhere (the centroid graph does) may drop it and
+        supply ``data=`` to :meth:`from_state`.
+        """
+        if self._data is None or self._entry_point is None:
+            raise NotFittedError("HNSWIndex must be fitted before use")
+        layer_sizes: list[int] = []
+        nodes: list[int] = []
+        degrees: list[int] = []
+        neighbours: list[int] = []
+        for adjacency in self._layers:
+            layer_sizes.append(len(adjacency))
+            for node in sorted(adjacency):
+                links = adjacency[node]
+                nodes.append(node)
+                degrees.append(len(links))
+                neighbours.extend(links)
+        return {
+            "m": int(self.m),
+            "ef_construction": int(self.ef_construction),
+            "entry_point": int(self._entry_point),
+            "max_level": int(self._max_level),
+            "layer_sizes": np.asarray(layer_sizes, dtype=np.int64),
+            "nodes": np.asarray(nodes, dtype=np.int64),
+            "degrees": np.asarray(degrees, dtype=np.int64),
+            "neighbours": np.asarray(neighbours, dtype=np.int64),
+            "data": self._data,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, *, data: np.ndarray | None = None
+    ) -> "HNSWIndex":
+        """Rebuild a fitted index from :meth:`to_state` output.
+
+        ``data`` overrides the state's node matrix (used when the vectors
+        are persisted elsewhere, e.g. the IVF centroid matrix backing the
+        centroid graph).  The rebuilt graph searches bit-identically to the
+        serialized one: adjacency, neighbour-list order and the entry point
+        are restored exactly.
+        """
+        mat = as_float_matrix(
+            data if data is not None else state["data"], "data"
+        )
+        if mat.shape[0] == 0:
+            raise EmptyDatasetError("cannot restore an HNSW index with no nodes")
+        index = cls(
+            m=int(state["m"]),
+            ef_construction=int(state["ef_construction"]),
+            rng=0,
+        )
+        n_nodes = mat.shape[0]
+        layer_sizes = np.asarray(state["layer_sizes"], dtype=np.int64).reshape(-1)
+        nodes = np.asarray(state["nodes"], dtype=np.int64).reshape(-1)
+        degrees = np.asarray(state["degrees"], dtype=np.int64).reshape(-1)
+        neighbours = np.asarray(state["neighbours"], dtype=np.int64).reshape(-1)
+        if nodes.shape[0] != degrees.shape[0]:
+            raise InvalidParameterError(
+                "corrupt HNSW state: nodes and degrees must align"
+            )
+        if int(layer_sizes.sum()) != nodes.shape[0]:
+            raise InvalidParameterError(
+                "corrupt HNSW state: layer_sizes must sum to the node count"
+            )
+        if int(degrees.sum()) != neighbours.shape[0]:
+            raise InvalidParameterError(
+                "corrupt HNSW state: degrees must sum to the neighbour count"
+            )
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= n_nodes):
+            raise InvalidParameterError(
+                "corrupt HNSW state: node ids outside the data matrix"
+            )
+        if neighbours.size and (
+            neighbours.min() < 0 or neighbours.max() >= n_nodes
+        ):
+            raise InvalidParameterError(
+                "corrupt HNSW state: neighbour ids outside the data matrix"
+            )
+        layers: list[dict[int, list[int]]] = []
+        node_pos = 0
+        link_pos = 0
+        for size in layer_sizes:
+            adjacency: dict[int, list[int]] = {}
+            for _ in range(int(size)):
+                node = int(nodes[node_pos])
+                degree = int(degrees[node_pos])
+                adjacency[node] = [
+                    int(x) for x in neighbours[link_pos : link_pos + degree]
+                ]
+                node_pos += 1
+                link_pos += degree
+            layers.append(adjacency)
+        entry_point = int(state["entry_point"])
+        max_level = int(state["max_level"])
+        if not layers or entry_point not in layers[0]:
+            raise InvalidParameterError(
+                "corrupt HNSW state: entry point missing from layer 0"
+            )
+        if max_level != len(layers) - 1:
+            raise InvalidParameterError(
+                "corrupt HNSW state: max_level must match the layer count"
+            )
+        index._data = mat
+        index._layers = layers
+        index._entry_point = entry_point
+        index._max_level = max_level
+        index._sq_norms = None
+        return index
+
+
+__all__ = ["HNSWIndex", "STAT_KEY_EVALS"]

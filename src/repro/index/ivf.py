@@ -7,6 +7,15 @@ combines RaBitQ (and the PQ/OPQ baselines) with this index: quantization
 codes are stored per bucket, and the per-cluster centroid doubles as the
 normalization centroid of RaBitQ.
 
+Probing supports two strategies.  ``"exact"`` (the default) ranks every
+centroid per query with the metric's key kernel — the historical behaviour
+and the equivalence oracle.  ``"graph"`` navigates an HNSW graph built over
+the centroids (deterministically, from a fixed seed, so rebuilds after
+``fit``/``compact`` or when loading a pre-v7 archive are bit-identical),
+evaluating keys only along the beam-search frontier — at million-vector
+scale with ~4k centroids this cuts the per-query probe cost from "every
+centroid" to "a few beam neighbourhoods".
+
 After :meth:`IVFIndex.fit` the inverted lists are mutable without
 re-clustering: :meth:`IVFIndex.assign` finds the nearest existing centroid
 for new vectors, :meth:`IVFIndex.append` adds their ids to the buckets, and
@@ -30,6 +39,7 @@ from repro.exceptions import (
     InvalidParameterError,
     NotFittedError,
 )
+from repro.index.hnsw import STAT_KEY_EVALS, HNSWIndex
 from repro.substrates.kmeans import kmeans_fit
 from repro.substrates.linalg import (
     as_float_matrix,
@@ -37,6 +47,33 @@ from repro.substrates.linalg import (
     topk_indices,
 )
 from repro.substrates.rng import RngLike, ensure_rng
+
+
+#: Valid centroid-probing strategies: ``"exact"`` scans every centroid with
+#: the metric's key kernel (the historical behaviour and the equivalence
+#: oracle); ``"graph"`` routes the ranking through an HNSW graph built over
+#: the centroids, evaluating keys only along the beam-search frontier.
+PROBE_STRATEGIES = ("exact", "graph")
+
+#: Construction parameters of the centroid graph.  The build is a pure
+#: function of the centroid matrix: the RNG driving HNSW level draws is
+#: always seeded with :data:`CENTROID_GRAPH_SEED`, so ``fit``/``compact``
+#: rebuilds — and on-demand rebuilds when loading a pre-v7 archive — produce
+#: bit-identical graphs.
+CENTROID_GRAPH_M = 8
+CENTROID_GRAPH_EF_CONSTRUCTION = 80
+CENTROID_GRAPH_SEED = 0x52425147  # "RBQG"
+
+
+def default_graph_ef(nprobe: int, n_clusters: int) -> int:
+    """Default beam width for graph probing.
+
+    Wide enough that the top-``nprobe`` centroids are found with high
+    probability (the bench gates recall against exact probing), clamped to
+    the cluster count — at ``ef == n_clusters`` beam search degenerates to
+    an exhaustive ranked scan and reproduces exact probing's candidate set.
+    """
+    return min(int(n_clusters), max(4 * int(nprobe), 64))
 
 
 def default_n_clusters(n_vectors: int) -> int:
@@ -76,6 +113,13 @@ class IVFIndex:
         Lloyd iterations of the coarse quantizer.
     rng:
         Seed or generator.
+    probe_strategy:
+        ``"exact"`` (default) ranks every centroid per query with the
+        metric's key kernel; ``"graph"`` navigates an HNSW graph built over
+        the centroids (see :meth:`centroid_graph`), evaluating keys only
+        for visited nodes.  The strategy is a property and may be switched
+        on a fitted index at any time; the graph is built lazily on first
+        graph probe and invalidated whenever centroids are (re)installed.
     """
 
     def __init__(
@@ -84,17 +128,41 @@ class IVFIndex:
         *,
         kmeans_iters: int = 15,
         rng: RngLike = None,
+        probe_strategy: str = "exact",
     ) -> None:
         if n_clusters is not None and n_clusters <= 0:
             raise InvalidParameterError("n_clusters must be positive when given")
+        if probe_strategy not in PROBE_STRATEGIES:
+            raise InvalidParameterError(
+                f"probe_strategy must be one of {PROBE_STRATEGIES}"
+            )
         self.n_clusters = n_clusters
         self.kmeans_iters = int(kmeans_iters)
         self._rng = ensure_rng(rng)
+        self._probe_strategy = probe_strategy
+        #: Beam-width override for graph probing; ``None`` applies
+        #: :func:`default_graph_ef` per query (``probe``'s ``ef=`` argument
+        #: overrides both).
+        self.probe_ef: int | None = None
         self._centroids: np.ndarray | None = None
         self._centroid_sq: np.ndarray | None = None
+        self._centroid_graph: HNSWIndex | None = None
         self._buckets: list[IVFBucket] | None = None
         self._assignments: np.ndarray | None = None
         self._dim: int | None = None
+
+    @property
+    def probe_strategy(self) -> str:
+        """The active probing strategy: ``"exact"`` or ``"graph"``."""
+        return self._probe_strategy
+
+    @probe_strategy.setter
+    def probe_strategy(self, strategy: str) -> None:
+        if strategy not in PROBE_STRATEGIES:
+            raise InvalidParameterError(
+                f"probe_strategy must be one of {PROBE_STRATEGIES}"
+            )
+        self._probe_strategy = strategy
 
     @property
     def is_fitted(self) -> bool:
@@ -142,12 +210,64 @@ class IVFIndex:
         """
         self._centroids = centroids
         self._centroid_sq = np.einsum("ij,ij->i", centroids, centroids)
+        # The centroid graph is derived state: invalidate it whenever the
+        # centroids change so the next graph probe rebuilds it (always from
+        # the fixed CENTROID_GRAPH_SEED, hence deterministically).
+        self._centroid_graph = None
 
-    def fit(self, data: np.ndarray) -> "IVFIndex":
-        """Cluster ``data`` and build the inverted lists."""
+    def centroid_graph(self) -> HNSWIndex:
+        """The HNSW graph over the centroids, built lazily and deterministically.
+
+        A pure function of the centroid matrix: construction always seeds
+        its level RNG with :data:`CENTROID_GRAPH_SEED`, so two indexes with
+        equal centroids carry bit-identical graphs — which is what lets
+        pre-v7 archives (no persisted graph) rebuild on demand and still
+        match a v7 round-trip exactly.  The build is idempotent, so a
+        concurrent first probe at worst duplicates work, never diverges.
+        """
+        if self._centroid_graph is None:
+            self._centroid_graph = HNSWIndex(
+                m=CENTROID_GRAPH_M,
+                ef_construction=CENTROID_GRAPH_EF_CONSTRUCTION,
+                rng=CENTROID_GRAPH_SEED,
+            ).fit(self.centroids)
+        return self._centroid_graph
+
+    def install_centroid_graph(self, graph: HNSWIndex) -> None:
+        """Adopt a deserialized centroid graph (persistence-layer hook)."""
+        if not isinstance(graph, HNSWIndex):
+            raise InvalidParameterError("graph must be an HNSWIndex")
+        centroids = self.centroids
+        if len(graph) != centroids.shape[0] or (
+            graph.data.shape[1] != centroids.shape[1]
+        ):
+            raise InvalidParameterError(
+                f"graph covers {len(graph)} nodes of dimension "
+                f"{graph.data.shape[1]}, index has {centroids.shape[0]} "
+                f"centroids of dimension {centroids.shape[1]}"
+            )
+        self._centroid_graph = graph
+
+    def fit(
+        self, data: np.ndarray, *, kmeans_sample_size: int | None = None
+    ) -> "IVFIndex":
+        """Cluster ``data`` and build the inverted lists.
+
+        ``kmeans_sample_size`` bounds the KMeans training set: when given
+        and smaller than ``len(data)``, the centroids are trained on that
+        many rows sampled without replacement from the index RNG, and the
+        full dataset is then assigned to the trained centroids in bounded
+        chunks.  This is what makes million-scale fits tractable — Lloyd
+        iterations cost ``O(n_train * n_clusters * dim)`` each, and the
+        sample caps ``n_train`` while assignment stays exact for every row.
+        """
         mat = as_float_matrix(data, "data")
         if mat.shape[0] == 0:
             raise EmptyDatasetError("cannot build an IVF index over an empty dataset")
+        if kmeans_sample_size is not None and kmeans_sample_size <= 0:
+            raise InvalidParameterError(
+                "kmeans_sample_size must be positive when given"
+            )
         self._dim = mat.shape[1]
         n_clusters = (
             self.n_clusters
@@ -155,15 +275,45 @@ class IVFIndex:
             else default_n_clusters(mat.shape[0])
         )
         n_clusters = min(n_clusters, mat.shape[0])
-        result = kmeans_fit(
-            mat, n_clusters, max_iter=self.kmeans_iters, rng=self._rng
-        )
-        self._install_centroids(result.centroids)
-        self._assignments = np.asarray(result.assignments, dtype=np.int64)
+        if kmeans_sample_size is not None and kmeans_sample_size < mat.shape[0]:
+            sample_size = max(int(kmeans_sample_size), n_clusters)
+            sample = np.sort(
+                self._rng.choice(mat.shape[0], size=sample_size, replace=False)
+            )
+            result = kmeans_fit(
+                mat[sample], n_clusters, max_iter=self.kmeans_iters, rng=self._rng
+            )
+            self._install_centroids(result.centroids)
+            self._assignments = self._assign_chunked(mat)
+        else:
+            result = kmeans_fit(
+                mat, n_clusters, max_iter=self.kmeans_iters, rng=self._rng
+            )
+            self._install_centroids(result.centroids)
+            self._assignments = np.asarray(result.assignments, dtype=np.int64)
         self._buckets = self._buckets_from_assignments(
             self._assignments, n_clusters
         )
         return self
+
+    #: Row-chunk cap for :meth:`_assign_chunked`, sized so one chunk's
+    #: ``(rows, n_clusters)`` float64 distance block — and the expansion
+    #: temporaries behind it — stays around half a GiB even at the
+    #: 4096-cluster ceiling.
+    _ASSIGN_CHUNK_ROWS = 16_384
+
+    def _assign_chunked(self, mat: np.ndarray) -> np.ndarray:
+        """Nearest-centroid assignment of ``mat`` in bounded row chunks.
+
+        Chunking changes memory use only: each row's distance ranking —
+        and the ``argmin`` low-id tie-break — is computed exactly as
+        :meth:`assign` would on the full matrix.
+        """
+        out = np.empty(mat.shape[0], dtype=np.int64)
+        for lo in range(0, mat.shape[0], self._ASSIGN_CHUNK_ROWS):
+            hi = min(lo + self._ASSIGN_CHUNK_ROWS, mat.shape[0])
+            out[lo:hi] = self.assign(mat[lo:hi])
+        return out
 
     @staticmethod
     def _buckets_from_assignments(
@@ -196,6 +346,7 @@ class IVFIndex:
         *,
         kmeans_iters: int = 15,
         rng: RngLike = None,
+        probe_strategy: str = "exact",
     ) -> "IVFIndex":
         """Rebuild a fitted index from its centroids and assignment array.
 
@@ -211,7 +362,12 @@ class IVFIndex:
             raise InvalidParameterError(
                 "assignments reference clusters outside the centroid matrix"
             )
-        index = cls(centre.shape[0], kmeans_iters=kmeans_iters, rng=rng)
+        index = cls(
+            centre.shape[0],
+            kmeans_iters=kmeans_iters,
+            rng=rng,
+            probe_strategy=probe_strategy,
+        )
         index._install_centroids(centre)
         index._assignments = assigned
         index._dim = int(centre.shape[1])
@@ -340,31 +496,125 @@ class IVFIndex:
             return self._probe_distances(vec)
         return metric.probe_key(self.centroids, self.centroid_sq_norms, vec)
 
-    def probe(self, query: np.ndarray, nprobe: int, *, metric="l2") -> np.ndarray:
+    def _subset_keys(
+        self, cluster_ids: np.ndarray, vec: np.ndarray, metric
+    ) -> np.ndarray:
+        """:meth:`_probe_keys` restricted to ``cluster_ids``.
+
+        Uses the same norm-expansion / probe-key arithmetic on the indexed
+        centroid rows, so for ``cluster_ids == arange(n_clusters)`` the
+        result is bit-identical to the full scan.
+        """
+        centroids = self.centroids[cluster_ids]
+        sq_norms = self.centroid_sq_norms[cluster_ids]
+        if metric is L2 or metric.name == "l2":
+            return sq_norms - 2.0 * (centroids @ vec) + vec @ vec
+        return metric.probe_key(centroids, sq_norms, vec)
+
+    def _exact_probe(
+        self, vec: np.ndarray, nprobe: int, metric, stats: dict | None
+    ) -> np.ndarray:
+        """Exhaustive key ranking (the historical probe and the oracle)."""
+        keys = self._probe_keys(vec, metric)
+        if stats is not None:
+            stats[STAT_KEY_EVALS] = stats.get(STAT_KEY_EVALS, 0) + keys.shape[0]
+        return topk_indices(keys, nprobe).astype(np.int64)
+
+    def _graph_probe(
+        self,
+        vec: np.ndarray,
+        nprobe: int,
+        metric,
+        ef: int | None,
+        stats: dict | None,
+    ) -> np.ndarray:
+        """Rank clusters by beam search over the centroid graph.
+
+        The beam width is ``ef`` (then ``self.probe_ef``, then
+        :func:`default_graph_ef`), clamped to at least ``nprobe``; the
+        beam's candidates are then re-ranked by :meth:`_subset_keys`, the
+        exact scan's kernel restricted to the candidate rows, so the
+        returned ids follow the same key order and tie-breaking exact
+        probing uses.  Should the beam reach fewer than ``nprobe`` nodes
+        (possible only on a disconnected graph), the query falls back to
+        the exact scan rather than return a short row.
+        """
+        graph = self.centroid_graph()
+        if ef is None:
+            ef = self.probe_ef
+        if ef is None:
+            ef = default_graph_ef(nprobe, len(graph))
+        beam = max(int(ef), nprobe)
+        # The beam generates candidates; the final ranking recomputes their
+        # keys in one id-sorted subset call.  The beam's incremental
+        # neighbour-batch keys can differ from a full scan by float ulps
+        # (BLAS kernels round differently at different operand shapes), so
+        # selecting directly from them would make the nprobe boundary
+        # diverge from the exact scan.  Re-ranking the sorted candidate
+        # subset restores the exact scan's arithmetic and lowest-id
+        # tie-breaking — at ``ef >= n_clusters`` the subset is the whole
+        # centroid matrix in original order and the probed set is
+        # bit-identical to ``_exact_probe``.
+        ids, _ = graph.search(
+            vec, beam, ef_search=beam, metric=metric, stats=stats
+        )
+        if ids.shape[0] < nprobe:
+            return self._exact_probe(vec, nprobe, metric, stats)
+        cands = np.sort(ids)
+        keys = self._subset_keys(cands, vec, metric)
+        if stats is not None:
+            stats[STAT_KEY_EVALS] = (
+                stats.get(STAT_KEY_EVALS, 0) + cands.shape[0]
+            )
+        return cands[topk_indices(keys, nprobe)].astype(np.int64)
+
+    def probe(
+        self,
+        query: np.ndarray,
+        nprobe: int,
+        *,
+        metric="l2",
+        ef: int | None = None,
+        stats: dict | None = None,
+    ) -> np.ndarray:
         """Ids of the ``nprobe`` clusters ranked best by ``metric``.
 
         The default ``metric="l2"`` probes the centroids closest to the
         query (the historical behaviour, bit-identical); ``"ip"`` /
         ``"cosine"`` probe the centroids with the largest inner product /
-        cosine similarity.
+        cosine similarity.  With ``probe_strategy="graph"`` the ranking
+        runs as a beam search over the centroid HNSW graph instead of an
+        exhaustive scan; ``ef`` overrides the beam width for this call
+        (ignored by the exact strategy), and at ``ef >= n_clusters`` the
+        beam covers every (reachable) centroid, reproducing the exact
+        scan's candidate set.  ``stats``, when given a dict, accumulates
+        ``"n_key_evals"`` — the number of centroid keys evaluated.
         """
         if nprobe <= 0:
             raise InvalidParameterError("nprobe must be positive")
         resolved = resolve_metric(metric)
         vec = self._check_query(query)
-        keys = self._probe_keys(vec, resolved)
-        nprobe = min(nprobe, keys.shape[0])
-        return topk_indices(keys, nprobe).astype(np.int64)
+        nprobe = min(nprobe, self.centroids.shape[0])
+        if self._probe_strategy == "graph":
+            return self._graph_probe(vec, nprobe, resolved, ef, stats)
+        return self._exact_probe(vec, nprobe, resolved, stats)
 
     def probe_batch(
-        self, queries: np.ndarray, nprobe: int, *, metric="l2"
+        self,
+        queries: np.ndarray,
+        nprobe: int,
+        *,
+        metric="l2",
+        ef: int | None = None,
+        stats: dict | None = None,
     ) -> np.ndarray:
         """Probed cluster ids for every row of ``queries`` at once.
 
         Returns an ``(n_queries, min(nprobe, n_clusters))`` matrix whose row
         ``i`` equals ``probe(queries[i], nprobe, metric=metric)`` exactly:
-        every row runs the identical per-query ranking kernel and the
-        identical argpartition/argsort selection as the per-query path.
+        every row runs the identical per-query ranking kernel — exact scan
+        or graph beam search, per ``probe_strategy`` — and the identical
+        selection as the per-query path.
         """
         if nprobe <= 0:
             raise InvalidParameterError("nprobe must be positive")
@@ -379,13 +629,24 @@ class IVFIndex:
         centroids = self.centroids
         nprobe = min(nprobe, centroids.shape[0])
         out = np.empty((mat.shape[0], nprobe), dtype=np.int64)
-        for i in range(mat.shape[0]):
-            out[i] = topk_indices(self._probe_keys(mat[i], resolved), nprobe)
+        if self._probe_strategy == "graph":
+            for i in range(mat.shape[0]):
+                out[i] = self._graph_probe(mat[i], nprobe, resolved, ef, stats)
+        else:
+            for i in range(mat.shape[0]):
+                out[i] = self._exact_probe(mat[i], nprobe, resolved, stats)
         return out
 
-    def candidates(self, query: np.ndarray, nprobe: int) -> np.ndarray:
-        """All vector ids contained in the probed clusters (concatenated)."""
-        cluster_ids = self.probe(query, nprobe)
+    def candidates(
+        self, query: np.ndarray, nprobe: int, *, metric="l2"
+    ) -> np.ndarray:
+        """All vector ids contained in the probed clusters (concatenated).
+
+        ``metric`` selects the probing key exactly as in :meth:`probe`, so
+        candidate enumeration follows the served metric (previously this
+        always probed under L2 regardless of the metric the caller served).
+        """
+        cluster_ids = self.probe(query, nprobe, metric=metric)
         buckets = self.buckets
         lists = [buckets[int(cid)].vector_ids for cid in cluster_ids]
         if not lists:
@@ -397,4 +658,13 @@ class IVFIndex:
         return np.asarray([len(bucket) for bucket in self.buckets], dtype=np.int64)
 
 
-__all__ = ["IVFIndex", "IVFBucket", "default_n_clusters"]
+__all__ = [
+    "IVFIndex",
+    "IVFBucket",
+    "default_n_clusters",
+    "default_graph_ef",
+    "PROBE_STRATEGIES",
+    "CENTROID_GRAPH_M",
+    "CENTROID_GRAPH_EF_CONSTRUCTION",
+    "CENTROID_GRAPH_SEED",
+]

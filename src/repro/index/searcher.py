@@ -168,7 +168,7 @@ from repro.exceptions import (
 )
 from repro.index.arena import CodeArena
 from repro.index.flat import FlatIndex
-from repro.index.ivf import IVFIndex
+from repro.index.ivf import PROBE_STRATEGIES, IVFIndex
 from repro.index.rerank import ErrorBoundReranker, Reranker
 from repro.substrates.linalg import as_float_matrix
 from repro.substrates.rng import RngLike, ensure_rng, spawn_rngs
@@ -375,6 +375,16 @@ class IVFQuantizedSearcher:
         are derived lazily per prepared query and consume no randomness,
         so switching modes never perturbs the rounding streams, and the
         concurrency / cache contract above is mode-independent.
+    probe_strategy:
+        How the ``nprobe`` clusters are found per query: ``"exact"`` (the
+        default) scans every centroid with the metric's key kernel;
+        ``"graph"`` navigates a deterministic HNSW graph over the centroids
+        (built lazily at first use, rebuilt bit-identically after re-fits —
+        see :meth:`IVFIndex.centroid_graph`), evaluating keys only along
+        the beam-search frontier.  Downstream estimation, re-ranking and
+        randomness are identical under both strategies; only the probed
+        cluster ranking may differ, and the benchmark gates pin graph
+        probing's candidate sets and recall against the exact oracle.
     """
 
     def __init__(
@@ -390,6 +400,7 @@ class IVFQuantizedSearcher:
         query_cache_size: int = 0,
         metric: str | Metric = "l2",
         estimation_mode: str = "gemm",
+        probe_strategy: str = "exact",
     ) -> None:
         if quantizer_kind not in ("rabitq", "external"):
             raise InvalidParameterError(
@@ -419,6 +430,11 @@ class IVFQuantizedSearcher:
             raise InvalidParameterError(
                 "LUT estimation modes require quantizer_kind='rabitq'"
             )
+        if probe_strategy not in PROBE_STRATEGIES:
+            raise InvalidParameterError(
+                f"probe_strategy must be one of {PROBE_STRATEGIES}"
+            )
+        self._probe_strategy = probe_strategy
         self._estimation_mode = estimation_mode
         self.quantizer_kind = quantizer_kind
         self.n_clusters = n_clusters
@@ -493,6 +509,30 @@ class IVFQuantizedSearcher:
         self._estimation_mode = mode
 
     @property
+    def probe_strategy(self) -> str:
+        """Centroid-probing strategy: ``"exact"`` or ``"graph"``.
+
+        Settable on a fitted searcher at any mutation-free point — the
+        strategy changes how the ``nprobe`` clusters are *found*, never
+        which estimator or rounding stream a probed cluster uses, so
+        switching strategies perturbs no randomness.  With ``"graph"`` the
+        IVF index navigates a deterministic HNSW graph over its centroids
+        (built lazily on the first graph probe); ``"exact"`` restores the
+        exhaustive centroid scan, which remains the equivalence oracle.
+        """
+        return self._probe_strategy
+
+    @probe_strategy.setter
+    def probe_strategy(self, strategy: str) -> None:
+        if strategy not in PROBE_STRATEGIES:
+            raise InvalidParameterError(
+                f"probe_strategy must be one of {PROBE_STRATEGIES}"
+            )
+        self._probe_strategy = strategy
+        if self._ivf is not None:
+            self._ivf.probe_strategy = strategy
+
+    @property
     def is_fitted(self) -> bool:
         """Whether :meth:`fit` has been called."""
         return self._ivf is not None
@@ -564,16 +604,22 @@ class IVFQuantizedSearcher:
         """
         return spawn_rngs(self.rabitq_config.seed, 2)[1]
 
-    def fit(self, data: np.ndarray) -> "IVFQuantizedSearcher":
+    def fit(
+        self, data: np.ndarray, *, kmeans_sample_size: int | None = None
+    ) -> "IVFQuantizedSearcher":
         """Build the IVF index and train the quantizer(s) on ``data``.
 
         External ids are assigned positionally (``0 .. n-1``); they remain
         stable across later :meth:`insert` / :meth:`delete` /
-        :meth:`compact` calls.
+        :meth:`compact` calls.  ``kmeans_sample_size`` caps the KMeans
+        training set for million-scale fits (see :meth:`IVFIndex.fit`);
+        assignment, encoding and re-ranking always cover every row.
         """
         mat = as_float_matrix(data, "data")
         self._flat = FlatIndex(mat)
-        self._ivf = IVFIndex(self.n_clusters, rng=self._rng).fit(mat)
+        self._ivf = IVFIndex(
+            self.n_clusters, rng=self._rng, probe_strategy=self._probe_strategy
+        ).fit(mat, kmeans_sample_size=kmeans_sample_size)
 
         if self.quantizer_kind == "rabitq":
             # All clusters share one rotation so that the query only needs to

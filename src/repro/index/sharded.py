@@ -73,6 +73,7 @@ from repro.exceptions import (
     InvalidParameterError,
     NotFittedError,
 )
+from repro.index.ivf import PROBE_STRATEGIES
 from repro.index.rerank import Reranker
 from repro.index.searcher import (
     _ESTIMATION_MODES,
@@ -138,6 +139,10 @@ class ShardedSearcher:
         shard at once.  ``"lut"`` answers are bit-identical to ``"gemm"``
         shard by shard, hence also after the deterministic merge — see
         :class:`IVFQuantizedSearcher`.
+    probe_strategy:
+        Centroid-probing strategy (``"exact"`` / ``"graph"``), forwarded
+        to every shard and settable on a fitted instance, which switches
+        every shard at once — see :class:`IVFQuantizedSearcher`.
     """
 
     def __init__(
@@ -154,6 +159,7 @@ class ShardedSearcher:
         query_cache_size: int = 0,
         metric: str | Metric = "l2",
         estimation_mode: str = "gemm",
+        probe_strategy: str = "exact",
     ) -> None:
         if n_shards <= 0:
             raise InvalidParameterError("n_shards must be positive")
@@ -167,6 +173,10 @@ class ShardedSearcher:
             raise InvalidParameterError(
                 f"estimation_mode must be one of {_ESTIMATION_MODES}"
             )
+        if probe_strategy not in PROBE_STRATEGIES:
+            raise InvalidParameterError(
+                f"probe_strategy must be one of {PROBE_STRATEGIES}"
+            )
         self.n_shards = int(n_shards)
         self.assignment = assignment
         self.n_clusters = n_clusters
@@ -176,6 +186,7 @@ class ShardedSearcher:
         self.query_cache_size = int(query_cache_size)
         self._metric = resolve_metric(metric)
         self._estimation_mode = estimation_mode
+        self._probe_strategy = probe_strategy
         self._rng = ensure_rng(rng)
         self._n_threads = self.n_shards if n_threads is None else int(n_threads)
         self._pool: ThreadPoolExecutor | None = None
@@ -283,6 +294,27 @@ class ShardedSearcher:
         self._estimation_mode = mode
 
     @property
+    def probe_strategy(self) -> str:
+        """Centroid-probing strategy (``"exact"`` / ``"graph"``).
+
+        Assigning a new strategy switches every shard at once; each shard's
+        centroid graph is built lazily on its first graph probe.  Like the
+        other serving knobs it must not race in-flight queries.
+        """
+        return self._probe_strategy
+
+    @probe_strategy.setter
+    def probe_strategy(self, strategy: str) -> None:
+        if strategy not in PROBE_STRATEGIES:
+            raise InvalidParameterError(
+                f"probe_strategy must be one of {PROBE_STRATEGIES}"
+            )
+        if self._shards is not None:
+            for shard in self._shards:
+                shard.probe_strategy = strategy
+        self._probe_strategy = strategy
+
+    @property
     def is_fitted(self) -> bool:
         """Whether :meth:`fit` has been called."""
         return self._shards is not None
@@ -367,6 +399,7 @@ class ShardedSearcher:
                 query_cache_size=self.query_cache_size,
                 metric=self._metric,
                 estimation_mode=self._estimation_mode,
+                probe_strategy=self._probe_strategy,
             )
             for s in range(self.n_shards)
         ]
@@ -678,6 +711,12 @@ class ShardedSearcher:
             raise InvalidParameterError(
                 "all shards must use the same estimation_mode"
             )
+        if any(
+            shard.probe_strategy != first.probe_strategy for shard in shards
+        ):
+            raise InvalidParameterError(
+                "all shards must use the same probe_strategy"
+            )
         sharded = cls(
             len(shards),
             n_threads=n_threads,
@@ -689,6 +728,7 @@ class ShardedSearcher:
             query_cache_size=first.query_cache_size,
             metric=first.metric,
             estimation_mode=first.estimation_mode,
+            probe_strategy=first.probe_strategy,
         )
         g2s: dict[int, tuple[int, int]] = {}
         for s, (shard, mapping) in enumerate(zip(shards, l2g)):

@@ -76,6 +76,7 @@ from repro.exceptions import (
 )
 from repro.index.arena import CodeArena
 from repro.index.flat import FlatIndex
+from repro.index.hnsw import HNSWIndex
 from repro.index.ivf import IVFIndex
 from repro.index.rerank import (
     ErrorBoundReranker,
@@ -111,8 +112,18 @@ FORMAT_VERSION = 2
 #: ``CodeArena`` holds them (cluster-grouped, slack-free) so a load — and
 #: in particular a ``mmap=True`` load — adopts them without re-deriving
 #: anything.  Unlike v5, the uint8 GEMM operand and the 4-bit segment-id
-#: matrix are stored, not recomputed.
-SEARCHER_FORMAT_VERSION = 6
+#: matrix are stored, not recomputed.  Version 7 keeps the identical
+#: container (same magic, prefix, alignment and section rules) and adds
+#: the centroid-probing strategy to the metadata plus — for
+#: ``probe_strategy="graph"`` searchers — the serialized centroid HNSW
+#: graph as three integer sections, so graph-probing searchers reload
+#: without rebuilding the graph.  Version-6 archives still load (the
+#: strategy defaults to ``"exact"``; a graph is rebuilt deterministically
+#: on demand if the strategy is later switched).
+SEARCHER_FORMAT_VERSION = 7
+
+#: Binary-container (v6-layout) format versions this build can read.
+_SEARCHER_BINARY_VERSIONS = (6, 7)
 
 #: The newest npz-layout searcher format (written by ``layout="npz"``).
 #: Version 5 records the searcher's ``estimation_mode``; version 4 the
@@ -476,11 +487,11 @@ def _read_v6_header(path: Path) -> tuple[dict, int]:
             f"{path!s} is not a searcher archive "
             f"(magic {header.get('magic')!r}, expected {MAGIC_SEARCHER!r})"
         )
-    if header.get("format_version") != SEARCHER_FORMAT_VERSION:
+    if header.get("format_version") not in _SEARCHER_BINARY_VERSIONS:
         raise PersistenceError(
             f"unsupported searcher index format version "
             f"{header.get('format_version')}; this build reads version(s) "
-            f"{SEARCHER_FORMAT_VERSION}, "
+            f"{', '.join(map(str, _SEARCHER_BINARY_VERSIONS))}, "
             f"{', '.join(map(str, _SEARCHER_LEGACY_VERSIONS))}"
         )
     return header, size
@@ -767,8 +778,23 @@ def save_searcher(
         )
 
 
-def _save_searcher_v6(searcher: IVFQuantizedSearcher, path: Path) -> str:
-    """Write the format-v6 binary container; returns the new archive UUID."""
+def _save_searcher_v6(
+    searcher: IVFQuantizedSearcher,
+    path: Path,
+    *,
+    _format_version: int = SEARCHER_FORMAT_VERSION,
+) -> str:
+    """Write the binary container (v7 layout); returns the new archive UUID.
+
+    ``_format_version=6`` is a test-only hook that writes a faithful
+    legacy v6 archive (no probe-strategy metadata, no graph sections) so
+    the backward-compatibility suites can exercise real v6 input without
+    keeping binary fixtures in the tree.
+    """
+    if _format_version not in _SEARCHER_BINARY_VERSIONS:
+        raise InvalidParameterError(
+            f"_format_version must be one of {_SEARCHER_BINARY_VERSIONS}"
+        )
     reranker_kind, reranker_param = _check_saveable(searcher)
     ivf = searcher.ivf
     flat = searcher.flat
@@ -817,13 +843,6 @@ def _save_searcher_v6(searcher: IVFQuantizedSearcher, path: Path) -> str:
         "quantizer_rng_states": _cluster_rng_states(searcher),
         "searcher_rng_state": searcher._rng.bit_generator.state,
     }
-    header = {
-        "magic": MAGIC_SEARCHER,
-        "format_version": SEARCHER_FORMAT_VERSION,
-        "archive_uuid": archive_uuid,
-        "parent_uuid": parent_uuid,
-        "meta": json.loads(json.dumps(meta, default=_json_default)),
-    }
     sections = {
         "arena_codes": dump["codes"],
         "arena_bits": dump["bits"],
@@ -836,6 +855,37 @@ def _save_searcher_v6(searcher: IVFQuantizedSearcher, path: Path) -> str:
         "ids": np.ascontiguousarray(searcher._ids, dtype=np.int64),
         "live": np.ascontiguousarray(searcher._live, dtype=np.bool_),
         "rotation": np.ascontiguousarray(rotation_entry[1], dtype=np.float64),
+    }
+    if _format_version >= 7:
+        meta["probe_strategy"] = searcher.probe_strategy
+        if searcher.probe_strategy == "graph":
+            # The graph's node vectors ARE the centroids section; only the
+            # topology (layers, degrees, adjacency) needs its own sections.
+            graph_state = ivf.centroid_graph().to_state()
+            meta["centroid_graph"] = {
+                "m": int(graph_state["m"]),
+                "ef_construction": int(graph_state["ef_construction"]),
+                "entry_point": int(graph_state["entry_point"]),
+                "max_level": int(graph_state["max_level"]),
+                "layer_sizes": np.asarray(
+                    graph_state["layer_sizes"], dtype=np.int64
+                ).tolist(),
+            }
+            sections["graph_nodes"] = np.ascontiguousarray(
+                graph_state["nodes"], dtype=np.int64
+            )
+            sections["graph_degrees"] = np.ascontiguousarray(
+                graph_state["degrees"], dtype=np.int64
+            )
+            sections["graph_neighbours"] = np.ascontiguousarray(
+                graph_state["neighbours"], dtype=np.int64
+            )
+    header = {
+        "magic": MAGIC_SEARCHER,
+        "format_version": int(_format_version),
+        "archive_uuid": archive_uuid,
+        "parent_uuid": parent_uuid,
+        "meta": json.loads(json.dumps(meta, default=_json_default)),
     }
     _write_v6_archive(path, header, sections)
     searcher._archive_uuid = archive_uuid
@@ -911,6 +961,10 @@ def _save_searcher_npz(searcher: IVFQuantizedSearcher, path: Path) -> None:
         # Estimation kernel (format v5); the segment-id matrix of the LUT
         # modes is derived from packed_codes at load time, never stored.
         estimation_mode=np.str_(searcher.estimation_mode),
+        # Centroid probe strategy (optional key; format stays v5 because
+        # older loaders ignore unknown keys — the graph itself is never
+        # stored in npz, it is rebuilt deterministically on load).
+        probe_strategy=np.str_(searcher.probe_strategy),
         # IVF + flat index state
         centroids=ivf.centroids,
         assignments=ivf.assignments,
@@ -1008,6 +1062,7 @@ def _make_searcher_shell(
     metric,
     estimation_mode: str,
     searcher_rng_state: dict,
+    probe_strategy: str = "exact",
 ) -> IVFQuantizedSearcher:
     return IVFQuantizedSearcher(
         "rabitq",
@@ -1018,6 +1073,7 @@ def _make_searcher_shell(
         compact_threshold=compact_threshold,
         metric=metric,
         estimation_mode=estimation_mode,
+        probe_strategy=probe_strategy,
     )
 
 
@@ -1060,6 +1116,7 @@ def _load_searcher_v6(
         )
         metric = resolve_metric(str(meta["metric"]))
         threshold = meta["compact_threshold"]
+        probe_strategy = str(meta.get("probe_strategy", "exact"))
         searcher = _make_searcher_shell(
             config=config,
             n_clusters_param=(
@@ -1073,6 +1130,7 @@ def _load_searcher_v6(
             metric=metric,
             estimation_mode=str(meta["estimation_mode"]),
             searcher_rng_state=meta["searcher_rng_state"],
+            probe_strategy=probe_strategy,
         )
 
         code_length = int(meta["code_length"])
@@ -1121,7 +1179,30 @@ def _load_searcher_v6(
             assignments,
             kmeans_iters=int(meta["kmeans_iters"]),
             rng=searcher._rng,
+            probe_strategy=probe_strategy,
         )
+        graph_meta = meta.get("centroid_graph")
+        if graph_meta is not None:
+            # v7 archives persist the centroid graph's topology; the node
+            # vectors are the centroids section, so the graph costs only
+            # three small integer sections on disk.
+            graph_state = {
+                "m": int(graph_meta["m"]),
+                "ef_construction": int(graph_meta["ef_construction"]),
+                "entry_point": int(graph_meta["entry_point"]),
+                "max_level": int(graph_meta["max_level"]),
+                "layer_sizes": np.asarray(
+                    graph_meta["layer_sizes"], dtype=np.int64
+                ),
+                "nodes": sections.load("graph_nodes", mmap=mmap),
+                "degrees": sections.load("graph_degrees", mmap=mmap),
+                "neighbours": sections.load("graph_neighbours", mmap=mmap),
+            }
+            graph = HNSWIndex.from_state(
+                graph_state,
+                data=np.asarray(centroids, dtype=np.float64),
+            )
+            searcher._ivf.install_centroid_graph(graph)
 
         sizes = np.asarray(meta["arena_sizes"], dtype=np.int64).reshape(-1)
         if sizes.shape[0] != n_clusters:
@@ -1246,6 +1327,11 @@ def _load_searcher_npz(path: Path) -> IVFQuantizedSearcher:
             estimation_mode = (
                 str(archive["estimation_mode"]) if format_version >= 5 else "gemm"
             )
+            probe_strategy = (
+                str(archive["probe_strategy"])
+                if "probe_strategy" in archive.files
+                else "exact"
+            )
             searcher = _make_searcher_shell(
                 config=config,
                 n_clusters_param=(
@@ -1259,6 +1345,7 @@ def _load_searcher_npz(path: Path) -> IVFQuantizedSearcher:
                 searcher_rng_state=json.loads(
                     str(archive["searcher_rng_state"])
                 ),
+                probe_strategy=probe_strategy,
             )
 
             data = np.asarray(archive["data"], dtype=np.float64)
@@ -1271,6 +1358,7 @@ def _load_searcher_npz(path: Path) -> IVFQuantizedSearcher:
                 archive["assignments"],
                 kmeans_iters=int(archive["kmeans_iters"]),
                 rng=searcher._rng,
+                probe_strategy=probe_strategy,
             )
 
             packed_codes = archive["packed_codes"]
@@ -1499,6 +1587,7 @@ def save_sharded_searcher(sharded: ShardedSearcher, path: PathLike) -> None:
         "n_shards": sharded.n_shards,
         "metric": sharded.metric,
         "estimation_mode": sharded.estimation_mode,
+        "probe_strategy": sharded.probe_strategy,
         "assignment": sharded.assignment,
         "next_gid": sharded._next_gid,
         "rr_next": sharded._rr_next,
@@ -1639,6 +1728,17 @@ def load_sharded_searcher(
             f"sharded manifest declares estimation_mode {manifest_mode!r} "
             f"but the shard archives use "
             f"{sorted({s.estimation_mode for s in shards})}"
+        )
+    # Manifests written before the centroid graph carry no
+    # "probe_strategy" key; their shard archives load as exact.
+    manifest_probe = manifest.get("probe_strategy")
+    if manifest_probe is not None and any(
+        shard.probe_strategy != manifest_probe for shard in shards
+    ):
+        raise PersistenceError(
+            f"sharded manifest declares probe_strategy {manifest_probe!r} "
+            f"but the shard archives use "
+            f"{sorted({s.probe_strategy for s in shards})}"
         )
     try:
         with np.load(directory / idmap_file) as idmap:

@@ -66,14 +66,39 @@ def _kmeans_plus_plus(
     return centroids
 
 
+#: Above this many ``(point, centroid)`` pairs the E-step streams the
+#: distance matrix in row chunks instead of materializing it whole (a
+#: 131072x4096 float64 block plus the expansion's temporaries peaks over
+#: 12 GiB).  The threshold sits above every pinned workload (the 100k
+#: benchmark baseline is ~1.3e8 pairs), so chunking never perturbs an
+#: archived result stream: per-row GEMM rounding may differ between
+#: operand shapes, and results below the threshold must stay bit-stable.
+_ASSIGN_FULL_ENTRIES = 2**28
+
+#: Pair budget per chunk once chunking triggers (~0.5 GiB of float64).
+_ASSIGN_CHUNK_ENTRIES = 2**26
+
+
 def _assign(data: np.ndarray, centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Assign each point to its nearest centroid.
 
     Returns ``(assignments, squared_distance_to_assigned_centroid)``.
     """
-    dists = pairwise_squared_distances(data, centroids)
-    assignments = np.argmin(dists, axis=1)
-    best = dists[np.arange(data.shape[0]), assignments]
+    n_points = data.shape[0]
+    n_clusters = centroids.shape[0]
+    if n_points * n_clusters <= _ASSIGN_FULL_ENTRIES:
+        dists = pairwise_squared_distances(data, centroids)
+        assignments = np.argmin(dists, axis=1)
+        best = dists[np.arange(n_points), assignments]
+        return assignments, best
+    assignments = np.empty(n_points, dtype=np.int64)
+    best = np.empty(n_points, dtype=np.float64)
+    chunk = max(1, _ASSIGN_CHUNK_ENTRIES // n_clusters)
+    for lo in range(0, n_points, chunk):
+        hi = min(lo + chunk, n_points)
+        dists = pairwise_squared_distances(data[lo:hi], centroids)
+        assignments[lo:hi] = np.argmin(dists, axis=1)
+        best[lo:hi] = dists[np.arange(hi - lo), assignments[lo:hi]]
     return assignments, best
 
 

@@ -1,0 +1,216 @@
+"""Persistence tests for the v7 centroid-graph archive sections."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PersistenceError
+from repro.index.searcher import IVFQuantizedSearcher
+from repro.index.sharded import ShardedSearcher
+from repro.io.persistence import (
+    SEARCHER_FORMAT_VERSION,
+    _read_v6_header,
+    _save_searcher_v6,
+    _V6Sections,
+    load_searcher,
+    load_sharded_searcher,
+    save_searcher,
+    save_sharded_searcher,
+)
+
+GRAPH_SECTIONS = ("graph_nodes", "graph_degrees", "graph_neighbours")
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(23)
+    centers = rng.standard_normal((6, 12)) * 3.0
+    data = centers[rng.integers(0, 6, size=900)] + rng.standard_normal(
+        (900, 12)
+    )
+    queries = centers[rng.integers(0, 6, size=10)] + rng.standard_normal(
+        (10, 12)
+    )
+    searcher = IVFQuantizedSearcher(
+        "rabitq", n_clusters=24, rng=4, probe_strategy="graph"
+    ).fit(data)
+    searcher.ivf.centroid_graph()  # materialize before saving
+    return data, queries, searcher
+
+
+def _graph_payload(path):
+    """(meta, {section: array}) for the archive at ``path``."""
+    header, file_size = _read_v6_header(path)
+    sections = _V6Sections(path, header, file_size)
+    arrays = {
+        name: np.asarray(sections.load(name, mmap=False))
+        for name in GRAPH_SECTIONS
+        if name in sections
+    }
+    return header["meta"], arrays
+
+
+class TestV7RoundTrip:
+    def test_format_version_is_7(self, fitted, tmp_path):
+        _, _, searcher = fitted
+        path = tmp_path / "s.rbq"
+        save_searcher(searcher, path)
+        header, _ = _read_v6_header(path)
+        assert header["format_version"] == SEARCHER_FORMAT_VERSION == 7
+
+    def test_graph_roundtrips_bit_identical(self, fitted, tmp_path):
+        _, queries, searcher = fitted
+        path_a = tmp_path / "a.rbq"
+        save_searcher(searcher, path_a)
+        loaded = load_searcher(path_a)
+        assert loaded.probe_strategy == "graph"
+        # The loaded graph must be byte-for-byte the saved one: compare
+        # states directly and via a re-save (contents, not raw offsets —
+        # the UUID chain legitimately changes header size between saves).
+        a = searcher.ivf.centroid_graph().to_state()
+        b = loaded.ivf.centroid_graph().to_state()
+        for key in ("m", "ef_construction", "entry_point", "max_level"):
+            assert a[key] == b[key]
+        for key in ("layer_sizes", "nodes", "degrees", "neighbours"):
+            np.testing.assert_array_equal(a[key], b[key])
+        path_b = tmp_path / "b.rbq"
+        save_searcher(loaded, path_b)
+        meta_a, arrays_a = _graph_payload(path_a)
+        meta_b, arrays_b = _graph_payload(path_b)
+        assert meta_a["centroid_graph"] == meta_b["centroid_graph"]
+        assert meta_a["probe_strategy"] == meta_b["probe_strategy"] == "graph"
+        assert set(arrays_a) == set(arrays_b) == set(GRAPH_SECTIONS)
+        for name in GRAPH_SECTIONS:
+            np.testing.assert_array_equal(arrays_a[name], arrays_b[name])
+        # And search results stay bit-identical through the round trip.
+        ra = searcher.search_batch(queries, 8, nprobe=5)
+        rb = loaded.search_batch(queries, 8, nprobe=5)
+        for x, y in zip(ra, rb):
+            np.testing.assert_array_equal(x.ids, y.ids)
+            np.testing.assert_array_equal(x.distances, y.distances)
+
+    def test_exact_strategy_writes_no_graph_sections(self, fitted, tmp_path):
+        data, _, _ = fitted
+        searcher = IVFQuantizedSearcher("rabitq", n_clusters=8, rng=1).fit(
+            data
+        )
+        path = tmp_path / "exact.rbq"
+        save_searcher(searcher, path)
+        meta, arrays = _graph_payload(path)
+        assert meta["probe_strategy"] == "exact"
+        assert "centroid_graph" not in meta
+        assert arrays == {}
+        assert load_searcher(path).probe_strategy == "exact"
+
+    def test_mmap_load_keeps_graph(self, fitted, tmp_path):
+        _, queries, searcher = fitted
+        path = tmp_path / "m.rbq"
+        save_searcher(searcher, path)
+        loaded = load_searcher(path, mmap=True)
+        assert loaded.probe_strategy == "graph"
+        a = searcher.search(queries[0], 8, nprobe=5)
+        b = loaded.search(queries[0], 8, nprobe=5)
+        np.testing.assert_array_equal(a.ids, b.ids)
+
+
+class TestLegacyV6:
+    def test_v6_archive_loads_and_rebuilds_graph(self, fitted, tmp_path):
+        _, queries, searcher = fitted
+        path = tmp_path / "legacy.rbq"
+        _save_searcher_v6(searcher, path, _format_version=6)
+        header, _ = _read_v6_header(path)
+        assert header["format_version"] == 6
+        assert "probe_strategy" not in header["meta"]
+        assert "centroid_graph" not in header["meta"]
+        loaded = load_searcher(path)
+        # A legacy archive has no strategy metadata: it loads as exact,
+        # and opting into graph probing rebuilds the graph on demand,
+        # reproducing the pre-save results bit-identically.
+        assert loaded.probe_strategy == "exact"
+        loaded.probe_strategy = "graph"
+        a = searcher.search(queries[0], 8, nprobe=5)
+        b = loaded.search(queries[0], 8, nprobe=5)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+
+class TestCorruption:
+    @pytest.mark.parametrize("section", GRAPH_SECTIONS)
+    def test_truncated_graph_section_rejected(self, fitted, tmp_path, section):
+        _, _, searcher = fitted
+        path = tmp_path / "corrupt.rbq"
+        save_searcher(searcher, path)
+        header, file_size = _read_v6_header(path)
+        sections = _V6Sections(path, header, file_size)
+        entry = sections._table[section]
+        # Shrink the declared shape so the graph state is internally
+        # inconsistent; the loader must refuse, not mis-wire the graph.
+        raw = path.read_bytes()
+        for sec in header["sections"]:
+            if sec["name"] == section:
+                sec["shape"] = [int(entry["shape"][0]) - 1]
+        new_header = dict(header)
+        payload = json.dumps(new_header, sort_keys=True).encode()
+        magic_len = 8 + 8  # magic + declared header length
+        old_len = int.from_bytes(raw[8:16], "little")
+        if len(payload) > old_len:
+            pytest.skip("header grew past its slot; covered by other params")
+        payload = payload.ljust(old_len, b" ")
+        path.write_bytes(raw[:magic_len] + payload + raw[magic_len + old_len:])
+        with pytest.raises(PersistenceError):
+            load_searcher(path)
+
+
+class TestNpz:
+    def test_npz_roundtrips_probe_strategy(self, fitted, tmp_path):
+        _, queries, searcher = fitted
+        path = tmp_path / "s.npz"
+        save_searcher(searcher, path, layout="npz")
+        loaded = load_searcher(path)
+        assert loaded.probe_strategy == "graph"
+        a = searcher.search(queries[0], 8, nprobe=5)
+        b = loaded.search(queries[0], 8, nprobe=5)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+    def test_npz_without_key_defaults_exact(self, fitted, tmp_path):
+        data, _, _ = fitted
+        searcher = IVFQuantizedSearcher("rabitq", n_clusters=8, rng=1).fit(
+            data
+        )
+        path = tmp_path / "plain.npz"
+        save_searcher(searcher, path, layout="npz")
+        with np.load(path, allow_pickle=False) as archive:
+            entries = {
+                name: archive[name]
+                for name in archive.files
+                if name != "probe_strategy"
+            }
+        stripped = tmp_path / "stripped.npz"
+        np.savez(stripped, **entries)
+        assert load_searcher(stripped).probe_strategy == "exact"
+
+
+class TestSharded:
+    def test_manifest_records_and_checks_strategy(self, fitted, tmp_path):
+        data, queries, _ = fitted
+        sharded = ShardedSearcher(
+            2, n_clusters=8, rng=2, probe_strategy="graph"
+        ).fit(data)
+        root = tmp_path / "shards"
+        save_sharded_searcher(sharded, root)
+        manifest = json.loads((root / "manifest.json").read_text())
+        assert manifest["probe_strategy"] == "graph"
+        loaded = load_sharded_searcher(root)
+        assert loaded.probe_strategy == "graph"
+        a = sharded.search(queries[0], 8, nprobe=5)
+        b = loaded.search(queries[0], 8, nprobe=5)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        # Tamper: manifest declares exact while shards carry graph.
+        manifest["probe_strategy"] = "exact"
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="probe"):
+            load_sharded_searcher(root)

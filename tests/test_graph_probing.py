@@ -1,0 +1,281 @@
+"""Tests for graph-accelerated centroid probing (IVF + searcher + sharded)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.index.hnsw import STAT_KEY_EVALS, HNSWIndex
+from repro.index.ivf import (
+    CENTROID_GRAPH_EF_CONSTRUCTION,
+    CENTROID_GRAPH_M,
+    CENTROID_GRAPH_SEED,
+    IVFIndex,
+    default_graph_ef,
+)
+from repro.index.searcher import IVFQuantizedSearcher
+from repro.index.sharded import ShardedSearcher
+
+N_CLUSTERS = 40
+
+
+@pytest.fixture(scope="module")
+def probe_setup():
+    rng = np.random.default_rng(11)
+    centers = rng.standard_normal((8, 16)) * 3.0
+    data = centers[rng.integers(0, 8, size=1200)] + rng.standard_normal(
+        (1200, 16)
+    )
+    queries = centers[rng.integers(0, 8, size=25)] + rng.standard_normal(
+        (25, 16)
+    )
+    ivf = IVFIndex(N_CLUSTERS, rng=0).fit(data)
+    return data, queries, ivf
+
+
+class TestGraphEqualsExact:
+    @pytest.mark.parametrize("metric", ["l2", "ip", "cosine"])
+    def test_full_ef_probed_sets_match_exact(self, probe_setup, metric):
+        _, queries, ivf = probe_setup
+        n_clusters = ivf.centroids.shape[0]
+        for nprobe in (1, 5, 12):
+            for query in queries:
+                exact = ivf.probe(query, nprobe, metric=metric)
+                ivf.probe_strategy = "graph"
+                try:
+                    graph = ivf.probe(
+                        query, nprobe, metric=metric, ef=n_clusters
+                    )
+                finally:
+                    ivf.probe_strategy = "exact"
+                # Full-width beams must reproduce the exact scan's probed
+                # set AND its order (the re-ranking uses the identical
+                # subset-key arithmetic and tie-breaking).
+                np.testing.assert_array_equal(exact, graph)
+
+    @pytest.mark.parametrize("metric", ["l2", "ip", "cosine"])
+    def test_probe_batch_matches_probe(self, probe_setup, metric):
+        _, queries, ivf = probe_setup
+        ivf.probe_strategy = "graph"
+        try:
+            batch = ivf.probe_batch(queries, 6, metric=metric)
+            for i, query in enumerate(queries):
+                np.testing.assert_array_equal(
+                    batch[i], ivf.probe(query, 6, metric=metric)
+                )
+        finally:
+            ivf.probe_strategy = "exact"
+
+    def test_graph_probe_evaluates_fewer_keys(self, probe_setup):
+        _, queries, ivf = probe_setup
+        n_clusters = ivf.centroids.shape[0]
+        exact_stats: dict = {}
+        ivf.probe(queries[0], 4, stats=exact_stats)
+        assert exact_stats[STAT_KEY_EVALS] == n_clusters
+        graph_stats: dict = {}
+        ivf.probe_strategy = "graph"
+        try:
+            ivf.probe(queries[0], 4, ef=8, stats=graph_stats)
+        finally:
+            ivf.probe_strategy = "exact"
+        assert 0 < graph_stats[STAT_KEY_EVALS]
+
+
+class TestStrategyPlumbing:
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IVFIndex(4, probe_strategy="bogus")
+        with pytest.raises(InvalidParameterError):
+            IVFQuantizedSearcher("rabitq", probe_strategy="bogus")
+        with pytest.raises(InvalidParameterError):
+            ShardedSearcher(2, probe_strategy="bogus")
+        ivf = IVFIndex(4)
+        with pytest.raises(InvalidParameterError):
+            ivf.probe_strategy = "bogus"
+
+    def test_default_graph_ef(self):
+        assert default_graph_ef(4, 1000) == 64
+        assert default_graph_ef(32, 1000) == 128
+        assert default_graph_ef(32, 100) == 100  # clamped to n_clusters
+
+    def test_centroid_graph_deterministic(self, probe_setup):
+        _, _, ivf = probe_setup
+        graph = ivf.centroid_graph()
+        assert graph is ivf.centroid_graph()  # cached
+        fresh = HNSWIndex(
+            m=CENTROID_GRAPH_M,
+            ef_construction=CENTROID_GRAPH_EF_CONSTRUCTION,
+            rng=CENTROID_GRAPH_SEED,
+        ).fit(ivf.centroids)
+        a, b = graph.to_state(), fresh.to_state()
+        for key in ("layer_sizes", "nodes", "degrees", "neighbours"):
+            np.testing.assert_array_equal(a[key], b[key])
+
+    def test_install_centroid_graph_validates(self, probe_setup):
+        data, _, ivf = probe_setup
+        with pytest.raises(InvalidParameterError):
+            ivf.install_centroid_graph(object())
+        wrong_count = HNSWIndex(m=4, rng=0).fit(ivf.centroids[:-1])
+        with pytest.raises(InvalidParameterError):
+            ivf.install_centroid_graph(wrong_count)
+        unfitted = HNSWIndex(m=4, rng=0)
+        with pytest.raises((InvalidParameterError, NotFittedError)):
+            ivf.install_centroid_graph(unfitted)
+
+    def test_searcher_full_ef_results_bit_identical(self, probe_setup):
+        data, queries, _ = probe_setup
+        exact = IVFQuantizedSearcher(
+            "rabitq", n_clusters=N_CLUSTERS, rng=7, probe_strategy="exact"
+        ).fit(data)
+        graph = IVFQuantizedSearcher(
+            "rabitq", n_clusters=N_CLUSTERS, rng=7, probe_strategy="graph"
+        ).fit(data)
+        graph.ivf.probe_ef = N_CLUSTERS
+        a = exact.search_batch(queries, 10, nprobe=6)
+        b = graph.search_batch(queries, 10, nprobe=6)
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.ids, rb.ids)
+            np.testing.assert_array_equal(ra.distances, rb.distances)
+
+    def test_searcher_property_forwards(self, probe_setup):
+        data, _, _ = probe_setup
+        searcher = IVFQuantizedSearcher(
+            "rabitq", n_clusters=N_CLUSTERS, rng=3
+        ).fit(data)
+        assert searcher.probe_strategy == "exact"
+        searcher.probe_strategy = "graph"
+        assert searcher.ivf.probe_strategy == "graph"
+        searcher.probe_strategy = "exact"
+        assert searcher.ivf.probe_strategy == "exact"
+
+    def test_sharded_property_forwards(self, probe_setup):
+        data, queries, _ = probe_setup
+        sharded = ShardedSearcher(
+            2, n_clusters=10, rng=3, probe_strategy="graph"
+        ).fit(data)
+        assert sharded.probe_strategy == "graph"
+        assert all(s.probe_strategy == "graph" for s in sharded.shards)
+        result = sharded.search(queries[0], 5, nprobe=4)
+        assert result.ids.shape[0] == 5
+        sharded.probe_strategy = "exact"
+        assert all(s.probe_strategy == "exact" for s in sharded.shards)
+
+
+class TestMutations:
+    def test_insert_delete_leave_graph_fixed(self, probe_setup):
+        data, queries, _ = probe_setup
+        searcher = IVFQuantizedSearcher(
+            "rabitq", n_clusters=20, rng=5, probe_strategy="graph"
+        ).fit(data)
+        graph_before = searcher.ivf.centroid_graph()
+        rng = np.random.default_rng(9)
+        ids = searcher.insert(rng.standard_normal((30, data.shape[1])))
+        searcher.delete(ids[:10])
+        # Centroids are fixed under mutation, so the graph object must
+        # survive untouched (no rebuild, no invalidation).
+        assert searcher.ivf.centroid_graph() is graph_before
+        result = searcher.search(queries[0], 5, nprobe=4)
+        assert result.ids.shape[0] == 5
+
+    def test_compact_keeps_graph_valid(self, probe_setup):
+        # compact() never moves centroids (keep_rows contract), so the
+        # cached graph stays exactly the graph a fresh rebuild of the
+        # post-compact centroids would produce.
+        data, queries, _ = probe_setup
+        searcher = IVFQuantizedSearcher(
+            "rabitq",
+            n_clusters=20,
+            rng=5,
+            probe_strategy="graph",
+            compact_threshold=None,
+        ).fit(data)
+        searcher.ivf.centroid_graph()
+        searcher.delete(searcher.live_ids[:400])
+        searcher.compact()
+        fresh = HNSWIndex(
+            m=CENTROID_GRAPH_M,
+            ef_construction=CENTROID_GRAPH_EF_CONSTRUCTION,
+            rng=CENTROID_GRAPH_SEED,
+        ).fit(searcher.ivf.centroids)
+        a = searcher.ivf.centroid_graph().to_state()
+        b = fresh.to_state()
+        for key in ("layer_sizes", "nodes", "degrees", "neighbours"):
+            np.testing.assert_array_equal(a[key], b[key])
+        result = searcher.search(queries[0], 5, nprobe=4)
+        assert result.ids.shape[0] == 5
+
+    def test_refit_rebuilds_graph(self, probe_setup):
+        data, _, _ = probe_setup
+        ivf = IVFIndex(10, rng=0, probe_strategy="graph").fit(data[:600])
+        old_graph = ivf.centroid_graph()
+        ivf.fit(data[600:])
+        new_graph = ivf.centroid_graph()
+        assert new_graph is not old_graph
+        fresh = HNSWIndex(
+            m=CENTROID_GRAPH_M,
+            ef_construction=CENTROID_GRAPH_EF_CONSTRUCTION,
+            rng=CENTROID_GRAPH_SEED,
+        ).fit(ivf.centroids)
+        a, b = new_graph.to_state(), fresh.to_state()
+        for key in ("layer_sizes", "nodes", "degrees", "neighbours"):
+            np.testing.assert_array_equal(a[key], b[key])
+
+
+class TestCandidatesMetric:
+    def test_candidates_follow_metric(self, probe_setup):
+        data, queries, ivf = probe_setup
+        # Regression: candidates() used to probe under L2 regardless of the
+        # metric argument.  It must now enumerate exactly the probed
+        # clusters of the requested metric.
+        for metric in ("l2", "ip", "cosine"):
+            probed = ivf.probe(queries[0], 4, metric=metric)
+            expected = np.concatenate(
+                [ivf.buckets[c].vector_ids for c in probed]
+            )
+            got = ivf.candidates(queries[0], 4, metric=metric)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_ip_candidates_differ_from_l2(self, probe_setup):
+        _, queries, ivf = probe_setup
+        differs = any(
+            not np.array_equal(
+                ivf.candidates(q, 2, metric="ip"),
+                ivf.candidates(q, 2, metric="l2"),
+            )
+            for q in queries
+        )
+        assert differs
+
+
+class TestSampledKMeans:
+    def test_kmeans_sample_size_fit(self, probe_setup):
+        data, queries, _ = probe_setup
+        ivf = IVFIndex(12, rng=0).fit(data, kmeans_sample_size=300)
+        assert ivf.centroids.shape == (12, data.shape[1])
+        assert ivf.assignments.shape[0] == data.shape[0]
+        assert sum(len(b) for b in ivf.buckets) == data.shape[0]
+        probed = ivf.probe(queries[0], 3)
+        assert probed.shape == (3,)
+
+    def test_sample_covering_all_rows_matches_plain_fit(self, probe_setup):
+        data, _, _ = probe_setup
+        plain = IVFIndex(12, rng=0).fit(data)
+        sampled = IVFIndex(12, rng=0).fit(
+            data, kmeans_sample_size=data.shape[0]
+        )
+        np.testing.assert_array_equal(plain.centroids, sampled.centroids)
+        np.testing.assert_array_equal(plain.assignments, sampled.assignments)
+
+    def test_searcher_forwards_sample_size(self, probe_setup):
+        data, queries, _ = probe_setup
+        searcher = IVFQuantizedSearcher(
+            "rabitq", n_clusters=12, rng=0
+        ).fit(data, kmeans_sample_size=300)
+        result = searcher.search(queries[0], 5, nprobe=4)
+        assert result.ids.shape[0] == 5
+
+    def test_invalid_sample_size(self, probe_setup):
+        data, _, _ = probe_setup
+        with pytest.raises(InvalidParameterError):
+            IVFIndex(12, rng=0).fit(data, kmeans_sample_size=0)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.metric import resolve_metric
 from repro.datasets.ground_truth import brute_force_ground_truth
 from repro.exceptions import (
     DimensionMismatchError,
@@ -12,7 +13,7 @@ from repro.exceptions import (
     InvalidParameterError,
     NotFittedError,
 )
-from repro.index.hnsw import HNSWIndex
+from repro.index.hnsw import STAT_KEY_EVALS, HNSWIndex
 from repro.metrics.recall import recall_at_k
 
 
@@ -43,6 +44,14 @@ class TestConstruction:
             HNSWIndex(m=0)
         with pytest.raises(InvalidParameterError):
             HNSWIndex(m=4, ef_construction=0)
+
+    def test_m1_raises(self):
+        # Regression: m=1 used to crash with ZeroDivisionError in the level
+        # draw (1/ln(1)); it must be rejected up front like m=0.
+        with pytest.raises(InvalidParameterError, match="at least 2"):
+            HNSWIndex(m=1)
+        with pytest.raises(InvalidParameterError):
+            HNSWIndex(m=-3)
 
     def test_empty_data(self):
         with pytest.raises(EmptyDatasetError):
@@ -105,3 +114,125 @@ class TestSearch:
         a = HNSWIndex(m=6, ef_construction=40, rng=5).fit(data).search(query, 5)[0]
         b = HNSWIndex(m=6, ef_construction=40, rng=5).fit(data).search(query, 5)[0]
         np.testing.assert_array_equal(a, b)
+
+class TestDegenerateShapes:
+    def test_k_exceeds_index_size(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((7, 5))
+        index = HNSWIndex(m=4, ef_construction=20, rng=0).fit(data)
+        ids, dists = index.search(rng.standard_normal(5), 50)
+        assert sorted(ids.tolist()) == list(range(7))
+        assert (np.diff(dists) >= 0).all()
+
+    def test_batch_k_exceeds_index_size_shapes(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((6, 4))
+        queries = rng.standard_normal((3, 4))
+        index = HNSWIndex(m=4, ef_construction=20, rng=0).fit(data)
+        ids, vals = index.search_batch(queries, 50)
+        assert ids.shape == (3, 6) and vals.shape == (3, 6)
+        for row in ids:
+            assert sorted(row.tolist()) == list(range(6))
+
+    def test_duplicate_points_deterministic(self):
+        data = np.tile(np.arange(4.0), (20, 1))
+        data[10:] += 1.0  # two groups of ten identical points each
+        a = HNSWIndex(m=4, ef_construction=20, rng=0).fit(data)
+        b = HNSWIndex(m=4, ef_construction=20, rng=0).fit(data)
+        sa, sb = a.to_state(), b.to_state()
+        for key in ("layer_sizes", "nodes", "degrees", "neighbours"):
+            np.testing.assert_array_equal(sa[key], sb[key])
+        query = np.arange(4.0) + 0.1
+        np.testing.assert_array_equal(
+            a.search(query, 5)[0], b.search(query, 5)[0]
+        )
+
+    def test_single_node_degree_statistics(self):
+        index = HNSWIndex(m=4, ef_construction=20, rng=0).fit(
+            np.ones((1, 3))
+        )
+        stats = index.degree_statistics()
+        assert stats["mean_degree"] == 0.0
+        assert stats["max_degree"] == 0.0
+        ids, dists = index.search(np.ones(3), 5)
+        assert ids.tolist() == [0]
+        assert dists[0] == 0.0
+
+
+class TestMetricKeys:
+    @pytest.mark.parametrize("metric", ["l2", "ip", "cosine"])
+    def test_keys_match_probe_key(self, hnsw_setup, metric):
+        data, queries, index = hnsw_setup
+        resolved = resolve_metric(metric)
+        sq_norms = np.einsum("ij,ij->i", data, data)
+        ids, keys = index.search(queries[0], 8, ef_search=60, metric=metric)
+        expected = resolved.probe_key(data[ids], sq_norms[ids], queries[0])
+        np.testing.assert_allclose(keys, expected, rtol=0, atol=1e-12)
+        assert (np.diff(keys) >= 0).all()
+
+    def test_stats_count_key_evals(self, hnsw_setup):
+        _, queries, index = hnsw_setup
+        stats = {}
+        index.search(queries[0], 5, ef_search=30, metric="l2", stats=stats)
+        assert stats[STAT_KEY_EVALS] > 0
+        before = stats[STAT_KEY_EVALS]
+        index.search(queries[1], 5, ef_search=30, metric="l2", stats=stats)
+        assert stats[STAT_KEY_EVALS] > before
+
+    def test_batch_matches_sequential(self, hnsw_setup):
+        _, queries, index = hnsw_setup
+        batch_ids, batch_vals = index.search_batch(
+            queries, 6, ef_search=40, metric="ip"
+        )
+        for i, query in enumerate(queries):
+            ids, vals = index.search(query, 6, ef_search=40, metric="ip")
+            np.testing.assert_array_equal(batch_ids[i], ids)
+            np.testing.assert_array_equal(batch_vals[i], vals)
+
+    def test_full_ef_reaches_every_node(self, hnsw_setup):
+        # The reachability-repair + entry-point seeding contract: a beam as
+        # wide as the index must visit every node, for every metric.
+        data, queries, index = hnsw_setup
+        n = len(index)
+        for metric in (None, "ip", "cosine"):
+            ids, _ = index.search(queries[0], n, ef_search=n, metric=metric)
+            assert sorted(ids.tolist()) == list(range(n))
+
+
+class TestStateRoundTrip:
+    def test_roundtrip_bit_stable(self, hnsw_setup):
+        data, queries, index = hnsw_setup
+        state = index.to_state()
+        rebuilt = HNSWIndex.from_state(state)
+        state2 = rebuilt.to_state()
+        for key in ("m", "ef_construction", "entry_point", "max_level"):
+            assert state[key] == state2[key]
+        for key in ("layer_sizes", "nodes", "degrees", "neighbours", "data"):
+            np.testing.assert_array_equal(state[key], state2[key])
+        for query in queries[:5]:
+            a_ids, a_vals = index.search(query, 7, ef_search=40)
+            b_ids, b_vals = rebuilt.search(query, 7, ef_search=40)
+            np.testing.assert_array_equal(a_ids, b_ids)
+            np.testing.assert_array_equal(a_vals, b_vals)
+
+    def test_from_state_external_data(self, hnsw_setup):
+        data, queries, index = hnsw_setup
+        state = dict(index.to_state())
+        state.pop("data")
+        rebuilt = HNSWIndex.from_state(state, data=data)
+        np.testing.assert_array_equal(
+            index.search(queries[0], 5)[0], rebuilt.search(queries[0], 5)[0]
+        )
+
+    def test_from_state_rejects_corruption(self, hnsw_setup):
+        _, _, index = hnsw_setup
+        good = index.to_state()
+        bad = dict(good, degrees=good["degrees"][:-1])
+        with pytest.raises(InvalidParameterError):
+            HNSWIndex.from_state(bad)
+        bad = dict(good, neighbours=good["neighbours"][:-2])
+        with pytest.raises(InvalidParameterError):
+            HNSWIndex.from_state(bad)
+        bad = dict(good, entry_point=len(index) + 5)
+        with pytest.raises(InvalidParameterError):
+            HNSWIndex.from_state(bad)

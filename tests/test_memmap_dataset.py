@@ -1,0 +1,115 @@
+"""Tests for the memmapped large-tier dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    brute_force_ground_truth,
+    chunked_ground_truth,
+    generate_memmap_dataset,
+    memmap_queries,
+)
+from repro.datasets.memmap import _LOGICAL_CHUNK
+from repro.exceptions import InvalidParameterError
+
+
+class TestGeneration:
+    def test_rows_independent_of_n_rows(self, tmp_path):
+        # Row i depends only on (seed, i, dim): a shorter dataset is an
+        # exact prefix of a longer one, even across chunk boundaries.
+        n_long = _LOGICAL_CHUNK + 512
+        long = generate_memmap_dataset(tmp_path / "long.npy", n_long, 8, seed=3)
+        short = generate_memmap_dataset(tmp_path / "short.npy", 1000, 8, seed=3)
+        np.testing.assert_array_equal(np.asarray(long[:1000]), np.asarray(short))
+
+    def test_reuse_skips_regeneration(self, tmp_path):
+        path = tmp_path / "d.npy"
+        first = generate_memmap_dataset(path, 500, 6, seed=0)
+        mtime = path.stat().st_mtime_ns
+        again = generate_memmap_dataset(path, 500, 6, seed=0)
+        assert path.stat().st_mtime_ns == mtime
+        np.testing.assert_array_equal(np.asarray(first), np.asarray(again))
+
+    def test_shape_mismatch_requires_force(self, tmp_path):
+        path = tmp_path / "d.npy"
+        generate_memmap_dataset(path, 500, 6, seed=0)
+        with pytest.raises(InvalidParameterError, match="force=True"):
+            generate_memmap_dataset(path, 600, 6, seed=0)
+        regrown = generate_memmap_dataset(path, 600, 6, seed=0, force=True)
+        assert regrown.shape == (600, 6)
+
+    def test_memmap_is_readonly_float32(self, tmp_path):
+        data = generate_memmap_dataset(tmp_path / "d.npy", 300, 4, seed=1)
+        assert data.dtype == np.float32
+        with pytest.raises(ValueError):
+            data[0, 0] = 0.0
+
+    def test_deterministic_across_processes_shape(self, tmp_path):
+        a = generate_memmap_dataset(tmp_path / "a.npy", 400, 5, seed=7)
+        b = generate_memmap_dataset(tmp_path / "b.npy", 400, 5, seed=7)
+        np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+        c = generate_memmap_dataset(tmp_path / "c.npy", 400, 5, seed=8)
+        assert not np.array_equal(np.asarray(a), np.asarray(c))
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            generate_memmap_dataset(tmp_path / "x.npy", 0, 4)
+        with pytest.raises(InvalidParameterError):
+            generate_memmap_dataset(tmp_path / "x.npy", 4, 0)
+
+
+class TestQueries:
+    def test_queries_pure_function_of_seed(self):
+        a = memmap_queries(20, 8, seed=5)
+        b = memmap_queries(20, 8, seed=5)
+        np.testing.assert_array_equal(a, b)
+        c = memmap_queries(20, 8, seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_queries_disjoint_from_data(self, tmp_path):
+        data = generate_memmap_dataset(tmp_path / "d.npy", 200, 8, seed=5)
+        queries = memmap_queries(200, 8, seed=5)
+        assert not np.array_equal(np.asarray(data, dtype=np.float64), queries)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            memmap_queries(0, 8)
+        with pytest.raises(InvalidParameterError):
+            memmap_queries(8, 0)
+
+
+class TestChunkedGroundTruth:
+    def test_matches_brute_force(self, tmp_path):
+        data = generate_memmap_dataset(tmp_path / "d.npy", 777, 10, seed=2)
+        queries = memmap_queries(13, 10, seed=2)
+        resident = np.asarray(data, dtype=np.float64)
+        expected = brute_force_ground_truth(resident, queries, 9)
+        # Use a block size that forces multiple partial blocks.
+        got = chunked_ground_truth(data, queries, 9, block_rows=100)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_ties_break_to_lowest_id(self):
+        data = np.zeros((40, 3))  # all points identical: pure tie-break test
+        queries = np.ones((2, 3))
+        got = chunked_ground_truth(data, queries, 5, block_rows=7)
+        np.testing.assert_array_equal(
+            got, np.tile(np.arange(5, dtype=np.int64), (2, 1))
+        )
+
+    def test_k_clamped_to_n_rows(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((6, 4))
+        got = chunked_ground_truth(data, rng.standard_normal((2, 4)), 50)
+        assert got.shape == (2, 6)
+
+    def test_invalid_parameters(self):
+        data = np.zeros((4, 2))
+        queries = np.zeros((1, 2))
+        with pytest.raises(InvalidParameterError):
+            chunked_ground_truth(data, queries, 0)
+        with pytest.raises(InvalidParameterError):
+            chunked_ground_truth(data, queries, 2, block_rows=0)
+        with pytest.raises(InvalidParameterError):
+            chunked_ground_truth(data, np.zeros(2), 2)
