@@ -196,6 +196,31 @@ def main() -> None:
               f"(identical to exact probing: "
               f"{np.array_equal(via_graph.ids, via_gemm.ids) and np.array_equal(via_graph.distances, via_gemm.distances)})")
 
+    # Multi-bit codes: bits=4 spends 4 bits per dimension (extended RaBitQ)
+    # instead of 1, trading 4x the code bytes for much tighter estimates —
+    # fewer exact re-rank evaluations per query at the same probe budget.
+    # Archives record the width (format v8); bits=1 stays the paper's
+    # binary construction, bit-identical to what previous builds produced.
+    print("\n--- Multi-bit codes (bits=4 per dimension) ---")
+    narrow = IVFQuantizedSearcher(
+        "rabitq", n_clusters=64, bits=1,
+        rabitq_config=RaBitQConfig(seed=0), rng=0,
+    ).fit(data)
+    wide = IVFQuantizedSearcher(
+        "rabitq", n_clusters=64, bits=4,
+        rabitq_config=RaBitQConfig(seed=0), rng=0,
+    ).fit(data)
+    narrow_result = narrow.search(query, 5, nprobe=16)
+    wide_result = wide.search(query, 5, nprobe=16)
+    print(f"Code bytes per vector    : "
+          f"{narrow.arena.n_words * 8} (bits=1) vs "
+          f"{wide.arena.n_words * 8} (bits=4)")
+    print(f"Exact re-ranks this query: {narrow_result.n_exact} (bits=1) vs "
+          f"{wide_result.n_exact} (bits=4)")
+    print(f"bits=4 top-5 ids         : {wide_result.ids.tolist()} "
+          f"(same as bits=1: "
+          f"{np.array_equal(narrow_result.ids, wide_result.ids)})")
+
 
 if __name__ == "__main__":
     main()

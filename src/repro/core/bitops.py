@@ -343,6 +343,130 @@ def bitplanes_from_uint_batch(values: np.ndarray, n_bits: int) -> np.ndarray:
     return np.stack(planes, axis=1)
 
 
+def pack_level_planes(levels: np.ndarray, bits: int) -> np.ndarray:
+    """Pack per-dimension level values into plane-major packed bit-planes.
+
+    The multi-bit (extended) RaBitQ code of a vector is a level value
+    ``u_j in [0, 2^bits - 1]`` per dimension.  Levels are stored as ``bits``
+    packed bit-planes laid out plane-major: plane ``p`` (holding bit ``p``
+    of every level) occupies words ``[p * n_words, (p+1) * n_words)`` of
+    each row.  For ``bits == 1`` this is exactly :func:`pack_bits`, so the
+    binary kernels keep operating on the first (and only) plane unchanged.
+
+    Parameters
+    ----------
+    levels:
+        Level matrix of shape ``(n_rows, code_length)`` with values in
+        ``[0, 2^bits - 1]``.
+    bits:
+        Bits per dimension ``B``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` array of shape ``(n_rows, bits * ceil(code_length/64))``.
+    """
+    arr = np.atleast_2d(np.asarray(levels))
+    if bits < 1:
+        raise InvalidParameterError("bits must be at least 1")
+    max_allowed = (1 << bits) - 1
+    if arr.size and (
+        (arr < 0).any() or (arr.astype(np.int64) > max_allowed).any()
+    ):
+        raise InvalidParameterError(
+            f"levels must lie in [0, {max_allowed}] for bits={bits}"
+        )
+    vals = arr.astype(np.uint64)
+    planes = [
+        pack_bits(((vals >> np.uint64(p)) & np.uint64(1)).astype(np.uint8))
+        for p in range(bits)
+    ]
+    return np.concatenate(planes, axis=-1)
+
+
+def unpack_level_planes(
+    packed: np.ndarray, code_length: int, bits: int
+) -> np.ndarray:
+    """Inverse of :func:`pack_level_planes`; returns ``uint8`` levels.
+
+    Parameters
+    ----------
+    packed:
+        Plane-major packed planes, shape ``(n_rows, bits * n_words)`` with
+        ``n_words = ceil(code_length / 64)``.
+    code_length:
+        Number of level values per row.
+    bits:
+        Bits per dimension ``B`` (levels must fit in ``uint8``, i.e.
+        ``bits <= 8``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` matrix of shape ``(n_rows, code_length)``.
+    """
+    arr = np.atleast_2d(np.asarray(packed, dtype=np.uint64))
+    if bits < 1 or bits > 8:
+        raise InvalidParameterError("bits must lie in [1, 8]")
+    n_words = (code_length + WORD_BITS - 1) // WORD_BITS
+    if arr.shape[-1] != bits * n_words:
+        raise DimensionMismatchError(
+            f"packed planes have {arr.shape[-1]} words; expected "
+            f"{bits} x {n_words} for code length {code_length}"
+        )
+    out = np.zeros(arr.shape[:-1] + (code_length,), dtype=np.uint8)
+    for p in range(bits):
+        plane = unpack_bits(
+            arr[..., p * n_words : (p + 1) * n_words], code_length
+        )
+        out |= plane << p
+    return out
+
+
+def multibit_dot_uint(
+    packed_codes: np.ndarray, query_planes: np.ndarray, bits: int
+) -> np.ndarray:
+    """Compute ``<u, q_u>`` for plane-major multi-bit codes (Eq. 21-22 per plane).
+
+    Each of the ``bits`` code planes contributes its binary-kernel dot,
+    weighted by its power of two:
+
+        <u, q_u> = sum_p 2^p * <plane_p, q_u>
+
+    For ``bits == 1`` this reduces to :func:`binary_dot_uint` on the code
+    words, so the binary path is the degenerate single-plane case.
+
+    Parameters
+    ----------
+    packed_codes:
+        Plane-major packed codes, shape ``(n_codes, bits * n_words)``.
+    query_planes:
+        Packed bit-planes of the quantized query, shape
+        ``(n_planes, n_words)``.
+    bits:
+        Bits per dimension ``B`` of the data codes.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer inner products per code (``int64``).
+    """
+    codes_arr = np.atleast_2d(np.asarray(packed_codes, dtype=np.uint64))
+    if bits < 1:
+        raise InvalidParameterError("bits must be at least 1")
+    if codes_arr.shape[-1] % bits != 0:
+        raise DimensionMismatchError(
+            f"packed codes have {codes_arr.shape[-1]} words, not a multiple "
+            f"of bits={bits}"
+        )
+    n_words = codes_arr.shape[-1] // bits
+    total = np.zeros(codes_arr.shape[0], dtype=np.int64)
+    for p in range(bits):
+        plane = codes_arr[:, p * n_words : (p + 1) * n_words]
+        total += binary_dot_uint(plane, query_planes) << p
+    return total
+
+
 def hamming_distance(codes_a: np.ndarray, codes_b: np.ndarray) -> np.ndarray:
     """Hamming distance between packed codes (broadcasting on the first axis)."""
     a = np.asarray(codes_a, dtype=np.uint64)
@@ -363,5 +487,8 @@ __all__ = [
     "binary_dot_uint_batch",
     "bitplanes_from_uint",
     "bitplanes_from_uint_batch",
+    "pack_level_planes",
+    "unpack_level_planes",
+    "multibit_dot_uint",
     "hamming_distance",
 ]

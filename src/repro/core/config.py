@@ -23,6 +23,11 @@ DEFAULT_QUERY_BITS = 4
 #: stored as a sequence of 64-bit words (paper Sec. 5.1).
 CODE_ALIGNMENT_BITS = 64
 
+#: Supported per-dimension code widths ``B``.  ``1`` is the paper's binary
+#: construction; the larger widths follow the extended (multi-bit) RaBitQ
+#: generalization, with power-of-two widths so codes pack into bit-planes.
+SUPPORTED_CODE_BITS = (1, 2, 4, 8)
+
 
 def padded_code_length(dim: int, *, alignment: int = CODE_ALIGNMENT_BITS) -> int:
     """Smallest multiple of ``alignment`` that is at least ``dim``."""
@@ -60,6 +65,11 @@ class RaBitQConfig:
     seed:
         Seed for the rotation matrix and randomized rounding.  ``None``
         draws fresh entropy.
+    bits:
+        Bits per dimension ``B`` of the data codes.  ``1`` (default) is the
+        paper's binary RaBitQ; ``2``/``4``/``8`` layer scalar-quantized
+        residual magnitudes over the sign bits (the extended multi-bit
+        construction), trading space for estimation accuracy.
     """
 
     epsilon0: float = DEFAULT_EPSILON0
@@ -68,12 +78,17 @@ class RaBitQConfig:
     randomized_rounding: bool = True
     rotation: str = "qr"
     seed: Optional[int] = field(default=None)
+    bits: int = 1
 
     def __post_init__(self) -> None:
         if self.epsilon0 < 0.0:
             raise InvalidParameterError("epsilon0 must be non-negative")
         if not 1 <= int(self.query_bits) <= 16:
             raise InvalidParameterError("query_bits must lie in [1, 16]")
+        if int(self.bits) not in SUPPORTED_CODE_BITS:
+            raise InvalidParameterError(
+                f"bits must be one of {SUPPORTED_CODE_BITS}, got {self.bits!r}"
+            )
         if self.code_length is not None and self.code_length <= 0:
             raise InvalidParameterError("code_length must be positive when given")
         if self.rotation not in ("qr", "hadamard"):
@@ -106,5 +121,6 @@ __all__ = [
     "DEFAULT_EPSILON0",
     "DEFAULT_QUERY_BITS",
     "CODE_ALIGNMENT_BITS",
+    "SUPPORTED_CODE_BITS",
     "padded_code_length",
 ]

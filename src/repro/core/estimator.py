@@ -10,6 +10,17 @@ It is unbiased, and with probability at least ``1 - 2 exp(-c0 eps0^2)`` its
 error is at most ``sqrt((1 - <o_bar,o>^2) / <o_bar,o>^2) * eps0 / sqrt(D-1)``
 (Theorem 3.2).  The squared distance between the raw vectors then follows
 from the normalization identity (Eq. 2).
+
+Multi-bit (``B > 1``) codes need one extra error term: their code error
+``sqrt(1 - <o_bar,o>^2)`` shrinks towards zero as ``B`` grows, but the
+randomized rounding of the *query* to ``B_q`` bits keeps contributing an
+error of standard deviation at most ``Δ/2`` to ``<o_bar, q̄>`` (the
+per-coordinate rounding errors are independent, zero-mean and bounded by
+the step ``Δ``, and ``o_bar`` is a unit vector).  For binary codes the
+Theorem 3.2 term dominates and empirically absorbs it — and the ``B = 1``
+arithmetic is a bit-identity contract — so the query-rounding term
+(``query_rounding = eps0 * Δ/2``, combined in quadrature by
+:func:`combined_halfwidth`) is applied to multi-bit codes only.
 """
 
 from __future__ import annotations
@@ -100,6 +111,26 @@ def confidence_interval_halfwidth(
     return np.where(align != 0.0, halfwidth, np.inf)
 
 
+def combined_halfwidth(
+    halfwidth: np.ndarray, safe_alignment: np.ndarray, query_rounding
+) -> np.ndarray:
+    """Quadrature sum of the code half-width and the query-rounding term.
+
+    ``query_rounding`` is ``eps0 * Δ/2`` — the confidence multiple of the
+    randomized-rounding error's standard-deviation bound on ``<o_bar, q̄>``
+    (scalar for one query, an ``(n_queries, 1)`` column for a batch).  The
+    estimator divides the quantized dot by the alignment, so the term is
+    scaled by ``1 / |alignment|`` before the quadrature combine; degenerate
+    codes (alignment 0) keep their infinite half-width.
+
+    Every caller — the reference estimators, the fused arena kernel and the
+    flat similarity estimator — combines through this one function so
+    multi-bit bounds stay bit-identical across the serving paths.
+    """
+    extra = query_rounding / np.abs(safe_alignment)
+    return np.sqrt(halfwidth * halfwidth + extra * extra)
+
+
 def inner_product_to_squared_distance(
     inner_products: np.ndarray,
     data_to_centroid: np.ndarray,
@@ -136,12 +167,18 @@ def estimate_distances(
     query_to_centroid: float,
     code_length: int,
     epsilon0: float,
+    *,
+    query_rounding: float | None = None,
 ) -> DistanceEstimate:
     """Full estimation pipeline: inner products, distances and bounds.
 
     This is the vectorized core of Algorithm 2 (lines 3-5): every input is a
     per-data-vector array and the output carries the distance estimates plus
     the confidence intervals needed by the re-ranking rule.
+
+    ``query_rounding`` (``eps0 * Δ/2``, multi-bit codes only) widens the
+    intervals by the query-rounding error via :func:`combined_halfwidth`;
+    ``None`` (binary codes) keeps the historical Eq. 16 half-width.
 
     Notes
     -----
@@ -151,6 +188,10 @@ def estimate_distances(
     """
     ips = estimate_inner_product(quantized_dot, alignment)
     halfwidth = confidence_interval_halfwidth(alignment, code_length, epsilon0)
+    if query_rounding is not None:
+        align = np.asarray(alignment, dtype=np.float64)
+        safe = np.where(align != 0.0, align, 1.0)
+        halfwidth = combined_halfwidth(halfwidth, safe, query_rounding)
 
     distances = inner_product_to_squared_distance(
         ips, data_to_centroid, query_to_centroid
@@ -186,6 +227,8 @@ def estimate_distances_batch(
     query_to_centroid: np.ndarray,
     code_length: int,
     epsilon0: float,
+    *,
+    query_rounding: np.ndarray | None = None,
 ) -> DistanceEstimate:
     """Batched variant of :func:`estimate_distances` for a query *matrix*.
 
@@ -201,6 +244,9 @@ def estimate_distances_batch(
         Per-query norms ``||q_r - c||``, shape ``(n_queries,)``.
     code_length / epsilon0:
         As in :func:`estimate_distances`.
+    query_rounding:
+        Per-query ``eps0 * Δ/2`` column of shape ``(n_queries, 1)``
+        (multi-bit codes only), or ``None`` for the historical half-width.
 
     Returns
     -------
@@ -228,6 +274,8 @@ def estimate_distances_batch(
     safe = np.where(align != 0.0, align, 1.0)
     ips = np.where(align != 0.0, dots / safe, 0.0)
     halfwidth = confidence_interval_halfwidth(align, code_length, epsilon0)
+    if query_rounding is not None:
+        halfwidth = combined_halfwidth(halfwidth, safe, query_rounding)
 
     dn = data_norms[None, :]
     qn = query_norms[:, None]
@@ -280,6 +328,12 @@ N_CONSTS = 7
 CONST_DOT_C = 7  #: ``<o_r, c>`` — raw data vector dot normalization centroid
 CONST_RAW_NORM = 8  #: ``||o_r||`` — raw data-vector norm (cosine denominator)
 N_CONSTS_SIM = 9
+
+# Multi-bit (B > 1) codes append one more row *after* the metric's rows:
+# the per-code rescale factor ``1 / ||v||`` of the level vector
+# ``v = 2u - (2^B - 1)``.  It is always the last row of the matrix
+# (``consts[-1]``), for any metric; B = 1 matrices never carry it, keeping
+# the historical layout bit-identical.
 
 
 def n_consts_for(metric) -> int:
@@ -380,6 +434,43 @@ def undo_query_quantization(
     )
 
 
+def undo_query_quantization_multibit(
+    integer_dot: np.ndarray,
+    level_sums: np.ndarray,
+    rescales: np.ndarray,
+    delta,
+    lower,
+    sum_codes,
+    code_length: int,
+    bits: int,
+) -> np.ndarray:
+    """Affine undo of the query quantization for multi-bit (B > 1) codes.
+
+    The multi-bit code of a vector is the level vector ``u`` with ``u_j in
+    [0, 2^B - 1]``; the reconstructed unit vector is ``x_bar = r * v`` with
+    ``v = 2u - (2^B - 1) * 1`` and ``r = 1 / ||v||``.  With the quantized
+    query ``q_bar = Δ q_u + v_l * 1`` this gives::
+
+        <x_bar, q_bar> = r * (2Δ <u, q_u> + 2 v_l Σu
+                              - (2^B - 1) (Δ Σq_u + v_l D))
+
+    where ``<u, q_u>`` is the exact integer dot the GEMM / plane-popcount
+    kernels produce, ``Σu`` (``level_sums``) and ``r`` (``rescales``) are
+    per-code constants, and ``Σq_u`` / ``Δ`` / ``v_l`` are per-query.
+    Scalars give the sequential form; per-query ``(n_queries, 1)`` columns
+    (with 2-D ``integer_dot`` and ``level_sums[None, :]`` /
+    ``rescales[None, :]``) give the batched form — broadcasting changes
+    nothing elementwise, so batch and sequential results are bit-identical.
+    """
+    levels = float((1 << bits) - 1)
+    dot_f = np.asarray(integer_dot, dtype=np.float64)
+    return np.asarray(rescales, dtype=np.float64) * (
+        2.0 * delta * dot_f
+        + 2.0 * lower * level_sums
+        - levels * (delta * sum_codes + lower * float(code_length))
+    )
+
+
 def fused_estimate(
     quantized_dot: np.ndarray,
     consts: np.ndarray,
@@ -388,6 +479,7 @@ def fused_estimate(
     metric="l2",
     query_offset=None,
     query_raw_norm=None,
+    query_rounding=None,
 ) -> DistanceEstimate:
     """Metric estimates + bounds from fused per-code constants.
 
@@ -414,6 +506,10 @@ def fused_estimate(
     query_raw_norm:
         Cosine only: the raw query norm ``||q_r||`` (scalar or
         ``(n_queries, 1)`` column).
+    query_rounding:
+        Multi-bit codes only: ``eps0 * Δ/2`` per query (scalar or
+        ``(n_queries, 1)`` column), combined into the half-width exactly
+        as the reference estimators do; ``None`` for binary codes.
 
     Returns
     -------
@@ -431,10 +527,17 @@ def fused_estimate(
     """
     resolved = resolve_metric(metric)
     dots = np.asarray(quantized_dot, dtype=np.float64)
-    if consts.ndim != 2 or consts.shape[0] != resolved.n_consts:
+    # Multi-bit codes append one rescale row after the metric's rows (see
+    # the layout note above); it is consumed upstream, so this kernel only
+    # requires the metric's rows to be present.
+    if consts.ndim != 2 or consts.shape[0] not in (
+        resolved.n_consts,
+        resolved.n_consts + 1,
+    ):
         raise InvalidParameterError(
             f"consts must have shape ({resolved.n_consts}, n_codes) for "
-            f"metric {resolved.name!r}"
+            f"metric {resolved.name!r} (plus one rescale row for multi-bit "
+            f"codes)"
         )
     if dots.shape[-1] != consts.shape[1]:
         raise InvalidParameterError(
@@ -443,6 +546,10 @@ def fused_estimate(
     align = consts[CONST_ALIGN]
     ips = np.where(align != 0.0, dots / consts[CONST_SAFE_ALIGN], 0.0)
     halfwidth = consts[CONST_HALFWIDTH]
+    if query_rounding is not None:
+        halfwidth = combined_halfwidth(
+            halfwidth, consts[CONST_SAFE_ALIGN], query_rounding
+        )
     qn = query_norms
     ip_upper = np.minimum(ips + halfwidth, np.maximum(1.0, ips))
     ip_lower = np.maximum(ips - halfwidth, np.minimum(-1.0, ips))
@@ -540,6 +647,7 @@ __all__ = [
     "n_consts_for",
     "build_code_consts",
     "undo_query_quantization",
+    "undo_query_quantization_multibit",
     "fused_estimate",
     "estimate_inner_product",
     "confidence_interval_halfwidth",

@@ -46,6 +46,7 @@ from repro.core.estimator import (
     DistanceEstimate,
     estimate_distances,
     estimate_distances_batch,
+    undo_query_quantization_multibit,
 )
 from repro.core.normalization import (
     compute_centroid,
@@ -107,6 +108,70 @@ def encode_rows(
     return packed, bits, popcounts, alignments, normalized.norms
 
 
+def encode_rows_multibit(
+    raw: np.ndarray,
+    centroid: np.ndarray,
+    rotation: Rotation,
+    code_length: int,
+    bits: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Encode raw rows with ``bits`` (> 1) levels per dimension.
+
+    The multi-bit (extended RaBitQ) construction layers scalar-quantized
+    magnitudes over the sign bits: each rotated coordinate is uniformly
+    quantized to a level ``u_j in [0, 2^bits - 1]`` over the row's value
+    range ``[-t, t]`` (``t = max_j |rotated_j|``), the code vector is
+    ``v = 2u - (2^bits - 1) * 1`` and the reconstructed unit vector is
+    ``x_bar = v / ||v||``.  For ``bits = 1`` this degenerates to the sign
+    construction of :func:`encode_rows` (``v in {-1, +1}^D``,
+    ``||v|| = sqrt(D)``), but the 1-bit path keeps its own literal
+    arithmetic for bit-identity — this encoder is only used for B > 1.
+
+    Returns ``(packed_planes, levels, level_sums, alignments, norms,
+    rescales)``:
+
+    * ``packed_planes`` — plane-major packed planes of ``u``
+      (:func:`repro.core.bitops.pack_level_planes`), shape
+      ``(n, bits * n_words)``;
+    * ``levels`` — the unpacked ``uint8`` level matrix (the arena keeps it
+      as its integer-exact GEMM operand);
+    * ``level_sums`` — ``sum_j u_j`` per row (``int64``; the multi-bit
+      analogue of the popcount term of Eq. 20);
+    * ``alignments`` — ``<x_bar, P^-1 o>`` per row, computed exactly;
+    * ``norms`` — residual norms ``||o_r - c||``;
+    * ``rescales`` — ``1 / ||v||`` per row (every ``v_j`` is odd, so
+      ``||v|| >= sqrt(D) > 0`` always).
+    """
+    if bits <= 1:
+        raise InvalidParameterError(
+            "encode_rows_multibit requires bits > 1; use encode_rows for "
+            "the binary construction"
+        )
+    normalized = normalize_to_centroid(raw, centroid)
+    padded_units = pad_vectors(normalized.unit_vectors, code_length)
+    rotated = rotation.apply_inverse(padded_units)
+
+    n_levels = (1 << bits) - 1
+    t = np.abs(rotated).max(axis=1)
+    # Degenerate all-zero rows quantize every coordinate to the midpoint
+    # level 2^(bits-1) (v = all-ones), whose alignment is exactly 0 — the
+    # estimator's zero-alignment guard then treats them as degenerate,
+    # matching the 1-bit path's behaviour for zero rows.
+    safe_t = np.where(t > 0.0, t, 1.0)
+    scaled = (rotated + safe_t[:, None]) / (2.0 * safe_t[:, None])
+    levels = np.clip(
+        np.floor(scaled * float(1 << bits)), 0, n_levels
+    ).astype(np.uint8)
+
+    v = 2.0 * levels.astype(np.float64) - float(n_levels)
+    v_norms = np.sqrt(np.einsum("ij,ij->i", v, v))
+    rescales = 1.0 / v_norms
+    alignments = np.einsum("ij,ij->i", v, rotated) * rescales
+    level_sums = levels.astype(np.int64).sum(axis=1)
+    packed = bitops.pack_level_planes(levels, bits)
+    return packed, levels, level_sums, alignments, normalized.norms, rescales
+
+
 @dataclass(frozen=True)
 class QuantizedDataset:
     """Everything RaBitQ stores about an encoded set of vectors.
@@ -114,9 +179,13 @@ class QuantizedDataset:
     Attributes
     ----------
     packed_codes:
-        Packed ``uint64`` bit strings, shape ``(n_vectors, n_words)``.
+        Packed ``uint64`` code words, shape ``(n_vectors, bits * n_words)``.
+        For ``bits = 1`` these are the historical packed sign bit strings;
+        for ``bits > 1`` they are plane-major level bit-planes
+        (:func:`repro.core.bitops.pack_level_planes`).
     code_popcounts:
-        Number of 1-bits per code (needed by Eq. 20).
+        ``sum_j u_j`` per code — the popcount of the sign bits for
+        ``bits = 1`` (Eq. 20) and the level sum for ``bits > 1``.
     alignments:
         Pre-computed ``<o_bar, o>`` per vector.
     norms:
@@ -124,9 +193,14 @@ class QuantizedDataset:
     centroid:
         Normalization centroid ``c``.
     code_length:
-        Length of each code in bits (including padding).
+        Number of quantized dimensions per code (including padding).
     dim:
         Original data dimensionality (before padding).
+    bits:
+        Bits per dimension ``B`` (1 for the paper's binary construction).
+    rescales:
+        Per-code rescale factors ``1 / ||v||`` (``bits > 1`` only; ``None``
+        for binary codes, whose rescale ``1/sqrt(D)`` is a constant).
     """
 
     packed_codes: np.ndarray
@@ -136,21 +210,28 @@ class QuantizedDataset:
     centroid: np.ndarray
     code_length: int
     dim: int
+    bits: int = 1
+    rescales: np.ndarray | None = None
 
     def __len__(self) -> int:
         return int(self.packed_codes.shape[0])
 
     @property
     def n_words(self) -> int:
-        """Number of 64-bit words per code."""
+        """Number of 64-bit words per code (all ``bits`` planes included)."""
         return int(self.packed_codes.shape[1])
+
+    def code_bytes_per_vector(self) -> float:
+        """Bytes of packed code per stored vector (``bits * code_length / 8``)."""
+        return self.bits * self.code_length / 8.0
 
     def memory_bytes(self) -> int:
         """Approximate index memory footprint in bytes (codes + per-vector floats)."""
         code_bytes = self.packed_codes.nbytes
         float_bytes = self.alignments.nbytes + self.norms.nbytes
         popcount_bytes = self.code_popcounts.nbytes
-        return int(code_bytes + float_bytes + popcount_bytes)
+        rescale_bytes = 0 if self.rescales is None else self.rescales.nbytes
+        return int(code_bytes + float_bytes + popcount_bytes + rescale_bytes)
 
 
 @dataclass(frozen=True)
@@ -318,8 +399,8 @@ class RaBitQ:
 
         if centroid is None:
             centroid = compute_centroid(raw)
-        packed, popcounts, alignments, norms, centre = self._encode_rows(
-            raw, centroid, code_length
+        packed, popcounts, alignments, norms, centre, rescales = (
+            self._encode_rows(raw, centroid, code_length)
         )
         self._dataset = QuantizedDataset(
             packed_codes=packed,
@@ -329,25 +410,39 @@ class RaBitQ:
             centroid=centre,
             code_length=code_length,
             dim=dim,
+            bits=int(self.config.bits),
+            rescales=rescales,
         )
         return self
 
     def _encode_rows(
         self, raw: np.ndarray, centroid: np.ndarray, code_length: int
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+        np.ndarray | None,
+    ]:
         """Encode raw rows against ``centroid`` with the current rotation.
 
         Returns ``(packed_codes, code_popcounts, alignments, norms,
-        centroid)`` — the per-row fields of :class:`QuantizedDataset`.  Used
-        both by :meth:`fit` and by the incremental :meth:`add` path, so newly
-        inserted rows go through exactly the fit-time encoding pipeline.
+        centroid, rescales)`` — the per-row fields of
+        :class:`QuantizedDataset` (``rescales`` is ``None`` for binary
+        codes).  Used both by :meth:`fit` and by the incremental
+        :meth:`add` path, so newly inserted rows go through exactly the
+        fit-time encoding pipeline.
         """
         assert self._rotation is not None
         centre = np.asarray(centroid, dtype=np.float64).reshape(-1)
+        if self.config.bits > 1:
+            packed, _, level_sums, alignments, norms, rescales = (
+                encode_rows_multibit(
+                    raw, centre, self._rotation, code_length, self.config.bits
+                )
+            )
+            return packed, level_sums, alignments, norms, centre, rescales
         packed, _, popcounts, alignments, norms = encode_rows(
             raw, centre, self._rotation, code_length
         )
-        return packed, popcounts, alignments, norms, centre
+        return packed, popcounts, alignments, norms, centre, None
 
     def add(self, data: np.ndarray) -> "RaBitQ":
         """Incrementally encode new rows against the fitted centroid/rotation.
@@ -367,7 +462,7 @@ class RaBitQ:
                 f"new rows have dimension {raw.shape[1]}, index expects "
                 f"{dataset.dim}"
             )
-        packed, popcounts, alignments, norms, _ = self._encode_rows(
+        packed, popcounts, alignments, norms, _, rescales = self._encode_rows(
             raw, dataset.centroid, dataset.code_length
         )
         self._dataset = QuantizedDataset(
@@ -378,6 +473,12 @@ class RaBitQ:
             centroid=dataset.centroid,
             code_length=dataset.code_length,
             dim=dataset.dim,
+            bits=dataset.bits,
+            rescales=(
+                None
+                if dataset.rescales is None
+                else np.concatenate([dataset.rescales, rescales])
+            ),
         )
         return self
 
@@ -406,6 +507,10 @@ class RaBitQ:
             centroid=dataset.centroid,
             code_length=dataset.code_length,
             dim=dataset.dim,
+            bits=dataset.bits,
+            rescales=(
+                None if dataset.rescales is None else dataset.rescales[mask]
+            ),
         )
         return self
 
@@ -526,11 +631,55 @@ class RaBitQ:
             else self.prepare_queries(queries)
         )
         dataset = self.dataset
-        packed, popcounts, alignments, norms = self._select_dataset_rows(subset)
+        packed, popcounts, alignments, norms, rescales = (
+            self._select_dataset_rows(subset)
+        )
         code_length = dataset.code_length
         quantized = prepared.quantized
 
-        if compute == "float":
+        if dataset.bits > 1:
+            assert rescales is not None
+            if compute == "float":
+                levels = bitops.unpack_level_planes(
+                    packed, code_length, dataset.bits
+                )
+                v = 2.0 * levels.astype(np.float64) - float(
+                    (1 << dataset.bits) - 1
+                )
+                signed = v * rescales[:, None]
+                quantized_dot = np.empty(
+                    (len(prepared), packed.shape[0]), dtype=np.float64
+                )
+                for i in range(len(prepared)):
+                    quantized_dot[i] = signed @ prepared.rotated[i]
+            else:
+                n_words = packed.shape[1] // dataset.bits
+                integer_dot = np.zeros(
+                    (len(prepared), packed.shape[0]), dtype=np.int64
+                )
+                for p in range(dataset.bits):
+                    plane = packed[:, p * n_words : (p + 1) * n_words]
+                    integer_dot += (
+                        bitops.binary_dot_uint_batch(
+                            plane,
+                            quantized.bitplanes,
+                            query_values=quantized.codes,
+                        )
+                        << p
+                    )
+                # Same elementwise op order as the sequential multi-bit
+                # undo, broadcast per query — bit-identical rows.
+                quantized_dot = undo_query_quantization_multibit(
+                    integer_dot,
+                    popcounts.astype(np.float64)[None, :],
+                    rescales[None, :],
+                    quantized.delta[:, None],
+                    quantized.lower[:, None],
+                    quantized.sum_codes.astype(np.float64)[:, None],
+                    code_length,
+                    dataset.bits,
+                )
+        elif compute == "float":
             # Reference path; per-query GEMV keeps rows bit-identical to
             # the scalar path (a single GEMM would not).
             signed = codebook.decode_codes(packed, code_length)
@@ -565,12 +714,20 @@ class RaBitQ:
             prepared.query_norms,
             code_length,
             eps,
+            query_rounding=(
+                (0.5 * eps * quantized.delta)[:, None]
+                if dataset.bits > 1
+                else None
+            ),
         )
 
     def _select_dataset_rows(
         self, subset: np.ndarray | None
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """``(packed_codes, code_popcounts, alignments, norms)`` for ``subset``."""
+    ) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray | None
+    ]:
+        """``(packed_codes, code_popcounts, alignments, norms, rescales)``
+        for ``subset`` (``rescales`` is ``None`` for binary codes)."""
         dataset = self.dataset
         if subset is None:
             return (
@@ -578,6 +735,7 @@ class RaBitQ:
                 dataset.code_popcounts,
                 dataset.alignments,
                 dataset.norms,
+                dataset.rescales,
             )
         idx = np.asarray(subset, dtype=np.intp)
         return (
@@ -585,6 +743,7 @@ class RaBitQ:
             dataset.code_popcounts[idx],
             dataset.alignments[idx],
             dataset.norms[idx],
+            None if dataset.rescales is None else dataset.rescales[idx],
         )
 
     def _quantized_inner_products(
@@ -595,9 +754,43 @@ class RaBitQ:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(<o_bar, q>, alignments, norms)`` for the selected vectors."""
         dataset = self.dataset
-        packed, popcounts, alignments, norms = self._select_dataset_rows(subset)
+        packed, popcounts, alignments, norms, rescales = (
+            self._select_dataset_rows(subset)
+        )
         code_length = dataset.code_length
         quantized = prepared.quantized
+
+        if dataset.bits > 1:
+            assert rescales is not None
+            if compute == "lut":
+                raise InvalidParameterError(
+                    "compute='lut' supports only 1-bit codes; multi-bit "
+                    "codes use 'bitwise' (weighted plane popcounts) or "
+                    "'float'"
+                )
+            if compute == "float":
+                levels = bitops.unpack_level_planes(
+                    packed, code_length, dataset.bits
+                )
+                v = 2.0 * levels.astype(np.float64) - float(
+                    (1 << dataset.bits) - 1
+                )
+                signed = v * rescales[:, None]
+                return signed @ prepared.rotated, alignments, norms
+            integer_dot = bitops.multibit_dot_uint(
+                packed, quantized.bitplanes, dataset.bits
+            )
+            quantized_dot = undo_query_quantization_multibit(
+                integer_dot,
+                popcounts.astype(np.float64),
+                rescales,
+                quantized.delta,
+                quantized.lower,
+                float(quantized.sum_codes),
+                code_length,
+                dataset.bits,
+            )
+            return quantized_dot, alignments, norms
 
         if compute == "float":
             # Reference path: exact inner product with the unquantized
@@ -678,6 +871,11 @@ class RaBitQ:
             prepared.query_norm,
             self.dataset.code_length,
             eps,
+            query_rounding=(
+                0.5 * eps * prepared.quantized.delta
+                if self.dataset.bits > 1
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------ #
@@ -696,29 +894,53 @@ class RaBitQ:
             if indices is None
             else dataset.packed_codes[np.asarray(indices, dtype=np.intp)]
         )
+        if dataset.bits > 1:
+            assert dataset.rescales is not None
+            rescales = (
+                dataset.rescales
+                if indices is None
+                else dataset.rescales[np.asarray(indices, dtype=np.intp)]
+            )
+            levels = bitops.unpack_level_planes(
+                packed, dataset.code_length, dataset.bits
+            )
+            v = 2.0 * levels.astype(np.float64) - float(
+                (1 << dataset.bits) - 1
+            )
+            signed = v * rescales[:, None]
+            return self.rotation.apply(signed)
         return codebook.codes_to_matrix(packed, dataset.code_length, self.rotation)
 
     def code_bits(self, indices: np.ndarray | None = None) -> np.ndarray:
-        """Return codes as 0/1 arrays (unpacked)."""
+        """Return codes as unpacked per-dimension integers.
+
+        0/1 for the binary construction; level values in ``[0, 2^B - 1]``
+        for multi-bit codes.
+        """
         dataset = self.dataset
         packed = (
             dataset.packed_codes
             if indices is None
             else dataset.packed_codes[np.asarray(indices, dtype=np.intp)]
         )
+        if dataset.bits > 1:
+            return bitops.unpack_level_planes(
+                packed, dataset.code_length, dataset.bits
+            )
         return bitops.unpack_bits(packed, dataset.code_length)
 
     def compression_ratio(self) -> float:
         """Raw-vector bytes divided by quantization-code bytes."""
         dataset = self.dataset
         raw_bits = 32 * dataset.dim
-        code_bits = dataset.code_length
+        code_bits = dataset.code_length * dataset.bits
         return raw_bits / code_bits
 
 
 __all__ = [
     "RaBitQ",
     "encode_rows",
+    "encode_rows_multibit",
     "QuantizedDataset",
     "QuantizedQuery",
     "QuantizedQueryBatch",

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.estimator import confidence_interval_halfwidth
+from repro.core.estimator import combined_halfwidth, confidence_interval_halfwidth
 from repro.core.metric import raw_inner_product_from_unit
 from repro.core.quantizer import QuantizedQuery, RaBitQ
 from repro.exceptions import InvalidParameterError, NotFittedError
@@ -137,9 +137,19 @@ class SimilarityEstimator:
         )
         estimate = self._quantizer.estimate_distances(prepared, compute=compute)
         dataset = self._quantizer.dataset
+        eps0 = self._quantizer.config.epsilon0
         halfwidth = confidence_interval_halfwidth(
-            dataset.alignments, dataset.code_length, self._quantizer.config.epsilon0
+            dataset.alignments, dataset.code_length, eps0
         )
+        if dataset.bits > 1:
+            # Multi-bit bounds add the query-rounding term, exactly as the
+            # distance estimators do (see repro.core.estimator).
+            safe = np.where(
+                dataset.alignments != 0.0, dataset.alignments, 1.0
+            )
+            halfwidth = combined_halfwidth(
+                halfwidth, safe, 0.5 * eps0 * prepared.quantized.delta
+            )
         return estimate.inner_products, halfwidth, prepared
 
     def estimate_inner_products(

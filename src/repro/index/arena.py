@@ -62,7 +62,15 @@ class CodeArena:
         squared-L2 serving (the default) or
         :data:`repro.core.estimator.N_CONSTS_SIM` when the searcher serves
         a similarity metric (the extra rows carry the
-        centroid-decomposition terms).
+        centroid-decomposition terms).  Multi-bit arenas carry one extra
+        trailing row (the per-code rescale factor).
+    bits_per_dim:
+        Code width ``B``.  ``1`` (default) is the binary layout; for
+        ``B > 1`` the ``codes`` matrix holds ``B`` plane-major packed
+        bit-planes per row (``n_words`` is ``B`` times the base word
+        count), the ``bits`` matrix holds per-dimension *levels* in
+        ``[0, 2^B - 1]`` instead of 0/1, and the LUT ``segs`` matrix is
+        empty (fast-scan tables are binary-only).
     """
 
     __slots__ = (
@@ -77,6 +85,7 @@ class CodeArena:
         "code_length",
         "n_words",
         "n_consts",
+        "bits_per_dim",
     )
 
     def __init__(
@@ -85,6 +94,7 @@ class CodeArena:
         code_length: int,
         n_words: int,
         n_consts: int = N_CONSTS,
+        bits_per_dim: int = 1,
     ) -> None:
         if n_clusters <= 0:
             raise InvalidParameterError("n_clusters must be positive")
@@ -92,13 +102,18 @@ class CodeArena:
             raise InvalidParameterError(
                 f"n_consts must be at least {N_CONSTS}"
             )
+        if not 1 <= int(bits_per_dim) <= 8:
+            raise InvalidParameterError(
+                "bits_per_dim must lie in [1, 8]"
+            )
         self.code_length = int(code_length)
         self.n_words = int(n_words)
         self.n_consts = int(n_consts)
+        self.bits_per_dim = int(bits_per_dim)
         self.codes = np.empty((0, self.n_words), dtype=np.uint64)
         self.bits = np.empty((0, self.code_length), dtype=np.uint8)
         self.segs = np.empty(
-            (0, self.code_length // SEGMENT_BITS), dtype=np.uint8
+            (0, self._segs_cols()), dtype=np.uint8
         )
         self.consts = np.empty((self.n_consts, 0), dtype=np.float64)
         self.slots = np.empty(0, dtype=np.int64)
@@ -109,6 +124,12 @@ class CodeArena:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+
+    def _segs_cols(self) -> int:
+        """Columns of the LUT segment matrix (0 for multi-bit arenas)."""
+        if self.bits_per_dim > 1:
+            return 0
+        return self.code_length // SEGMENT_BITS
 
     @property
     def n_clusters(self) -> int:
@@ -172,13 +193,14 @@ class CodeArena:
         n_words: int,
         blocks: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
         n_consts: int = N_CONSTS,
+        bits_per_dim: int = 1,
     ) -> "CodeArena":
         """Build an arena from per-cluster ``(codes, bits, consts, slots)``.
 
         Used at fit and load time; regions are laid out tightly (no slack —
         slack appears on the first overflowing append).
         """
-        arena = cls(n_clusters, code_length, n_words, n_consts)
+        arena = cls(n_clusters, code_length, n_words, n_consts, bits_per_dim)
         sizes = np.zeros(n_clusters, dtype=np.int64)
         for cid, (codes, _, _, _) in blocks.items():
             sizes[cid] = codes.shape[0]
@@ -201,6 +223,7 @@ class CodeArena:
         consts: np.ndarray,
         slots: np.ndarray,
         sizes: np.ndarray,
+        bits_per_dim: int = 1,
     ) -> "CodeArena":
         """Adopt pre-laid-out tight backing arrays (the format-v6 layout).
 
@@ -218,12 +241,12 @@ class CodeArena:
             raise InvalidParameterError("n_clusters must be positive")
         if sizes.min(initial=0) < 0:
             raise InvalidParameterError("cluster sizes must be non-negative")
-        arena = cls(sizes.shape[0], code_length, n_words, n_consts)
+        arena = cls(sizes.shape[0], code_length, n_words, n_consts, bits_per_dim)
         total = int(sizes.sum())
         expected = {
             "codes": (total, arena.n_words),
             "bits": (total, arena.code_length),
-            "segs": (total, arena.code_length // SEGMENT_BITS),
+            "segs": (total, arena._segs_cols()),
             "consts": (arena.n_consts, total),
             "slots": (total,),
         }
@@ -284,7 +307,7 @@ class CodeArena:
         self.codes = np.zeros((total, self.n_words), dtype=np.uint64)
         self.bits = np.zeros((total, self.code_length), dtype=np.uint8)
         self.segs = np.zeros(
-            (total, self.code_length // SEGMENT_BITS), dtype=np.uint8
+            (total, self._segs_cols()), dtype=np.uint8
         )
         self.consts = np.zeros((self.n_consts, total), dtype=np.float64)
         self.slots = np.full(total, -1, dtype=np.int64)
@@ -301,7 +324,14 @@ class CodeArena:
         self.bits[pos:end] = bits
         # Segment ids are derived from the unpacked bits unless the caller
         # already holds them (rebuild/compact copy the existing rows).
-        self.segs[pos:end] = split_into_segments(bits) if segs is None else segs
+        # Multi-bit rows carry levels, not 0/1 bits, and have no LUT
+        # segments at all.
+        if self.bits_per_dim > 1:
+            pass
+        elif segs is None:
+            self.segs[pos:end] = split_into_segments(bits)
+        else:
+            self.segs[pos:end] = segs
         self.consts[:, pos:end] = consts
         self.slots[pos:end] = slots
 

@@ -147,6 +147,7 @@ from repro.core.estimator import (
     build_code_consts,
     fused_estimate,
     undo_query_quantization,
+    undo_query_quantization_multibit,
 )
 from repro.core.lut import (
     build_query_luts,
@@ -158,7 +159,7 @@ from repro.core.lut import (
     quantize_luts_to_uint8,
 )
 from repro.core.metric import Metric, resolve_metric
-from repro.core.quantizer import encode_rows
+from repro.core.quantizer import encode_rows, encode_rows_multibit
 from repro.core.query import quantize_query_matrix, quantize_query_vector
 from repro.core.rotation import QRRotation, make_rotation
 from repro.exceptions import (
@@ -375,6 +376,15 @@ class IVFQuantizedSearcher:
         are derived lazily per prepared query and consume no randomness,
         so switching modes never perturbs the rounding streams, and the
         concurrency / cache contract above is mode-independent.
+    bits:
+        Code width ``B`` in bits per dimension (RaBitQ searchers only).
+        ``None`` (the default) keeps the width of ``rabitq_config``
+        (itself defaulting to 1, the paper's binary construction); an
+        explicit value overrides it.  Multi-bit widths (2 / 4 / 8) store
+        scalar-quantized residual magnitudes as extra bit-planes for a
+        space/accuracy trade-off, and require ``estimation_mode="gemm"``
+        — the fast-scan LUT modes are binary-only and reject ``B > 1``
+        with :class:`repro.exceptions.InvalidParameterError`.
     probe_strategy:
         How the ``nprobe`` clusters are found per query: ``"exact"`` (the
         default) scans every centroid with the metric's key kernel;
@@ -400,6 +410,7 @@ class IVFQuantizedSearcher:
         query_cache_size: int = 0,
         metric: str | Metric = "l2",
         estimation_mode: str = "gemm",
+        bits: int | None = None,
         probe_strategy: str = "exact",
     ) -> None:
         if quantizer_kind not in ("rabitq", "external"):
@@ -441,6 +452,21 @@ class IVFQuantizedSearcher:
         self.rabitq_config = (
             rabitq_config if rabitq_config is not None else RaBitQConfig(seed=0)
         )
+        if bits is not None:
+            # Validation (supported widths) happens in the config itself.
+            self.rabitq_config = self.rabitq_config.with_overrides(
+                bits=int(bits)
+            )
+        if (
+            quantizer_kind == "rabitq"
+            and self.rabitq_config.bits > 1
+            and estimation_mode != "gemm"
+        ):
+            raise InvalidParameterError(
+                f"estimation_mode {estimation_mode!r} supports only 1-bit "
+                f"codes (fast-scan LUT tables are binary); use 'gemm' for "
+                f"bits={self.rabitq_config.bits}"
+            )
         self.external_quantizer = external_quantizer
         self.reranker: Reranker = (
             reranker if reranker is not None else ErrorBoundReranker()
@@ -505,6 +531,16 @@ class IVFQuantizedSearcher:
         if mode != "gemm" and self.quantizer_kind != "rabitq":
             raise InvalidParameterError(
                 "LUT estimation modes require quantizer_kind='rabitq'"
+            )
+        if (
+            mode != "gemm"
+            and self.quantizer_kind == "rabitq"
+            and self.rabitq_config.bits > 1
+        ):
+            raise InvalidParameterError(
+                f"estimation_mode {mode!r} supports only 1-bit codes "
+                f"(fast-scan LUT tables are binary); use 'gemm' for "
+                f"bits={self.rabitq_config.bits}"
             )
         self._estimation_mode = mode
 
@@ -593,6 +629,55 @@ class IVFQuantizedSearcher:
             raw_norms=np.sqrt(np.einsum("ij,ij->i", rows, rows)),
         )
 
+    @property
+    def bits(self) -> int:
+        """Code width ``B`` in bits per dimension (1 for binary RaBitQ)."""
+        return int(self.rabitq_config.bits)
+
+    def _encode_cluster_rows(
+        self, rows: np.ndarray, cid: int, code_length: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode ``rows`` against cluster ``cid``'s centroid.
+
+        Returns ``(packed, unpacked, consts)`` in the arena's layout: for
+        ``B = 1`` exactly the historical binary encoding; for ``B > 1``
+        plane-major packed levels, the per-dimension level matrix (the
+        GEMM operand), and the metric's constants with the level sums in
+        the popcount row plus the per-code rescale factor appended as the
+        trailing row.
+        """
+        assert self._ivf is not None
+        bits = self.bits
+        if bits > 1:
+            (
+                packed,
+                levels,
+                level_sums,
+                alignments,
+                norms,
+                rescales,
+            ) = encode_rows_multibit(
+                rows,
+                self._ivf.centroids[cid],
+                self._shared_rotation,
+                code_length,
+                bits,
+            )
+            consts = self._build_cluster_consts(
+                rows, cid, level_sums, alignments, norms, code_length
+            )
+            return packed, levels, np.vstack([consts, rescales[None, :]])
+        packed, bit_mat, popcounts, alignments, norms = encode_rows(
+            rows,
+            self._ivf.centroids[cid],
+            self._shared_rotation,
+            code_length,
+        )
+        consts = self._build_cluster_consts(
+            rows, cid, popcounts, alignments, norms, code_length
+        )
+        return packed, bit_mat, consts
+
     def _fresh_query_rng(self) -> np.random.Generator:
         """A cluster rounding stream in its initial state.
 
@@ -637,23 +722,19 @@ class IVFQuantizedSearcher:
                     continue
                 cid = bucket.centroid_id
                 rows = mat[bucket.vector_ids]
-                packed, bits, popcounts, alignments, norms = encode_rows(
-                    rows,
-                    self._ivf.centroids[cid],
-                    shared_rotation,
-                    code_length,
+                packed, unpacked, consts = self._encode_cluster_rows(
+                    rows, cid, code_length
                 )
-                consts = self._build_cluster_consts(
-                    rows, cid, popcounts, alignments, norms, code_length
-                )
-                blocks[cid] = (packed, bits, consts, bucket.vector_ids)
+                blocks[cid] = (packed, unpacked, consts, bucket.vector_ids)
                 self._query_rngs[cid] = self._fresh_query_rng()
+            code_bits = self.bits
             self._arena = CodeArena.from_blocks(
                 n_clusters,
                 code_length,
-                (code_length + 63) // 64,
+                ((code_length + 63) // 64) * code_bits,
                 blocks,
-                self._metric.n_consts,
+                self._metric.n_consts + (1 if code_bits > 1 else 0),
+                code_bits,
             )
             self._pad_len = code_length
             self._rotation_matrix = (
@@ -775,21 +856,15 @@ class IVFQuantizedSearcher:
             cid = int(cid)
             rows = np.flatnonzero(cluster_ids == cid)
             row_mat = mat[rows]
-            packed, bits, popcounts, alignments, norms = encode_rows(
-                row_mat,
-                self._ivf.centroids[cid],
-                self._shared_rotation,
-                code_length,
-            )
-            consts = self._build_cluster_consts(
-                row_mat, cid, popcounts, alignments, norms, code_length
+            packed, unpacked, consts = self._encode_cluster_rows(
+                row_mat, cid, code_length
             )
             if self._query_rngs[cid] is None:
                 # The cluster was empty at fit time (or emptied by a
                 # compact): its rounding stream starts fresh now, exactly as
                 # a newly built per-cluster quantizer's would have.
                 self._query_rngs[cid] = self._fresh_query_rng()
-            arena.append(cid, packed, bits, consts, slots[rows])
+            arena.append(cid, packed, unpacked, consts, slots[rows])
 
         assert self._ids is not None and self._live is not None
         self._ids = np.concatenate([self._ids, new_ids])
@@ -1106,6 +1181,7 @@ class IVFQuantizedSearcher:
         if total == 0:
             return _empty_estimate()
         code_length = arena.code_length
+        code_bits = arena.bits_per_dim
         sqrt_d = np.sqrt(float(code_length))
         max_size = int(sizes[cluster_ids].max())
         n_consts = arena.n_consts
@@ -1135,6 +1211,15 @@ class IVFQuantizedSearcher:
         qoff = (
             self._scratch_get("qoff", total, np.float64)[:total]
             if similarity
+            else None
+        )
+        # Multi-bit bounds carry the per-cluster query-rounding term
+        # (eps0 * Δ/2, Δ from that cluster's residual quantization); binary
+        # codes pass None and keep the historical half-width bit-identically.
+        eps0 = float(self.rabitq_config.epsilon0)
+        qround = (
+            self._scratch_get("qround", total, np.float64)[:total]
+            if code_bits > 1
             else None
         )
         query_raw_norm = (
@@ -1181,21 +1266,37 @@ class IVFQuantizedSearcher:
             # out=-buffer form of estimator.undo_query_quantization, written
             # straight into this cluster's slice of the flat buffer with
             # the sequential path's exact scalar-coefficient arithmetic.
+            # Multi-bit codes go through the shared multi-bit undo (level
+            # sums in the popcount row, rescales in the trailing row).
             sl = slice(offset, offset + size)
             delta = prepared.delta
             lower = prepared.lower
-            out = qdot[sl]
-            np.multiply(acc, 2.0 * delta / sqrt_d, out=out)
-            np.multiply(
-                arena.consts[CONST_POPCOUNT, start:end],
-                2.0 * lower / sqrt_d,
-                out=tmp[:size],
-            )
-            out += tmp[:size]
-            out -= delta / sqrt_d * prepared.sum_codes_f
-            out -= sqrt_d * lower
+            if code_bits > 1:
+                qdot[sl] = undo_query_quantization_multibit(
+                    acc,
+                    arena.consts[CONST_POPCOUNT, start:end],
+                    arena.consts[-1, start:end],
+                    delta,
+                    lower,
+                    prepared.sum_codes_f,
+                    code_length,
+                    code_bits,
+                )
+            else:
+                out = qdot[sl]
+                np.multiply(acc, 2.0 * delta / sqrt_d, out=out)
+                np.multiply(
+                    arena.consts[CONST_POPCOUNT, start:end],
+                    2.0 * lower / sqrt_d,
+                    out=tmp[:size],
+                )
+                out += tmp[:size]
+                out -= delta / sqrt_d * prepared.sum_codes_f
+                out -= sqrt_d * lower
             consts_buf[:, sl] = arena.consts[:, start:end]
             qn[sl] = prepared.query_norm
+            if qround is not None:
+                qround[sl] = 0.5 * eps0 * prepared.delta
             cand[sl] = arena.slots[start:end]
             if qoff is not None:
                 qoff[sl] = float(
@@ -1204,7 +1305,9 @@ class IVFQuantizedSearcher:
             offset += size
 
         if not similarity:
-            estimate = fused_estimate(qdot, consts_buf, qn)
+            estimate = fused_estimate(
+                qdot, consts_buf, qn, query_rounding=qround
+            )
         else:
             estimate = fused_estimate(
                 qdot,
@@ -1213,6 +1316,7 @@ class IVFQuantizedSearcher:
                 metric=self._metric,
                 query_offset=qoff,
                 query_raw_norm=query_raw_norm,
+                query_rounding=qround,
             )
         if self._n_dead == 0:
             return cand, estimate
@@ -1319,6 +1423,8 @@ class IVFQuantizedSearcher:
         n_queries = query_mat.shape[0]
         sizes = arena.sizes
         code_length = arena.code_length
+        code_bits = arena.bits_per_dim
+        eps0 = float(self.rabitq_config.epsilon0)
         sqrt_d = np.sqrt(float(code_length))
 
         size_mat = sizes[probes]
@@ -1525,19 +1631,42 @@ class IVFQuantizedSearcher:
                 )
 
             # Per-query affine undo of the scalar quantization (Eq. 19-20);
-            # identical elementwise arithmetic to the single-query path.
+            # identical elementwise arithmetic to the single-query path
+            # (multi-bit codes use the shared multi-bit undo, broadcast
+            # per query — still the sequential path's elementwise order).
             pop = arena.consts[CONST_POPCOUNT, start:end]
-            quantized_dot = undo_query_quantization(
-                integer_dot,
-                pop[None, :],
-                delta[:, None],
-                lower[:, None],
-                sums[:, None],
-                code_length,
+            if code_bits > 1:
+                quantized_dot = undo_query_quantization_multibit(
+                    integer_dot,
+                    pop[None, :],
+                    arena.consts[-1, start:end][None, :],
+                    delta[:, None],
+                    lower[:, None],
+                    sums[:, None],
+                    code_length,
+                    code_bits,
+                )
+            else:
+                quantized_dot = undo_query_quantization(
+                    integer_dot,
+                    pop[None, :],
+                    delta[:, None],
+                    lower[:, None],
+                    sums[:, None],
+                    code_length,
+                )
+            # Per-(query, cluster) rounding term for multi-bit bounds —
+            # the same 0.5 * eps0 * Δ scalars the sequential path fills
+            # per candidate, broadcast as a column.
+            query_rounding = (
+                0.5 * eps0 * delta[:, None] if code_bits > 1 else None
             )
             if not similarity:
                 estimate = fused_estimate(
-                    quantized_dot, arena.cluster_consts(cid), query_norms[:, None]
+                    quantized_dot,
+                    arena.cluster_consts(cid),
+                    query_norms[:, None],
+                    query_rounding=query_rounding,
                 )
             else:
                 centroid = self._ivf.centroids[cid]
@@ -1554,6 +1683,7 @@ class IVFQuantizedSearcher:
                     query_raw_norm=(
                         qraw_all[qis][:, None] if qraw_all is not None else None
                     ),
+                    query_rounding=query_rounding,
                 )
 
             # Scatter each group row into its query's flat candidate range

@@ -139,6 +139,11 @@ class ShardedSearcher:
         shard at once.  ``"lut"`` answers are bit-identical to ``"gemm"``
         shard by shard, hence also after the deterministic merge — see
         :class:`IVFQuantizedSearcher`.
+    bits:
+        Code width ``B`` in bits per dimension, forwarded to every shard
+        (an explicit value overrides ``rabitq_config``; ``None`` keeps
+        the config's width).  Multi-bit widths require
+        ``estimation_mode="gemm"`` — see :class:`IVFQuantizedSearcher`.
     probe_strategy:
         Centroid-probing strategy (``"exact"`` / ``"graph"``), forwarded
         to every shard and settable on a fitted instance, which switches
@@ -159,6 +164,7 @@ class ShardedSearcher:
         query_cache_size: int = 0,
         metric: str | Metric = "l2",
         estimation_mode: str = "gemm",
+        bits: int | None = None,
         probe_strategy: str = "exact",
     ) -> None:
         if n_shards <= 0:
@@ -181,6 +187,23 @@ class ShardedSearcher:
         self.assignment = assignment
         self.n_clusters = n_clusters
         self.rabitq_config = rabitq_config
+        if bits is not None:
+            base = (
+                rabitq_config
+                if rabitq_config is not None
+                else RaBitQConfig(seed=0)
+            )
+            self.rabitq_config = base.with_overrides(bits=int(bits))
+        if (
+            self.rabitq_config is not None
+            and self.rabitq_config.bits > 1
+            and estimation_mode != "gemm"
+        ):
+            raise InvalidParameterError(
+                f"estimation_mode {estimation_mode!r} supports only 1-bit "
+                f"codes (fast-scan LUT tables are binary); use 'gemm' for "
+                f"bits={self.rabitq_config.bits}"
+            )
         self.reranker = reranker
         self.compact_threshold = compact_threshold
         self.query_cache_size = int(query_cache_size)
@@ -282,11 +305,24 @@ class ShardedSearcher:
         """
         return self._estimation_mode
 
+    @property
+    def bits(self) -> int:
+        """Code width ``B`` in bits per dimension (1 for binary RaBitQ)."""
+        if self.rabitq_config is not None:
+            return int(self.rabitq_config.bits)
+        return 1
+
     @estimation_mode.setter
     def estimation_mode(self, mode: str) -> None:
         if mode not in _ESTIMATION_MODES:
             raise InvalidParameterError(
                 f"estimation_mode must be one of {_ESTIMATION_MODES}"
+            )
+        if mode != "gemm" and self.bits > 1:
+            raise InvalidParameterError(
+                f"estimation_mode {mode!r} supports only 1-bit codes "
+                f"(fast-scan LUT tables are binary); use 'gemm' for "
+                f"bits={self.bits}"
             )
         if self._shards is not None:
             for shard in self._shards:
@@ -716,6 +752,10 @@ class ShardedSearcher:
         ):
             raise InvalidParameterError(
                 "all shards must use the same probe_strategy"
+            )
+        if any(shard.bits != first.bits for shard in shards):
+            raise InvalidParameterError(
+                "all shards must use the same code width (bits)"
             )
         sharded = cls(
             len(shards),

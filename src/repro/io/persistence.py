@@ -62,7 +62,7 @@ from typing import Union
 import numpy as np
 
 from repro.core.bitops import unpack_bits
-from repro.core.config import RaBitQConfig
+from repro.core.config import SUPPORTED_CODE_BITS, RaBitQConfig
 from repro.core.estimator import N_CONSTS, build_code_consts
 from repro.core.metric import resolve_metric
 from repro.core.quantizer import QuantizedDataset, RaBitQ
@@ -101,8 +101,14 @@ MAGIC_SEARCHER = "rabitq/searcher"
 MAGIC_SHARDED = "rabitq/sharded"
 
 #: Quantizer-archive format, bumped on incompatible changes.  Version 2
-#: added the magic header and the query-RNG state.
-FORMAT_VERSION = 2
+#: added the magic header and the query-RNG state.  Version 3 adds the
+#: code width and per-code rescale factors of multi-bit codes; binary
+#: (``bits=1``) quantizers keep writing version 2 byte-identically, so
+#: older builds read them unchanged.
+FORMAT_VERSION = 3
+
+#: Quantizer-archive versions this build can read (v2 loads as binary).
+_RABITQ_VERSIONS = (2, 3)
 
 #: Searcher-archive format, bumped on incompatible changes.  Version 6 is
 #: the memmap-able binary container described in the module docstring: a
@@ -119,11 +125,15 @@ FORMAT_VERSION = 2
 #: graph as three integer sections, so graph-probing searchers reload
 #: without rebuilding the graph.  Version-6 archives still load (the
 #: strategy defaults to ``"exact"``; a graph is rebuilt deterministically
-#: on demand if the strategy is later switched).
-SEARCHER_FORMAT_VERSION = 7
+#: on demand if the strategy is later switched).  Version 8 again keeps
+#: the identical container and adds the code width ``bits`` (bits per
+#: dimension, multi-bit extended RaBitQ) to the metadata; v6/v7 archives
+#: carry no key and load as ``bits=1``, which is exactly what those
+#: builds wrote.
+SEARCHER_FORMAT_VERSION = 8
 
 #: Binary-container (v6-layout) format versions this build can read.
-_SEARCHER_BINARY_VERSIONS = (6, 7)
+_SEARCHER_BINARY_VERSIONS = (6, 7, 8)
 
 #: The newest npz-layout searcher format (written by ``layout="npz"``).
 #: Version 5 records the searcher's ``estimation_mode``; version 4 the
@@ -602,10 +612,21 @@ def save_rabitq(quantizer: RaBitQ, path: PathLike) -> None:
     final = Path(path)
     if not final.name.endswith(".npz"):
         final = final.with_name(final.name + ".npz")
+    # Binary quantizers keep writing the byte-identical v2 archive older
+    # builds read; multi-bit codes need the v3 entries (width + rescales).
+    multibit_entries = {}
+    version = 2
+    if dataset.bits > 1:
+        version = FORMAT_VERSION
+        multibit_entries = {
+            "bits": np.int64(dataset.bits),
+            "rescales": dataset.rescales,
+        }
     _savez_atomic(
         final,
         magic=np.str_(MAGIC_RABITQ),
-        format_version=np.int64(FORMAT_VERSION),
+        format_version=np.int64(version),
+        **multibit_entries,
         packed_codes=dataset.packed_codes,
         code_popcounts=dataset.code_popcounts,
         alignments=dataset.alignments,
@@ -638,10 +659,26 @@ def load_rabitq(path: PathLike) -> RaBitQ:
         quantizer archive, or uses an unsupported format version.
     """
     with _open_archive(
-        path, magic=MAGIC_RABITQ, versions=(FORMAT_VERSION,), kind="RaBitQ index"
+        path, magic=MAGIC_RABITQ, versions=_RABITQ_VERSIONS, kind="RaBitQ index"
     ) as archive:
         try:
             seed = int(archive["seed"])
+            # v2 archives predate multi-bit codes: they are always binary.
+            bits = int(archive["bits"]) if "bits" in archive.files else 1
+            if bits not in SUPPORTED_CODE_BITS:
+                raise PersistenceError(
+                    f"archive declares an unsupported code width "
+                    f"bits={bits}; this build reads "
+                    f"{', '.join(map(str, SUPPORTED_CODE_BITS))}"
+                )
+            rescales = None
+            if bits > 1:
+                if "rescales" not in archive.files:
+                    raise PersistenceError(
+                        f"archive declares bits={bits} but stores no "
+                        f"per-code rescale factors"
+                    )
+                rescales = np.asarray(archive["rescales"], dtype=np.float64)
             config = RaBitQConfig(
                 epsilon0=float(archive["epsilon0"]),
                 query_bits=int(archive["query_bits"]),
@@ -649,6 +686,7 @@ def load_rabitq(path: PathLike) -> RaBitQ:
                 randomized_rounding=bool(archive["randomized_rounding"]),
                 rotation=str(archive["rotation_kind"]),
                 seed=None if seed < 0 else seed,
+                bits=bits,
             )
             quantizer = RaBitQ(config)
             quantizer._rotation = _load_rotation(
@@ -662,6 +700,8 @@ def load_rabitq(path: PathLike) -> RaBitQ:
                 centroid=archive["centroid"],
                 code_length=int(archive["code_length"]),
                 dim=int(archive["dim"]),
+                bits=bits,
+                rescales=rescales,
             )
             quantizer._query_rng = _rng_from_state(
                 json.loads(str(archive["query_rng_state"]))
@@ -784,16 +824,24 @@ def _save_searcher_v6(
     *,
     _format_version: int = SEARCHER_FORMAT_VERSION,
 ) -> str:
-    """Write the binary container (v7 layout); returns the new archive UUID.
+    """Write the binary container (v8 layout); returns the new archive UUID.
 
-    ``_format_version=6`` is a test-only hook that writes a faithful
-    legacy v6 archive (no probe-strategy metadata, no graph sections) so
-    the backward-compatibility suites can exercise real v6 input without
-    keeping binary fixtures in the tree.
+    ``_format_version=6`` / ``7`` are test-only hooks that write faithful
+    legacy archives (v6: no probe-strategy metadata, no graph sections;
+    v7: no code-width metadata) so the backward-compatibility suites can
+    exercise real legacy input without keeping binary fixtures in the
+    tree.  Neither can represent multi-bit codes, so saving a
+    ``bits > 1`` searcher at a legacy version is refused.
     """
     if _format_version not in _SEARCHER_BINARY_VERSIONS:
         raise InvalidParameterError(
             f"_format_version must be one of {_SEARCHER_BINARY_VERSIONS}"
+        )
+    if searcher.bits > 1 and _format_version < 8:
+        raise InvalidParameterError(
+            f"format v{_format_version} archives cannot represent "
+            f"bits={searcher.bits} codes; multi-bit searchers need "
+            f"format v8"
         )
     reranker_kind, reranker_param = _check_saveable(searcher)
     ivf = searcher.ivf
@@ -856,6 +904,8 @@ def _save_searcher_v6(
         "live": np.ascontiguousarray(searcher._live, dtype=np.bool_),
         "rotation": np.ascontiguousarray(rotation_entry[1], dtype=np.float64),
     }
+    if _format_version >= 8:
+        meta["bits"] = int(arena.bits_per_dim)
     if _format_version >= 7:
         meta["probe_strategy"] = searcher.probe_strategy
         if searcher.probe_strategy == "graph":
@@ -895,6 +945,12 @@ def _save_searcher_v6(
 
 def _save_searcher_npz(searcher: IVFQuantizedSearcher, path: Path) -> None:
     """Write the legacy v5 npz layout (readable by older builds)."""
+    if searcher.bits > 1:
+        raise InvalidParameterError(
+            f"the legacy npz layout cannot represent bits={searcher.bits} "
+            f"codes (older builds would misread the bit-planes as sign "
+            f"bits); save multi-bit searchers with layout='v6'"
+        )
     reranker_kind, reranker_param = _check_saveable(searcher)
     ivf = searcher.ivf
     flat = searcher.flat
@@ -1102,6 +1158,13 @@ def _load_searcher_v6(
     sections = _V6Sections(path, header, file_size)
     try:
         meta = header["meta"]
+        # v6/v7 archives predate multi-bit codes: they are always binary.
+        bits = int(meta.get("bits", 1))
+        if bits not in SUPPORTED_CODE_BITS:
+            raise PersistenceError(
+                f"archive declares an unsupported code width bits={bits}; "
+                f"this build reads {', '.join(map(str, SUPPORTED_CODE_BITS))}"
+            )
         config = RaBitQConfig(
             epsilon0=float(meta["epsilon0"]),
             query_bits=int(meta["query_bits"]),
@@ -1113,6 +1176,7 @@ def _load_searcher_v6(
             randomized_rounding=bool(meta["randomized_rounding"]),
             rotation=str(meta["rotation_kind"]),
             seed=None if meta["seed"] is None else int(meta["seed"]),
+            bits=bits,
         )
         metric = resolve_metric(str(meta["metric"]))
         threshold = meta["compact_threshold"]
@@ -1139,15 +1203,17 @@ def _load_searcher_v6(
         n_slots = int(meta["n_slots"])
         n_clusters = int(meta["n_clusters"])
         dim = int(meta["dim"])
-        if n_consts != metric.n_consts:
+        expected_consts = metric.n_consts + (1 if bits > 1 else 0)
+        if n_consts != expected_consts:
             raise PersistenceError(
                 f"archive stores {n_consts} fused constants per code; "
-                f"metric {metric.name!r} expects {metric.n_consts}"
+                f"metric {metric.name!r} at bits={bits} expects "
+                f"{expected_consts}"
             )
-        if n_words != (code_length + 63) // 64:
+        if n_words != (code_length + 63) // 64 * bits:
             raise PersistenceError(
                 f"archive has inconsistent code matrices: {n_words} words "
-                f"do not match code length {code_length}"
+                f"do not match code length {code_length} at bits={bits}"
             )
 
         rotation_sec = sections.load("rotation", mmap=mmap)
@@ -1225,6 +1291,7 @@ def _load_searcher_v6(
             consts=sections.load("arena_consts", mmap=mmap),
             slots=sections.load("arena_slots", mmap=mmap),
             sizes=sizes,
+            bits_per_dim=bits,
         )
         # The arena's cluster-grouped row order must equal the bucket id
         # lists rebuilt from the assignment array — the invariant every
@@ -1588,6 +1655,7 @@ def save_sharded_searcher(sharded: ShardedSearcher, path: PathLike) -> None:
         "metric": sharded.metric,
         "estimation_mode": sharded.estimation_mode,
         "probe_strategy": sharded.probe_strategy,
+        "bits": sharded.bits,
         "assignment": sharded.assignment,
         "next_gid": sharded._next_gid,
         "rr_next": sharded._rr_next,
@@ -1739,6 +1807,16 @@ def load_sharded_searcher(
             f"sharded manifest declares probe_strategy {manifest_probe!r} "
             f"but the shard archives use "
             f"{sorted({s.probe_strategy for s in shards})}"
+        )
+    # Manifests written before multi-bit codes carry no "bits" key; their
+    # shard archives load as binary (bits=1).
+    manifest_bits = manifest.get("bits")
+    if manifest_bits is not None and any(
+        shard.bits != int(manifest_bits) for shard in shards
+    ):
+        raise PersistenceError(
+            f"sharded manifest declares bits={manifest_bits} but the "
+            f"shard archives use {sorted({s.bits for s in shards})}"
         )
     try:
         with np.load(directory / idmap_file) as idmap:

@@ -54,12 +54,12 @@ def _graph_payload(path):
 
 
 class TestV7RoundTrip:
-    def test_format_version_is_7(self, fitted, tmp_path):
+    def test_format_version_is_8(self, fitted, tmp_path):
         _, _, searcher = fitted
         path = tmp_path / "s.rbq"
         save_searcher(searcher, path)
         header, _ = _read_v6_header(path)
-        assert header["format_version"] == SEARCHER_FORMAT_VERSION == 7
+        assert header["format_version"] == SEARCHER_FORMAT_VERSION == 8
 
     def test_graph_roundtrips_bit_identical(self, fitted, tmp_path):
         _, queries, searcher = fitted

@@ -1,0 +1,241 @@
+"""Behavioral tests for multi-bit (extended) RaBitQ codes.
+
+``bits = B > 1`` spends ``B`` bits per dimension: scalar-quantized residual
+magnitudes layered over the sign bits, stored as ``B`` packed bit-planes,
+with a per-code rescale factor appended to the fused constant matrix.  This
+suite pins the contracts the width parameter introduces:
+
+* ``bits = 1`` is *the* binary construction — explicitly passing it changes
+  nothing, byte for byte (the deeper stream-identity gate lives in
+  ``tests/test_l2_stream_gate.py``);
+* more bits means strictly better reconstructions and tighter estimates;
+* the batched search path stays bit-identical to the sequential one at
+  every width;
+* the fast-scan LUT modes (binary by design) refuse multi-bit codes with a
+  typed error at construction and at property-assignment time, on both the
+  single searcher and the sharded fan-out;
+* memory accounting (``memory_bytes`` / ``compression_ratio`` /
+  ``code_bytes_per_vector``) scales with the width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SUPPORTED_CODE_BITS, RaBitQConfig
+from repro.core.quantizer import RaBitQ
+from repro.exceptions import InvalidParameterError
+from repro.index.searcher import IVFQuantizedSearcher
+from repro.index.sharded import ShardedSearcher
+
+ALL_BITS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(11)
+    data = rng.standard_normal((400, 48))
+    queries = rng.standard_normal((6, 48))
+    return data, queries
+
+
+def _fit(data, bits, seed=5):
+    return RaBitQ(RaBitQConfig(seed=seed, bits=bits)).fit(data)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("bits", [0, 3, 5, 16, -1])
+    def test_unsupported_widths_rejected(self, bits):
+        with pytest.raises(InvalidParameterError, match="bits"):
+            RaBitQConfig(bits=bits)
+
+    @pytest.mark.parametrize("bits", ALL_BITS)
+    def test_supported_widths_accepted(self, bits):
+        assert RaBitQConfig(bits=bits).bits == bits
+        assert bits in SUPPORTED_CODE_BITS
+
+
+class TestQuantizer:
+    def test_explicit_one_bit_is_the_default_construction(self, corpus):
+        data, _ = corpus
+        implicit = RaBitQ(RaBitQConfig(seed=5)).fit(data)
+        explicit = _fit(data, 1)
+        np.testing.assert_array_equal(
+            implicit.dataset.packed_codes, explicit.dataset.packed_codes
+        )
+        np.testing.assert_array_equal(
+            implicit.dataset.code_popcounts, explicit.dataset.code_popcounts
+        )
+        np.testing.assert_array_equal(
+            implicit.dataset.alignments, explicit.dataset.alignments
+        )
+        assert explicit.dataset.bits == 1
+        assert explicit.dataset.rescales is None
+
+    def test_reconstruction_error_decreases_with_bits(self, corpus):
+        data, _ = corpus
+        errors = []
+        for bits in ALL_BITS:
+            quantizer = _fit(data, bits)
+            # reconstruct() returns padded rows; the tail coordinates
+            # approximate the zero padding.
+            approx = quantizer.reconstruct()[:, : data.shape[1]]
+            errors.append(float(((approx - data) ** 2).sum()))
+        for coarse, fine in zip(errors, errors[1:]):
+            assert fine < coarse
+
+    def test_estimates_tighten_with_bits(self, corpus):
+        data, queries = corpus
+        exact = ((data[None, :, :] - queries[:, None, :]) ** 2).sum(axis=2)
+        mean_errors = []
+        for bits in ALL_BITS:
+            estimate = _fit(data, bits).estimate_distances_batch(queries)
+            relative = np.abs(estimate.distances - exact) / exact
+            mean_errors.append(float(relative.mean()))
+        # B=1 -> B=2 -> B=4 each cut the estimation error substantially;
+        # by B=8 the scalar residual is already near float resolution, so
+        # only monotonicity is asserted on the last step.
+        assert mean_errors[1] < 0.6 * mean_errors[0]
+        assert mean_errors[2] < 0.6 * mean_errors[1]
+        assert mean_errors[3] < mean_errors[2]
+
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_bounds_bracket_estimates_and_cover_truth(self, corpus, bits):
+        data, queries = corpus
+        quantizer = _fit(data, bits)
+        estimate = quantizer.estimate_distances(queries[0])
+        exact = ((data - queries[0]) ** 2).sum(axis=1)
+        assert np.all(estimate.lower_bounds <= estimate.distances + 1e-12)
+        assert np.all(estimate.distances <= estimate.upper_bounds + 1e-12)
+        covered = (
+            (exact >= estimate.lower_bounds) & (exact <= estimate.upper_bounds)
+        ).mean()
+        assert covered >= 0.85
+
+    @pytest.mark.parametrize("bits", ALL_BITS)
+    def test_add_is_split_invariant(self, corpus, bits):
+        # Incremental encoding is per-row against the fitted rotation and
+        # centroid, so how the added rows are batched cannot matter.
+        data, _ = corpus
+        one_call = RaBitQ(RaBitQConfig(seed=5, bits=bits)).fit(data[:300])
+        one_call.add(data[300:])
+        two_calls = RaBitQ(RaBitQConfig(seed=5, bits=bits)).fit(data[:300])
+        two_calls.add(data[300:350])
+        two_calls.add(data[350:])
+        np.testing.assert_array_equal(
+            one_call.dataset.packed_codes, two_calls.dataset.packed_codes
+        )
+        np.testing.assert_array_equal(
+            one_call.dataset.alignments, two_calls.dataset.alignments
+        )
+        if bits > 1:
+            np.testing.assert_array_equal(
+                one_call.dataset.rescales, two_calls.dataset.rescales
+            )
+
+    def test_memory_accounting_scales_with_bits(self, corpus):
+        data, _ = corpus
+        one = _fit(data, 1)
+        four = _fit(data, 4)
+        assert four.dataset.code_bytes_per_vector() == pytest.approx(
+            4 * one.dataset.code_bytes_per_vector()
+        )
+        assert four.dataset.memory_bytes() > one.dataset.memory_bytes()
+        # Compression counts the packed code bytes, so the ratio shrinks
+        # by the width (the shared constant-size metadata aside).
+        assert four.compression_ratio() == pytest.approx(
+            one.compression_ratio() / 4
+        )
+
+
+class TestSearcher:
+    @pytest.mark.parametrize("bits", ALL_BITS)
+    def test_batch_identical_to_sequential(self, corpus, bits):
+        data, queries = corpus
+
+        def build():
+            return IVFQuantizedSearcher(
+                "rabitq",
+                n_clusters=8,
+                rabitq_config=RaBitQConfig(seed=3, bits=bits),
+                rng=7,
+            ).fit(data)
+
+        batch = build().search_batch(queries, 5, nprobe=4)
+        searcher = build()
+        sequential = [searcher.search(q, 5, nprobe=4) for q in queries]
+        for got, want in zip(batch, sequential):
+            np.testing.assert_array_equal(got.ids, want.ids)
+            np.testing.assert_array_equal(got.distances, want.distances)
+            assert got.n_exact == want.n_exact
+
+    def test_bits_property_and_arena_width(self, corpus):
+        data, _ = corpus
+        searcher = IVFQuantizedSearcher(
+            "rabitq", n_clusters=8, bits=4, rng=1
+        ).fit(data)
+        assert searcher.bits == 4
+        assert searcher.arena.bits_per_dim == 4
+        default = IVFQuantizedSearcher("rabitq", n_clusters=8, rng=1)
+        assert default.bits == 1
+
+    def test_wider_codes_need_no_more_reranks(self, corpus):
+        data, queries = corpus
+
+        def n_exact(bits):
+            searcher = IVFQuantizedSearcher(
+                "rabitq",
+                n_clusters=8,
+                rabitq_config=RaBitQConfig(seed=0, bits=bits),
+                rng=0,
+            ).fit(data)
+            return sum(
+                searcher.search(q, 10, nprobe=4).n_exact for q in queries
+            )
+
+        # Tighter estimates -> tighter error bounds -> the bound-driven
+        # re-ranker escalates no more (in practice: fewer) candidates.
+        assert n_exact(4) <= n_exact(1)
+
+    @pytest.mark.parametrize("mode", ["lut", "lut8"])
+    def test_lut_modes_reject_multibit_at_construction(self, mode):
+        with pytest.raises(InvalidParameterError, match="1-bit"):
+            IVFQuantizedSearcher(
+                "rabitq", n_clusters=4, bits=2, estimation_mode=mode
+            )
+
+    @pytest.mark.parametrize("mode", ["lut", "lut8"])
+    def test_lut_modes_reject_multibit_at_assignment(self, corpus, mode):
+        data, _ = corpus
+        searcher = IVFQuantizedSearcher(
+            "rabitq", n_clusters=8, bits=4, rng=1
+        ).fit(data)
+        with pytest.raises(InvalidParameterError, match="1-bit"):
+            searcher.estimation_mode = mode
+        assert searcher.estimation_mode == "gemm"
+
+
+class TestSharded:
+    def test_bits_forwarded_to_every_shard(self, corpus):
+        data, queries = corpus
+        sharded = ShardedSearcher(
+            n_shards=2, n_clusters=4, rng=2, bits=4
+        ).fit(data)
+        assert sharded.bits == 4
+        assert all(shard.bits == 4 for shard in sharded.shards)
+        result = sharded.search(queries[0], 5, nprobe=4)
+        assert result.ids.shape == (5,)
+
+    @pytest.mark.parametrize("mode", ["lut", "lut8"])
+    def test_lut_modes_reject_multibit(self, corpus, mode):
+        data, _ = corpus
+        with pytest.raises(InvalidParameterError, match="1-bit"):
+            ShardedSearcher(
+                n_shards=2, n_clusters=4, bits=2, estimation_mode=mode
+            )
+        sharded = ShardedSearcher(
+            n_shards=2, n_clusters=4, rng=2, bits=4
+        ).fit(data)
+        with pytest.raises(InvalidParameterError, match="1-bit"):
+            sharded.estimation_mode = mode

@@ -1,0 +1,235 @@
+"""Persistence tests for multi-bit (``bits`` > 1) codes — archive format v8.
+
+Format v8 records the code width ``B`` (bits per dimension) in the archive
+meta.  This suite pins the contract from the multi-bit refactor:
+
+* v8 round-trips are bit-identical for every supported width, through both
+  materialized and memory-mapped loads, and a reloaded searcher keeps
+  mutating (insert) correctly;
+* archives written by the v6/v7 test-only writer hooks (no ``bits`` key)
+  load as ``bits = 1``;
+* the legacy v6/v7 layouts and the npz layout *refuse* to save multi-bit
+  searchers instead of silently dropping the width;
+* a corrupted ``bits`` value in the header is rejected with
+  :class:`PersistenceError`, not mis-decoded;
+* sharded manifests record ``bits`` and cross-check it against the shards;
+* quantizer npz archives stay at version 2 (byte-compatible with previous
+  builds) for ``bits = 1`` and write version 3 (with ``bits`` and
+  ``rescales`` entries) for ``bits > 1``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.config import RaBitQConfig
+from repro.core.quantizer import RaBitQ
+from repro.exceptions import InvalidParameterError, PersistenceError
+from repro.index.searcher import IVFQuantizedSearcher
+from repro.index.sharded import ShardedSearcher
+from repro.io.persistence import (
+    _save_searcher_v6,
+    load_rabitq,
+    load_searcher,
+    load_sharded_searcher,
+    save_rabitq,
+    save_searcher,
+    save_sharded_searcher,
+)
+
+ALL_BITS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(7)
+    data = rng.standard_normal((600, 48))
+    queries = rng.standard_normal((8, 48))
+    return data, queries
+
+
+def _build(data, bits):
+    return IVFQuantizedSearcher(
+        "rabitq", n_clusters=8, rng=np.random.default_rng(1), bits=bits
+    ).fit(data)
+
+
+def _rewrite_header_bits(path, bits):
+    """Patch ``meta['bits']`` in a v6-container header in place."""
+    raw = path.read_bytes()
+    _magic, header_len = struct.unpack("<8sQ", raw[:16])
+    header = json.loads(raw[16 : 16 + header_len])
+    header["meta"]["bits"] = bits
+    payload = json.dumps(header, sort_keys=True).encode()
+    pad = header_len - len(payload)
+    assert pad >= 0, "patched header no longer fits its slot"
+    payload += b" " * pad
+    path.write_bytes(raw[:16] + payload + raw[16 + header_len :])
+
+
+class TestV8RoundTrip:
+    @pytest.mark.parametrize("bits", ALL_BITS)
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_round_trip_bit_identical(self, corpus, tmp_path, bits, mmap):
+        data, queries = corpus
+        searcher = _build(data, bits)
+        reference = [searcher.search(q, k=5, nprobe=4) for q in queries]
+        path = tmp_path / f"s{bits}.rbq"
+        save_searcher(searcher, path)
+        loaded = load_searcher(path, mmap=mmap)
+        assert loaded.bits == bits
+        for ref, got in zip(
+            reference, (loaded.search(q, k=5, nprobe=4) for q in queries)
+        ):
+            np.testing.assert_array_equal(ref.ids, got.ids)
+            np.testing.assert_array_equal(ref.distances, got.distances)
+
+    @pytest.mark.parametrize("bits", [1, 4])
+    def test_loaded_searcher_keeps_mutating(self, corpus, tmp_path, bits):
+        data, queries = corpus
+        searcher = _build(data, bits)
+        path = tmp_path / f"mut{bits}.rbq"
+        save_searcher(searcher, path)
+        loaded = load_searcher(path)
+        rng = np.random.default_rng(9)
+        new_ids = loaded.insert(rng.standard_normal((5, 48)))
+        assert new_ids.shape == (5,)
+        assert loaded.n_live == len(data) + 5
+        result = loaded.search(queries[0], k=5, nprobe=8)
+        assert result.ids.shape == (5,)
+
+
+class TestLegacyLayouts:
+    @pytest.mark.parametrize("format_version", [6, 7])
+    def test_pre_v8_archives_load_as_one_bit(
+        self, corpus, tmp_path, format_version
+    ):
+        data, _ = corpus
+        searcher = _build(data, 1)
+        path = tmp_path / f"legacy{format_version}.rbq"
+        _save_searcher_v6(searcher, path, _format_version=format_version)
+        assert load_searcher(path).bits == 1
+
+    @pytest.mark.parametrize("format_version", [6, 7])
+    def test_pre_v8_layouts_refuse_multibit(
+        self, corpus, tmp_path, format_version
+    ):
+        data, _ = corpus
+        searcher = _build(data, 4)
+        with pytest.raises(InvalidParameterError, match="bits"):
+            _save_searcher_v6(
+                searcher, tmp_path / "bad.rbq", _format_version=format_version
+            )
+
+    def test_npz_layout_refuses_multibit(self, corpus, tmp_path):
+        data, _ = corpus
+        searcher = _build(data, 4)
+        with pytest.raises(InvalidParameterError, match="bits"):
+            save_searcher(searcher, tmp_path / "bad.npz", layout="npz")
+
+    def test_npz_layout_still_serves_one_bit(self, corpus, tmp_path):
+        data, queries = corpus
+        searcher = _build(data, 1)
+        path = tmp_path / "one.npz"
+        save_searcher(searcher, path, layout="npz")
+        loaded = load_searcher(path)
+        assert loaded.bits == 1
+        ref = searcher.search(queries[0], k=5, nprobe=4)
+        got = loaded.search(queries[0], k=5, nprobe=4)
+        np.testing.assert_array_equal(ref.ids, got.ids)
+
+
+class TestCorruption:
+    def test_unsupported_bits_value_rejected(self, corpus, tmp_path):
+        data, _ = corpus
+        searcher = _build(data, 4)
+        path = tmp_path / "corrupt.rbq"
+        save_searcher(searcher, path)
+        _rewrite_header_bits(path, 3)
+        with pytest.raises(PersistenceError, match="unsupported code width"):
+            load_searcher(path)
+
+    def test_bits_word_count_cross_checked(self, corpus, tmp_path):
+        # Declaring a different *supported* width breaks the bits-aware
+        # word-count invariant, which the loader must also catch.
+        data, _ = corpus
+        searcher = _build(data, 4)
+        path = tmp_path / "width.rbq"
+        save_searcher(searcher, path)
+        _rewrite_header_bits(path, 2)
+        with pytest.raises(PersistenceError):
+            load_searcher(path)
+
+
+class TestSharded:
+    def test_manifest_records_and_checks_bits(self, corpus, tmp_path):
+        data, queries = corpus
+        sharded = ShardedSearcher(
+            n_shards=2, n_clusters=4, rng=np.random.default_rng(2), bits=4
+        ).fit(data)
+        reference = [sharded.search(q, k=5, nprobe=4) for q in queries]
+        root = tmp_path / "sharded4"
+        save_sharded_searcher(sharded, root)
+        manifest = json.loads((root / "manifest.json").read_text())
+        assert manifest["bits"] == 4
+        loaded = load_sharded_searcher(root)
+        assert loaded.bits == 4
+        for ref, got in zip(
+            reference, (loaded.search(q, k=5, nprobe=4) for q in queries)
+        ):
+            np.testing.assert_array_equal(ref.ids, got.ids)
+            np.testing.assert_array_equal(ref.distances, got.distances)
+        # Tamper: manifest declares a different width than the shards carry.
+        manifest["bits"] = 1
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="bits"):
+            load_sharded_searcher(root)
+
+
+class TestQuantizerArchives:
+    def test_one_bit_archive_stays_version_two(self, corpus, tmp_path):
+        data, queries = corpus
+        quantizer = RaBitQ(RaBitQConfig(seed=3, bits=1)).fit(data)
+        path = tmp_path / "q1"
+        save_rabitq(quantizer, path)
+        with np.load(str(path) + ".npz") as archive:
+            assert int(archive["format_version"]) == 2
+            assert "bits" not in archive.files
+            assert "rescales" not in archive.files
+        reference = quantizer.estimate_distances(queries[0])
+        loaded = load_rabitq(path)
+        assert loaded.config.bits == 1
+        estimate = loaded.estimate_distances(queries[0])
+        np.testing.assert_array_equal(reference.distances, estimate.distances)
+
+    def test_multibit_archive_writes_version_three(self, corpus, tmp_path):
+        data, queries = corpus
+        quantizer = RaBitQ(RaBitQConfig(seed=3, bits=4)).fit(data)
+        path = tmp_path / "q4"
+        save_rabitq(quantizer, path)
+        with np.load(str(path) + ".npz") as archive:
+            assert int(archive["format_version"]) == 3
+            assert int(archive["bits"]) == 4
+            assert archive["rescales"].shape == (len(data),)
+        reference = quantizer.estimate_distances(queries[0])
+        loaded = load_rabitq(path)
+        assert loaded.config.bits == 4
+        estimate = loaded.estimate_distances(queries[0])
+        np.testing.assert_array_equal(reference.distances, estimate.distances)
+
+    def test_unsupported_quantizer_bits_rejected(self, corpus, tmp_path):
+        data, _ = corpus
+        quantizer = RaBitQ(RaBitQConfig(seed=3, bits=4)).fit(data)
+        path = tmp_path / "qbad"
+        save_rabitq(quantizer, path)
+        npz_path = str(path) + ".npz"
+        with np.load(npz_path) as archive:
+            entries = {name: archive[name] for name in archive.files}
+        entries["bits"] = np.int64(5)
+        np.savez(npz_path.removesuffix(".npz"), **entries)
+        with pytest.raises(PersistenceError, match="unsupported code width"):
+            load_rabitq(path)

@@ -14,11 +14,17 @@ load-bearing properties across randomly drawn datasets, queries and seeds:
 * Unbiasedness: averaged over independent rotations, the IP estimator's
   signed error vanishes (a fixed-seed statistical test, since averaging
   over rotations inside a hypothesis example would be too slow).
+* Multi-bit codes (``B in {2, 4}``): the distance estimator stays unbiased
+  over rotations, its estimates tighten with ``B``, and the confidence
+  intervals — which add the query-rounding term for ``B > 1`` (see
+  ``repro.core.estimator.combined_halfwidth``) — keep covering the true
+  distances and inner products.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -117,6 +123,96 @@ def test_cosine_zero_norm_vectors_score_zero(seed, dim):
     assert estimate.values[7] == 0.0
     zero_query = estimator.estimate_cosine(np.zeros(dim))
     assert np.all(zero_query.values == 0.0)
+
+
+@given(
+    seed=st.integers(0, 2**20),
+    n=st.integers(60, 200),
+    dim=st.sampled_from([24, 48, 96]),
+    bits=st.sampled_from([2, 4]),
+)
+@settings(**_SETTINGS)
+def test_multibit_distance_bound_coverage(seed, n, dim, bits):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, dim)) + 0.2
+    query = rng.standard_normal(dim) + 0.2
+    quantizer = RaBitQ(RaBitQConfig(seed=seed % 17, bits=bits)).fit(data)
+    estimate = quantizer.estimate_distances(query)
+    exact = ((data - query) ** 2).sum(axis=1)
+    assert np.all(estimate.lower_bounds <= estimate.distances + 1e-12)
+    assert np.all(estimate.distances <= estimate.upper_bounds + 1e-12)
+    covered = (
+        (exact >= estimate.lower_bounds) & (exact <= estimate.upper_bounds)
+    ).mean()
+    assert covered >= 0.85
+
+
+@given(
+    seed=st.integers(0, 2**20),
+    n=st.integers(60, 160),
+    dim=st.sampled_from([32, 64]),
+    bits=st.sampled_from([2, 4]),
+)
+@settings(**_SETTINGS)
+def test_multibit_ip_bound_coverage(seed, n, dim, bits):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, dim)) + 0.2
+    query = rng.standard_normal(dim) + 0.2
+    quantizer = RaBitQ(RaBitQConfig(seed=seed % 13, bits=bits)).fit(data)
+    estimator = SimilarityEstimator(quantizer).fit_raw_terms(data)
+    estimate = estimator.estimate_inner_products(query)
+    true_ip = data @ query
+    assert np.all(estimate.lower_bounds <= estimate.values + 1e-12)
+    assert np.all(estimate.values <= estimate.upper_bounds + 1e-12)
+    covered = (
+        (true_ip >= estimate.lower_bounds) & (true_ip <= estimate.upper_bounds)
+    ).mean()
+    assert covered >= 0.85
+
+
+@given(
+    seed=st.integers(0, 2**20),
+    n=st.integers(60, 160),
+    dim=st.sampled_from([32, 64]),
+)
+@settings(**_SETTINGS)
+def test_multibit_estimates_tighten_with_bits(seed, n, dim):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, dim))
+    query = rng.standard_normal(dim)
+    exact = ((data - query) ** 2).sum(axis=1)
+    errors = {}
+    for bits in (1, 2, 4):
+        quantizer = RaBitQ(RaBitQConfig(seed=seed % 11, bits=bits)).fit(data)
+        estimate = quantizer.estimate_distances(query)
+        errors[bits] = float(
+            (np.abs(estimate.distances - exact) / exact).mean()
+        )
+    # Each doubling of the code width roughly halves the residual scale;
+    # require a material improvement, not the full asymptotic factor.
+    assert errors[2] < 0.8 * errors[1]
+    assert errors[4] < 0.8 * errors[2]
+
+
+@pytest.mark.parametrize("bits", [2, 4])
+def test_multibit_estimator_unbiased_over_rotations(bits):
+    # Fixed-seed statistical unbiasedness: the *signed* distance-estimate
+    # error, averaged over independent rotations (and independent query
+    # rounding), shrinks well below the per-rotation error magnitude.
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((60, 32)) + 0.2
+    query = rng.standard_normal(32) + 0.2
+    exact = ((data - query) ** 2).sum(axis=1)
+    errors = []
+    magnitudes = []
+    for seed in range(24):
+        quantizer = RaBitQ(RaBitQConfig(seed=seed, bits=bits)).fit(data)
+        estimate = quantizer.estimate_distances(query)
+        errors.append(estimate.distances - exact)
+        magnitudes.append(np.abs(estimate.distances - exact).mean())
+    mean_signed = np.abs(np.mean(errors, axis=0)).mean()
+    mean_abs = float(np.mean(magnitudes))
+    assert mean_signed <= 0.45 * mean_abs
 
 
 def test_ip_estimator_unbiased_over_rotations():
