@@ -1,0 +1,237 @@
+"""Online serving — micro-batching drivers and tail-latency percentiles.
+
+Laptop-scale companion to the ``serving`` section of ``run_bench.py``:
+one :class:`~repro.serving.ServingEngine` per driver is pointed at the
+same searcher while a twin (same seeds, same data, identical warm-up)
+replays the concatenated execution log through plain sequential
+``search`` calls — the coalescing-equivalence invariant asserted here is
+the same hard gate ``run_bench.py --check`` enforces on the committed
+records.
+
+The emitted table has one row per traffic shape:
+
+* ``sequential`` — the one-query-at-a-time reference (batch fill 1.0);
+* ``burst`` — every request submitted at once, a large batch cap: the
+  micro-batcher's best case for *work per request*;
+* ``closed_loop`` — a fixed client-thread pool, small batches: the
+  bounded-concurrency latency regime (p50/p95/p99 are exact
+  nearest-rank percentiles from :class:`~repro.metrics.LatencyRecorder`);
+* ``open_loop`` — seeded Poisson arrivals at 1.3x the sequential
+  service rate against a bounded queue with deadlines and the EWMA
+  budget controller: admission rejections and deadline-miss rate under
+  honest overload.
+
+Single-CPU caveat: wall-clock QPS gains from threading cannot be shown
+on a one-core host; the honest comparisons are batch fill, work per
+request (burst vs sequential) and the latency distributions.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from benchmarks.conftest import bench_dataset, emit
+from repro.core.config import RaBitQConfig
+from repro.exceptions import AdmissionRejectedError
+from repro.experiments.report import format_table
+from repro.index.searcher import IVFQuantizedSearcher
+from repro.metrics import LatencyRecorder
+from repro.serving import BudgetController, ServingEngine, execution_log_matches
+
+K = 10
+NPROBE = 8
+N_REQUESTS = 160
+
+
+def _make_searcher(data):
+    """Twin factory: identical seeds + data => identical stream state."""
+    return IVFQuantizedSearcher(
+        "rabitq", n_clusters=32, rabitq_config=RaBitQConfig(seed=0), rng=0
+    ).fit(data)
+
+
+def _row(driver, arrival, qps, fill, latency, rejected, miss_rate):
+    return {
+        "driver": driver,
+        "arrival_rate": arrival,
+        "qps": round(qps, 1),
+        "batch_fill": fill,
+        "p50_ms": latency["p50_ms"],
+        "p95_ms": latency["p95_ms"],
+        "p99_ms": latency["p99_ms"],
+        "rejected": rejected,
+        "deadline_miss_rate": miss_rate,
+    }
+
+
+def test_serving_drivers_and_tail_latency():
+    """Three traffic shapes through the coalescing engine, twin-replayed."""
+    data = bench_dataset("sift").data
+    queries = np.random.default_rng(5).standard_normal(
+        (N_REQUESTS, data.shape[1])
+    )
+
+    # The sequential reference gets its own searcher: its calls consume
+    # rounding-stream randomness that must not desynchronize the
+    # serving/twin pair.
+    sequential = _make_searcher(data)
+    serving, twin = _make_searcher(data), _make_searcher(data)
+    rows, logs = [], []
+
+    seq_latency = LatencyRecorder()
+    start = time.perf_counter()
+    for query in queries:
+        t0 = time.perf_counter()
+        sequential.search(query, K, nprobe=NPROBE)
+        seq_latency.record(time.perf_counter() - t0)
+    seq_seconds = time.perf_counter() - start
+    seq_per_request = seq_seconds / N_REQUESTS
+    rows.append(
+        _row(
+            "sequential",
+            "-",
+            N_REQUESTS / seq_seconds,
+            1.0,
+            seq_latency.summary_ms(),
+            0,
+            "-",
+        )
+    )
+
+    # -- burst: all requests at once, large batch cap ------------------ #
+    with ServingEngine(
+        serving,
+        max_batch=N_REQUESTS,
+        max_delay_us=20_000,
+        max_queue_depth=N_REQUESTS + 1,
+        record_requests=True,
+    ) as engine:
+        start = time.perf_counter()
+        pending = [engine.submit_async(q, K, nprobe=NPROBE) for q in queries]
+        for p in pending:
+            p.result(timeout=120.0)
+        engine.drain(timeout=120.0)
+        burst_seconds = time.perf_counter() - start
+        stats = engine.stats()
+        rows.append(
+            _row(
+                "burst",
+                "-",
+                N_REQUESTS / burst_seconds,
+                round(stats["mean_batch_fill"], 1),
+                engine.latency.summary_ms(),
+                stats["rejected"],
+                "-",
+            )
+        )
+        logs.extend(engine.execution_log())
+        burst_fill = stats["mean_batch_fill"]
+
+    # -- closed loop: 8 client threads, zero think time ----------------- #
+    with ServingEngine(
+        serving,
+        max_batch=16,
+        max_delay_us=2000,
+        max_queue_depth=N_REQUESTS + 1,
+        record_requests=True,
+    ) as engine:
+        def client(chunk):
+            for query in chunk:
+                engine.submit(query, K, nprobe=NPROBE, timeout=120.0)
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(client, [queries[c::8] for c in range(8)]))
+        engine.drain(timeout=120.0)
+        closed_seconds = time.perf_counter() - start
+        stats = engine.stats()
+        rows.append(
+            _row(
+                "closed_loop",
+                "-",
+                N_REQUESTS / closed_seconds,
+                round(stats["mean_batch_fill"], 1),
+                engine.latency.summary_ms(),
+                stats["rejected"],
+                "-",
+            )
+        )
+        logs.extend(engine.execution_log())
+
+    # -- open loop: Poisson overload, deadlines, budget controller ------ #
+    arrival_rate = 1.3 / seq_per_request
+    deadline = max(0.01, 50.0 * seq_per_request)
+    gaps = np.random.default_rng(6).exponential(
+        1.0 / arrival_rate, size=N_REQUESTS
+    )
+    with ServingEngine(
+        serving,
+        max_batch=16,
+        max_delay_us=2000,
+        max_queue_depth=32,
+        budget=BudgetController(min_nprobe=max(1, NPROBE // 4)),
+        record_requests=True,
+    ) as engine:
+        pending = []
+        next_arrival = time.perf_counter()
+        start = next_arrival
+        for query, gap in zip(queries, gaps):
+            next_arrival += gap
+            pause = next_arrival - time.perf_counter()
+            if pause > 0:
+                time.sleep(pause)
+            try:
+                pending.append(
+                    engine.submit_async(query, K, nprobe=NPROBE, deadline=deadline)
+                )
+            except AdmissionRejectedError:
+                pass  # counted by the engine's stats
+        for p in pending:
+            p.result(timeout=120.0)
+        engine.drain(timeout=120.0)
+        open_seconds = time.perf_counter() - start
+        stats = engine.stats()
+        rows.append(
+            _row(
+                "open_loop",
+                round(arrival_rate, 1),
+                stats["completed"] / open_seconds,
+                round(stats["mean_batch_fill"], 1),
+                engine.latency.summary_ms(),
+                stats["rejected"],
+                round(stats["deadline_miss_rate"], 3),
+            )
+        )
+        logs.extend(engine.execution_log())
+
+    emit(
+        format_table(
+            rows,
+            columns=[
+                "driver",
+                "arrival_rate",
+                "qps",
+                "batch_fill",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+                "rejected",
+                "deadline_miss_rate",
+            ],
+            title=(
+                f"Online serving -- {N_REQUESTS} requests, K={K}, "
+                f"nprobe={NPROBE} (single-CPU host: compare batch fill and "
+                "percentiles, not thread-scaled QPS)"
+            ),
+        )
+    )
+
+    # The hard invariant: every answered request, replayed in executed
+    # order at its effective budget on the twin, is bit-identical.
+    assert execution_log_matches(twin, logs) == []
+    assert len(logs) >= 3 * N_REQUESTS - 32  # open loop may reject some
+    # The burst driver actually coalesced (fill >= 4 is the run_bench gate).
+    assert burst_fill >= 4.0

@@ -58,6 +58,16 @@ Measured quantities per run:
   journal-attached archive is reopened), and a hard
   ``recovery_bit_identical`` gate — the replayed searcher's batch results
   must match the in-memory mutated searcher bit for bit or the run fails.
+* ``serving`` — the online serving front end: the coalescing engine's
+  burst / closed-loop / open-loop-Poisson drivers vs. the sequential
+  one-query-at-a-time reference, with exact p50/p95/p99 latency
+  percentiles, admission-control and deadline-degradation counters, and
+  two hard gates — every coalesced response must be bit-identical to a
+  sequential ``search`` replay of the engine's execution log, and
+  micro-batching must reduce mean work per request at batch fill >= 4
+  (the single-CPU-honest headline; wall-clock QPS is tracked but not
+  thread-scaling-gated).  The ``--check`` gate additionally bounds
+  closed-loop p99 regressions.
 * ``probe_equivalence`` — the graph-probing gates: for all three metrics,
   the HNSW centroid graph at ``ef >= n_clusters`` must reproduce the exact
   probed sets per query, and at the default ``ef`` its end-to-end recall
@@ -102,6 +112,7 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 from repro.core.config import RaBitQConfig  # noqa: E402
 from repro.datasets.registry import load_dataset  # noqa: E402
 from repro.metrics.recall import recall_at_k  # noqa: E402
+from repro.metrics.timing import LatencyRecorder  # noqa: E402
 from repro.index.searcher import IVFQuantizedSearcher  # noqa: E402
 
 
@@ -178,9 +189,12 @@ def bench_ann(args, dataset) -> dict:
         searcher.search(query, k, nprobe=nprobe)
 
     n_single = min(args.n_queries, args.n_single)
+    single_latency = LatencyRecorder()
     start = time.perf_counter()
     for query in queries[:n_single]:
+        t0 = time.perf_counter()
         searcher.search(query, k, nprobe=nprobe)
+        single_latency.record(time.perf_counter() - t0)
     single_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -215,6 +229,7 @@ def bench_ann(args, dataset) -> dict:
             "n_queries": n_single,
             "seconds": round(single_seconds, 4),
             "qps": round(n_single / single_seconds, 1),
+            "latency_ms": single_latency.summary_ms(),
         },
         "batch": {
             "n_queries": args.n_queries,
@@ -415,9 +430,12 @@ def bench_estimation_modes(args, dataset) -> dict:
             batch = engine.search_batch(queries, k, nprobe=nprobe)
             batch_seconds = time.perf_counter() - start
 
+            mode_latency = LatencyRecorder()
             start = time.perf_counter()
             for query in queries[:n_single]:
+                t0 = time.perf_counter()
                 engine.search(query, k, nprobe=nprobe)
+                mode_latency.record(time.perf_counter() - t0)
             single_seconds = time.perf_counter() - start
 
             recall = recall_at_k([r.ids for r in batch], dataset.ground_truth, k)
@@ -433,6 +451,7 @@ def bench_estimation_modes(args, dataset) -> dict:
                 "single_query": {
                     "n_queries": n_single,
                     "qps": round(n_single / single_seconds, 1),
+                    "latency_ms": mode_latency.summary_ms(),
                 },
                 "batch": {
                     "n_queries": len(queries),
@@ -456,6 +475,254 @@ def bench_estimation_modes(args, dataset) -> dict:
         "modes": modes,
         "lut_matches_gemm": bool(lut_matches),
     }
+
+
+def bench_serving(args, dataset) -> dict:
+    """Online serving benchmark: coalescing engine vs. one-query-at-a-time.
+
+    One index is fitted and archived once; every participant — the
+    sequential reference, the serving searcher and the replay twin — is a
+    fresh reload of that archive, so they all start from the identical
+    rounding-stream state.  Three drivers run against one serving
+    searcher in sequence (its stream state advances across drivers, and
+    the replay twin follows the concatenated execution log):
+
+    * ``burst`` — all requests submitted at once (closed-loop, zero think
+      time): the micro-batcher's best case, measuring the *work per
+      request* the coalescing engine achieves against the sequential
+      reference.  This driver runs with a large batch cap because the
+      batch engine's saving comes from per-cluster grouping (it needs
+      several queries probing the same cluster to amortize anything).
+      On a single-CPU host this work ratio — not wall-clock thread
+      scaling — is the honest headline, and the ``gates`` entry requires
+      micro-batching to reduce mean work per request at a mean batch
+      fill >= 4.
+    * ``closed_loop`` — a fixed pool of client threads submitting
+      back-to-back: a bounded-concurrency regime whose enqueue-to-answer
+      p50/p95/p99 come from the engine's exact ``LatencyRecorder``
+      (nearest-rank percentiles; the ``--check`` gate bounds closed-loop
+      p99 regressions on the small tier).
+    * ``open_loop`` — seeded Poisson arrivals at ~1.3x the sequential
+      service rate against a bounded queue with per-request deadlines and
+      the EWMA budget controller attached: exercises admission control
+      (``rejected``) and deadline degradation (``degraded_requests``,
+      ``deadline_miss_rate``) under honest overload.
+
+    The equivalence hard gate replays the full execution log — every
+    answered request, in executed order, at its *effective* probe budget
+    — through plain sequential ``search`` calls on the twin; any
+    non-bit-identical response fails the run in ``main``.
+    """
+    import shutil
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.exceptions import AdmissionRejectedError
+    from repro.io.persistence import load_searcher, save_searcher
+    from repro.serving import (
+        BudgetController,
+        ServingEngine,
+        execution_log_matches,
+    )
+
+    data, queries = dataset.data, dataset.queries
+    k, nprobe = args.k, args.nprobe
+    n_serving = min(len(queries), 512)
+    work = queries[:n_serving]
+    max_batch, max_delay_us = 16, 2000
+    # Work-per-request is a per-cluster-grouping win: it needs roughly
+    # batch * nprobe / n_clusters > 1 queries landing on each probed
+    # cluster, so the burst driver (which measures the work ratio, not
+    # latency) runs with a much larger batch cap and a window wide
+    # enough to swallow the whole submission burst.
+    burst_batch = min(n_serving, 256)
+    burst_delay_us = 20_000
+    n_warm = min(16, n_serving)
+
+    searcher = IVFQuantizedSearcher(
+        "rabitq", rabitq_config=RaBitQConfig(seed=0), rng=args.seed
+    ).fit(data)
+    tmp = Path(tempfile.mkdtemp(prefix="run_bench_serving_"))
+    try:
+        archive = tmp / "idx.rbq"
+        save_searcher(searcher, archive)
+        del searcher
+
+        # --- sequential one-at-a-time reference -----------------------
+        sequential = load_searcher(archive)
+        sequential.search_batch(work[:n_warm], k, nprobe=nprobe)
+        seq_latency = LatencyRecorder()
+        start = time.perf_counter()
+        for query in work:
+            t0 = time.perf_counter()
+            sequential.search(query, k, nprobe=nprobe)
+            seq_latency.record(time.perf_counter() - t0)
+        seq_seconds = time.perf_counter() - start
+        seq_per_request = seq_seconds / n_serving
+        del sequential
+
+        # The serving searcher and its replay twin consume identical
+        # warm-up randomness, keeping their streams in lock-step.
+        serving = load_searcher(archive)
+        twin = load_searcher(archive)
+        serving.search_batch(work[:n_warm], k, nprobe=nprobe)
+        twin.search_batch(work[:n_warm], k, nprobe=nprobe)
+        logs = []
+
+        # --- burst: all requests at once ------------------------------
+        engine = ServingEngine(
+            serving,
+            max_batch=burst_batch,
+            max_delay_us=burst_delay_us,
+            max_queue_depth=n_serving + 1,
+            record_requests=True,
+        )
+        start = time.perf_counter()
+        pending = [
+            engine.submit_async(query, k, nprobe=nprobe) for query in work
+        ]
+        for p in pending:
+            p.result(timeout=600.0)
+        engine.drain(timeout=600.0)
+        burst_seconds = time.perf_counter() - start
+        burst_stats = engine.stats()
+        burst_latency = engine.latency.summary_ms()
+        logs.extend(engine.execution_log())
+        engine.close()
+        burst_per_request = burst_seconds / n_serving
+        work_reduction = seq_per_request / burst_per_request
+
+        # --- closed loop: C client threads, zero think time -----------
+        n_clients = 8
+        engine = ServingEngine(
+            serving,
+            max_batch=max_batch,
+            max_delay_us=max_delay_us,
+            max_queue_depth=n_serving + 1,
+            record_requests=True,
+        )
+
+        def client(slice_queries):
+            for query in slice_queries:
+                engine.submit(query, k, nprobe=nprobe, timeout=600.0)
+
+        slices = [work[c::n_clients] for c in range(n_clients)]
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=n_clients) as pool:
+            list(pool.map(client, slices))
+        engine.drain(timeout=600.0)
+        closed_seconds = time.perf_counter() - start
+        closed_stats = engine.stats()
+        closed_latency = engine.latency.summary_ms()
+        logs.extend(engine.execution_log())
+        engine.close()
+
+        # --- open loop: seeded Poisson arrivals, deadlines, overload --
+        arrival_rate = 1.3 / seq_per_request  # requests/second offered
+        deadline = max(0.01, 50.0 * seq_per_request)
+        gaps = np.random.default_rng(args.seed + 7).exponential(
+            1.0 / arrival_rate, size=n_serving
+        )
+        engine = ServingEngine(
+            serving,
+            max_batch=max_batch,
+            max_delay_us=max_delay_us,
+            max_queue_depth=64,
+            budget=BudgetController(min_nprobe=max(1, nprobe // 4)),
+            record_requests=True,
+        )
+        pending = []
+        next_arrival = time.perf_counter()
+        start = next_arrival
+        for query, gap in zip(work, gaps):
+            next_arrival += gap
+            pause = next_arrival - time.perf_counter()
+            if pause > 0:
+                time.sleep(pause)
+            try:
+                pending.append(
+                    engine.submit_async(
+                        query, k, nprobe=nprobe, deadline=deadline
+                    )
+                )
+            except AdmissionRejectedError:
+                pass  # counted by the engine's stats
+        for p in pending:
+            p.result(timeout=600.0)
+        engine.drain(timeout=600.0)
+        open_seconds = time.perf_counter() - start
+        open_stats = engine.stats()
+        open_latency = engine.latency.summary_ms()
+        logs.extend(engine.execution_log())
+        engine.close()
+
+        # --- coalescing-equivalence hard gate -------------------------
+        mismatched = execution_log_matches(twin, logs)
+        equivalent = not mismatched
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    results = {
+        "n_requests": n_serving,
+        "max_batch": max_batch,
+        "max_delay_us": max_delay_us,
+        "sequential": {
+            "seconds_per_request": round(seq_per_request, 6),
+            "qps": round(n_serving / seq_seconds, 1),
+            "latency_ms": seq_latency.summary_ms(),
+        },
+        "burst": {
+            "max_batch": burst_batch,
+            "max_delay_us": burst_delay_us,
+            "seconds_per_request": round(burst_per_request, 6),
+            "qps": round(n_serving / burst_seconds, 1),
+            "batch_fill": round(burst_stats["mean_batch_fill"], 2),
+            "max_batch_fill": burst_stats["max_batch_fill"],
+            "work_per_request_reduction": round(work_reduction, 3),
+            "latency_ms": burst_latency,
+        },
+        "closed_loop": {
+            "clients": n_clients,
+            "qps": round(n_serving / closed_seconds, 1),
+            "batch_fill": round(closed_stats["mean_batch_fill"], 2),
+            "latency_ms": closed_latency,
+        },
+        "open_loop": {
+            "arrival_rate": round(arrival_rate, 1),
+            "offered_load": 1.3,
+            "deadline_ms": round(deadline * 1e3, 3),
+            "qps": round(open_stats["completed"] / open_seconds, 1),
+            "batch_fill": round(open_stats["mean_batch_fill"], 2),
+            "rejected": open_stats["rejected"],
+            "degraded_requests": open_stats["degraded_requests"],
+            "deadline_miss_rate": round(open_stats["deadline_miss_rate"], 4),
+            "latency_ms": open_latency,
+        },
+        "replayed_requests": len(logs),
+        "coalesced_equivalent": bool(equivalent),
+        "gates": {
+            "coalesced_equivalent": bool(equivalent),
+            "work_per_request_reduced": bool(
+                burst_stats["mean_batch_fill"] >= 4.0 and work_reduction > 1.0
+            ),
+        },
+    }
+    print(
+        f"[run_bench] serving: sequential {results['sequential']['qps']} QPS "
+        f"| burst {results['burst']['qps']} QPS at fill "
+        f"{results['burst']['batch_fill']} "
+        f"({results['burst']['work_per_request_reduction']}x less work/req) | "
+        f"closed-loop p99 {closed_latency['p99_ms']}ms | open-loop "
+        f"rejected {open_stats['rejected']} miss-rate "
+        f"{results['open_loop']['deadline_miss_rate']}",
+        flush=True,
+    )
+    print(
+        f"[run_bench] serving coalesced ≡ sequential replay: {equivalent} "
+        f"({len(logs)} requests replayed)",
+        flush=True,
+    )
+    return results
 
 
 def bench_durability(args, dataset) -> dict:
@@ -588,9 +855,12 @@ def bench_similarity(args, dataset, metric: str) -> dict:
         searcher.search(query, k, nprobe=nprobe)
 
     n_single = min(args.n_queries, args.n_single)
+    single_latency = LatencyRecorder()
     start = time.perf_counter()
     for query in queries[:n_single]:
+        t0 = time.perf_counter()
         searcher.search(query, k, nprobe=nprobe)
+        single_latency.record(time.perf_counter() - t0)
     single_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -607,6 +877,7 @@ def bench_similarity(args, dataset, metric: str) -> dict:
             "n_queries": n_single,
             "seconds": round(single_seconds, 4),
             "qps": round(n_single / single_seconds, 1),
+            "latency_ms": single_latency.summary_ms(),
         },
         "batch": {
             "n_queries": args.n_queries,
@@ -1171,6 +1442,11 @@ def main(argv=None) -> int:
         help="skip the warm-start / journal-replay durability benchmark",
     )
     parser.add_argument(
+        "--skip-serving",
+        action="store_true",
+        help="skip the online-serving (micro-batching) benchmark",
+    )
+    parser.add_argument(
         "--skip-probe-equivalence",
         action="store_true",
         help="skip the graph-probing vs. exact-probing equivalence gates",
@@ -1282,6 +1558,8 @@ def main(argv=None) -> int:
         )
     if not args.skip_durability:
         run["results"]["durability"] = bench_durability(args, dataset)
+    if not args.skip_serving:
+        run["results"]["serving"] = bench_serving(args, dataset)
     if not args.skip_pareto:
         run["results"]["pareto"] = bench_pareto(args, dataset)
     if not args.skip_kernels:
@@ -1369,6 +1647,23 @@ def main(argv=None) -> int:
             print(f"[run_bench] FAIL: pareto gate(s) failed: {failed}")
             return 1
 
+    serving = run["results"].get("serving")
+    if serving is not None:
+        if not serving["gates"]["coalesced_equivalent"]:
+            print(
+                "[run_bench] FAIL: coalesced serving responses diverged from "
+                "the sequential search replay (must be bit-identical)"
+            )
+            return 1
+        if not serving["gates"]["work_per_request_reduced"]:
+            print(
+                "[run_bench] FAIL: micro-batching did not reduce mean work "
+                f"per request at batch fill >= 4 (fill "
+                f"{serving['burst']['batch_fill']}, reduction "
+                f"{serving['burst']['work_per_request_reduction']}x)"
+            )
+            return 1
+
     if args.check:
         baseline_doc = json.loads(Path(args.check).read_text())
         baseline = baseline_doc["runs"][args.check_label]
@@ -1444,6 +1739,27 @@ def main(argv=None) -> int:
                         f"{args.max_regression:.0%}"
                     )
                     return 1
+
+        # Serving tail-latency gate: the coalescing engine's closed-loop
+        # p99 must not blow up (present only when both runs measured it).
+        # Tail percentiles are noisier than mean QPS, so the tolerated
+        # regression is doubled relative to the throughput gates.
+        base_serving = baseline["results"].get("serving")
+        got_serving = run["results"].get("serving")
+        if base_serving is not None and got_serving is not None:
+            base_p99 = base_serving["closed_loop"]["latency_ms"]["p99_ms"]
+            got_p99 = got_serving["closed_loop"]["latency_ms"]["p99_ms"]
+            ceiling = (1.0 + 2.0 * args.max_regression) * base_p99
+            print(
+                f"[run_bench] serving p99 gate (closed loop): {got_p99} ms "
+                f"vs baseline {base_p99} ms (ceiling {ceiling:.3f})"
+            )
+            if got_p99 > ceiling:
+                print(
+                    "[run_bench] FAIL: closed-loop p99 latency regressed > "
+                    f"{2 * args.max_regression:.0%}"
+                )
+                return 1
 
         # MIPS workload gate: the metric-generic path must not silently
         # regress either (present only when both runs measured it).

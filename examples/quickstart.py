@@ -51,6 +51,14 @@ scores, descending).  See ``examples/mips_search.py`` and the "Metric
 selection" section of ``benchmarks/README.md``; archives record the
 metric (format v4), and pre-metric archives load as ``l2``.
 
+Serving live traffic: concurrent single queries coalesce into
+``search_batch`` micro-batches through ``repro.serving.ServingEngine`` —
+bounded-queue admission control, per-request deadlines with adaptive
+``nprobe`` degradation, exact p50/p95/p99 latency tracking, and answers
+proven bit-identical to sequential ``search`` — see
+``examples/online_serving.py`` and the "Online serving" section of
+``benchmarks/README.md``.
+
 Which estimation kernel: ``estimation_mode="gemm"`` (default) computes the
 coarse integer dots as one float64 GEMM per probed cluster;
 ``estimation_mode="lut"`` runs the paper's fast-scan 4-bit look-up-table

@@ -41,6 +41,27 @@ class PersistenceError(ReproError):
     """
 
 
+class ServingError(ReproError):
+    """Raised for failures of the online serving front end.
+
+    Covers misuse of a :class:`repro.serving.ServingEngine` (submitting to a
+    closed engine, worker failures surfaced to waiting callers) — parameter
+    validation stays :class:`InvalidParameterError`, and admission-control
+    rejections raise the :class:`AdmissionRejectedError` subclass so callers
+    can retry/shed load without catching genuine engine failures.
+    """
+
+
+class AdmissionRejectedError(ServingError):
+    """Raised when the serving engine fast-fails a request at admission.
+
+    The two rejection causes are a full request queue (bounded by the
+    engine's ``max_queue_depth``) and a deadline that is already impossible
+    to meet at submit time.  Rejection happens *before* the request consumes
+    any search work, so callers can shed or re-route load immediately.
+    """
+
+
 class JournalError(PersistenceError):
     """Raised when a mutation journal cannot be used with an archive.
 

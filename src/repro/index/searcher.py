@@ -588,6 +588,11 @@ class IVFQuantizedSearcher:
         return self._flat
 
     @property
+    def dim(self) -> int:
+        """Vector dimensionality served by this searcher."""
+        return self.flat.dim
+
+    @property
     def arena(self) -> CodeArena:
         """The contiguous code arena (RaBitQ searchers only)."""
         if self._arena is None:
@@ -1378,7 +1383,14 @@ class IVFQuantizedSearcher:
             raise NotFittedError("IVFQuantizedSearcher must be fitted before use")
         if k <= 0:
             raise InvalidParameterError("k must be positive")
+        if nprobe < 1:
+            raise InvalidParameterError("nprobe must be >= 1")
         vec = np.asarray(query, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != self._flat.dim:
+            raise InvalidParameterError(
+                f"query has {vec.shape[0]} dimensions, searcher expects "
+                f"{self._flat.dim}"
+            )
         cluster_ids = self._ivf.probe(vec, nprobe, metric=self._metric)
         if self.quantizer_kind == "rabitq":
             candidate_ids, estimate = self._estimate_rabitq(vec, cluster_ids)
@@ -1762,8 +1774,15 @@ class IVFQuantizedSearcher:
             raise NotFittedError("IVFQuantizedSearcher must be fitted before use")
         if k <= 0:
             raise InvalidParameterError("k must be positive")
+        if nprobe < 1:
+            raise InvalidParameterError("nprobe must be >= 1")
         query_mat = as_float_matrix(queries, "queries")
         n_queries = query_mat.shape[0]
+        if n_queries > 0 and query_mat.shape[1] != self._flat.dim:
+            raise InvalidParameterError(
+                f"queries have {query_mat.shape[1]} dimensions, searcher "
+                f"expects {self._flat.dim}"
+            )
         if n_queries == 0:
             return BatchSearchResult(
                 ids=(),

@@ -638,7 +638,14 @@ class ShardedSearcher:
         shards = self.shards
         if k <= 0:
             raise InvalidParameterError("k must be positive")
+        if nprobe < 1:
+            raise InvalidParameterError("nprobe must be >= 1")
         vec = np.asarray(query, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != self.dim:
+            raise InvalidParameterError(
+                f"query has {vec.shape[0]} dimensions, searcher expects "
+                f"{self.dim}"
+            )
         results: list[SearchResult] = self._run_per_shard(
             [
                 (lambda shard=shard: shard.search(vec, k, nprobe=nprobe))
@@ -670,8 +677,15 @@ class ShardedSearcher:
         shards = self.shards
         if k <= 0:
             raise InvalidParameterError("k must be positive")
+        if nprobe < 1:
+            raise InvalidParameterError("nprobe must be >= 1")
         query_mat = as_float_matrix(queries, "queries")
         n_queries = query_mat.shape[0]
+        if n_queries > 0 and query_mat.shape[1] != self.dim:
+            raise InvalidParameterError(
+                f"queries have {query_mat.shape[1]} dimensions, searcher "
+                f"expects {self.dim}"
+            )
         if n_queries == 0:
             return BatchSearchResult(
                 ids=(),

@@ -18,7 +18,7 @@ from repro.metrics.relative_error import (
     max_relative_error,
     relative_errors,
 )
-from repro.metrics.timing import Timer, queries_per_second
+from repro.metrics.timing import LatencyRecorder, Timer, queries_per_second
 
 __all__ = [
     "average_distance_ratio",
@@ -28,5 +28,6 @@ __all__ = [
     "max_relative_error",
     "fit_estimated_vs_true",
     "Timer",
+    "LatencyRecorder",
     "queries_per_second",
 ]

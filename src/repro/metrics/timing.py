@@ -1,11 +1,13 @@
-"""Timing helpers: wall-clock timers and queries-per-second calculations."""
+"""Timing helpers: timers, QPS calculations and exact latency percentiles."""
 
 from __future__ import annotations
 
+import math
+import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
 
 
 @dataclass
@@ -41,6 +43,128 @@ class Timer:
         return self.elapsed
 
 
+class LatencyRecorder:
+    """Exact latency percentiles over monotonic-clock samples.
+
+    Collects per-request wall-clock durations (seconds) and reports *exact*
+    nearest-rank percentiles — every sample is kept, so p50/p95/p99 are the
+    true order statistics of the recorded distribution, not a sketch or an
+    interpolation.  This is the right trade-off for benchmark runs and
+    serving windows of up to a few million requests (8 bytes per sample);
+    tail percentiles from t-digest-style sketches would defeat the point of
+    tracking the tail in the first place.
+
+    ``record`` is thread-safe (closed-loop latency drivers record from many
+    client threads); reads take the same lock and sort lazily, caching the
+    sorted order until the next ``record``/``merge``.
+
+    The nearest-rank definition: percentile ``q`` of ``n`` sorted samples is
+    the sample at 1-based rank ``ceil(q / 100 * n)`` (rank 1 for ``q = 0``).
+    For even ``n`` this makes p50 the *lower* median — a real observed
+    latency, never an average of two.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._sorted: list[float] | None = None
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (non-negative, finite, in seconds)."""
+        value = float(seconds)
+        if not math.isfinite(value) or value < 0.0:
+            raise InvalidParameterError(
+                f"latency samples must be finite and non-negative, got {seconds!r}"
+            )
+        with self._lock:
+            self._samples.append(value)
+            self._sorted = None
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold ``other``'s samples into this recorder (returns ``self``).
+
+        Exactness is preserved: the merged recorder reports the same
+        percentiles as one recorder fed both sample streams — the property
+        that lets per-shard / per-client recorders combine into one tail.
+        """
+        if other is self:
+            return self
+        with other._lock:
+            incoming = list(other._samples)
+        with self._lock:
+            self._samples.extend(incoming)
+            self._sorted = None
+        return self
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self)
+
+    def _ordered(self) -> list[float]:
+        if not self._samples:
+            raise EmptyDatasetError("no latency samples recorded")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
+
+    def percentile(self, q: float) -> float:
+        """Exact nearest-rank percentile ``q`` (``0 <= q <= 100``), seconds."""
+        if not 0.0 <= float(q) <= 100.0:
+            raise InvalidParameterError("percentile must lie in [0, 100]")
+        with self._lock:
+            ordered = self._ordered()
+            rank = max(1, math.ceil(float(q) / 100.0 * len(ordered)))
+            return ordered[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        """Exact 50th-percentile latency in seconds."""
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        """Exact 95th-percentile latency in seconds."""
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """Exact 99th-percentile latency in seconds."""
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean latency in seconds."""
+        with self._lock:
+            if not self._samples:
+                raise EmptyDatasetError("no latency samples recorded")
+            return sum(self._samples) / len(self._samples)
+
+    @property
+    def max(self) -> float:
+        """Largest recorded latency in seconds."""
+        with self._lock:
+            return self._ordered()[-1]
+
+    def summary_ms(self, ndigits: int = 3) -> dict:
+        """``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}`` snapshot.
+
+        Milliseconds, rounded — the shape the benchmark records commit.
+        """
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean * 1e3, ndigits),
+            "p50_ms": round(self.p50 * 1e3, ndigits),
+            "p95_ms": round(self.p95 * 1e3, ndigits),
+            "p99_ms": round(self.p99 * 1e3, ndigits),
+            "max_ms": round(self.max * 1e3, ndigits),
+        }
+
+
 def queries_per_second(n_queries: int, elapsed_seconds: float) -> float:
     """QPS given a number of queries and a wall-clock duration."""
     if n_queries < 0:
@@ -57,4 +181,9 @@ def nanoseconds_per_item(elapsed_seconds: float, n_items: int) -> float:
     return elapsed_seconds * 1e9 / n_items
 
 
-__all__ = ["Timer", "queries_per_second", "nanoseconds_per_item"]
+__all__ = [
+    "Timer",
+    "LatencyRecorder",
+    "queries_per_second",
+    "nanoseconds_per_item",
+]

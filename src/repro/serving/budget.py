@@ -1,0 +1,142 @@
+"""Deadline-aware probe-budget control for the online serving engine.
+
+Production deadlines are met by doing *less work*, not by hoping the queue
+drains: when the time remaining until a request's deadline is smaller than
+what the requested ``nprobe`` is expected to cost, the only lever that
+needs no index surgery is the per-call ``nprobe=`` override both searcher
+entry points already accept.  :class:`BudgetController` owns that decision.
+
+The controller keeps a single-scalar service-time model — an exponentially
+weighted moving average of the observed *seconds per (query x probe)* of
+the engine's executed micro-batches.  Probed-cluster scans dominate the
+serving cost and scale ~linearly in ``nprobe`` (one fused GEMM slice per
+probed cluster), so ``seconds_per_probe * nprobe`` is a serviceable
+first-order latency forecast; the EWMA adapts it to the current batch-fill
+regime and host load without any offline calibration.
+
+Determinism contract: :meth:`effective_nprobe` is a pure function of the
+requested budget, the remaining time and the controller's model state, and
+:meth:`observe` ignores non-positive durations (a frozen test clock
+observes zero elapsed time).  Under a frozen clock the model state
+therefore never drifts and every degradation decision is exactly
+reproducible — pinned in ``tests/test_serving.py``.
+
+Thread safety: the controller is written (``observe``) and read
+(``effective_nprobe``) only by the serving engine's single worker thread;
+it needs and takes no locks.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["BudgetController"]
+
+
+class BudgetController:
+    """Degrade per-request ``nprobe`` when the deadline demands it.
+
+    Parameters
+    ----------
+    min_nprobe:
+        Floor on the degraded probe budget: a request is never degraded
+        below this many probed clusters (quality floor), though it also
+        never *gains* probes — the effective budget is capped by what the
+        caller requested.
+    alpha:
+        EWMA weight of the newest service-time observation, in ``(0, 1]``.
+    safety:
+        Multiplier on the forecast cost (``> 0``).  Values above 1 degrade
+        earlier, trading recall for deadline-miss rate.
+    initial_seconds_per_probe:
+        Optional model seed.  Until the first observation the controller
+        has no forecast and leaves every request undegraded (``None``
+        model); seeding makes the first decisions deterministic, which the
+        frozen-clock tests rely on.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_nprobe: int = 1,
+        alpha: float = 0.25,
+        safety: float = 1.0,
+        initial_seconds_per_probe: float | None = None,
+    ) -> None:
+        if min_nprobe < 1:
+            raise InvalidParameterError("min_nprobe must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise InvalidParameterError("alpha must lie in (0, 1]")
+        if safety <= 0.0:
+            raise InvalidParameterError("safety must be positive")
+        if (
+            initial_seconds_per_probe is not None
+            and initial_seconds_per_probe <= 0.0
+        ):
+            raise InvalidParameterError(
+                "initial_seconds_per_probe must be positive"
+            )
+        self.min_nprobe = int(min_nprobe)
+        self.alpha = float(alpha)
+        self.safety = float(safety)
+        self._seconds_per_probe: float | None = (
+            float(initial_seconds_per_probe)
+            if initial_seconds_per_probe is not None
+            else None
+        )
+
+    @property
+    def seconds_per_probe(self) -> float | None:
+        """Current EWMA of seconds per (query x probe); ``None`` untrained."""
+        return self._seconds_per_probe
+
+    def observe(self, nprobe: int, n_queries: int, seconds: float) -> None:
+        """Fold one executed micro-batch into the service-time model.
+
+        ``seconds`` is the wall-clock duration of a ``search_batch`` call
+        that answered ``n_queries`` requests at ``nprobe`` probes each.
+        Non-positive durations are ignored (sub-resolution timings and
+        frozen test clocks carry no information, and folding zeros in
+        would drive the forecast — and with it every degraded budget — to
+        zero).
+        """
+        if nprobe < 1 or n_queries < 1:
+            raise InvalidParameterError(
+                "observe requires nprobe >= 1 and n_queries >= 1"
+            )
+        if seconds <= 0.0:
+            return
+        sample = float(seconds) / (float(n_queries) * float(nprobe))
+        if self._seconds_per_probe is None:
+            self._seconds_per_probe = sample
+        else:
+            self._seconds_per_probe = (
+                self.alpha * sample
+                + (1.0 - self.alpha) * self._seconds_per_probe
+            )
+
+    def effective_nprobe(
+        self, requested: int, remaining_seconds: float | None
+    ) -> int:
+        """The probe budget to actually spend on one request.
+
+        Pure in ``(requested, remaining_seconds, model state)``.  With no
+        deadline (``None``) or no trained model the request is undegraded;
+        with the deadline already blown the floor budget is returned (the
+        response is late either way — spend as little as allowed on it);
+        otherwise the budget is the largest ``nprobe`` whose forecast cost
+        ``nprobe * seconds_per_probe * safety`` fits in the remaining
+        time, clamped to ``[min(min_nprobe, requested), requested]``.
+        """
+        if requested < 1:
+            raise InvalidParameterError("requested nprobe must be >= 1")
+        floor = min(self.min_nprobe, int(requested))
+        if remaining_seconds is None:
+            return int(requested)
+        if remaining_seconds <= 0.0:
+            return floor
+        model = self._seconds_per_probe
+        if model is None:
+            return int(requested)
+        affordable = int(float(remaining_seconds) / (model * self.safety))
+        return max(floor, min(int(requested), affordable))

@@ -16,10 +16,14 @@ error, covered by ``tests/test_rng.py``), and the persistence layer's JSON
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 import pytest
 
+from repro.core.config import RaBitQConfig
 from repro.exceptions import (
+    AdmissionRejectedError,
     DimensionMismatchError,
     EmptyDatasetError,
     InvalidParameterError,
@@ -27,6 +31,7 @@ from repro.exceptions import (
     NotFittedError,
     PersistenceError,
     ReproError,
+    ServingError,
 )
 from repro.index.arena import CodeArena
 from repro.index.flat import FlatIndex
@@ -35,6 +40,8 @@ from repro.index.rerank import ErrorBoundReranker, TopCandidateReranker
 from repro.index.searcher import IVFQuantizedSearcher
 from repro.index.sharded import ShardedSearcher
 from repro.io.persistence import load_searcher, load_sharded_searcher
+from repro.metrics.timing import LatencyRecorder
+from repro.serving import BudgetController, ServingEngine
 from repro.substrates import linalg, rng as rng_utils
 
 
@@ -59,6 +66,55 @@ class TestExceptionHierarchy:
         # PersistenceError must also catch a mismatched/foreign journal.
         assert issubclass(JournalError, PersistenceError)
         assert issubclass(JournalError, ReproError)
+
+    def test_admission_rejection_is_a_serving_error(self):
+        # Load shedding is a serving-layer concern: callers handling
+        # ServingError must also see rejections, and callers retrying on
+        # rejection must not accidentally swallow engine failures.
+        assert issubclass(ServingError, ReproError)
+        assert issubclass(AdmissionRejectedError, ServingError)
+        assert not issubclass(ServingError, AdmissionRejectedError)
+
+
+@functools.lru_cache(maxsize=1)
+def _fitted_searcher() -> IVFQuantizedSearcher:
+    """One cached tiny searcher for entry-point validation cases."""
+    data = np.random.default_rng(31).standard_normal((60, 6))
+    return IVFQuantizedSearcher(
+        "rabitq", n_clusters=3, rabitq_config=RaBitQConfig(seed=1), rng=4
+    ).fit(data)
+
+
+@functools.lru_cache(maxsize=1)
+def _fitted_sharded() -> ShardedSearcher:
+    """One cached tiny sharded searcher (serial mode: nothing to close)."""
+    data = np.random.default_rng(32).standard_normal((80, 6))
+    return ShardedSearcher(
+        2, n_threads=0, n_clusters=3, rabitq_config=RaBitQConfig(seed=2), rng=5
+    ).fit(data)
+
+
+def _engine_submit(query, k, *, nprobe=8, deadline=None, depth=4):
+    """Submit one request on a throwaway engine, always closing the worker."""
+    engine = ServingEngine(_fitted_searcher(), max_queue_depth=depth)
+    try:
+        return engine.submit(query, k, nprobe=nprobe, deadline=deadline)
+    finally:
+        engine.close()
+
+
+def _submit_after_close():
+    engine = ServingEngine(_fitted_searcher())
+    engine.close()
+    return engine.submit(np.ones(6), 1)
+
+
+def _empty_percentile():
+    return LatencyRecorder().percentile(50.0)
+
+
+def _bad_sample():
+    return LatencyRecorder().record(float("nan"))
 
 
 # (callable, expected exception) pairs spanning the index/io/substrates
@@ -118,12 +174,104 @@ _CASES = [
         lambda: IVFQuantizedSearcher("rabitq").search(np.ones(4), 1),
         NotFittedError,
     ),
+    # Entry-point validation: search / search_batch / submit agree on the
+    # exact type for k < 1, nprobe < 1 and wrong-dimension queries.
+    (
+        "searcher bad k",
+        lambda: _fitted_searcher().search(np.ones(6), 0),
+        InvalidParameterError,
+    ),
+    (
+        "searcher bad nprobe",
+        lambda: _fitted_searcher().search(np.ones(6), 1, nprobe=0),
+        InvalidParameterError,
+    ),
+    (
+        "searcher dim mismatch",
+        lambda: _fitted_searcher().search(np.ones(9), 1),
+        InvalidParameterError,
+    ),
+    (
+        "searcher batch bad k",
+        lambda: _fitted_searcher().search_batch(np.ones((2, 6)), -1),
+        InvalidParameterError,
+    ),
+    (
+        "searcher batch bad nprobe",
+        lambda: _fitted_searcher().search_batch(np.ones((2, 6)), 1, nprobe=0),
+        InvalidParameterError,
+    ),
+    (
+        "searcher batch dim mismatch",
+        lambda: _fitted_searcher().search_batch(np.ones((2, 9)), 1),
+        InvalidParameterError,
+    ),
     ("sharded bad shards", lambda: ShardedSearcher(0), InvalidParameterError),
     (
         "sharded unfitted",
         lambda: ShardedSearcher(2).search(np.ones(4), 1),
         NotFittedError,
     ),
+    (
+        "sharded bad nprobe",
+        lambda: _fitted_sharded().search(np.ones(6), 1, nprobe=0),
+        InvalidParameterError,
+    ),
+    (
+        "sharded dim mismatch",
+        lambda: _fitted_sharded().search(np.ones(9), 1),
+        InvalidParameterError,
+    ),
+    (
+        "sharded batch bad nprobe",
+        lambda: _fitted_sharded().search_batch(np.ones((2, 6)), 1, nprobe=0),
+        InvalidParameterError,
+    ),
+    (
+        "sharded batch dim mismatch",
+        lambda: _fitted_sharded().search_batch(np.ones((2, 9)), 1),
+        InvalidParameterError,
+    ),
+    # serving/
+    (
+        "submit bad k",
+        lambda: _engine_submit(np.ones(6), 0),
+        InvalidParameterError,
+    ),
+    (
+        "submit bad nprobe",
+        lambda: _engine_submit(np.ones(6), 1, nprobe=0),
+        InvalidParameterError,
+    ),
+    (
+        "submit dim mismatch",
+        lambda: _engine_submit(np.ones(9), 1),
+        InvalidParameterError,
+    ),
+    (
+        "submit expired deadline",
+        lambda: _engine_submit(np.ones(6), 1, deadline=-0.5),
+        AdmissionRejectedError,
+    ),
+    ("submit after close", _submit_after_close, ServingError),
+    (
+        "engine bad max_batch",
+        lambda: ServingEngine(_fitted_searcher(), max_batch=0),
+        InvalidParameterError,
+    ),
+    (
+        "budget bad alpha",
+        lambda: BudgetController(alpha=0.0),
+        InvalidParameterError,
+    ),
+    (
+        "budget bad request",
+        lambda: BudgetController().effective_nprobe(0, None),
+        InvalidParameterError,
+    ),
+    # metrics/
+    ("latency bad sample", _bad_sample, InvalidParameterError),
+    ("latency empty percentile", _empty_percentile, EmptyDatasetError),
     # io/
     ("load missing", lambda: load_searcher("/nonexistent/x.npz"), PersistenceError),
     (

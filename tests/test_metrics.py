@@ -7,7 +7,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.metrics.distance_ratio import average_distance_ratio
 from repro.metrics.recall import per_query_recall, recall_at_k
 from repro.metrics.regression import fit_estimated_vs_true
@@ -16,7 +16,12 @@ from repro.metrics.relative_error import (
     max_relative_error,
     relative_errors,
 )
-from repro.metrics.timing import Timer, nanoseconds_per_item, queries_per_second
+from repro.metrics.timing import (
+    LatencyRecorder,
+    Timer,
+    nanoseconds_per_item,
+    queries_per_second,
+)
 
 
 class TestRelativeError:
@@ -170,3 +175,115 @@ class TestTiming:
         assert nanoseconds_per_item(1.0, 1000) == pytest.approx(1e6)
         with pytest.raises(InvalidParameterError):
             nanoseconds_per_item(1.0, 0)
+
+
+class TestLatencyRecorder:
+    def test_exact_nearest_rank_percentiles(self):
+        # 100 distinct samples: percentile q is exactly the q-th smallest.
+        recorder = LatencyRecorder()
+        for ms in np.random.default_rng(0).permutation(100):
+            recorder.record((ms + 1) / 1000.0)
+        assert recorder.percentile(50.0) == pytest.approx(0.050)
+        assert recorder.p95 == pytest.approx(0.095)
+        assert recorder.p99 == pytest.approx(0.099)
+        assert recorder.percentile(100.0) == pytest.approx(0.100)
+        assert recorder.percentile(0.0) == pytest.approx(0.001)
+
+    def test_small_sample_ranks(self):
+        # Nearest-rank on n=4: rank(q) = max(1, ceil(q/100 * 4)).
+        recorder = LatencyRecorder()
+        for s in (0.4, 0.2, 0.3, 0.1):
+            recorder.record(s)
+        assert recorder.p50 == pytest.approx(0.2)  # lower median, a sample
+        assert recorder.p95 == pytest.approx(0.4)
+        assert recorder.percentile(25.0) == pytest.approx(0.1)
+        assert recorder.max == pytest.approx(0.4)
+        assert recorder.mean == pytest.approx(0.25)
+        assert len(recorder) == recorder.count == 4
+
+    def test_single_sample_every_percentile(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.007)
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert recorder.percentile(q) == pytest.approx(0.007)
+
+    def test_merge_equals_combined_stream(self):
+        rng = np.random.default_rng(7)
+        a_samples = rng.exponential(0.01, size=137)
+        b_samples = rng.exponential(0.03, size=61)
+        a, b, combined = LatencyRecorder(), LatencyRecorder(), LatencyRecorder()
+        for s in a_samples:
+            a.record(s)
+            combined.record(s)
+        for s in b_samples:
+            b.record(s)
+            combined.record(s)
+        merged = a.merge(b)
+        assert merged is a
+        assert merged.count == combined.count
+        for q in (0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+            assert merged.percentile(q) == combined.percentile(q)
+        # The merged-from recorder is untouched.
+        assert b.count == len(b_samples)
+
+    def test_self_merge_is_a_no_op(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.5)
+        assert recorder.merge(recorder) is recorder
+        assert recorder.count == 1
+
+    def test_record_after_read_invalidates_cache(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.2)
+        assert recorder.p50 == pytest.approx(0.2)
+        recorder.record(0.1)
+        assert recorder.p50 == pytest.approx(0.1)
+
+    def test_empty_recorder_raises(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(EmptyDatasetError):
+            recorder.percentile(50.0)
+        with pytest.raises(EmptyDatasetError):
+            _ = recorder.mean
+        with pytest.raises(EmptyDatasetError):
+            _ = recorder.max
+        assert recorder.count == 0
+
+    def test_invalid_samples_and_percentiles(self):
+        recorder = LatencyRecorder()
+        for bad in (-1e-9, float("nan"), float("inf")):
+            with pytest.raises(InvalidParameterError):
+                recorder.record(bad)
+        recorder.record(0.0)  # zero is a legal (frozen-clock) sample
+        for bad_q in (-0.1, 100.1):
+            with pytest.raises(InvalidParameterError):
+                recorder.percentile(bad_q)
+
+    def test_concurrent_record_loses_no_samples(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        recorder = LatencyRecorder()
+        per_thread = 500
+
+        def worker(offset):
+            for i in range(per_thread):
+                recorder.record((offset * per_thread + i) * 1e-6)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(worker, range(8)))
+        assert recorder.count == 8 * per_thread
+        assert recorder.max == pytest.approx((8 * per_thread - 1) * 1e-6)
+
+    def test_summary_ms_shape(self):
+        recorder = LatencyRecorder()
+        for s in (0.001, 0.002, 0.003):
+            recorder.record(s)
+        summary = recorder.summary_ms()
+        assert summary == {
+            "count": 3,
+            "mean_ms": 2.0,
+            "p50_ms": 2.0,
+            "p95_ms": 3.0,
+            "p99_ms": 3.0,
+            "max_ms": 3.0,
+        }

@@ -55,6 +55,7 @@ class TestTopLevelExports:
         import repro.index
         import repro.io
         import repro.metrics
+        import repro.serving
         import repro.substrates
 
         for module in (
@@ -65,6 +66,7 @@ class TestTopLevelExports:
             repro.datasets,
             repro.metrics,
             repro.experiments,
+            repro.serving,
             repro.substrates,
         ):
             assert module.__doc__, f"{module.__name__} is missing a docstring"
